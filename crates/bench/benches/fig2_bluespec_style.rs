@@ -1,0 +1,50 @@
+//! Criterion version of Figure 2: the two RTL compilation schemes
+//! (Kôika-dynamic vs Bluespec-style-static) against Cuttlesim.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, make_backend, BackendKind};
+use koika::check::check;
+use koika_rtl::Scheme;
+use std::time::Duration;
+
+const CYCLES_PER_ITER: u64 = 2000;
+
+fn bench_fig2(c: &mut Criterion) {
+    for bench in all_benches()
+        .into_iter()
+        .filter(|b| matches!(b.name, "collatz" | "rv32i-primes"))
+    {
+        let mut group = c.benchmark_group(format!("fig2/{}", bench.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(CYCLES_PER_ITER));
+        for kind in [
+            BackendKind::Vm(OptLevel::max(), Dispatch::Match),
+            BackendKind::Rtl(Scheme::Dynamic),
+            BackendKind::Rtl(Scheme::Static),
+        ] {
+            let td = check(&(bench.design)()).unwrap();
+            let mut devices = (bench.devices)(&td);
+            let mut sim = make_backend(&td, kind);
+            let mut cycle = 0u64;
+            group.bench_function(kind.label(), |b| {
+                b.iter(|| {
+                    for _ in 0..CYCLES_PER_ITER {
+                        for d in devices.iter_mut() {
+                            d.tick(cycle, sim.as_reg_access());
+                        }
+                        sim.cycle();
+                        cycle += 1;
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

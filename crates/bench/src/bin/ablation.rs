@@ -1,0 +1,34 @@
+//! Ablation of the §3.2/§3.3 optimization ladder: cycles/second of the
+//! naive interpreter (O0) and every VM level O1..O6, per benchmark.
+//!
+//! Expected shape: monotone improvement up the ladder, with the largest
+//! jumps from bytecode compilation (O0→O1), accumulated logs (O2), and the
+//! design-specific pass (O6) on register-heavy designs.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, scaled, BackendKind};
+
+fn main() {
+    println!("Ablation: optimization-ladder cycles/second");
+    print!("{:<16}", "design");
+    print!(" {:>10}", "O0");
+    for level in OptLevel::ALL {
+        print!(" {:>10}", level.short_name());
+    }
+    println!();
+    for bench in all_benches() {
+        let budget = scaled(bench.default_cycles / 4);
+        print!("{:<16}", bench.name);
+        let interp = run_bench(&bench, BackendKind::Interp, (budget / 8).max(1000));
+        print!(" {:>10.0}", interp.cps());
+        for level in OptLevel::ALL {
+            let stats = run_bench(
+                &bench,
+                BackendKind::Vm(level, Dispatch::Match),
+                budget,
+            );
+            print!(" {:>10.0}", stats.cps());
+        }
+        println!();
+    }
+}

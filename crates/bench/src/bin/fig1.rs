@@ -1,0 +1,37 @@
+//! Regenerates Figure 1: Cuttlesim versus the RTL simulator (Verilator
+//! stand-in) on Kôika-compiled circuits — runtime and cycles/second per
+//! benchmark.
+//!
+//! Expected shape (paper): Cuttlesim wins everywhere; by the largest factor
+//! on the control-heavy processor cores, more narrowly on the combinational
+//! fir/fft designs.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, scaled, BackendKind};
+use koika_rtl::Scheme;
+
+fn main() {
+    println!("Figure 1: performance of RTL (verilator stand-in) and Cuttlesim models");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>14} {:>8}",
+        "design", "cuttlesim(s)", "cuttlesim(c/s)", "rtl-koika(s)", "rtl-koika(c/s)", "speedup"
+    );
+    for bench in all_benches() {
+        let cycles = scaled(bench.default_cycles);
+        let fast = run_bench(
+            &bench,
+            BackendKind::Vm(OptLevel::max(), Dispatch::Match),
+            cycles,
+        );
+        let rtl = run_bench(&bench, BackendKind::Rtl(Scheme::Dynamic), cycles);
+        println!(
+            "{:<16} {:>12.3} {:>14.0} {:>12.3} {:>14.0} {:>7.2}x",
+            bench.name,
+            fast.secs,
+            fast.cps(),
+            rtl.secs,
+            rtl.cps(),
+            rtl.secs / fast.secs,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 2: is Cuttlesim's advantage only due to Kôika's
+//! compiler generating inefficient Verilog? Compare against a
+//! "Bluespec-style" compilation scheme (static conflict resolution, leaner
+//! circuits).
+//!
+//! Expected shape (paper): the two RTL variants land within ~2x of each
+//! other; Cuttlesim beats both.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, scaled, BackendKind};
+use koika_rtl::Scheme;
+
+fn main() {
+    println!("Figure 2: equivalent designs under both RTL schemes vs Cuttlesim");
+    println!(
+        "{:<16} {:>14} {:>14} {:>18}",
+        "design", "cuttlesim(c/s)", "rtl-koika(c/s)", "rtl-bsc-style(c/s)"
+    );
+    for bench in all_benches() {
+        let cycles = scaled(bench.default_cycles);
+        let fast = run_bench(
+            &bench,
+            BackendKind::Vm(OptLevel::max(), Dispatch::Match),
+            cycles,
+        );
+        let dynamic = run_bench(&bench, BackendKind::Rtl(Scheme::Dynamic), cycles);
+        let stat = run_bench(&bench, BackendKind::Rtl(Scheme::Static), cycles);
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>18.0}",
+            bench.name,
+            fast.cps(),
+            dynamic.cps(),
+            stat.cps(),
+        );
+    }
+}

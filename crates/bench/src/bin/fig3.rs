@@ -1,0 +1,42 @@
+//! Regenerates Figure 3: sensitivity to compiler choice. The paper compiles
+//! its C++ models with GCC and Clang; our stand-in varies the VM's code
+//! path the same way a different compiler backend would — `match` dispatch
+//! versus closure (fat-pointer) dispatch.
+//!
+//! Expected shape (paper): absolute runtimes shift, but Cuttlesim's
+//! advantage over the RTL simulator is stable.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, scaled, BackendKind};
+use koika_rtl::Scheme;
+
+fn main() {
+    println!("Figure 3: dispatch (compiler stand-in) sensitivity");
+    println!(
+        "{:<16} {:>16} {:>18} {:>14} {:>10} {:>10}",
+        "design", "cuttlesim-match", "cuttlesim-closure", "rtl-koika", "spd-match", "spd-clos"
+    );
+    for bench in all_benches() {
+        let cycles = scaled(bench.default_cycles / 2);
+        let m = run_bench(
+            &bench,
+            BackendKind::Vm(OptLevel::max(), Dispatch::Match),
+            cycles,
+        );
+        let c = run_bench(
+            &bench,
+            BackendKind::Vm(OptLevel::max(), Dispatch::Closure),
+            cycles,
+        );
+        let rtl = run_bench(&bench, BackendKind::Rtl(Scheme::Dynamic), cycles);
+        println!(
+            "{:<16} {:>13.0}c/s {:>15.0}c/s {:>11.0}c/s {:>9.2}x {:>9.2}x",
+            bench.name,
+            m.cps(),
+            c.cps(),
+            rtl.cps(),
+            m.cps() / rtl.cps(),
+            c.cps() / rtl.cps(),
+        );
+    }
+}

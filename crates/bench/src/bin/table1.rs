@@ -1,0 +1,96 @@
+//! Regenerates Table 1: per-benchmark source-line counts (Kôika design,
+//! generated Cuttlesim C++ model, generated Verilog), design sizes, and the
+//! simulated cycle count of the standard workload.
+
+use cuttlesim::codegen_cpp;
+use cuttlesim_bench::{all_benches, PRIMES_LIMIT};
+use koika::check::check;
+use koika::device::SimBackend;
+use koika_designs::harness::{golden_run, run_until_retired, MEM_WORDS};
+use koika_designs::memdev::MagicMemory;
+use koika_designs::rv32;
+use koika_riscv::programs;
+use koika_rtl::{compile as rtl_compile, verilog, Scheme};
+
+fn main() {
+    println!("Table 1: benchmarks (cf. paper Table 1)");
+    println!(
+        "{:<16} {:>6} {:>10} {:>8} {:>6} {:>6} {:>8} {:>12}",
+        "design", "koika", "cuttlesim", "verilog", "regs", "rules", "gates", "cycles"
+    );
+    for bench in all_benches() {
+        let design = (bench.design)();
+        let td = check(&design).unwrap();
+        let model = rtl_compile(&td, Scheme::Dynamic).unwrap();
+        let cycles = workload_cycles(bench.name);
+        println!(
+            "{:<16} {:>6} {:>10} {:>8} {:>6} {:>6} {:>8} {:>12}",
+            bench.name,
+            design.sloc(),
+            codegen_cpp::sloc(&td),
+            verilog::sloc(&model),
+            td.num_regs(),
+            td.rules.len(),
+            model.netlist.len(),
+            cycles,
+        );
+    }
+}
+
+/// Cycles the standard workload takes (to completion for the cores, the
+/// default budget for the free-running designs).
+fn workload_cycles(name: &str) -> u64 {
+    let core = |design: koika::design::Design, prefix: &str, program: Vec<u32>| -> u64 {
+        let td = check(&design).unwrap();
+        let golden = golden_run(&program, 200_000_000);
+        let mut sim = cuttlesim::Sim::compile(&td).unwrap();
+        let mut mem = MagicMemory::new(
+            &td,
+            &[&format!("{prefix}imem"), &format!("{prefix}dmem")],
+            &program,
+            MEM_WORDS,
+        );
+        let run = run_until_retired(&mut sim, &mut mem, &td, prefix, golden.retired, 500_000_000);
+        assert!(run.completed, "{name} did not finish");
+        run.cycles
+    };
+    match name {
+        "rv32i-primes" => core(rv32::rv32i(), "", programs::primes(PRIMES_LIMIT)),
+        "rv32e-primes" => core(rv32::rv32e(), "", programs::primes(PRIMES_LIMIT)),
+        "rv32i-bp-primes" => core(rv32::rv32i_bp(), "", programs::primes(PRIMES_LIMIT)),
+        "rv32i-mc-primes" => {
+            // Both cores run primes; report cycles until both complete.
+            let td = check(&rv32::rv32i_mc()).unwrap();
+            let p0 = programs::primes_at(PRIMES_LIMIT, 0x1800);
+            let p1 = programs::primes_at(PRIMES_LIMIT, 0x1900);
+            let golden = golden_run(&p0, 200_000_000);
+            let mut sim = cuttlesim::Sim::compile(&td).unwrap();
+            let mut mem = MagicMemory::new(
+                &td,
+                &["c0_imem", "c0_dmem", "c1_imem", "c1_dmem"],
+                &p0,
+                MEM_WORDS,
+            );
+            mem.load(rv32::MC_CORE1_PC, &p1);
+            let c0 = td.reg_id("c0_retired");
+            let c1 = td.reg_id("c1_retired");
+            let mut cycles = 0u64;
+            use koika::device::Device;
+            while sim.as_reg_access().get64(c0) < golden.retired
+                || sim.as_reg_access().get64(c1) < golden.retired
+            {
+                mem.tick(cycles, sim.as_reg_access());
+                sim.cycle();
+                cycles += 1;
+            }
+            cycles
+        }
+        _ => {
+            let bench = all_benches()
+                .into_iter()
+                .find(|b| b.name == name)
+                .unwrap();
+            bench.default_cycles
+        }
+    }
+}

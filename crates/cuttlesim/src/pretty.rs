@@ -1,0 +1,128 @@
+//! Tiny pretty-printer for the typed IR, shared by coverage labels and the
+//! readable-C++ code generator. The output deliberately mimics the macro
+//! style of the paper's generated models (`READ0(st)`, `WRITE0(x, ...)`).
+
+use koika::ast::{BinOp, Port, UnOp};
+use koika::tir::{TAction, TDesign, TExpr};
+
+/// Renders an expression in the paper's C++-model style.
+pub fn expr_str(d: &TDesign, e: &TExpr) -> String {
+    match e {
+        TExpr::Const { v, .. } => format!("{v}"),
+        TExpr::Var { slot, .. } => format!("v{slot}"),
+        TExpr::Read { port, reg, .. } => {
+            format!("READ{}({})", port_num(*port), d.regs[reg.0 as usize].name)
+        }
+        TExpr::ReadArr {
+            port, base, idx, ..
+        } => format!(
+            "READ{}({}[{}])",
+            port_num(*port),
+            sym_name(d, *base),
+            expr_str(d, idx)
+        ),
+        TExpr::Un { op, a, .. } => match op {
+            UnOp::Not => format!("~{}", expr_str(d, a)),
+            UnOp::Neg => format!("-{}", expr_str(d, a)),
+            UnOp::Zext(w) => format!("zext<{w}>({})", expr_str(d, a)),
+            UnOp::Sext(w) => format!("sext<{w}>({})", expr_str(d, a)),
+            UnOp::Slice { lo, width } => {
+                format!("slice<{lo}, {width}>({})", expr_str(d, a))
+            }
+        },
+        TExpr::Bin { op, a, b, .. } => {
+            let (sa, sb) = (expr_str(d, a), expr_str(d, b));
+            match op {
+                BinOp::Add => format!("({sa} + {sb})"),
+                BinOp::Sub => format!("({sa} - {sb})"),
+                BinOp::Mul => format!("({sa} * {sb})"),
+                BinOp::And => format!("({sa} & {sb})"),
+                BinOp::Or => format!("({sa} | {sb})"),
+                BinOp::Xor => format!("({sa} ^ {sb})"),
+                BinOp::Shl => format!("({sa} << {sb})"),
+                BinOp::Shr => format!("({sa} >> {sb})"),
+                BinOp::Sra => format!("asr({sa}, {sb})"),
+                BinOp::Eq => format!("({sa} == {sb})"),
+                BinOp::Ne => format!("({sa} != {sb})"),
+                BinOp::Ult => format!("({sa} < {sb})"),
+                BinOp::Ule => format!("({sa} <= {sb})"),
+                BinOp::Slt => format!("slt({sa}, {sb})"),
+                BinOp::Sle => format!("sle({sa}, {sb})"),
+                BinOp::Concat => format!("concat({sa}, {sb})"),
+            }
+        }
+        TExpr::Select { c, t, f, .. } => format!(
+            "({} ? {} : {})",
+            expr_str(d, c),
+            expr_str(d, t),
+            expr_str(d, f)
+        ),
+    }
+}
+
+/// Renders the head of a statement (one line, no nested bodies).
+pub fn stmt_head(d: &TDesign, a: &TAction) -> String {
+    match a {
+        TAction::Let { slot, e } => format!("v{slot} = {}", expr_str(d, e)),
+        TAction::Write { port, reg, e } => format!(
+            "WRITE{}({}, {})",
+            port_num(*port),
+            d.regs[reg.0 as usize].name,
+            expr_str(d, e)
+        ),
+        TAction::WriteArr {
+            port, base, idx, e, ..
+        } => format!(
+            "WRITE{}({}[{}], {})",
+            port_num(*port),
+            sym_name(d, *base),
+            expr_str(d, idx),
+            expr_str(d, e)
+        ),
+        TAction::If { c, .. } => format!("if ({})", expr_str(d, c)),
+        TAction::Abort => "FAIL()".to_string(),
+        TAction::Named { label, .. } => format!("// {label}"),
+    }
+}
+
+fn port_num(p: Port) -> u32 {
+    match p {
+        Port::P0 => 0,
+        Port::P1 => 1,
+    }
+}
+
+fn sym_name(d: &TDesign, base: koika::tir::RegId) -> String {
+    let sym = d.regs[base.0 as usize].sym;
+    d.syms[sym.0 as usize].name.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koika::ast::*;
+    use koika::check::check;
+    use koika::design::DesignBuilder;
+
+    #[test]
+    fn renders_paper_style() {
+        let mut b = DesignBuilder::new("t");
+        b.reg("st", 1, 0u64);
+        b.reg("x", 8, 0u64);
+        b.rule(
+            "rlA",
+            vec![guard(rd0("st").eq(k(1, 0))), wr0("x", rd1("x").add(k(8, 1)))],
+        );
+        let td = check(&b.build()).unwrap();
+        match &td.rules[0].body[0] {
+            koika::tir::TAction::If { c, .. } => {
+                assert_eq!(expr_str(&td, c), "(READ0(st) == 1'h0)");
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(
+            stmt_head(&td, &td.rules[0].body[1]),
+            "WRITE0(x, (READ1(x) + 8'h1))"
+        );
+    }
+}

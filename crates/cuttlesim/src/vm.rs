@@ -1,0 +1,935 @@
+//! The Cuttlesim virtual machine: a sequential, early-exit executor for
+//! compiled rule programs.
+//!
+//! The VM embodies the paper's key observation (§2.3): Kôika's semantics let
+//! a rule *exit early* — on an explicit abort or a read/write conflict — and
+//! a sequential model can jump straight to the next rule, paying nothing for
+//! the skipped work, whereas RTL simulation computes every rule's full
+//! circuit every cycle.
+//!
+//! The transactional state follows the optimization ladder (see
+//! [`crate::OptLevel`]): read-write bitsets live in their own flat arrays,
+//! the rule log is (from O2 up) an accumulated `cycle ++ rule` log, failures
+//! rather than entries restore it (O3), data fields are merged (O4), the
+//! beginning-of-cycle state disappears (O5), and static analysis specializes
+//! instructions, commits, and rollbacks (O6).
+
+use crate::compile::{compile, CompileError, CompileOptions, CopyPlan, Program};
+use crate::insn::{FusedBin, Insn};
+use crate::level::LevelCfg;
+use koika::analysis::ScheduleAssumption;
+use koika::bits::word;
+use koika::device::{RegAccess, SimBackend};
+use koika::tir::{RegId, TDesign};
+
+const R1: u8 = 0b0010;
+const W0: u8 = 0b0100;
+const W1: u8 = 0b1000;
+const R0: u8 = 0b0001;
+
+/// Why a rule stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Next,
+    Jump(u32),
+    Fail { clean: bool },
+    Done,
+}
+
+/// Information about the most recent rule failure — the software analogue of
+/// breaking on the paper's `FAIL()` macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailInfo {
+    /// Index of the failing rule.
+    pub rule: usize,
+    /// Instruction index within the rule.
+    pub pc: usize,
+    /// The register whose check failed, if the failure was a conflict
+    /// (`None` for explicit aborts).
+    pub reg: Option<RegId>,
+    /// Cycle in which the failure happened.
+    pub cycle: u64,
+}
+
+/// The VM's mutable simulation state. Cloneable, which is what powers
+/// snapshots and reverse debugging.
+#[derive(Debug, Clone)]
+struct State {
+    boc: Vec<u64>,
+    cyc_rw: Vec<u8>,
+    log_rw: Vec<u8>,
+    cyc_d0: Vec<u64>,
+    cyc_d1: Vec<u64>,
+    log_d0: Vec<u64>,
+    log_d1: Vec<u64>,
+    stack: Vec<u64>,
+    locals: Vec<u64>,
+    cycles: u64,
+    fired: u64,
+    fired_per_rule: Vec<u64>,
+    fail_per_rule: Vec<u64>,
+    cov: Vec<u64>,
+    last_fail: Option<FailInfo>,
+}
+
+/// A saved copy of a simulator's complete architectural state.
+///
+/// Produced by [`Sim::save_state`]; restored with [`Sim::restore_state`].
+/// Snapshots power the reverse-debugging workflow of the paper's case
+/// study 1 (the role `rr` plays for real Cuttlesim models).
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    state: State,
+}
+
+/// How the VM dispatches instructions — the stand-in for the paper's Fig. 3
+/// "GCC vs Clang" compiler-sensitivity axis (see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// A tight `match`-based interpreter loop (think: the faster compiler).
+    #[default]
+    Match,
+    /// Pre-built closures called through fat pointers (think: the other
+    /// compiler's codegen).
+    Closure,
+}
+
+/// A Cuttlesim simulator instance.
+///
+/// # Examples
+///
+/// ```
+/// use koika::{ast::*, design::DesignBuilder, check};
+/// use koika::device::{RegAccess, SimBackend};
+/// use cuttlesim::Sim;
+///
+/// let mut b = DesignBuilder::new("counter");
+/// b.reg("count", 8, 0u64);
+/// b.rule("incr", vec![wr0("count", rd0("count").add(k(8, 1)))]);
+/// let design = check::check(&b.build())?;
+///
+/// let mut sim = Sim::compile(&design)?;
+/// for _ in 0..5 {
+///     sim.cycle();
+/// }
+/// assert_eq!(sim.get64(design.reg_id("count")), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Sim {
+    prog: Program,
+    st: State,
+    dispatch: Dispatch,
+    closures: Vec<Vec<Box<dyn Fn(&mut State, LevelCfg) -> Flow>>>,
+    history: Option<History>,
+    mid_cycle: bool,
+    /// Per-rule executed-instruction counters (gprof-style profiling),
+    /// `None` unless enabled.
+    profile: Option<Vec<u64>>,
+}
+
+#[derive(Debug, Clone)]
+struct History {
+    capacity: usize,
+    snapshots: Vec<State>,
+}
+
+impl Sim {
+    /// Compiles `design` at the maximum optimization level and instantiates
+    /// a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design uses values wider than 64 bits
+    /// ([`CompileError`]).
+    pub fn compile(design: &TDesign) -> Result<Sim, CompileError> {
+        Ok(Sim::new(compile(design, &CompileOptions::default())?))
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design uses values wider than 64 bits.
+    pub fn compile_with(design: &TDesign, opts: &CompileOptions) -> Result<Sim, CompileError> {
+        Ok(Sim::new(compile(design, opts)?))
+    }
+
+    /// Instantiates a simulator for a pre-compiled program.
+    pub fn new(prog: Program) -> Sim {
+        let n = prog.init.len();
+        let cfg = prog.cfg;
+        let max_locals = prog.rules.iter().map(|r| r.nlocals as usize).max().unwrap_or(0);
+        let st = State {
+            boc: if cfg.no_boc { Vec::new() } else { prog.init.clone() },
+            cyc_rw: vec![0; n],
+            log_rw: vec![0; n],
+            cyc_d0: prog.init.clone(),
+            cyc_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
+            log_d0: prog.init.clone(),
+            log_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
+            stack: Vec::with_capacity(64),
+            locals: vec![0; max_locals],
+            cycles: 0,
+            fired: 0,
+            fired_per_rule: vec![0; prog.rules.len()],
+            fail_per_rule: vec![0; prog.rules.len()],
+            cov: vec![0; prog.cov.len()],
+            last_fail: None,
+        };
+        Sim {
+            prog,
+            st,
+            dispatch: Dispatch::Match,
+            closures: Vec::new(),
+            history: None,
+            mid_cycle: false,
+            profile: None,
+        }
+    }
+
+    /// Starts counting executed instructions per rule (see
+    /// [`crate::profile::ProfileReport`]). Adds a small per-instruction
+    /// overhead while enabled.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(vec![0; self.prog.rules.len()]);
+        }
+    }
+
+    /// Per-rule executed-instruction counters, if profiling is enabled.
+    pub fn profile_insns(&self) -> Option<&[u64]> {
+        self.profile.as_deref()
+    }
+
+    /// Selects the instruction-dispatch backend (default: [`Dispatch::Match`]).
+    pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        self.dispatch = dispatch;
+        if dispatch == Dispatch::Closure && self.closures.is_empty() {
+            self.closures = self
+                .prog
+                .rules
+                .iter()
+                .map(|r| {
+                    r.code
+                        .iter()
+                        .map(|&insn| {
+                            let f: Box<dyn Fn(&mut State, LevelCfg) -> Flow> =
+                                Box::new(move |st, cfg| exec_insn(st, cfg, insn));
+                            f
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+        }
+    }
+
+    /// The compiled program backing this simulator.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Per-rule commit counts (rule-declaration order).
+    pub fn fired_per_rule(&self) -> &[u64] {
+        &self.st.fired_per_rule
+    }
+
+    /// Per-rule failure counts (explicit aborts and conflicts).
+    pub fn fails_per_rule(&self) -> &[u64] {
+        &self.st.fail_per_rule
+    }
+
+    /// The most recent rule failure, if any.
+    pub fn last_fail(&self) -> Option<FailInfo> {
+        self.st.last_fail
+    }
+
+    /// Raw coverage counters (parallel to `program().cov`).
+    pub fn coverage_counts(&self) -> &[u64] {
+        &self.st.cov
+    }
+
+    /// Keeps the last `capacity` end-of-cycle snapshots for
+    /// [`Sim::step_back`]-style reverse debugging.
+    pub fn enable_history(&mut self, capacity: usize) {
+        self.history = Some(History {
+            capacity,
+            snapshots: Vec::new(),
+        });
+    }
+
+    /// Saves the complete architectural state.
+    pub fn save_state(&self) -> SimSnapshot {
+        SimSnapshot {
+            state: self.st.clone(),
+        }
+    }
+
+    /// Restores a previously saved state.
+    pub fn restore_state(&mut self, snapshot: &SimSnapshot) {
+        self.st = snapshot.state.clone();
+    }
+
+    /// Steps back `ncycles` cycles using the recorded history. Returns `true`
+    /// on success, `false` if the history does not reach back that far (or
+    /// history was never enabled).
+    pub fn step_back(&mut self, ncycles: usize) -> bool {
+        let Some(h) = &mut self.history else {
+            return false;
+        };
+        if ncycles == 0 || h.snapshots.len() < ncycles {
+            return false;
+        }
+        for _ in 0..ncycles - 1 {
+            h.snapshots.pop();
+        }
+        self.st = h.snapshots.pop().expect("length checked above");
+        true
+    }
+
+    /// The current value of every register, as `u64`s.
+    pub fn reg_values(&self) -> Vec<u64> {
+        (0..self.prog.init.len())
+            .map(|i| self.read_reg(i))
+            .collect()
+    }
+
+    #[inline]
+    fn read_reg(&self, i: usize) -> u64 {
+        if self.prog.cfg.no_boc {
+            self.st.log_d0[i]
+        } else {
+            self.st.boc[i]
+        }
+    }
+
+    /// Begins a cycle (for mid-cycle stepping; see the paper's case study 1).
+    pub fn begin_cycle(&mut self) {
+        let st = &mut self.st;
+        for b in &mut st.cyc_rw {
+            *b = 0;
+        }
+        if self.prog.cfg.reset_on_fail {
+            for b in &mut st.log_rw {
+                *b = 0;
+            }
+        }
+        self.mid_cycle = true;
+    }
+
+    /// Executes one rule transactionally; returns `true` if it committed.
+    /// Must be bracketed by [`Sim::begin_cycle`] / [`Sim::end_cycle`].
+    pub fn step_rule(&mut self, rule_idx: usize) -> bool {
+        let cfg = self.prog.cfg;
+        let prog = &self.prog;
+        let st = &mut self.st;
+        let rule = &prog.rules[rule_idx];
+        let n = prog.init.len();
+
+        // Rule prologue.
+        if !cfg.acc_logs {
+            // The log is a plain rule log: clear its read-write sets.
+            for b in &mut st.log_rw {
+                *b = 0;
+            }
+        } else if !cfg.reset_on_fail {
+            // Accumulated log, reset on entry: copy the full cycle log.
+            st.log_rw.copy_from_slice(&st.cyc_rw);
+            st.log_d0.copy_from_slice(&st.cyc_d0);
+            if !cfg.merged_data {
+                st.log_d1.copy_from_slice(&st.cyc_d1);
+            }
+        }
+        st.stack.clear();
+
+        let code = &rule.code;
+        let mut pc = 0usize;
+        let mut executed = 0u64;
+        let counting = self.profile.is_some();
+        let outcome = if self.dispatch == Dispatch::Match || self.closures.is_empty() {
+            loop {
+                if counting {
+                    executed += 1;
+                }
+                match exec_insn(st, cfg, code[pc]) {
+                    Flow::Next => pc += 1,
+                    Flow::Jump(t) => pc = t as usize,
+                    Flow::Fail { clean } => break Err(clean),
+                    Flow::Done => break Ok(()),
+                }
+            }
+        } else {
+            let closures = &self.closures[rule_idx];
+            loop {
+                if counting {
+                    executed += 1;
+                }
+                match closures[pc](st, cfg) {
+                    Flow::Next => pc += 1,
+                    Flow::Jump(t) => pc = t as usize,
+                    Flow::Fail { clean } => break Err(clean),
+                    Flow::Done => break Ok(()),
+                }
+            }
+        };
+        if let Some(profile) = &mut self.profile {
+            profile[rule_idx] += executed;
+        }
+
+        match outcome {
+            Ok(()) => {
+                // Commit.
+                if !cfg.acc_logs {
+                    // Naive merge: or the read-write sets, copy write data.
+                    for i in 0..n {
+                        let rl = st.log_rw[i];
+                        if rl != 0 {
+                            st.cyc_rw[i] |= rl;
+                            if rl & W0 != 0 {
+                                st.cyc_d0[i] = st.log_d0[i];
+                            }
+                            if rl & W1 != 0 {
+                                if cfg.merged_data {
+                                    st.cyc_d0[i] = st.log_d0[i];
+                                } else {
+                                    st.cyc_d1[i] = st.log_d1[i];
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    match &rule.commit {
+                        CopyPlan::Full => {
+                            st.cyc_rw.copy_from_slice(&st.log_rw);
+                            st.cyc_d0.copy_from_slice(&st.log_d0);
+                            if !cfg.merged_data {
+                                st.cyc_d1.copy_from_slice(&st.log_d1);
+                            }
+                        }
+                        CopyPlan::Footprint { rw, data } => {
+                            for &i in rw {
+                                st.cyc_rw[i as usize] = st.log_rw[i as usize];
+                            }
+                            for &i in data {
+                                st.cyc_d0[i as usize] = st.log_d0[i as usize];
+                                if !cfg.merged_data {
+                                    st.cyc_d1[i as usize] = st.log_d1[i as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+                st.fired += 1;
+                st.fired_per_rule[rule_idx] += 1;
+                true
+            }
+            Err(clean) => {
+                st.fail_per_rule[rule_idx] += 1;
+                // exec_insn recorded the failing register (if any); fill in
+                // the location.
+                if let Some(f) = &mut st.last_fail {
+                    f.rule = rule_idx;
+                    f.pc = pc;
+                    f.cycle = st.cycles;
+                }
+                // Rollback (reset-on-failure levels only; earlier levels
+                // reset on entry instead).
+                if cfg.reset_on_fail && !clean {
+                    match &rule.rollback {
+                        CopyPlan::Full => {
+                            st.log_rw.copy_from_slice(&st.cyc_rw);
+                            st.log_d0.copy_from_slice(&st.cyc_d0);
+                            if !cfg.merged_data {
+                                st.log_d1.copy_from_slice(&st.cyc_d1);
+                            }
+                        }
+                        CopyPlan::Footprint { rw, data } => {
+                            for &i in rw {
+                                st.log_rw[i as usize] = st.cyc_rw[i as usize];
+                            }
+                            for &i in data {
+                                st.log_d0[i as usize] = st.cyc_d0[i as usize];
+                                if !cfg.merged_data {
+                                    st.log_d1[i as usize] = st.cyc_d1[i as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Ends a cycle: commits the cycle log into the register state (a no-op
+    /// from the no-beginning-of-cycle-state level up).
+    pub fn end_cycle(&mut self) {
+        let cfg = self.prog.cfg;
+        let st = &mut self.st;
+        if !cfg.no_boc {
+            for i in 0..st.boc.len() {
+                let rw = st.cyc_rw[i];
+                if rw & W1 != 0 {
+                    st.boc[i] = if cfg.merged_data {
+                        st.cyc_d0[i]
+                    } else {
+                        st.cyc_d1[i]
+                    };
+                } else if rw & W0 != 0 {
+                    st.boc[i] = st.cyc_d0[i];
+                }
+            }
+        }
+        st.cycles += 1;
+        self.mid_cycle = false;
+        if self.history.is_some() {
+            let snap = self.st.clone();
+            let h = self.history.as_mut().expect("checked above");
+            if h.snapshots.len() == h.capacity {
+                h.snapshots.remove(0);
+            }
+            h.snapshots.push(snap);
+        }
+    }
+
+    /// Runs one cycle with an explicit rule order (the paper's case study 2:
+    /// scheduler randomization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled at the design-specific level under
+    /// the [`ScheduleAssumption::Declared`] assumption — its specialization
+    /// would be unsound for arbitrary orders. Compile with
+    /// [`ScheduleAssumption::AnyOrder`] instead.
+    pub fn cycle_with_order(&mut self, order: &[usize]) {
+        assert!(
+            !(self.prog.cfg.design_specific
+                && self.prog.assumption == ScheduleAssumption::Declared),
+            "cycle_with_order on a design-specifically optimized program requires \
+             compiling with ScheduleAssumption::AnyOrder"
+        );
+        self.begin_cycle();
+        for &idx in order {
+            assert!(idx < self.prog.rules.len(), "rule index out of range");
+            self.step_rule(idx);
+        }
+        self.end_cycle();
+    }
+}
+
+#[inline(always)]
+fn fail_conflict(st: &mut State, reg: u32, clean: bool) -> Flow {
+    st.last_fail = Some(FailInfo {
+        rule: usize::MAX,
+        pc: usize::MAX,
+        reg: Some(RegId(reg)),
+        cycle: u64::MAX,
+    });
+    Flow::Fail { clean }
+}
+
+#[inline(always)]
+fn rd0_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
+    let check = if cfg.acc_logs {
+        st.log_rw[i]
+    } else {
+        st.cyc_rw[i]
+    };
+    if check & (W0 | W1) != 0 {
+        return Err(fail_conflict(st, i as u32, clean));
+    }
+    if !cfg.design_specific {
+        st.log_rw[i] |= R0;
+    }
+    Ok(if cfg.no_boc { st.log_d0[i] } else { st.boc[i] })
+}
+
+#[inline(always)]
+fn rd1_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
+    let check = if cfg.acc_logs {
+        st.log_rw[i]
+    } else {
+        st.cyc_rw[i]
+    };
+    if check & W1 != 0 {
+        return Err(fail_conflict(st, i as u32, clean));
+    }
+    st.log_rw[i] |= R1;
+    // The first two arms read the same field for *different reasons*: with
+    // no beginning-of-cycle state the log data IS the value; otherwise it
+    // is only valid if a write-0 happened.
+    #[allow(clippy::if_same_then_else)]
+    let v = if cfg.no_boc {
+        st.log_d0[i]
+    } else if st.log_rw[i] & W0 != 0 {
+        st.log_d0[i]
+    } else if !cfg.acc_logs && st.cyc_rw[i] & W0 != 0 {
+        st.cyc_d0[i]
+    } else {
+        st.boc[i]
+    };
+    Ok(v)
+}
+
+#[inline(always)]
+fn wr0_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
+    let check = if cfg.acc_logs {
+        st.log_rw[i]
+    } else {
+        st.log_rw[i] | st.cyc_rw[i]
+    };
+    if check & (R1 | W0 | W1) != 0 {
+        return Err(fail_conflict(st, i as u32, clean));
+    }
+    st.log_rw[i] |= W0;
+    st.log_d0[i] = v;
+    Ok(())
+}
+
+#[inline(always)]
+fn wr1_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
+    let check = if cfg.acc_logs {
+        st.log_rw[i]
+    } else {
+        st.log_rw[i] | st.cyc_rw[i]
+    };
+    if check & W1 != 0 {
+        return Err(fail_conflict(st, i as u32, clean));
+    }
+    st.log_rw[i] |= W1;
+    if cfg.merged_data {
+        st.log_d0[i] = v;
+    } else {
+        st.log_d1[i] = v;
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn fused(op: FusedBin, a: u64, b: u64, mask: u64) -> u64 {
+    match op {
+        FusedBin::Add => a.wrapping_add(b) & mask,
+        FusedBin::Sub => a.wrapping_sub(b) & mask,
+        FusedBin::Mul => a.wrapping_mul(b) & mask,
+        FusedBin::And => a & b,
+        FusedBin::Or => a | b,
+        FusedBin::Xor => a ^ b,
+        FusedBin::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                (a << b) & mask
+            }
+        }
+        FusedBin::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        FusedBin::Sra => word::sra(mask.count_ones(), a, b),
+        FusedBin::Eq => (a == b) as u64,
+        FusedBin::Ne => (a != b) as u64,
+        FusedBin::Ult => (a < b) as u64,
+        FusedBin::Ule => (a <= b) as u64,
+        FusedBin::Slt => word::slt(mask.count_ones(), a, b),
+        FusedBin::Sle => 1 - word::slt(mask.count_ones(), b, a),
+        FusedBin::Concat => (a << mask) | b,
+    }
+}
+
+#[inline(always)]
+fn exec_insn(st: &mut State, cfg: LevelCfg, insn: Insn) -> Flow {
+    macro_rules! pop {
+        () => {
+            st.stack.pop().expect("stack underflow: compiler bug")
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {
+            st.stack.push($v)
+        };
+    }
+    macro_rules! binop {
+        (|$a:ident, $b:ident| $body:expr) => {{
+            let $b = pop!();
+            let $a = pop!();
+            push!($body);
+            Flow::Next
+        }};
+    }
+    macro_rules! try_op {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => v,
+                Err(flow) => return flow,
+            }
+        };
+    }
+    match insn {
+        Insn::Const(v) => {
+            push!(v);
+            Flow::Next
+        }
+        Insn::Local(s) => {
+            push!(st.locals[s as usize]);
+            Flow::Next
+        }
+        Insn::SetLocal(s) => {
+            st.locals[s as usize] = pop!();
+            Flow::Next
+        }
+        Insn::Add { mask } => binop!(|a, b| a.wrapping_add(b) & mask),
+        Insn::Sub { mask } => binop!(|a, b| a.wrapping_sub(b) & mask),
+        Insn::Mul { mask } => binop!(|a, b| a.wrapping_mul(b) & mask),
+        Insn::And => binop!(|a, b| a & b),
+        Insn::Or => binop!(|a, b| a | b),
+        Insn::Xor => binop!(|a, b| a ^ b),
+        Insn::Shl { mask } => binop!(|a, b| if b >= 64 { 0 } else { (a << b) & mask }),
+        Insn::Shr => binop!(|a, b| if b >= 64 { 0 } else { a >> b }),
+        Insn::Sra { width } => binop!(|a, b| word::sra(width, a, b)),
+        Insn::Eq => binop!(|a, b| (a == b) as u64),
+        Insn::Ne => binop!(|a, b| (a != b) as u64),
+        Insn::Ult => binop!(|a, b| (a < b) as u64),
+        Insn::Ule => binop!(|a, b| (a <= b) as u64),
+        Insn::Slt { width } => binop!(|a, b| word::slt(width, a, b)),
+        Insn::Sle { width } => binop!(|a, b| 1 - word::slt(width, b, a)),
+        Insn::ConcatShift { low_width } => binop!(|a, b| (a << low_width) | b),
+        Insn::Not { mask } => {
+            let a = pop!();
+            push!(!a & mask);
+            Flow::Next
+        }
+        Insn::Neg { mask } => {
+            let a = pop!();
+            push!(a.wrapping_neg() & mask);
+            Flow::Next
+        }
+        Insn::Mask { mask } => {
+            let a = pop!();
+            push!(a & mask);
+            Flow::Next
+        }
+        Insn::Sext { from, mask } => {
+            let a = pop!();
+            push!(word::sext(from, a) & mask);
+            Flow::Next
+        }
+        Insn::Slice { lo, mask } => {
+            let a = pop!();
+            push!((a >> lo) & mask);
+            Flow::Next
+        }
+        Insn::Select => {
+            let f = pop!();
+            let t = pop!();
+            let c = pop!();
+            push!(if c != 0 { t } else { f });
+            Flow::Next
+        }
+        Insn::Rd0 { reg, clean } => {
+            let v = try_op!(rd0_at(st, cfg, reg as usize, clean));
+            push!(v);
+            Flow::Next
+        }
+        Insn::Rd1 { reg, clean } => {
+            let v = try_op!(rd1_at(st, cfg, reg as usize, clean));
+            push!(v);
+            Flow::Next
+        }
+        Insn::Wr0 { reg, clean } => {
+            let v = pop!();
+            try_op!(wr0_at(st, cfg, reg as usize, v, clean));
+            Flow::Next
+        }
+        Insn::Wr1 { reg, clean } => {
+            let v = pop!();
+            try_op!(wr1_at(st, cfg, reg as usize, v, clean));
+            Flow::Next
+        }
+        Insn::Rd0Fast { reg } | Insn::Rd1Fast { reg } => {
+            // Safe registers: no checks, no recording; with analysis-proven
+            // safety the log data field is always the right value.
+            push!(st.log_d0[reg as usize]);
+            Flow::Next
+        }
+        Insn::Wr0Fast { reg } | Insn::Wr1Fast { reg } => {
+            let v = pop!();
+            st.log_d0[reg as usize] = v;
+            Flow::Next
+        }
+        Insn::Rd0Arr { base, mask, clean } => {
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            let v = try_op!(rd0_at(st, cfg, i, clean));
+            push!(v);
+            Flow::Next
+        }
+        Insn::Rd1Arr { base, mask, clean } => {
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            let v = try_op!(rd1_at(st, cfg, i, clean));
+            push!(v);
+            Flow::Next
+        }
+        Insn::Wr0Arr { base, mask, clean } => {
+            let v = pop!();
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            try_op!(wr0_at(st, cfg, i, v, clean));
+            Flow::Next
+        }
+        Insn::Wr1Arr { base, mask, clean } => {
+            let v = pop!();
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            try_op!(wr1_at(st, cfg, i, v, clean));
+            Flow::Next
+        }
+        Insn::Rd0ArrFast { base, mask } | Insn::Rd1ArrFast { base, mask } => {
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            push!(st.log_d0[i]);
+            Flow::Next
+        }
+        Insn::Wr0ArrFast { base, mask } | Insn::Wr1ArrFast { base, mask } => {
+            let v = pop!();
+            let idx = pop!();
+            let i = base as usize + (idx & mask as u64) as usize;
+            st.log_d0[i] = v;
+            Flow::Next
+        }
+        Insn::BinRC { op, rhs, mask } => {
+            let a = pop!();
+            push!(fused(op, a, rhs, mask));
+            Flow::Next
+        }
+        Insn::BinRL { op, rhs_slot, mask } => {
+            let b = st.locals[rhs_slot as usize];
+            let a = pop!();
+            push!(fused(op, a, b, mask));
+            Flow::Next
+        }
+        Insn::BinLL {
+            op,
+            a_slot,
+            b_slot,
+            mask,
+        } => {
+            let a = st.locals[a_slot as usize];
+            let b = st.locals[b_slot as usize];
+            push!(fused(op, a, b, mask));
+            Flow::Next
+        }
+        Insn::BinLC {
+            op,
+            a_slot,
+            rhs,
+            mask,
+        } => {
+            let a = st.locals[a_slot as usize];
+            push!(fused(op, a, rhs, mask));
+            Flow::Next
+        }
+        Insn::SliceSext { lo, from, mask } => {
+            let a = pop!();
+            push!(word::sext(from, (a >> lo) & word::mask(from)) & mask);
+            Flow::Next
+        }
+        Insn::LdFast { reg, slot } => {
+            st.locals[slot as usize] = st.log_d0[reg as usize];
+            Flow::Next
+        }
+        Insn::StFast { reg, slot } => {
+            st.log_d0[reg as usize] = st.locals[slot as usize];
+            Flow::Next
+        }
+        Insn::SetLocalK { slot, imm } => {
+            st.locals[slot as usize] = imm;
+            Flow::Next
+        }
+        Insn::Jmp(t) => Flow::Jump(t),
+        Insn::Jz(t) => {
+            if pop!() == 0 {
+                Flow::Jump(t)
+            } else {
+                Flow::Next
+            }
+        }
+        Insn::Abort => {
+            st.last_fail = Some(FailInfo {
+                rule: usize::MAX,
+                pc: usize::MAX,
+                reg: None,
+                cycle: u64::MAX,
+            });
+            Flow::Fail { clean: false }
+        }
+        Insn::AbortClean => {
+            st.last_fail = Some(FailInfo {
+                rule: usize::MAX,
+                pc: usize::MAX,
+                reg: None,
+                cycle: u64::MAX,
+            });
+            Flow::Fail { clean: true }
+        }
+        Insn::Cov(id) => {
+            st.cov[id as usize] += 1;
+            Flow::Next
+        }
+        Insn::End => Flow::Done,
+    }
+}
+
+impl RegAccess for Sim {
+    fn get64(&self, reg: RegId) -> u64 {
+        self.read_reg(reg.0 as usize)
+    }
+
+    fn set64(&mut self, reg: RegId, value: u64) {
+        let i = reg.0 as usize;
+        let v = value & word::mask(self.prog.widths[i]);
+        if self.prog.cfg.no_boc {
+            self.st.log_d0[i] = v;
+            self.st.cyc_d0[i] = v;
+        } else {
+            self.st.boc[i] = v;
+        }
+    }
+}
+
+impl SimBackend for Sim {
+    fn cycle(&mut self) {
+        debug_assert!(!self.mid_cycle, "cycle() called while stepping mid-cycle");
+        self.begin_cycle();
+        for i in 0..self.prog.schedule.len() {
+            let rule = self.prog.schedule[i];
+            self.step_rule(rule);
+        }
+        self.end_cycle();
+    }
+
+    fn cycle_count(&self) -> u64 {
+        self.st.cycles
+    }
+
+    fn rules_fired(&self) -> u64 {
+        self.st.fired
+    }
+
+    fn as_reg_access(&mut self) -> &mut dyn RegAccess {
+        self
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("design", &self.prog.design.name)
+            .field("level", &self.prog.level)
+            .field("cycles", &self.st.cycles)
+            .field("fired", &self.st.fired)
+            .finish()
+    }
+}

@@ -1,0 +1,155 @@
+//! Tests of the expression optimizer (CSE + peephole operand fusion):
+//! optimized and unoptimized compilations of the same design must agree on
+//! every register every cycle, and optimization must actually shrink the
+//! instruction stream.
+
+use cuttlesim::{CompileOptions, Sim};
+use koika::check::check;
+use koika::device::{RegAccess, SimBackend};
+use koika::testgen::random_design;
+use koika::tir::RegId;
+use proptest::prelude::*;
+
+fn opts(optimize: bool) -> CompileOptions {
+    CompileOptions {
+        optimize,
+        ..CompileOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn optimized_and_unoptimized_agree(seed in any::<u64>()) {
+        let td = check(&random_design(seed)).expect("well-typed");
+        let mut plain = Sim::compile_with(&td, &opts(false)).unwrap();
+        let mut optimized = Sim::compile_with(&td, &opts(true)).unwrap();
+        for cycle in 0..24 {
+            plain.cycle();
+            optimized.cycle();
+            for r in 0..td.num_regs() {
+                let reg = RegId(r as u32);
+                prop_assert_eq!(
+                    optimized.get64(reg),
+                    plain.get64(reg),
+                    "seed {} cycle {} register {}", seed, cycle, r
+                );
+            }
+            prop_assert_eq!(optimized.rules_fired(), plain.rules_fired());
+        }
+    }
+}
+
+/// A FIR-like dataflow design: gather reads into locals, shift a delay
+/// line, emit a dot product — rich in `Local`/`Const` operand patterns.
+fn dataflow_design() -> koika::design::Design {
+    use koika::ast::*;
+    use koika::design::DesignBuilder;
+    let mut b = DesignBuilder::new("dataflow");
+    b.reg("input", 32, 0u64);
+    b.reg("output", 32, 0u64);
+    for i in 0..8 {
+        b.reg(format!("tap{i}"), 32, 0u64);
+    }
+    let mut body = vec![let_("x0", rd0("input"))];
+    for i in 0..7 {
+        body.push(let_(format!("t{i}"), rd0(format!("tap{i}"))));
+    }
+    for i in (1..8).rev() {
+        body.push(wr0(format!("tap{i}"), var(format!("t{}", i - 1))));
+    }
+    body.push(wr0("tap0", var("x0")));
+    let mut acc = var("x0").mul(k(32, 2));
+    for (i, c) in [3u64, 5, 7, 11, 13, 17, 19].iter().enumerate() {
+        acc = acc.add(var(format!("t{i}")).mul(k(32, *c)));
+    }
+    body.push(wr0("output", acc));
+    b.rule("step", body);
+    b.build()
+}
+
+/// A CSE-heavy design: the same pure subexpressions recur many times.
+fn cse_heavy_design() -> koika::design::Design {
+    use koika::ast::*;
+    use koika::design::DesignBuilder;
+    let mut b = DesignBuilder::new("cse_heavy");
+    b.reg("a", 32, 3u64);
+    b.reg("bb", 32, 5u64);
+    b.reg("o1", 32, 0u64);
+    b.reg("o2", 32, 0u64);
+    let hash = |x: Expr| x.mul(k(32, 0x9e37)).xor(x2()).slice(0, 32);
+    fn x2() -> Expr {
+        var("ga").shl(k(4, 3)).add(var("gb").shr(k(4, 2)))
+    }
+    b.rule(
+        "mix",
+        vec![
+            let_("ga", rd0("a")),
+            let_("gb", rd0("bb")),
+            wr0("o1", hash(var("ga")).add(x2())),
+            wr0("o2", hash(var("gb")).xor(x2())),
+            wr0("a", x2().add(k(32, 1))),
+        ],
+    );
+    b.build()
+}
+
+#[test]
+fn optimizer_shrinks_real_designs() {
+    for design in [dataflow_design(), cse_heavy_design()] {
+        let td = check(&design).unwrap();
+        let plain = Sim::compile_with(&td, &opts(false)).unwrap();
+        let optimized = Sim::compile_with(&td, &opts(true)).unwrap();
+        let count = |sim: &Sim| -> usize {
+            sim.program().rules.iter().map(|r| r.code.len()).sum()
+        };
+        let (before, after) = (count(&plain), count(&optimized));
+        assert!(
+            after * 10 <= before * 9,
+            "{}: expected at least a 10% instruction reduction, got {before} -> {after}",
+            td.name
+        );
+    }
+}
+
+#[test]
+fn fused_jump_targets_stay_correct() {
+    // A design whose branches sit immediately next to fusable patterns.
+    use koika::ast::*;
+    use koika::design::DesignBuilder;
+    let mut b = DesignBuilder::new("jumps");
+    b.reg("x", 16, 1u64);
+    b.reg("y", 16, 0u64);
+    b.rule(
+        "rl",
+        vec![
+            let_("g", rd0("x")),
+            iff(
+                var("g").bit(0).eq(k(1, 1)),
+                vec![wr0("y", var("g").mul(k(16, 3)))],
+                vec![wr0("y", var("g").add(k(16, 9)))],
+            ),
+            when(
+                var("g").bit(1).eq(k(1, 0)),
+                vec![wr0("x", var("g").add(k(16, 1)))],
+            ),
+            when(var("g").bit(1).eq(k(1, 1)), vec![wr1("x", var("g").shl(k(4, 1)))]),
+        ],
+    );
+    let td = check(&b.build()).unwrap();
+    let mut plain = Sim::compile_with(&td, &opts(false)).unwrap();
+    let mut optimized = Sim::compile_with(&td, &opts(true)).unwrap();
+    for cycle in 0..200 {
+        plain.cycle();
+        optimized.cycle();
+        for r in 0..td.num_regs() {
+            let reg = RegId(r as u32);
+            assert_eq!(
+                optimized.get64(reg),
+                plain.get64(reg),
+                "cycle {cycle} register {}",
+                td.regs[r].name
+            );
+        }
+    }
+}

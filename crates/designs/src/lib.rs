@@ -1,0 +1,28 @@
+//! The benchmark designs of the Cuttlesim paper (Table 1), written as Kôika
+//! rule-based designs, plus the external devices and harnesses they run on:
+//!
+//! * [`small`] — `collatz` (the §2.1 two-state machine), the combinational
+//!   `fir` filter and `fft` butterfly network;
+//! * [`rv32`] — the pipelined RV32I/E cores: baseline, branch-predicted
+//!   (`bp`), dual-core (`mc`), and the case-study-3 `x0` scoreboard-bug
+//!   variant;
+//! * [`msi`] — the 2-core MSI cache-coherence system of case study 1
+//!   (with its deadlock-bug variant);
+//! * [`memdev`] — the 1-cycle "magic memory" device;
+//! * [`harness`] — run-until-retired helpers and golden-model comparison.
+//!
+//! Every design here runs unmodified on all backends: the reference
+//! interpreter, every Cuttlesim optimization level, and both RTL schemes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fifo;
+pub mod harness;
+pub mod memdev;
+pub mod msi;
+pub mod rv32;
+pub mod small;
+
+pub use memdev::MagicMemory;
+pub use small::{collatz, fft, fir};

@@ -1,0 +1,369 @@
+//! A 2-core MSI cache-coherence system — the subject of the paper's case
+//! study 1 ("debugging a deadlock in a 2-core machine with L1 'child'
+//! caches and a 'parent' protocol engine implementing the MSI cache
+//! coherence protocol").
+//!
+//! Each core has an L1 cache (one line per memory word — the full MSI state
+//! machine without eviction traffic, see DESIGN.md), a miss status handling
+//! register (MSHR) whose state is exactly the paper's
+//! `Ready / SendFillReq / WaitFillResp` enum, and four one-entry channels to
+//! the parent: fill requests, grants, downgrade requests, and downgrade
+//! acknowledgements. The parent keeps a directory per core and a
+//! `Ready / ConfirmDowngrades` state machine.
+//!
+//! [`msi_system`] builds the healthy protocol; [`msi_system_buggy`] plants
+//! the case study's deadlock: while confirming downgrades the parent waits
+//! for an acknowledgement from the *requesting* core instead of the
+//! *downgrading* one, so an upgrade that requires a downgrade wedges the
+//! system — the requester stuck in `WaitFillResp`, the parent in
+//! `ConfirmDowngrades`, precisely the state the paper's programmer finds in
+//! gdb.
+
+use koika::ast::*;
+use koika::design::{Design, DesignBuilder};
+
+/// Number of 32-bit words of shared memory (and cache lines per core).
+pub const MSI_WORDS: u32 = 32;
+
+/// MSHR states (the paper's enum).
+pub mod mshr {
+    /// No miss in flight.
+    pub const READY: u64 = 0;
+    /// A miss was allocated; the fill request still needs to be sent.
+    pub const SEND_FILL_REQ: u64 = 1;
+    /// Waiting for the parent's grant.
+    pub const WAIT_FILL_RESP: u64 = 2;
+}
+
+/// Cache-line / directory states.
+pub mod state {
+    /// Invalid.
+    pub const I: u64 = 0;
+    /// Shared (clean, read-only).
+    pub const S: u64 = 1;
+    /// Modified (exclusive, dirty).
+    pub const M: u64 = 2;
+}
+
+/// Parent protocol-engine states.
+pub mod parent {
+    /// Ready to accept a child request.
+    pub const READY: u64 = 0;
+    /// Waiting for downgrade acknowledgements.
+    pub const CONFIRM_DOWNGRADES: u64 = 1;
+}
+
+fn build_child(b: &mut DesignBuilder, i: usize) {
+    let r = |n: &str| format!("c{i}_{n}");
+
+    b.array(r("cstate"), 2, MSI_WORDS, state::I);
+    b.array(r("cdata"), 32, MSI_WORDS, 0u64);
+
+    // CPU interface (driven by the traffic-generator device).
+    b.reg(r("cpu_req_valid"), 1, 0u64);
+    b.reg(r("cpu_req_addr"), 5, 0u64);
+    b.reg(r("cpu_req_wdata"), 32, 0u64);
+    b.reg(r("cpu_req_store"), 1, 0u64);
+    b.reg(r("cpu_resp_valid"), 1, 0u64);
+    b.reg(r("cpu_resp_data"), 32, 0u64);
+
+    // MSHR.
+    b.reg(r("mshr_state"), 2, mshr::READY);
+    b.reg(r("mshr_addr"), 5, 0u64);
+    b.reg(r("mshr_store"), 1, 0u64);
+    b.reg(r("mshr_wdata"), 32, 0u64);
+
+    // Channels to/from the parent.
+    b.reg(r("req_valid"), 1, 0u64);
+    b.reg(r("req_addr"), 5, 0u64);
+    b.reg(r("req_wantm"), 1, 0u64);
+    b.reg(r("grant_valid"), 1, 0u64);
+    b.reg(r("grant_addr"), 5, 0u64);
+    b.reg(r("grant_data"), 32, 0u64);
+    b.reg(r("grant_m"), 1, 0u64);
+    b.reg(r("dg_valid"), 1, 0u64);
+    b.reg(r("dg_addr"), 5, 0u64);
+    b.reg(r("dg_to_s"), 1, 0u64); // 1: downgrade to S; 0: invalidate
+    b.reg(r("ack_valid"), 1, 0u64);
+    b.reg(r("ack_addr"), 5, 0u64);
+    b.reg(r("ack_data"), 32, 0u64);
+    b.reg(r("ack_dirty"), 1, 0u64);
+
+    // Receive a grant: fill the line and complete the pending CPU request.
+    b.rule(
+        r("fill"),
+        vec![
+            guard(rd0(r("grant_valid")).eq(k(1, 1))),
+            wr0(r("grant_valid"), k(1, 0)),
+            let_("a", rd0(r("grant_addr"))),
+            let_("m", rd0(r("grant_m"))),
+            let_("d", rd0(r("grant_data"))),
+            let_("store", rd0(r("mshr_store"))),
+            let_("wdata", rd0(r("mshr_wdata"))),
+            let_("newd", select(var("store").eq(k(1, 1)), var("wdata"), var("d"))),
+            wr0a(
+                r("cstate"),
+                var("a"),
+                select(var("m").eq(k(1, 1)), k(2, state::M), k(2, state::S)),
+            ),
+            wr0a(r("cdata"), var("a"), var("newd")),
+            wr1(r("mshr_state"), k(2, mshr::READY)),
+            wr0(r("cpu_resp_valid"), k(1, 1)),
+            wr0(r("cpu_resp_data"), var("newd")),
+        ],
+    );
+
+    // Service a downgrade request: shrink our rights, acknowledge with the
+    // (possibly dirty) data.
+    b.rule(
+        r("downgrade"),
+        vec![
+            guard(rd0(r("dg_valid")).eq(k(1, 1))),
+            guard(rd1(r("ack_valid")).eq(k(1, 0))),
+            wr0(r("dg_valid"), k(1, 0)),
+            let_("a", rd0(r("dg_addr"))),
+            let_("to_s", rd0(r("dg_to_s"))),
+            let_("st", rd0a(r("cstate"), var("a"))),
+            let_("d", rd0a(r("cdata"), var("a"))),
+            wr0a(
+                r("cstate"),
+                var("a"),
+                select(var("to_s").eq(k(1, 1)), k(2, state::S), k(2, state::I)),
+            ),
+            wr1(r("ack_valid"), k(1, 1)),
+            wr1(r("ack_addr"), var("a")),
+            wr1(r("ack_data"), var("d")),
+            wr1(r("ack_dirty"), var("st").eq(k(2, state::M))),
+        ],
+    );
+
+    // CPU request that hits in the cache.
+    b.rule(
+        r("hit"),
+        vec![
+            guard(rd0(r("cpu_req_valid")).eq(k(1, 1))),
+            guard(rd0(r("mshr_state")).eq(k(2, mshr::READY))),
+            let_("a", rd0(r("cpu_req_addr"))),
+            let_("store", rd0(r("cpu_req_store"))),
+            let_("st", rd0a(r("cstate"), var("a"))),
+            let_(
+                "is_hit",
+                select(
+                    var("store").eq(k(1, 1)),
+                    var("st").eq(k(2, state::M)),
+                    var("st").ne(k(2, state::I)),
+                ),
+            ),
+            guard(var("is_hit")),
+            wr0(r("cpu_req_valid"), k(1, 0)),
+            let_("d", rd0a(r("cdata"), var("a"))),
+            let_("wdata", rd0(r("cpu_req_wdata"))),
+            when(
+                var("store").eq(k(1, 1)),
+                vec![wr0a(r("cdata"), var("a"), var("wdata"))],
+            ),
+            wr0(r("cpu_resp_valid"), k(1, 1)),
+            wr0(
+                r("cpu_resp_data"),
+                select(var("store").eq(k(1, 1)), var("wdata"), var("d")),
+            ),
+        ],
+    );
+
+    // CPU request that misses: allocate the MSHR.
+    b.rule(
+        r("start_miss"),
+        vec![
+            guard(rd0(r("cpu_req_valid")).eq(k(1, 1))),
+            guard(rd0(r("mshr_state")).eq(k(2, mshr::READY))),
+            let_("a", rd0(r("cpu_req_addr"))),
+            let_("store", rd0(r("cpu_req_store"))),
+            let_("st", rd0a(r("cstate"), var("a"))),
+            let_(
+                "is_hit",
+                select(
+                    var("store").eq(k(1, 1)),
+                    var("st").eq(k(2, state::M)),
+                    var("st").ne(k(2, state::I)),
+                ),
+            ),
+            guard(var("is_hit").not()),
+            wr0(r("cpu_req_valid"), k(1, 0)),
+            wr0(r("mshr_state"), k(2, mshr::SEND_FILL_REQ)),
+            wr0(r("mshr_addr"), var("a")),
+            wr0(r("mshr_store"), var("store")),
+            wr0(r("mshr_wdata"), rd0(r("cpu_req_wdata"))),
+        ],
+    );
+
+    // Send the fill request to the parent.
+    b.rule(
+        r("send_fill"),
+        vec![
+            guard(rd0(r("mshr_state")).eq(k(2, mshr::SEND_FILL_REQ))),
+            guard(rd1(r("req_valid")).eq(k(1, 0))),
+            wr1(r("req_valid"), k(1, 1)),
+            wr1(r("req_addr"), rd0(r("mshr_addr"))),
+            wr1(r("req_wantm"), rd0(r("mshr_store"))),
+            wr0(r("mshr_state"), k(2, mshr::WAIT_FILL_RESP)),
+        ],
+    );
+}
+
+fn build_parent(b: &mut DesignBuilder, buggy: bool) {
+    b.array("pmem", 32, MSI_WORDS, 0u64);
+    b.array("p_dir0", 2, MSI_WORDS, state::I);
+    b.array("p_dir1", 2, MSI_WORDS, state::I);
+    b.reg("p_state", 1, parent::READY);
+    b.reg("p_req_core", 1, 0u64);
+    b.reg("p_req_addr", 5, 0u64);
+    b.reg("p_req_wantm", 1, 0u64);
+
+    // One request-intake rule per child (child 0 has priority).
+    for i in 0..2usize {
+        let me = |n: &str| format!("c{i}_{n}");
+        let other = |n: &str| format!("c{}_{n}", 1 - i);
+        let dir_me = format!("p_dir{i}");
+        let dir_other = format!("p_dir{}", 1 - i);
+        b.rule(
+            format!("p_start{i}"),
+            vec![
+                guard(rd0("p_state").eq(k(1, parent::READY))),
+                guard(rd0(me("req_valid")).eq(k(1, 1))),
+                wr0(me("req_valid"), k(1, 0)),
+                let_("a", rd0(me("req_addr"))),
+                let_("wm", rd0(me("req_wantm"))),
+                let_("other_st", rd0a(&dir_other, var("a"))),
+                let_(
+                    "need_dg",
+                    select(
+                        var("wm").eq(k(1, 1)),
+                        var("other_st").ne(k(2, state::I)),
+                        var("other_st").eq(k(2, state::M)),
+                    ),
+                ),
+                iff(
+                    var("need_dg").eq(k(1, 1)),
+                    vec![named(
+                        "request_downgrade",
+                        vec![
+                            guard(rd1(other("dg_valid")).eq(k(1, 0))),
+                            wr1(other("dg_valid"), k(1, 1)),
+                            wr1(other("dg_addr"), var("a")),
+                            wr1(other("dg_to_s"), var("wm").not()),
+                            wr0("p_state", k(1, parent::CONFIRM_DOWNGRADES)),
+                            wr0("p_req_core", k(1, i as u64)),
+                            wr0("p_req_addr", var("a")),
+                            wr0("p_req_wantm", var("wm")),
+                        ],
+                    )],
+                    vec![named(
+                        "grant_immediately",
+                        vec![
+                            guard(rd1(me("grant_valid")).eq(k(1, 0))),
+                            wr1(me("grant_valid"), k(1, 1)),
+                            wr1(me("grant_addr"), var("a")),
+                            wr1(me("grant_data"), rd0a("pmem", var("a"))),
+                            wr1(me("grant_m"), var("wm")),
+                            wr0a(
+                                &dir_me,
+                                var("a"),
+                                select(var("wm").eq(k(1, 1)), k(2, state::M), k(2, state::S)),
+                            ),
+                        ],
+                    )],
+                ),
+            ],
+        );
+    }
+
+    // Downgrade confirmation, one rule per requesting core. The healthy
+    // parent waits for the *other* (downgrading) core's acknowledgement;
+    // the buggy one waits for the requester's — which never arrives.
+    for i in 0..2usize {
+        let me = |n: &str| format!("c{i}_{n}");
+        let other = |n: &str| format!("c{}_{n}", 1 - i);
+        let ack = if buggy {
+            me("ack_valid")
+        } else {
+            other("ack_valid")
+        };
+        let dir_me = format!("p_dir{i}");
+        let dir_other = format!("p_dir{}", 1 - i);
+        b.rule(
+            format!("p_confirm{i}"),
+            vec![
+                guard(rd0("p_state").eq(k(1, parent::CONFIRM_DOWNGRADES))),
+                guard(rd0("p_req_core").eq(k(1, i as u64))),
+                named("wait_for_ack", vec![guard(rd0(&ack).eq(k(1, 1)))]),
+                guard(rd1(me("grant_valid")).eq(k(1, 0))),
+                wr0(other("ack_valid"), k(1, 0)),
+                let_("a", rd0("p_req_addr")),
+                let_("wm", rd0("p_req_wantm")),
+                let_("dirty", rd0(other("ack_dirty"))),
+                let_("adata", rd0(other("ack_data"))),
+                let_("pdata", rd0a("pmem", var("a"))),
+                when(
+                    var("dirty").eq(k(1, 1)),
+                    vec![wr0a("pmem", var("a"), var("adata"))],
+                ),
+                let_(
+                    "gdata",
+                    select(var("dirty").eq(k(1, 1)), var("adata"), var("pdata")),
+                ),
+                wr0a(
+                    &dir_other,
+                    var("a"),
+                    select(var("wm").eq(k(1, 1)), k(2, state::I), k(2, state::S)),
+                ),
+                wr1(me("grant_valid"), k(1, 1)),
+                wr1(me("grant_addr"), var("a")),
+                wr1(me("grant_data"), var("gdata")),
+                wr1(me("grant_m"), var("wm")),
+                wr0a(
+                    &dir_me,
+                    var("a"),
+                    select(var("wm").eq(k(1, 1)), k(2, state::M), k(2, state::S)),
+                ),
+                wr0("p_state", k(1, parent::READY)),
+            ],
+        );
+    }
+}
+
+fn msi_design(name: &str, buggy: bool) -> Design {
+    let mut b = DesignBuilder::new(name);
+    build_child(&mut b, 0);
+    build_child(&mut b, 1);
+    build_parent(&mut b, buggy);
+    // Channel discipline: each channel's consumer runs before its producer,
+    // so producers can reuse a slot freed in the same cycle (via port-1
+    // reads) while consumers take committed values at port 0.
+    b.schedule([
+        "c0_fill",
+        "c1_fill",
+        "p_confirm0",
+        "p_confirm1",
+        "c0_downgrade",
+        "c1_downgrade",
+        "p_start0",
+        "p_start1",
+        "c0_hit",
+        "c1_hit",
+        "c0_start_miss",
+        "c1_start_miss",
+        "c0_send_fill",
+        "c1_send_fill",
+    ]);
+    b.build()
+}
+
+/// The healthy 2-core MSI system.
+pub fn msi_system() -> Design {
+    msi_design("msi", false)
+}
+
+/// The deadlocking variant of case study 1.
+pub fn msi_system_buggy() -> Design {
+    msi_design("msi-deadlock", true)
+}

@@ -1,0 +1,860 @@
+//! Pipelined RV32I/E processor cores, written as Kôika rule-based designs —
+//! the paper's main benchmark family (Table 1: `rv32i`, `rv32e`,
+//! `rv32i-bp`, `rv32i-mc`).
+//!
+//! The core is a classic 4-stage in-order pipeline expressed as four rules —
+//! `writeback`, `execute`, `decode`, `fetch` — scheduled in that (reverse)
+//! order so that one-entry FIFOs drain before they fill, giving full
+//! pipelining with port-1 forwarding:
+//!
+//! * **fetch** issues an instruction-memory request, predicts the next PC
+//!   (`pc + 4`, or BTB + BHT in the `bp` variant), and enqueues to `f2d`;
+//! * **decode** pairs the memory response with the `f2d` entry, drops
+//!   wrong-epoch (squashed) instructions, stalls on scoreboard hazards,
+//!   reads the register file, and enqueues to `d2e`;
+//! * **execute** drops stale-epoch instructions as *poisoned*, computes the
+//!   ALU result and the real next PC, issues data-memory requests, redirects
+//!   the front end on mispredictions (flipping the epoch), and enqueues to
+//!   `e2w`;
+//! * **writeback** waits for load responses, writes the register file, and
+//!   releases scoreboard entries.
+//!
+//! Stalls are expressed as rule aborts — exactly the "early exit" behavior
+//! Cuttlesim compiles into cheap sequential returns and RTL computes (and
+//! discards) every cycle.
+//!
+//! The `x0_bug` configuration reproduces the paper's case study 3: the
+//! scoreboard fails to special-case the hardwired-zero register, so NOPs
+//! (`addi x0, x0, 0`) create phantom dependencies and the pipeline runs at
+//! half speed.
+
+use crate::memdev::MemPort;
+use koika::ast::*;
+use koika::design::{Design, DesignBuilder};
+
+/// Core configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreCfg {
+    /// Number of architectural registers: 32 (RV32I) or 16 (RV32E).
+    pub nregs: u32,
+    /// Enable the BTB + BHT branch predictor (the paper's `bp` variant).
+    pub bp: bool,
+    /// Omit the x0 scoreboard special case (case study 3's bug).
+    pub x0_bug: bool,
+    /// Add execute-to-decode forwarding for ALU results, removing the
+    /// back-to-back dependent-arithmetic bubbles the paper's case study 4
+    /// identifies as the next bottleneck after branch prediction.
+    pub bypass: bool,
+}
+
+impl CoreCfg {
+    /// The baseline RV32I configuration (PC + 4 predictor).
+    pub fn rv32i() -> CoreCfg {
+        CoreCfg {
+            nregs: 32,
+            bp: false,
+            x0_bug: false,
+            bypass: false,
+        }
+    }
+
+    /// The embedded RV32E configuration (16 registers).
+    pub fn rv32e() -> CoreCfg {
+        CoreCfg {
+            nregs: 16,
+            ..CoreCfg::rv32i()
+        }
+    }
+}
+
+// RV32 opcodes.
+const OP_LOAD: u64 = 0x03;
+const OP_OPIMM: u64 = 0x13;
+const OP_AUIPC: u64 = 0x17;
+const OP_STORE: u64 = 0x23;
+const OP_OP: u64 = 0x33;
+const OP_LUI: u64 = 0x37;
+const OP_BRANCH: u64 = 0x63;
+const OP_JALR: u64 = 0x67;
+const OP_JAL: u64 = 0x6f;
+
+fn op_is(opcode: &str, v: u64) -> Expr {
+    var(opcode).eq(k(7, v))
+}
+
+fn any(mut es: Vec<Expr>) -> Expr {
+    let first = es.remove(0);
+    es.into_iter().fold(first, |a, b| a.or(b))
+}
+
+/// Builds one core's registers and rules into `b`, with every name prefixed
+/// by `p` (empty for single-core designs). Returns the schedule fragment
+/// (rule names in execution order).
+pub fn build_core(b: &mut DesignBuilder, p: &str, cfg: &CoreCfg, pc_init: u32) -> Vec<String> {
+    let r = |name: &str| format!("{p}{name}");
+
+    // Architectural state.
+    b.reg(r("pc"), 32, pc_init as u128);
+    b.reg(r("epoch"), 1, 0u64);
+    b.array(r("rf"), 32, cfg.nregs, 0u64);
+    b.array(r("sb"), 2, cfg.nregs, 0u64);
+    b.reg(r("retired"), 32, 0u64);
+
+    // Pipeline FIFOs (one entry each).
+    b.reg(r("f2d_valid"), 1, 0u64);
+    b.reg(r("f2d_pc"), 32, 0u64);
+    b.reg(r("f2d_ppc"), 32, 0u64);
+    b.reg(r("f2d_epoch"), 1, 0u64);
+
+    b.reg(r("d2e_valid"), 1, 0u64);
+    b.reg(r("d2e_pc"), 32, 0u64);
+    b.reg(r("d2e_ppc"), 32, 0u64);
+    b.reg(r("d2e_epoch"), 1, 0u64);
+    b.reg(r("d2e_instr"), 32, 0u64);
+    b.reg(r("d2e_rval1"), 32, 0u64);
+    b.reg(r("d2e_rval2"), 32, 0u64);
+
+    b.reg(r("e2w_valid"), 1, 0u64);
+    b.reg(r("e2w_rd"), 5, 0u64);
+    b.reg(r("e2w_writes"), 1, 0u64);
+    b.reg(r("e2w_is_load"), 1, 0u64);
+    b.reg(r("e2w_f3"), 3, 0u64);
+    b.reg(r("e2w_alo"), 2, 0u64);
+    b.reg(r("e2w_val"), 32, 0u64);
+    b.reg(r("e2w_poison"), 1, 0u64);
+
+    // Memory ports.
+    MemPort::declare(b, &r("imem"));
+    MemPort::declare(b, &r("dmem"));
+
+    // Execute-to-decode forwarding wires.
+    if cfg.bypass {
+        b.reg(r("byp_valid"), 1, 0u64);
+        b.reg(r("byp_rd"), 5, 0u64);
+        b.reg(r("byp_val"), 32, 0u64);
+    }
+
+    // Branch-predictor state.
+    if cfg.bp {
+        b.array(r("btb_valid"), 1, 16, 0u64);
+        b.array(r("btb_pc"), 32, 16, 0u64);
+        b.array(r("btb_target"), 32, 16, 0u64);
+        b.array(r("bht"), 2, 64, 1u64); // weakly not-taken
+    }
+
+    build_writeback(b, p, cfg);
+    build_execute(b, p, cfg);
+    build_decode(b, p, cfg);
+    build_fetch(b, p, cfg);
+
+    vec![r("writeback"), r("execute"), r("decode"), r("fetch")]
+}
+
+fn build_writeback(b: &mut DesignBuilder, p: &str, cfg: &CoreCfg) {
+    let r = |name: &str| format!("{p}{name}");
+    let mut body = vec![
+        guard(rd0(r("e2w_valid")).eq(k(1, 1))),
+        let_("poison", rd0(r("e2w_poison"))),
+        let_("is_load", rd0(r("e2w_is_load"))),
+        let_("writes", rd0(r("e2w_writes"))),
+        let_("rd", rd0(r("e2w_rd"))),
+        // Loads must wait for the memory response (poisoned entries never
+        // carry is_load).
+        named(
+            "load_wait",
+            vec![when(
+                var("is_load")
+                    .eq(k(1, 1))
+                    .and(rd0(r("dmem_resp_valid")).eq(k(1, 0))),
+                vec![abort()],
+            )],
+        ),
+        wr0(r("e2w_valid"), k(1, 0)),
+        // Load-data extraction (byte/halfword lanes + sign handling).
+        let_("raw", rd0(r("dmem_resp_data"))),
+        let_("alo", rd0(r("e2w_alo"))),
+        let_("f3", rd0(r("e2w_f3"))),
+        let_(
+            "shifted",
+            var("raw").shr(var("alo").concat(k(3, 0)).zext(32)),
+        ),
+        let_("b_s", var("shifted").slice(0, 8).sext(32)),
+        let_("h_s", var("shifted").slice(0, 16).sext(32)),
+        let_("b_u", var("shifted").slice(0, 8).zext(32)),
+        let_("h_u", var("shifted").slice(0, 16).zext(32)),
+        let_(
+            "lval",
+            select(
+                var("f3").eq(k(3, 0)),
+                var("b_s"),
+                select(
+                    var("f3").eq(k(3, 1)),
+                    var("h_s"),
+                    select(
+                        var("f3").eq(k(3, 4)),
+                        var("b_u"),
+                        select(var("f3").eq(k(3, 5)), var("h_u"), var("raw")),
+                    ),
+                ),
+            ),
+        ),
+        let_("aluval", rd0(r("e2w_val"))),
+        let_(
+            "value",
+            select(var("is_load").eq(k(1, 1)), var("lval"), var("aluval")),
+        ),
+        when(
+            var("is_load").eq(k(1, 1)),
+            vec![wr0(r("dmem_resp_valid"), k(1, 0))],
+        ),
+        // Register-file write (x0 stays hardwired to zero).
+        when(
+            var("writes")
+                .eq(k(1, 1))
+                .and(var("poison").eq(k(1, 0)))
+                .and(var("rd").ne(k(5, 0))),
+            vec![wr0a(r("rf"), var("rd"), var("value"))],
+        ),
+    ];
+    // Scoreboard release mirrors decode's claim condition exactly.
+    let release_cond = if cfg.x0_bug {
+        var("writes").eq(k(1, 1))
+    } else {
+        var("writes").eq(k(1, 1)).and(var("rd").ne(k(5, 0)))
+    };
+    body.push(named(
+        "scoreboard_release",
+        vec![when(
+            release_cond,
+            vec![wr0a(
+                r("sb"),
+                var("rd"),
+                rd0a(r("sb"), var("rd")).sub(k(2, 1)),
+            )],
+        )],
+    ));
+    body.push(when(
+        var("poison").eq(k(1, 0)),
+        vec![wr0(r("retired"), rd0(r("retired")).add(k(32, 1)))],
+    ));
+    b.rule(r("writeback"), body);
+}
+
+fn build_decode(b: &mut DesignBuilder, p: &str, cfg: &CoreCfg) {
+    let r = |name: &str| format!("{p}{name}");
+    let mut good_path = vec![
+        // Scoreboard hazard detection.
+        let_("sb1", rd1a(r("sb"), var("rs1"))),
+        let_("sb2", rd1a(r("sb"), var("rs2"))),
+        let_("sbd", rd1a(r("sb"), var("rd"))),
+    ];
+    if cfg.bypass {
+        // Forwarding: if the pending writer of a source register executed
+        // this very cycle (its result sits on the bypass wires / in e2w),
+        // take the value instead of stalling. The WAW check below is
+        // unaffected — destinations cannot be forwarded.
+        good_path.extend(vec![
+            let_("byp_v", rd1(r("byp_valid"))),
+            let_("byp_r", rd1(r("byp_rd"))),
+            let_("byp_x", rd1(r("byp_val"))),
+            let_(
+                "fwd1",
+                var("byp_v").and(var("byp_r").eq(var("rs1"))),
+            ),
+            let_(
+                "fwd2",
+                var("byp_v").and(var("byp_r").eq(var("rs2"))),
+            ),
+            let_(
+                "stall",
+                var("use_rs1")
+                    .and(var("sb1").ne(k(2, 0)))
+                    .and(var("fwd1").not())
+                    .or(var("use_rs2")
+                        .and(var("sb2").ne(k(2, 0)))
+                        .and(var("fwd2").not()))
+                    .or(var("writes_rd").and(var("sbd").ne(k(2, 0)))),
+            ),
+        ]);
+    } else {
+        good_path.push(let_(
+            "stall",
+            var("use_rs1")
+                .and(var("sb1").ne(k(2, 0)))
+                .or(var("use_rs2").and(var("sb2").ne(k(2, 0))))
+                .or(var("writes_rd").and(var("sbd").ne(k(2, 0)))),
+        ));
+    }
+    good_path.extend(vec![
+        named(
+            "scoreboard_stall",
+            vec![when(var("stall").eq(k(1, 1)), vec![abort()])],
+        ),
+        // Need room in d2e.
+        guard(rd1(r("d2e_valid")).eq(k(1, 0))),
+        // Register-file read (port 1: sees this cycle's writeback).
+        let_("rfv1", rd1a(r("rf"), var("rs1"))),
+        let_("rfv2", rd1a(r("rf"), var("rs2"))),
+    ]);
+    if cfg.bypass {
+        good_path.extend(vec![
+            let_(
+                "rval1",
+                select(
+                    var("fwd1").and(var("sb1").ne(k(2, 0))),
+                    var("byp_x"),
+                    var("rfv1"),
+                ),
+            ),
+            let_(
+                "rval2",
+                select(
+                    var("fwd2").and(var("sb2").ne(k(2, 0))),
+                    var("byp_x"),
+                    var("rfv2"),
+                ),
+            ),
+        ]);
+    } else {
+        good_path.extend(vec![
+            let_("rval1", var("rfv1")),
+            let_("rval2", var("rfv2")),
+        ]);
+    }
+    // Scoreboard claim — the x0 special case is the subject of case study 3.
+    let claim_cond = if cfg.x0_bug {
+        var("writes_rd").eq(k(1, 1))
+    } else {
+        var("writes_rd").eq(k(1, 1)).and(var("rd").ne(k(5, 0)))
+    };
+    good_path.push(named(
+        "scoreboard_claim",
+        vec![when(
+            claim_cond,
+            vec![wr1a(r("sb"), var("rd"), var("sbd").add(k(2, 1)))],
+        )],
+    ));
+    good_path.extend(vec![
+        wr1(r("d2e_valid"), k(1, 1)),
+        wr1(r("d2e_pc"), rd0(r("f2d_pc"))),
+        wr1(r("d2e_ppc"), rd0(r("f2d_ppc"))),
+        wr1(r("d2e_epoch"), rd0(r("f2d_epoch"))),
+        wr1(r("d2e_instr"), var("instr")),
+        wr1(r("d2e_rval1"), var("rval1")),
+        wr1(r("d2e_rval2"), var("rval2")),
+        wr0(r("f2d_valid"), k(1, 0)),
+        wr0(r("imem_resp_valid"), k(1, 0)),
+    ]);
+
+    let drop_path = vec![
+        named("squash_wrong_path", Vec::new()),
+        wr0(r("f2d_valid"), k(1, 0)),
+        wr0(r("imem_resp_valid"), k(1, 0)),
+    ];
+
+    let _ = cfg;
+    let body = vec![
+        guard(rd0(r("f2d_valid")).eq(k(1, 1))),
+        guard(rd0(r("imem_resp_valid")).eq(k(1, 1))),
+        let_("instr", rd0(r("imem_resp_data"))),
+        let_("opcode", var("instr").slice(0, 7)),
+        let_("rd", var("instr").slice(7, 5)),
+        let_("rs1", var("instr").slice(15, 5)),
+        let_("rs2", var("instr").slice(20, 5)),
+        let_(
+            "use_rs1",
+            any(vec![
+                op_is("opcode", OP_JALR),
+                op_is("opcode", OP_BRANCH),
+                op_is("opcode", OP_LOAD),
+                op_is("opcode", OP_STORE),
+                op_is("opcode", OP_OPIMM),
+                op_is("opcode", OP_OP),
+            ]),
+        ),
+        let_(
+            "use_rs2",
+            any(vec![
+                op_is("opcode", OP_BRANCH),
+                op_is("opcode", OP_STORE),
+                op_is("opcode", OP_OP),
+            ]),
+        ),
+        let_(
+            "writes_rd",
+            any(vec![
+                op_is("opcode", OP_LUI),
+                op_is("opcode", OP_AUIPC),
+                op_is("opcode", OP_JAL),
+                op_is("opcode", OP_JALR),
+                op_is("opcode", OP_LOAD),
+                op_is("opcode", OP_OPIMM),
+                op_is("opcode", OP_OP),
+            ]),
+        ),
+        iff(
+            rd1(r("epoch")).eq(rd0(r("f2d_epoch"))),
+            good_path,
+            drop_path,
+        ),
+    ];
+    b.rule(r("decode"), body);
+}
+
+fn build_execute(b: &mut DesignBuilder, p: &str, cfg: &CoreCfg) {
+    let r = |name: &str| format!("{p}{name}");
+
+    // The good-path body (epoch matches).
+    let mut good = vec![
+        let_("is_load", op_is("opcode", OP_LOAD)),
+        let_("is_store", op_is("opcode", OP_STORE)),
+        let_("is_mem", var("is_load").or(var("is_store"))),
+        // Stall while the data-memory port is busy.
+        named(
+            "dmem_busy_stall",
+            vec![when(
+                var("is_mem")
+                    .eq(k(1, 1))
+                    .and(rd0(r("dmem_req_valid")).eq(k(1, 1))),
+                vec![abort()],
+            )],
+        ),
+        // Immediates.
+        let_("imm_i", var("instr").slice(20, 12).sext(32)),
+        let_(
+            "imm_s",
+            var("instr")
+                .slice(25, 7)
+                .concat(var("instr").slice(7, 5))
+                .sext(32),
+        ),
+        let_(
+            "imm_b",
+            var("instr")
+                .bit(31)
+                .concat(var("instr").bit(7))
+                .concat(var("instr").slice(25, 6))
+                .concat(var("instr").slice(8, 4))
+                .concat(k(1, 0))
+                .sext(32),
+        ),
+        let_("imm_u", var("instr").slice(12, 20).concat(k(12, 0))),
+        let_(
+            "imm_j",
+            var("instr")
+                .bit(31)
+                .concat(var("instr").slice(12, 8))
+                .concat(var("instr").bit(20))
+                .concat(var("instr").slice(21, 10))
+                .concat(k(1, 0))
+                .sext(32),
+        ),
+        let_("f3", var("instr").slice(12, 3)),
+        let_("bit30", var("instr").bit(30)),
+        let_("is_op", op_is("opcode", OP_OP)),
+        // ALU.
+        let_(
+            "bval",
+            select(var("is_op"), var("rv2"), var("imm_i")),
+        ),
+        let_("shamt", var("bval").slice(0, 5)),
+        let_("sum", var("rv1").add(var("bval"))),
+        let_("diff", var("rv1").sub(var("bval"))),
+        let_(
+            "addsub",
+            select(
+                var("is_op").and(var("bit30")),
+                var("diff"),
+                var("sum"),
+            ),
+        ),
+        let_("sltv", var("rv1").slt(var("bval")).zext(32)),
+        let_("ultv", var("rv1").ult(var("bval")).zext(32)),
+        let_("xorv", var("rv1").xor(var("bval"))),
+        let_("orv", var("rv1").or(var("bval"))),
+        let_("andv", var("rv1").and(var("bval"))),
+        let_("sllv", var("rv1").shl(var("shamt"))),
+        let_("srlv", var("rv1").shr(var("shamt"))),
+        let_("srav", var("rv1").sra(var("shamt"))),
+        let_(
+            "shr_v",
+            select(var("bit30"), var("srav"), var("srlv")),
+        ),
+        let_(
+            "alu",
+            select(
+                var("f3").eq(k(3, 0)),
+                var("addsub"),
+                select(
+                    var("f3").eq(k(3, 1)),
+                    var("sllv"),
+                    select(
+                        var("f3").eq(k(3, 2)),
+                        var("sltv"),
+                        select(
+                            var("f3").eq(k(3, 3)),
+                            var("ultv"),
+                            select(
+                                var("f3").eq(k(3, 4)),
+                                var("xorv"),
+                                select(
+                                    var("f3").eq(k(3, 5)),
+                                    var("shr_v"),
+                                    select(
+                                        var("f3").eq(k(3, 6)),
+                                        var("orv"),
+                                        var("andv"),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        // Branch decision.
+        let_("eqv", var("rv1").eq(var("rv2"))),
+        let_("sltr", var("rv1").slt(var("rv2"))),
+        let_("ultr", var("rv1").ult(var("rv2"))),
+        let_(
+            "taken",
+            select(
+                var("f3").eq(k(3, 0)),
+                var("eqv"),
+                select(
+                    var("f3").eq(k(3, 1)),
+                    var("eqv").not(),
+                    select(
+                        var("f3").eq(k(3, 4)),
+                        var("sltr"),
+                        select(
+                            var("f3").eq(k(3, 5)),
+                            var("sltr").not(),
+                            select(var("f3").eq(k(3, 6)), var("ultr"), var("ultr").not()),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        // Next PC.
+        let_("pc4", var("pcv").add(k(32, 4))),
+        let_("is_jal", op_is("opcode", OP_JAL)),
+        let_("is_jalr", op_is("opcode", OP_JALR)),
+        let_("is_branch", op_is("opcode", OP_BRANCH)),
+        let_("jal_t", var("pcv").add(var("imm_j"))),
+        let_(
+            "jalr_t",
+            var("rv1").add(var("imm_i")).and(k(32, 0xffff_fffe)),
+        ),
+        let_("br_t", var("pcv").add(var("imm_b"))),
+        let_(
+            "nextpc",
+            select(
+                var("is_jal"),
+                var("jal_t"),
+                select(
+                    var("is_jalr"),
+                    var("jalr_t"),
+                    select(
+                        var("is_branch").and(var("taken")),
+                        var("br_t"),
+                        var("pc4"),
+                    ),
+                ),
+            ),
+        ),
+        // Value written back.
+        let_(
+            "value",
+            select(
+                op_is("opcode", OP_LUI),
+                var("imm_u"),
+                select(
+                    op_is("opcode", OP_AUIPC),
+                    var("pcv").add(var("imm_u")),
+                    select(var("is_jal").or(var("is_jalr")), var("pc4"), var("alu")),
+                ),
+            ),
+        ),
+        // Memory access.
+        let_("maddr", var("rv1").add(select(var("is_store"), var("imm_s"), var("imm_i")))),
+        let_("alo", var("maddr").slice(0, 2)),
+        let_("sh8", var("alo").concat(k(3, 0)).zext(32)),
+        let_(
+            "strb",
+            select(
+                var("f3").eq(k(3, 0)),
+                k(4, 1).shl(var("alo").zext(4)),
+                select(var("f3").eq(k(3, 1)), k(4, 3).shl(var("alo").zext(4)), k(4, 0xf)),
+            ),
+        ),
+        when(
+            var("is_load").eq(k(1, 1)),
+            vec![
+                wr0(r("dmem_req_valid"), k(1, 1)),
+                wr0(r("dmem_req_addr"), var("maddr")),
+                wr0(r("dmem_req_wen"), k(1, 0)),
+            ],
+        ),
+        when(
+            var("is_store").eq(k(1, 1)),
+            vec![
+                wr0(r("dmem_req_valid"), k(1, 1)),
+                wr0(r("dmem_req_addr"), var("maddr")),
+                wr0(r("dmem_req_wen"), k(1, 1)),
+                wr0(r("dmem_req_wstrb"), var("strb")),
+                wr0(r("dmem_req_wdata"), var("rv2").shl(var("sh8"))),
+            ],
+        ),
+        // Retire into e2w.
+        wr0(r("d2e_valid"), k(1, 0)),
+        wr1(r("e2w_valid"), k(1, 1)),
+        wr1(r("e2w_rd"), var("rd")),
+        wr1(r("e2w_writes"), var("writes_rd")),
+        wr1(r("e2w_is_load"), var("is_load")),
+        wr1(r("e2w_f3"), var("f3")),
+        wr1(r("e2w_alo"), var("alo")),
+        wr1(r("e2w_val"), var("value")),
+        wr1(r("e2w_poison"), k(1, 0)),
+        // Redirect on misprediction.
+        // (bypass publication is appended below when cfg.bypass is set)
+        named(
+            "mispredict",
+            vec![when(
+                var("nextpc").ne(var("ppc")),
+                vec![
+                    wr0(r("pc"), var("nextpc")),
+                    wr0(r("epoch"), var("ep").not()),
+                ],
+            )],
+        ),
+    ];
+
+    if cfg.bypass {
+        // Publish this instruction's result on the forwarding wires. Loads
+        // cannot forward (their value arrives with the memory response), so
+        // they clear the wire, as do poisoned instructions below.
+        good.extend(vec![
+            named(
+                "bypass_publish",
+                vec![
+                    wr0(
+                        r("byp_valid"),
+                        var("writes_rd").and(var("is_load").not()),
+                    ),
+                    wr0(r("byp_rd"), var("rd")),
+                    wr0(r("byp_val"), var("value")),
+                ],
+            ),
+        ]);
+    }
+
+    if cfg.bp {
+        good.extend(vec![
+            let_("bidx", var("pcv").slice(2, 4)),
+            let_("hidx", var("pcv").slice(2, 6)),
+            named(
+                "bht_update",
+                vec![when(
+                    var("is_branch").eq(k(1, 1)),
+                    vec![
+                        let_("cnt", rd0a(r("bht"), var("hidx"))),
+                        let_(
+                            "cnt_up",
+                            select(var("cnt").eq(k(2, 3)), var("cnt"), var("cnt").add(k(2, 1))),
+                        ),
+                        let_(
+                            "cnt_dn",
+                            select(var("cnt").eq(k(2, 0)), var("cnt"), var("cnt").sub(k(2, 1))),
+                        ),
+                        wr0a(
+                            r("bht"),
+                            var("hidx"),
+                            select(var("taken"), var("cnt_up"), var("cnt_dn")),
+                        ),
+                    ],
+                )],
+            ),
+            named(
+                "btb_update",
+                vec![when(
+                    var("is_branch")
+                        .and(var("taken"))
+                        .or(var("is_jal"))
+                        .or(var("is_jalr"))
+                        .eq(k(1, 1)),
+                    vec![
+                        wr0a(r("btb_valid"), var("bidx"), k(1, 1)),
+                        wr0a(r("btb_pc"), var("bidx"), var("pcv")),
+                        wr0a(r("btb_target"), var("bidx"), var("nextpc")),
+                    ],
+                )],
+            ),
+        ]);
+    }
+
+    // Poisoned path: drain the instruction, release nothing but the
+    // scoreboard (via writeback).
+    let mut poisoned = vec![
+        named("poisoned_drain", Vec::new()),
+        wr0(r("d2e_valid"), k(1, 0)),
+        wr1(r("e2w_valid"), k(1, 1)),
+        wr1(r("e2w_rd"), var("rd")),
+        wr1(r("e2w_writes"), var("writes_rd")),
+        wr1(r("e2w_is_load"), k(1, 0)),
+        wr1(r("e2w_f3"), k(3, 0)),
+        wr1(r("e2w_alo"), k(2, 0)),
+        wr1(r("e2w_val"), k(32, 0)),
+        wr1(r("e2w_poison"), k(1, 1)),
+    ];
+    if cfg.bypass {
+        poisoned.push(wr0(r("byp_valid"), k(1, 0)));
+    }
+
+    let body = vec![
+        guard(rd0(r("d2e_valid")).eq(k(1, 1))),
+        guard(rd1(r("e2w_valid")).eq(k(1, 0))),
+        let_("instr", rd0(r("d2e_instr"))),
+        let_("pcv", rd0(r("d2e_pc"))),
+        let_("ppc", rd0(r("d2e_ppc"))),
+        let_("rv1", rd0(r("d2e_rval1"))),
+        let_("rv2", rd0(r("d2e_rval2"))),
+        let_("ep", rd0(r("epoch"))),
+        let_("opcode", var("instr").slice(0, 7)),
+        let_("rd", var("instr").slice(7, 5)),
+        let_(
+            "writes_rd",
+            any(vec![
+                op_is("opcode", OP_LUI),
+                op_is("opcode", OP_AUIPC),
+                op_is("opcode", OP_JAL),
+                op_is("opcode", OP_JALR),
+                op_is("opcode", OP_LOAD),
+                op_is("opcode", OP_OPIMM),
+                op_is("opcode", OP_OP),
+            ]),
+        ),
+        iff(rd0(r("d2e_epoch")).eq(var("ep")), good, poisoned),
+    ];
+    b.rule(r("execute"), body);
+}
+
+fn build_fetch(b: &mut DesignBuilder, p: &str, cfg: &CoreCfg) {
+    let r = |name: &str| format!("{p}{name}");
+    let mut body = vec![
+        guard(rd1(r("f2d_valid")).eq(k(1, 0))),
+        guard(rd0(r("imem_req_valid")).eq(k(1, 0))),
+        let_("cur", rd1(r("pc"))),
+        let_("pc4", var("cur").add(k(32, 4))),
+    ];
+    if cfg.bp {
+        body.extend(vec![
+            let_("bidx", var("cur").slice(2, 4)),
+            let_("hidx", var("cur").slice(2, 6)),
+            let_("bvalid", rd1a(r("btb_valid"), var("bidx"))),
+            let_("bpc", rd1a(r("btb_pc"), var("bidx"))),
+            let_("btgt", rd1a(r("btb_target"), var("bidx"))),
+            let_("cnt", rd1a(r("bht"), var("hidx"))),
+            let_(
+                "hit",
+                var("bvalid").eq(k(1, 1)).and(var("bpc").eq(var("cur"))),
+            ),
+            let_("pred_taken", var("cnt").bit(1)),
+            let_(
+                "pred",
+                select(var("hit").and(var("pred_taken")), var("btgt"), var("pc4")),
+            ),
+        ]);
+    } else {
+        body.push(let_("pred", var("pc4")));
+    }
+    body.extend(vec![
+        wr0(r("imem_req_valid"), k(1, 1)),
+        wr0(r("imem_req_addr"), var("cur")),
+        wr1(r("pc"), var("pred")),
+        wr1(r("f2d_valid"), k(1, 1)),
+        wr1(r("f2d_pc"), var("cur")),
+        wr1(r("f2d_ppc"), var("pred")),
+        wr1(r("f2d_epoch"), rd1(r("epoch"))),
+    ]);
+    b.rule(r("fetch"), body);
+}
+
+/// The baseline single-core RV32I design (Table 1's `rv32i`).
+pub fn rv32i() -> Design {
+    core_design("rv32i", &CoreCfg::rv32i())
+}
+
+/// The RV32E variant (16 registers; Table 1's `rv32e`).
+pub fn rv32e() -> Design {
+    core_design("rv32e", &CoreCfg::rv32e())
+}
+
+/// RV32I with the BTB + BHT branch predictor (Table 1's `rv32i-bp`).
+pub fn rv32i_bp() -> Design {
+    core_design(
+        "rv32i-bp",
+        &CoreCfg {
+            bp: true,
+            ..CoreCfg::rv32i()
+        },
+    )
+}
+
+/// RV32I with execute-to-decode forwarding (the case-study-4 follow-up).
+pub fn rv32i_bypass() -> Design {
+    core_design(
+        "rv32i-bypass",
+        &CoreCfg {
+            bypass: true,
+            ..CoreCfg::rv32i()
+        },
+    )
+}
+
+/// RV32I with both the branch predictor and the bypass paths — the
+/// endpoint of the paper's design-exploration arc (case study 4 plus its
+/// follow-up).
+pub fn rv32i_bp_bypass() -> Design {
+    core_design(
+        "rv32i-bp-bypass",
+        &CoreCfg {
+            bp: true,
+            bypass: true,
+            ..CoreCfg::rv32i()
+        },
+    )
+}
+
+/// RV32I with x0 scoreboard bug of case study 3.
+pub fn rv32i_x0bug() -> Design {
+    core_design(
+        "rv32i-x0bug",
+        &CoreCfg {
+            x0_bug: true,
+            ..CoreCfg::rv32i()
+        },
+    )
+}
+
+fn core_design(name: &str, cfg: &CoreCfg) -> Design {
+    let mut b = DesignBuilder::new(name);
+    let schedule = build_core(&mut b, "", cfg, 0);
+    b.schedule(schedule);
+    b.build()
+}
+
+/// Byte address where the second core of [`rv32i_mc`] starts executing.
+pub const MC_CORE1_PC: u32 = 0x2000;
+
+/// The dual-core variant (Table 1's `rv32i-mc`): two independent RV32I
+/// cores with register prefixes `c0_` / `c1_`, sharing one magic memory.
+/// Core 1 boots at [`MC_CORE1_PC`].
+pub fn rv32i_mc() -> Design {
+    let mut b = DesignBuilder::new("rv32i-mc");
+    let cfg = CoreCfg::rv32i();
+    let mut schedule = build_core(&mut b, "c0_", &cfg, 0);
+    schedule.extend(build_core(&mut b, "c1_", &cfg, MC_CORE1_PC));
+    b.schedule(schedule);
+    b.build()
+}

@@ -1,0 +1,293 @@
+//! The small benchmark designs of Table 1: the `collatz` two-state machine
+//! and the purely combinational `fir` and `fft` blocks.
+//!
+//! `collatz` is the paper's §2.1 running example — two mutually-exclusive
+//! rules predicated on a state register, each doing "potentially complex
+//! combinational work" (here, Collatz steps). `fir` and `fft` are
+//! single-rule combinational designs with no scheduling or conflicts, where
+//! the paper expects Cuttlesim's advantage over RTL simulation to be
+//! narrowest (Fig. 1).
+
+use koika::ast::*;
+use koika::design::{Design, DesignBuilder};
+
+/// The trivial two-state machine of §2.1, computing Collatz trajectories.
+///
+/// Registers: `st` (state A/B), `x` (working value), `input` (seed injected
+/// by the harness when a trajectory finishes), `output` (last value
+/// emitted), and `steps` (trajectory step counter).
+pub fn collatz() -> Design {
+    let mut b = DesignBuilder::new("collatz");
+    b.reg("st", 1, 0u64);
+    b.reg("x", 32, 27u64);
+    b.reg("input", 32, 27u64);
+    b.reg("output", 32, 0u64);
+    b.reg("steps", 32, 0u64);
+
+    // One Collatz step: x/2 if even, 3x+1 if odd; restart from `input` when
+    // the trajectory reaches 1.
+    let step = |out_rule: &str, st_now: u64, st_next: u64| {
+        vec![
+            guard(rd0("st").eq(k(1, st_now))),
+            wr0("st", k(1, st_next)),
+            let_("xv", rd0("x")),
+            iff(
+                var("xv").ule(k(32, 1)),
+                vec![
+                    wr0("x", rd0("input")),
+                    wr0("steps", k(32, 0)),
+                ],
+                vec![
+                    let_("even", var("xv").bit(0).eq(k(1, 0))),
+                    let_("half", var("xv").shr(k(1, 1))),
+                    let_("tripled", var("xv").mul(k(32, 3)).add(k(32, 1))),
+                    let_("nx", select(var("even"), var("half"), var("tripled"))),
+                    wr0("x", var("nx")),
+                    wr0("steps", rd0("steps").add(k(32, 1))),
+                    wr0("output", var("nx")),
+                ],
+            ),
+            named(out_rule, Vec::new()),
+        ]
+    };
+
+    b.rule("rlA", step("stepA", 0, 1));
+    b.rule("rlB", step("stepB", 1, 0));
+    b.schedule(["rlA", "rlB"]);
+    b.build()
+}
+
+/// Number of taps in the [`fir`] filter.
+pub const FIR_TAPS: usize = 8;
+
+/// The FIR filter coefficients (small primes, so outputs are easy to check).
+pub const FIR_COEFFS: [u64; FIR_TAPS] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// An 8-tap finite impulse response filter: one combinational rule shifting
+/// the delay line and computing the dot product with [`FIR_COEFFS`].
+///
+/// The harness feeds `input` each cycle; `output` holds
+/// `Σ coeff[i] · x[n - i]`.
+pub fn fir() -> Design {
+    let mut b = DesignBuilder::new("fir");
+    b.reg("input", 32, 0u64);
+    b.reg("output", 32, 0u64);
+    for i in 0..FIR_TAPS {
+        b.reg(format!("tap{i}"), 32, 0u64);
+    }
+    // Gather all tap values first (reads strictly before writes keeps the
+    // rule free of same-register read-after-write patterns, so every
+    // backend — including the accumulated-log Cuttlesim levels — agrees).
+    let mut body = vec![let_("x0", rd0("input"))];
+    for i in 0..FIR_TAPS - 1 {
+        body.push(let_(format!("t{i}"), rd0(format!("tap{i}"))));
+    }
+    for i in (1..FIR_TAPS).rev() {
+        body.push(wr0(format!("tap{i}"), var(format!("t{}", i - 1))));
+    }
+    body.push(wr0("tap0", var("x0")));
+    let mut acc = var("x0").mul(k(32, FIR_COEFFS[0]));
+    for (i, c) in FIR_COEFFS.iter().enumerate().skip(1) {
+        acc = acc.add(var(format!("t{}", i - 1)).mul(k(32, *c)));
+    }
+    body.push(wr0("output", acc));
+    b.rule("fir_step", body);
+    b.build()
+}
+
+/// Points in the [`fft`] butterfly network.
+pub const FFT_POINTS: usize = 8;
+
+/// The butterfly parts of an 8-point radix-2 FFT over 16.16 fixed-point
+/// complex numbers, packed as `{re[31:16], im[15:0]}` — one big
+/// combinational rule computing all three stages (12 butterflies) per cycle.
+///
+/// Twiddle factors use the exact values for N = 8 (±1, ±j, ±√2/2(1±j))
+/// rounded to fixed point. The harness rotates fresh inputs in through
+/// `in0..in7`; results appear in `out0..out7`.
+pub fn fft() -> Design {
+    // Fixed-point helpers over packed complex values, as pure expression
+    // combinators.
+    fn re(e: Expr) -> Expr {
+        e.slice(16, 16).sext(32)
+    }
+    fn im(e: Expr) -> Expr {
+        e.slice(0, 16).sext(32)
+    }
+    fn pack(r: Expr, i: Expr) -> Expr {
+        r.slice(0, 16).concat(i.slice(0, 16))
+    }
+    fn cadd(a: Expr, b: Expr) -> Expr {
+        pack(re(a.clone()).add(re(b.clone())), im(a).add(im(b)))
+    }
+    fn csub(a: Expr, b: Expr) -> Expr {
+        pack(re(a.clone()).sub(re(b.clone())), im(a).sub(im(b)))
+    }
+    // Multiply by twiddle W8^k for k = 0..3 in 2.14 fixed point:
+    // W0 = 1, W1 = (c, -c), W2 = -j, W3 = (-c, -c) with c = cos(45°).
+    fn cmul_w(a: Expr, kk: usize) -> Expr {
+        const C: i64 = 11585; // round(cos(45°) * 2^14)
+        let (wr, wi): (i64, i64) = match kk {
+            0 => (1 << 14, 0),
+            1 => (C, -C),
+            2 => (0, -(1 << 14)),
+            _ => (-C, -C),
+        };
+        let kw = |v: i64| kbits(koika::Bits::new(32, (v as u32) as u64));
+        let ar = re(a.clone());
+        let ai = im(a);
+        // (ar + j·ai)(wr + j·wi) >> 14
+        let rr = ar
+            .clone()
+            .mul(kw(wr))
+            .sub(ai.clone().mul(kw(wi)))
+            .sra(k(5, 14));
+        let ri = ar.mul(kw(wi)).add(ai.mul(kw(wr))).sra(k(5, 14));
+        pack(rr, ri)
+    }
+    let mut b = DesignBuilder::new("fft");
+    for i in 0..FFT_POINTS {
+        b.reg(format!("in{i}"), 32, 0u64);
+        b.reg(format!("out{i}"), 32, 0u64);
+    }
+
+    // Build the 3-stage butterfly network as a pure expression DAG over
+    // lets (decimation in frequency, bit-reversed outputs).
+    let mut body = Vec::new();
+    for i in 0..FFT_POINTS {
+        body.push(let_(format!("s0_{i}"), rd0(format!("in{i}"))));
+    }
+    let mut stage = 0;
+    let mut half = FFT_POINTS / 2;
+    while half >= 1 {
+        let prev = move |i: usize| var(format!("s{stage}_{i}"));
+        for blk in (0..FFT_POINTS).step_by(half * 2) {
+            for j in 0..half {
+                let (a, bb) = (blk + j, blk + j + half);
+                let tw = (j * (FFT_POINTS / (2 * half))) % 4;
+                body.push(let_(
+                    format!("s{}_{a}", stage + 1),
+                    cadd(prev(a), prev(bb)),
+                ));
+                body.push(let_(
+                    format!("s{}_{bb}", stage + 1),
+                    cmul_w(csub(prev(a), prev(bb)), tw),
+                ));
+            }
+        }
+        stage += 1;
+        half /= 2;
+    }
+    // Bit-reversed output order.
+    for i in 0..FFT_POINTS {
+        let rev = (i as u32).reverse_bits() >> (32 - 3);
+        body.push(wr0(format!("out{rev}"), var(format!("s{stage}_{i}"))));
+    }
+    b.rule("butterflies", body);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koika::check::check;
+    use koika::device::{RegAccess, SimBackend};
+    use koika::interp::Interp;
+
+    #[test]
+    fn collatz_follows_trajectory() {
+        let td = check(&collatz()).unwrap();
+        let mut sim = Interp::new(&td);
+        // 27 -> 82 -> 41 -> 124 ...
+        sim.cycle();
+        assert_eq!(sim.get64(td.reg_id("x")), 82);
+        sim.cycle();
+        assert_eq!(sim.get64(td.reg_id("x")), 41);
+        sim.cycle();
+        assert_eq!(sim.get64(td.reg_id("x")), 124);
+        // The two rules alternate.
+        assert_eq!(sim.fired_per_rule(), &[2, 1]);
+    }
+
+    #[test]
+    fn collatz_terminates_and_restarts() {
+        let td = check(&collatz()).unwrap();
+        let mut sim = Interp::new(&td);
+        // The 27 trajectory takes 111 steps to reach 1.
+        for _ in 0..111 {
+            sim.cycle();
+        }
+        assert_eq!(sim.get64(td.reg_id("x")), 1);
+        sim.cycle(); // restart from input
+        assert_eq!(sim.get64(td.reg_id("x")), 27);
+        assert_eq!(sim.get64(td.reg_id("steps")), 0);
+    }
+
+    #[test]
+    fn fir_computes_dot_product() {
+        let td = check(&fir()).unwrap();
+        let mut sim = Interp::new(&td);
+        let inputs: Vec<u64> = (1..=20).collect();
+        let mut history: Vec<u64> = Vec::new();
+        for &x in &inputs {
+            sim.set64(td.reg_id("input"), x);
+            history.push(x);
+            sim.cycle();
+            let expected: u64 = FIR_COEFFS
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i < history.len() {
+                        c * history[history.len() - 1 - i]
+                    } else {
+                        0
+                    }
+                })
+                .sum::<u64>()
+                & 0xffff_ffff;
+            assert_eq!(sim.get64(td.reg_id("output")), expected, "after x={x}");
+        }
+    }
+
+    fn pack(re: i32, im: i32) -> u64 {
+        ((((re as u32) & 0xffff) << 16) | ((im as u32) & 0xffff)) as u64
+    }
+
+    fn unpack(v: u64) -> (i32, i32) {
+        let re = ((v >> 16) as u16) as i16 as i32;
+        let im = (v as u16) as i16 as i32;
+        (re, im)
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        // FFT of a unit impulse is constant across all bins.
+        let td = check(&fft()).unwrap();
+        let mut sim = Interp::new(&td);
+        sim.set64(td.reg_id("in0"), pack(1000, 0));
+        sim.cycle();
+        for i in 0..FFT_POINTS {
+            let (re, im) = unpack(sim.get64(td.reg_id(&format!("out{i}"))));
+            assert_eq!((re, im), (1000, 0), "bin {i}");
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let td = check(&fft()).unwrap();
+        let mut sim = Interp::new(&td);
+        for i in 0..FFT_POINTS {
+            sim.set64(td.reg_id(&format!("in{i}")), pack(100, 0));
+        }
+        sim.cycle();
+        let (re0, im0) = unpack(sim.get64(td.reg_id("out0")));
+        assert_eq!((re0, im0), (800, 0), "DC bin sums all inputs");
+        for i in 1..FFT_POINTS {
+            let (re, im) = unpack(sim.get64(td.reg_id(&format!("out{i}"))));
+            assert!(
+                re.abs() <= 2 && im.abs() <= 2,
+                "bin {i} should be ~0, got ({re}, {im})"
+            );
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! MSI protocol tests: coherence invariants under random traffic, data
+//! monotonicity (no stale reads going back in time), cross-backend
+//! agreement, and the case-study-1 deadlock reproduction.
+
+use cuttlesim::Sim;
+use koika::check::check;
+use koika::device::{Device, RegAccess, SimBackend};
+use koika::interp::Interp;
+use koika::testgen::SplitMix64;
+use koika::tir::{RegId, TDesign};
+use koika_designs::msi::{self, mshr, parent, state, MSI_WORDS};
+use koika_rtl::{compile as rtl_compile, RtlSim, Scheme};
+
+/// Traffic generator + coherence checker for both cores.
+///
+/// Core 0 stores to addresses `0..8`, core 1 to `8..16`; both load from
+/// `0..16`. Store values are strictly increasing sequence numbers per
+/// address, so a correct protocol can never let an observer's view of an
+/// address go backwards.
+struct Traffic {
+    rng: SplitMix64,
+    regs: [CoreRegs; 2],
+    /// Per core: last value observed per address (monotonicity check).
+    seen: [[u64; 16]; 2],
+    /// Per address: last value stored (by its single writer).
+    written: [u64; 16],
+    /// Outstanding request per core: (addr, store, value).
+    pending: [Option<(u64, bool, u64)>; 2],
+    /// Completed operations per core.
+    pub completed: [u64; 2],
+    next_value: u64,
+}
+
+#[derive(Clone, Copy)]
+struct CoreRegs {
+    req_valid: RegId,
+    req_addr: RegId,
+    req_wdata: RegId,
+    req_store: RegId,
+    resp_valid: RegId,
+    resp_data: RegId,
+}
+
+impl Traffic {
+    fn new(td: &TDesign, seed: u64) -> Traffic {
+        let core = |i: usize| CoreRegs {
+            req_valid: td.reg_id(&format!("c{i}_cpu_req_valid")),
+            req_addr: td.reg_id(&format!("c{i}_cpu_req_addr")),
+            req_wdata: td.reg_id(&format!("c{i}_cpu_req_wdata")),
+            req_store: td.reg_id(&format!("c{i}_cpu_req_store")),
+            resp_valid: td.reg_id(&format!("c{i}_cpu_resp_valid")),
+            resp_data: td.reg_id(&format!("c{i}_cpu_resp_data")),
+        };
+        Traffic {
+            rng: SplitMix64::new(seed),
+            regs: [core(0), core(1)],
+            seen: [[0; 16]; 2],
+            written: [0; 16],
+            pending: [None, None],
+            completed: [0, 0],
+            next_value: 1,
+        }
+    }
+}
+
+impl Device for Traffic {
+    fn tick(&mut self, _cycle: u64, regs: &mut dyn RegAccess) {
+        for i in 0..2 {
+            let r = self.regs[i];
+            // Collect a response.
+            if regs.get64(r.resp_valid) == 1 {
+                let data = regs.get64(r.resp_data);
+                regs.set64(r.resp_valid, 0);
+                let (addr, store, value) =
+                    self.pending[i].take().expect("response without a request");
+                if store {
+                    self.written[addr as usize] = value;
+                    self.seen[i][addr as usize] = value;
+                    assert_eq!(data, value, "store response echoes the stored value");
+                } else {
+                    assert!(
+                        data >= self.seen[i][addr as usize],
+                        "core {i} read addr {addr}: value {data} older than previously \
+                         seen {} — coherence violation",
+                        self.seen[i][addr as usize]
+                    );
+                    assert!(
+                        data <= self.written[addr as usize],
+                        "core {i} read addr {addr}: value {data} from the future \
+                         (last written {})",
+                        self.written[addr as usize]
+                    );
+                    self.seen[i][addr as usize] = data;
+                }
+                self.completed[i] += 1;
+            }
+            // Issue a new request.
+            if self.pending[i].is_none() && regs.get64(r.req_valid) == 0 {
+                let addr = self.rng.below(16);
+                let to_own_region = (i == 0 && addr < 8) || (i == 1 && addr >= 8);
+                let store = to_own_region && self.rng.chance(1, 2);
+                let value = if store {
+                    let v = self.next_value;
+                    self.next_value += 1;
+                    v
+                } else {
+                    0
+                };
+                regs.set64(r.req_valid, 1);
+                regs.set64(r.req_addr, addr);
+                regs.set64(r.req_store, store as u64);
+                regs.set64(r.req_wdata, value);
+                self.pending[i] = Some((addr, store, value));
+            }
+        }
+    }
+}
+
+fn check_safety(sim: &mut dyn SimBackend, td: &TDesign) {
+    for a in 0..MSI_WORDS {
+        let s0 = sim.as_reg_access().get64(td.reg_elem("c0_cstate", a));
+        let s1 = sim.as_reg_access().get64(td.reg_elem("c1_cstate", a));
+        assert!(
+            !(s0 == state::M && s1 == state::M),
+            "address {a}: both caches Modified — single-writer invariant violated"
+        );
+    }
+}
+
+#[test]
+fn healthy_msi_makes_progress_and_stays_coherent() {
+    let td = check(&msi::msi_system()).unwrap();
+    let mut sim = Sim::compile(&td).unwrap();
+    let mut traffic = Traffic::new(&td, 0xfeed);
+    for cycle in 0..20_000u64 {
+        traffic.tick(cycle, sim.as_reg_access());
+        sim.cycle();
+        if cycle % 64 == 0 {
+            check_safety(&mut sim, &td);
+        }
+    }
+    assert!(
+        traffic.completed[0] > 500 && traffic.completed[1] > 500,
+        "system should complete plenty of operations: {:?}",
+        traffic.completed
+    );
+}
+
+#[test]
+fn msi_backends_agree_cycle_by_cycle() {
+    let td = check(&msi::msi_system()).unwrap();
+    let mut interp = Interp::new(&td);
+    let mut t_interp = Traffic::new(&td, 7);
+    let mut vm = Sim::compile(&td).unwrap();
+    let mut t_vm = Traffic::new(&td, 7);
+    let mut rtl = RtlSim::new(rtl_compile(&td, Scheme::Dynamic).unwrap());
+    let mut t_rtl = Traffic::new(&td, 7);
+
+    for cycle in 0..1500u64 {
+        t_interp.tick(cycle, interp.as_reg_access());
+        interp.cycle();
+        t_vm.tick(cycle, vm.as_reg_access());
+        vm.cycle();
+        t_rtl.tick(cycle, rtl.as_reg_access());
+        rtl.cycle();
+        for r in 0..td.num_regs() {
+            let reg = RegId(r as u32);
+            assert_eq!(
+                vm.get64(reg),
+                interp.get64(reg),
+                "cycle {cycle}: {} diverged (VM vs interp)",
+                td.regs[r].name
+            );
+            assert_eq!(
+                rtl.get64(reg),
+                interp.get64(reg),
+                "cycle {cycle}: {} diverged (RTL vs interp)",
+                td.regs[r].name
+            );
+        }
+    }
+}
+
+/// Case study 1: the buggy parent deadlocks, and the observable state is
+/// exactly what the paper's programmer sees in gdb — one cache stuck in
+/// `WaitFillResp`, the parent stuck in `ConfirmDowngrades`.
+#[test]
+fn buggy_msi_deadlocks_in_the_papers_configuration() {
+    let td = check(&msi::msi_system_buggy()).unwrap();
+    let mut sim = Sim::compile(&td).unwrap();
+    let mut traffic = Traffic::new(&td, 0xfeed);
+
+    let mut last_completed = [0u64; 2];
+    let mut stuck_for = 0u64;
+    let mut deadlock_cycle = None;
+    for cycle in 0..20_000u64 {
+        traffic.tick(cycle, sim.as_reg_access());
+        sim.cycle();
+        if traffic.completed == last_completed {
+            stuck_for += 1;
+            if stuck_for > 2000 {
+                deadlock_cycle = Some(cycle);
+                break;
+            }
+        } else {
+            stuck_for = 0;
+            last_completed = traffic.completed;
+        }
+    }
+    let deadlock_cycle = deadlock_cycle.expect("the buggy protocol should deadlock");
+
+    // The paper's observation: a core is wedged waiting for its fill
+    // response while the parent waits for downgrade confirmation.
+    let p_state = sim.get64(td.reg_id("p_state"));
+    assert_eq!(
+        p_state,
+        parent::CONFIRM_DOWNGRADES,
+        "parent should be stuck in ConfirmDowngrades (deadlock at cycle {deadlock_cycle})"
+    );
+    let requester = sim.get64(td.reg_id("p_req_core"));
+    let mshr_state = sim.get64(td.reg_id(&format!("c{requester}_mshr_state")));
+    assert_eq!(
+        mshr_state,
+        mshr::WAIT_FILL_RESP,
+        "the requesting core should be stuck in WaitFillResp"
+    );
+}
+
+#[test]
+fn directory_tracks_cache_states_at_quiescence() {
+    let td = check(&msi::msi_system()).unwrap();
+    let mut sim = Sim::compile(&td).unwrap();
+    let mut traffic = Traffic::new(&td, 42);
+    for cycle in 0..5_000u64 {
+        traffic.tick(cycle, sim.as_reg_access());
+        sim.cycle();
+    }
+    // Stop issuing; drain in-flight transactions.
+    for cycle in 5_000..5_200u64 {
+        // Keep collecting responses but issue nothing new.
+        for i in 0..2 {
+            let r = traffic.regs[i];
+            let _ = r;
+        }
+        let _ = cycle;
+        sim.cycle();
+    }
+    // At quiescence the directory matches each cache exactly.
+    for a in 0..MSI_WORDS {
+        for i in 0..2 {
+            let dir = sim.get64(td.reg_elem(&format!("p_dir{i}"), a));
+            let cst = sim.get64(td.reg_elem(&format!("c{i}_cstate"), a));
+            assert_eq!(
+                dir, cst,
+                "address {a}: directory for core {i} ({dir}) disagrees with the cache ({cst})"
+            );
+        }
+    }
+}
+
+/// Directed ownership ping-pong: both cores write the same hot address in
+/// strict alternation. Ownership must transfer back and forth through the
+/// full downgrade/confirm path every time, each core always reading the
+/// other's latest value.
+#[test]
+fn ownership_ping_pong_on_a_hot_address() {
+    let td = check(&msi::msi_system()).unwrap();
+    let mut sim = Sim::compile(&td).unwrap();
+
+    let port = |i: usize, n: &str| td.reg_id(&format!("c{i}_cpu_{n}"));
+    let mut value = 1u64;
+    for round in 0..40 {
+        let core = round % 2;
+        // Issue a store of `value` to address 3 from `core`.
+        sim.set64(port(core, "req_valid"), 1);
+        sim.set64(port(core, "req_addr"), 3);
+        sim.set64(port(core, "req_store"), 1);
+        sim.set64(port(core, "req_wdata"), value);
+        let mut done = false;
+        for _ in 0..200 {
+            sim.cycle();
+            if sim.get64(port(core, "resp_valid")) == 1 {
+                sim.set64(port(core, "resp_valid"), 0);
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "round {round}: store by core {core} never completed");
+        // The other core reads it back.
+        let other = 1 - core;
+        sim.set64(port(other, "req_valid"), 1);
+        sim.set64(port(other, "req_addr"), 3);
+        sim.set64(port(other, "req_store"), 0);
+        let mut got = None;
+        for _ in 0..200 {
+            sim.cycle();
+            if sim.get64(port(other, "resp_valid")) == 1 {
+                got = Some(sim.get64(port(other, "resp_data")));
+                sim.set64(port(other, "resp_valid"), 0);
+                break;
+            }
+        }
+        assert_eq!(
+            got,
+            Some(value),
+            "round {round}: core {other} read a stale value"
+        );
+        check_safety(&mut sim, &td);
+        value += 1;
+    }
+}

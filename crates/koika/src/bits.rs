@@ -1,0 +1,735 @@
+//! Fixed-width bit vectors, the value domain of Kôika designs.
+//!
+//! Every value flowing through a Kôika design has a statically-known width.
+//! [`Bits`] stores such a value for any width: widths of 64 bits or fewer are
+//! kept inline in a single machine word (the fast path used by every design in
+//! this repository), wider values fall back to a boxed little-endian word
+//! array.
+//!
+//! The u64 fast-path arithmetic lives in the [`word`] submodule so that the
+//! optimized Cuttlesim VM and the RTL netlist simulator can share it without
+//! constructing `Bits` values.
+//!
+//! # Examples
+//!
+//! ```
+//! use koika::bits::Bits;
+//!
+//! let a = Bits::new(8, 0xf0u64);
+//! let b = Bits::new(8, 0x0fu64);
+//! assert_eq!(a.or(&b), Bits::new(8, 0xffu64));
+//! assert_eq!(a.add(&b), Bits::new(8, 0xffu64));
+//! assert_eq!(Bits::new(8, 0xffu64).add(&Bits::new(8, 1u64)), Bits::zero(8));
+//! ```
+
+use std::fmt;
+
+/// Truncated-width arithmetic on single `u64` words.
+///
+/// All functions assume (and preserve) the invariant that operands are
+/// already masked to `width` bits, with `1 <= width <= 64`.
+pub mod word {
+    /// Bit mask with the low `width` bits set. `width` must be in `1..=64`.
+    #[inline(always)]
+    pub fn mask(width: u32) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        u64::MAX >> (64 - width)
+    }
+
+    /// Wrapping addition truncated to `width` bits.
+    #[inline(always)]
+    pub fn add(width: u32, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b) & mask(width)
+    }
+
+    /// Wrapping subtraction truncated to `width` bits.
+    #[inline(always)]
+    pub fn sub(width: u32, a: u64, b: u64) -> u64 {
+        a.wrapping_sub(b) & mask(width)
+    }
+
+    /// Wrapping multiplication truncated to `width` bits.
+    #[inline(always)]
+    pub fn mul(width: u32, a: u64, b: u64) -> u64 {
+        a.wrapping_mul(b) & mask(width)
+    }
+
+    /// Logical left shift; shift amounts `>= width` yield zero.
+    #[inline(always)]
+    pub fn shl(width: u32, a: u64, sh: u64) -> u64 {
+        if sh >= 64 {
+            0
+        } else {
+            (a << sh) & mask(width)
+        }
+    }
+
+    /// Logical right shift; shift amounts `>= width` yield zero.
+    #[inline(always)]
+    pub fn shr(_width: u32, a: u64, sh: u64) -> u64 {
+        if sh >= 64 {
+            0
+        } else {
+            a >> sh
+        }
+    }
+
+    /// Arithmetic right shift on a `width`-bit value.
+    #[inline(always)]
+    pub fn sra(width: u32, a: u64, sh: u64) -> u64 {
+        let sh = sh.min(width as u64 - 1) as u32;
+        let signed = sext(width, a) as i64;
+        ((signed >> sh) as u64) & mask(width)
+    }
+
+    /// Sign-extend a `width`-bit value to the full 64-bit word.
+    #[inline(always)]
+    pub fn sext(width: u32, a: u64) -> u64 {
+        if width == 64 {
+            a
+        } else {
+            let shift = 64 - width;
+            (((a << shift) as i64) >> shift) as u64
+        }
+    }
+
+    /// Unsigned less-than as a 1-bit value.
+    #[inline(always)]
+    pub fn ult(a: u64, b: u64) -> u64 {
+        (a < b) as u64
+    }
+
+    /// Signed less-than of two `width`-bit values, as a 1-bit value.
+    #[inline(always)]
+    pub fn slt(width: u32, a: u64, b: u64) -> u64 {
+        ((sext(width, a) as i64) < (sext(width, b) as i64)) as u64
+    }
+
+    /// Extract `out_width` bits starting at bit `lo`.
+    #[inline(always)]
+    pub fn slice(a: u64, lo: u32, out_width: u32) -> u64 {
+        if lo >= 64 {
+            0
+        } else {
+            (a >> lo) & mask(out_width)
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Widths `1..=64`, value masked to the width.
+    Small(u64),
+    /// Widths `> 64`; little-endian word array of length `ceil(width / 64)`,
+    /// with unused high bits of the last word zeroed.
+    Wide(Box<[u64]>),
+}
+
+/// A fixed-width bit vector.
+///
+/// `Bits` is the runtime value type of the Kôika reference interpreter and of
+/// register initial values. Two `Bits` are equal iff they have the same width
+/// and the same contents.
+///
+/// # Panics
+///
+/// Binary operations panic when operand widths differ; constructing a `Bits`
+/// of width 0 panics. These are design bugs, caught eagerly.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    repr: Repr,
+}
+
+impl Bits {
+    /// Creates a `width`-bit value from anything convertible to `u128`,
+    /// truncating to the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u32, value: impl Into<u128>) -> Self {
+        assert!(width > 0, "zero-width Bits are not representable");
+        let v: u128 = value.into();
+        if width <= 64 {
+            Bits {
+                width,
+                repr: Repr::Small(v as u64 & word::mask(width)),
+            }
+        } else {
+            let nwords = Self::nwords(width);
+            let mut words = vec![0u64; nwords];
+            words[0] = v as u64;
+            if nwords > 1 {
+                words[1] = (v >> 64) as u64;
+            }
+            let mut b = Bits {
+                width,
+                repr: Repr::Wide(words.into_boxed_slice()),
+            };
+            b.normalize();
+            b
+        }
+    }
+
+    /// The all-zeros value of the given width.
+    pub fn zero(width: u32) -> Self {
+        Bits::new(width, 0u64)
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        Bits::zero(width).not()
+    }
+
+    /// Creates a value from little-endian 64-bit words, truncating to `width`.
+    pub fn from_words(width: u32, words: &[u64]) -> Self {
+        assert!(width > 0, "zero-width Bits are not representable");
+        if width <= 64 {
+            let w = words.first().copied().unwrap_or(0);
+            Bits::new(width, w)
+        } else {
+            let nwords = Self::nwords(width);
+            let mut v = vec![0u64; nwords];
+            for (dst, src) in v.iter_mut().zip(words.iter()) {
+                *dst = *src;
+            }
+            let mut b = Bits {
+                width,
+                repr: Repr::Wide(v.into_boxed_slice()),
+            };
+            b.normalize();
+            b
+        }
+    }
+
+    fn nwords(width: u32) -> usize {
+        width.div_ceil(64) as usize
+    }
+
+    fn normalize(&mut self) {
+        if let Repr::Wide(words) = &mut self.repr {
+            let rem = self.width % 64;
+            if rem != 0 {
+                let last = words.len() - 1;
+                words[last] &= word::mask(rem);
+            }
+        }
+    }
+
+    /// The width of this value in bits. Always at least 1.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64 bits and any high bit is set.
+    pub fn to_u64(&self) -> u64 {
+        match &self.repr {
+            Repr::Small(v) => *v,
+            Repr::Wide(words) => {
+                assert!(
+                    words[1..].iter().all(|w| *w == 0),
+                    "Bits value of width {} does not fit in u64",
+                    self.width
+                );
+                words[0]
+            }
+        }
+    }
+
+    /// The low 64 bits of the value, regardless of width.
+    pub fn low_u64(&self) -> u64 {
+        match &self.repr {
+            Repr::Small(v) => *v,
+            Repr::Wide(words) => words[0],
+        }
+    }
+
+    /// The value as a `u128`, if it fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 128 bits and any high bit is set.
+    pub fn to_u128(&self) -> u128 {
+        match &self.repr {
+            Repr::Small(v) => *v as u128,
+            Repr::Wide(words) => {
+                assert!(
+                    words[2..].iter().all(|w| *w == 0),
+                    "Bits value of width {} does not fit in u128",
+                    self.width
+                );
+                words[0] as u128 | (words.get(1).copied().unwrap_or(0) as u128) << 64
+            }
+        }
+    }
+
+    /// True iff every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        match &self.repr {
+            Repr::Small(v) => *v == 0,
+            Repr::Wide(words) => words.iter().all(|w| *w == 0),
+        }
+    }
+
+    /// The little-endian word view of the value.
+    pub fn words(&self) -> Vec<u64> {
+        match &self.repr {
+            Repr::Small(v) => vec![*v],
+            Repr::Wide(words) => words.to_vec(),
+        }
+    }
+
+    /// Reads bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        match &self.repr {
+            Repr::Small(v) => (v >> i) & 1 == 1,
+            Repr::Wide(words) => (words[(i / 64) as usize] >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    fn check_same_width(&self, other: &Bits, op: &str) {
+        assert_eq!(
+            self.width, other.width,
+            "width mismatch in Bits::{op}: {} vs {}",
+            self.width, other.width
+        );
+    }
+
+    fn zip_words(&self, other: &Bits, f: impl Fn(u64, u64) -> u64) -> Bits {
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => Bits {
+                width: self.width,
+                repr: Repr::Small(f(*a, *b) & word::mask(self.width)),
+            },
+            (Repr::Wide(a), Repr::Wide(b)) => {
+                let words: Vec<u64> = a.iter().zip(b.iter()).map(|(x, y)| f(*x, *y)).collect();
+                let mut r = Bits {
+                    width: self.width,
+                    repr: Repr::Wide(words.into_boxed_slice()),
+                };
+                r.normalize();
+                r
+            }
+            _ => unreachable!("same width implies same repr"),
+        }
+    }
+
+    /// Bitwise AND. Panics on width mismatch.
+    pub fn and(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "and");
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR. Panics on width mismatch.
+    pub fn or(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "or");
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR. Panics on width mismatch.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "xor");
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(&self) -> Bits {
+        match &self.repr {
+            Repr::Small(v) => Bits {
+                width: self.width,
+                repr: Repr::Small(!v & word::mask(self.width)),
+            },
+            Repr::Wide(words) => {
+                let w: Vec<u64> = words.iter().map(|x| !x).collect();
+                let mut r = Bits {
+                    width: self.width,
+                    repr: Repr::Wide(w.into_boxed_slice()),
+                };
+                r.normalize();
+                r
+            }
+        }
+    }
+
+    /// Wrapping addition. Panics on width mismatch.
+    pub fn add(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "add");
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => Bits {
+                width: self.width,
+                repr: Repr::Small(word::add(self.width, *a, *b)),
+            },
+            (Repr::Wide(a), Repr::Wide(b)) => {
+                let mut carry = 0u64;
+                let words: Vec<u64> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| {
+                        let (s1, c1) = x.overflowing_add(*y);
+                        let (s2, c2) = s1.overflowing_add(carry);
+                        carry = (c1 | c2) as u64;
+                        s2
+                    })
+                    .collect();
+                let mut r = Bits {
+                    width: self.width,
+                    repr: Repr::Wide(words.into_boxed_slice()),
+                };
+                r.normalize();
+                r
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Wrapping negation (two's complement).
+    pub fn neg(&self) -> Bits {
+        self.not().add(&Bits::new(self.width, 1u64))
+    }
+
+    /// Wrapping subtraction. Panics on width mismatch.
+    pub fn sub(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "sub");
+        self.add(&other.neg())
+    }
+
+    /// Wrapping multiplication, truncated to the operand width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, or on widths above 128 bits (not needed by
+    /// any design in this repository).
+    pub fn mul(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "mul");
+        if self.width <= 64 {
+            Bits::new(
+                self.width,
+                word::mul(self.width, self.to_u64(), other.to_u64()),
+            )
+        } else {
+            assert!(self.width <= 128, "mul unsupported above 128 bits");
+            let p = self.to_u128().wrapping_mul(other.to_u128());
+            Bits::new(self.width, p)
+        }
+    }
+
+    /// Logical shift left by a dynamic amount.
+    pub fn shl(&self, amount: u64) -> Bits {
+        if self.width <= 64 {
+            Bits::new(self.width, word::shl(self.width, self.to_u64(), amount))
+        } else {
+            let mut out = vec![0u64; Self::nwords(self.width)];
+            let words = self.words();
+            let word_sh = (amount / 64) as usize;
+            let bit_sh = (amount % 64) as u32;
+            for (i, w) in words.iter().enumerate() {
+                let dst = i + word_sh;
+                if dst < out.len() {
+                    out[dst] |= w << bit_sh;
+                    if bit_sh > 0 && dst + 1 < out.len() {
+                        out[dst + 1] |= w >> (64 - bit_sh);
+                    }
+                }
+            }
+            Bits::from_words(self.width, &out)
+        }
+    }
+
+    /// Logical shift right by a dynamic amount.
+    pub fn shr(&self, amount: u64) -> Bits {
+        if self.width <= 64 {
+            Bits::new(self.width, word::shr(self.width, self.to_u64(), amount))
+        } else {
+            let words = self.words();
+            let mut out = vec![0u64; words.len()];
+            let word_sh = (amount / 64) as usize;
+            let bit_sh = (amount % 64) as u32;
+            for i in 0..words.len() {
+                let src = i + word_sh;
+                if src < words.len() {
+                    out[i] |= words[src] >> bit_sh;
+                    if bit_sh > 0 && src + 1 < words.len() {
+                        out[i] |= words[src + 1] << (64 - bit_sh);
+                    }
+                }
+            }
+            Bits::from_words(self.width, &out)
+        }
+    }
+
+    /// Arithmetic shift right by a dynamic amount.
+    pub fn sra(&self, amount: u64) -> Bits {
+        let sign = self.bit(self.width - 1);
+        let shifted = self.shr(amount);
+        if !sign {
+            return shifted;
+        }
+        let fill = amount.min(self.width as u64) as u32;
+        let ones = if fill == 0 {
+            return shifted;
+        } else {
+            Bits::ones(fill)
+        };
+        let hi = ones.shl(0); // width `fill` ones
+        let hi_ext = hi.zext(self.width).shl((self.width - fill) as u64);
+        shifted.or(&hi_ext)
+    }
+
+    /// Unsigned comparison, returned as a 1-bit value.
+    pub fn ult(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "ult");
+        let lt = match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a < b,
+            (Repr::Wide(a), Repr::Wide(b)) => {
+                let mut r = false;
+                for (x, y) in a.iter().zip(b.iter()).rev() {
+                    if x != y {
+                        r = x < y;
+                        break;
+                    }
+                }
+                r
+            }
+            _ => unreachable!(),
+        };
+        Bits::new(1, lt as u64)
+    }
+
+    /// Signed comparison, returned as a 1-bit value.
+    pub fn slt(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "slt");
+        let (sa, sb) = (self.bit(self.width - 1), other.bit(other.width - 1));
+        if sa != sb {
+            Bits::new(1, sa as u64) // negative < positive
+        } else {
+            self.ult(other)
+        }
+    }
+
+    /// Equality, returned as a 1-bit value.
+    pub fn eq_bits(&self, other: &Bits) -> Bits {
+        self.check_same_width(other, "eq");
+        Bits::new(1, (self == other) as u64)
+    }
+
+    /// Extracts `out_width` bits starting at bit `lo`.
+    ///
+    /// Bits beyond the source width read as zero, matching hardware
+    /// zero-extension of out-of-range slices.
+    pub fn slice(&self, lo: u32, out_width: u32) -> Bits {
+        assert!(out_width > 0, "zero-width slice");
+        let shifted = self.shr(lo as u64);
+        let mut words = shifted.words();
+        words.truncate(Self::nwords(out_width).max(1));
+        Bits::from_words(out_width, &words)
+    }
+
+    /// Zero-extends (or truncates) to `new_width`.
+    pub fn zext(&self, new_width: u32) -> Bits {
+        Bits::from_words(new_width, &self.words())
+    }
+
+    /// Sign-extends to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the current width.
+    pub fn sext(&self, new_width: u32) -> Bits {
+        assert!(
+            new_width >= self.width,
+            "sext target {new_width} narrower than {}",
+            self.width
+        );
+        if !self.bit(self.width - 1) {
+            return self.zext(new_width);
+        }
+        let ext = new_width - self.width;
+        if ext == 0 {
+            return self.clone();
+        }
+        let hi = Bits::ones(ext).zext(new_width).shl(self.width as u64);
+        self.zext(new_width).or(&hi)
+    }
+
+    /// Concatenation: `self` provides the high bits, `low` the low bits,
+    /// matching Verilog's `{self, low}`.
+    pub fn concat(&self, low: &Bits) -> Bits {
+        let w = self.width + low.width;
+        self.zext(w).shl(low.width as u64).or(&low.zext(w))
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        let words = self.words();
+        let mut started = false;
+        for w in words.iter().rev() {
+            if started {
+                write!(f, "{w:016x}")?;
+            } else if *w != 0 || words.len() == 1 {
+                write!(f, "{w:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width <= 64 {
+            fmt::LowerHex::fmt(&self.to_u64(), f)
+        } else {
+            fmt::Debug::fmt(self, f)
+        }
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(b: bool) -> Self {
+        Bits::new(1, b as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_roundtrip_masks() {
+        assert_eq!(Bits::new(8, 0x1ffu64).to_u64(), 0xff);
+        assert_eq!(Bits::new(64, u64::MAX).to_u64(), u64::MAX);
+        assert_eq!(Bits::new(1, 3u64).to_u64(), 1);
+    }
+
+    #[test]
+    fn wide_roundtrip() {
+        let b = Bits::new(100, u128::MAX);
+        assert_eq!(b.to_u128(), u128::MAX >> 28);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = Bits::new(4, 0xfu64);
+        assert_eq!(a.add(&Bits::new(4, 1u64)), Bits::zero(4));
+        let w = Bits::new(128, u128::MAX);
+        assert_eq!(w.add(&Bits::new(128, 1u64)), Bits::zero(128));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = Bits::new(8, 5u64);
+        let b = Bits::new(8, 7u64);
+        assert_eq!(a.sub(&b).to_u64(), 0xfe);
+        assert_eq!(Bits::new(8, 1u64).neg().to_u64(), 0xff);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bits::new(8, 0b1001u64);
+        assert_eq!(a.shl(2).to_u64(), 0b100100);
+        assert_eq!(a.shr(2).to_u64(), 0b10);
+        assert_eq!(a.shl(100).to_u64(), 0);
+        let neg = Bits::new(8, 0x80u64);
+        assert_eq!(neg.sra(3).to_u64(), 0xf0);
+        assert_eq!(Bits::new(8, 0x40u64).sra(3).to_u64(), 0x08);
+    }
+
+    #[test]
+    fn wide_shifts_match_u128() {
+        for sh in [0u64, 1, 17, 63, 64, 65, 100, 127] {
+            let v: u128 = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210;
+            let b = Bits::new(128, v);
+            assert_eq!(b.shl(sh).to_u128(), v << sh.min(127), "shl {sh}");
+            assert_eq!(b.shr(sh).to_u128(), v >> sh.min(127), "shr {sh}");
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bits::new(8, 0x80u64); // -128 signed
+        let b = Bits::new(8, 1u64);
+        assert_eq!(a.ult(&b).to_u64(), 0);
+        assert_eq!(a.slt(&b).to_u64(), 1);
+        assert_eq!(a.eq_bits(&a).to_u64(), 1);
+        assert_eq!(a.eq_bits(&b).to_u64(), 0);
+    }
+
+    #[test]
+    fn slice_concat_ext() {
+        let a = Bits::new(16, 0xabcdu64);
+        assert_eq!(a.slice(4, 8).to_u64(), 0xbc);
+        assert_eq!(a.slice(12, 8).to_u64(), 0x0a); // zero-fill past the top
+        assert_eq!(a.zext(32).to_u64(), 0xabcd);
+        assert_eq!(a.sext(32).to_u64(), 0xffff_abcd);
+        let hi = Bits::new(4, 0xfu64);
+        assert_eq!(hi.concat(&a).to_u64(), 0xfabcd);
+        assert_eq!(hi.concat(&a).width(), 20);
+    }
+
+    #[test]
+    fn bit_indexing_wide() {
+        let b = Bits::new(65, 1u128 << 64);
+        assert!(b.bit(64));
+        assert!(!b.bit(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let _ = Bits::new(8, 1u64).add(&Bits::new(9, 1u64));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bits::new(8, 0xabu64)), "8'hab");
+        assert_eq!(format!("{:b}", Bits::new(4, 0b1010u64)), "1010");
+    }
+
+    #[test]
+    fn word_helpers_match_bits() {
+        for w in [1u32, 5, 31, 32, 63, 64] {
+            for a in [0u64, 1, 0x5555_5555_5555_5555, u64::MAX] {
+                for b in [0u64, 3, 0xffff_0000, u64::MAX] {
+                    let (ba, bb) = (Bits::new(w, a), Bits::new(w, b));
+                    let (ma, mb) = (ba.to_u64(), bb.to_u64());
+                    assert_eq!(word::add(w, ma, mb), ba.add(&bb).to_u64());
+                    assert_eq!(word::sub(w, ma, mb), ba.sub(&bb).to_u64());
+                    assert_eq!(word::mul(w, ma, mb), ba.mul(&bb).to_u64());
+                    assert_eq!(word::ult(ma, mb), ba.ult(&bb).to_u64());
+                    assert_eq!(word::slt(w, ma, mb), ba.slt(&bb).to_u64());
+                    assert_eq!(word::sra(w, ma, 3), ba.sra(3).to_u64());
+                }
+            }
+        }
+    }
+}

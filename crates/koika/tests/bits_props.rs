@@ -1,0 +1,150 @@
+//! Property-based tests of the [`koika::bits`] value domain against a
+//! `u128` reference model: every operation, at widths spanning the inline
+//! word and the boxed wide representation.
+
+use koika::bits::{word, Bits};
+use proptest::prelude::*;
+
+const WIDTHS: [u32; 10] = [1, 2, 7, 8, 31, 32, 63, 64, 65, 128];
+
+fn mask128(w: u32) -> u128 {
+    if w >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+prop_compose! {
+    fn width_and_two_values()(wi in 0..WIDTHS.len(), a in any::<u128>(), b in any::<u128>())
+        -> (u32, u128, u128)
+    {
+        let w = WIDTHS[wi];
+        (w, a & mask128(w), b & mask128(w))
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((w, a, b) in width_and_two_values()) {
+        let r = Bits::new(w, a).add(&Bits::new(w, b));
+        prop_assert_eq!(r.to_u128(), a.wrapping_add(b) & mask128(w));
+    }
+
+    #[test]
+    fn sub_matches_u128((w, a, b) in width_and_two_values()) {
+        let r = Bits::new(w, a).sub(&Bits::new(w, b));
+        prop_assert_eq!(r.to_u128(), a.wrapping_sub(b) & mask128(w));
+    }
+
+    #[test]
+    fn mul_matches_u128((w, a, b) in width_and_two_values()) {
+        let r = Bits::new(w, a).mul(&Bits::new(w, b));
+        prop_assert_eq!(r.to_u128(), a.wrapping_mul(b) & mask128(w));
+    }
+
+    #[test]
+    fn bitwise_matches_u128((w, a, b) in width_and_two_values()) {
+        prop_assert_eq!(Bits::new(w, a).and(&Bits::new(w, b)).to_u128(), a & b);
+        prop_assert_eq!(Bits::new(w, a).or(&Bits::new(w, b)).to_u128(), a | b);
+        prop_assert_eq!(Bits::new(w, a).xor(&Bits::new(w, b)).to_u128(), a ^ b);
+        prop_assert_eq!(Bits::new(w, a).not().to_u128(), !a & mask128(w));
+    }
+
+    #[test]
+    fn shifts_match_u128((w, a, _b) in width_and_two_values(), sh in 0u64..140) {
+        let bits = Bits::new(w, a);
+        let expect_shl = if sh >= 128 { 0 } else { (a << sh) & mask128(w) };
+        let expect_shr = if sh >= 128 { 0 } else { a >> sh };
+        prop_assert_eq!(bits.shl(sh).to_u128(), expect_shl, "shl {} width {}", sh, w);
+        prop_assert_eq!(bits.shr(sh).to_u128(), expect_shr, "shr {} width {}", sh, w);
+    }
+
+    #[test]
+    fn sra_matches_sign_fill((w, a, _b) in width_and_two_values(), sh in 0u64..140) {
+        let bits = Bits::new(w, a);
+        let sign = (a >> (w - 1)) & 1 == 1;
+        let sh_eff = sh.min(w as u64 - 1) as u32;
+        let mut expect = a >> sh_eff;
+        if sign && sh_eff > 0 {
+            let fill = mask128(w) & !(mask128(w) >> sh_eff);
+            expect |= fill;
+        }
+        prop_assert_eq!(bits.sra(sh).to_u128(), expect, "sra {} width {}", sh, w);
+    }
+
+    #[test]
+    fn comparisons_match_u128((w, a, b) in width_and_two_values()) {
+        prop_assert_eq!(
+            Bits::new(w, a).ult(&Bits::new(w, b)).to_u64(),
+            (a < b) as u64
+        );
+        let signed = |v: u128| -> i128 {
+            let shift = 128 - w;
+            ((v << shift) as i128) >> shift
+        };
+        prop_assert_eq!(
+            Bits::new(w, a).slt(&Bits::new(w, b)).to_u64(),
+            (signed(a) < signed(b)) as u64
+        );
+        prop_assert_eq!(
+            Bits::new(w, a).eq_bits(&Bits::new(w, b)).to_u64(),
+            (a == b) as u64
+        );
+    }
+
+    #[test]
+    fn slice_matches_shift_mask((w, a, _b) in width_and_two_values(), lo in 0u32..130, out_w in 1u32..64) {
+        let r = Bits::new(w, a).slice(lo, out_w);
+        let expect = if lo >= 128 { 0 } else { (a >> lo) & mask128(out_w) };
+        prop_assert_eq!(r.to_u128(), expect);
+        prop_assert_eq!(r.width(), out_w);
+    }
+
+    #[test]
+    fn concat_matches_shift_or((w, a, b) in width_and_two_values()) {
+        // Keep the result within 128 bits.
+        prop_assume!(w <= 64);
+        let r = Bits::new(w, a).concat(&Bits::new(w, b));
+        prop_assert_eq!(r.width(), 2 * w);
+        prop_assert_eq!(r.to_u128(), (a << w) | b);
+    }
+
+    #[test]
+    fn zext_sext_roundtrip((w, a, _b) in width_and_two_values()) {
+        prop_assume!(w < 128);
+        let bits = Bits::new(w, a);
+        let z = bits.zext(w + 1);
+        prop_assert_eq!(z.to_u128(), a);
+        let s = bits.sext(128);
+        let shift = 128 - w;
+        prop_assert_eq!(s.to_u128() as i128, ((a << shift) as i128) >> shift);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse((w, a, _b) in width_and_two_values()) {
+        let bits = Bits::new(w, a);
+        prop_assert!(bits.neg().add(&bits).is_zero());
+    }
+
+    #[test]
+    fn word_helpers_match_bits_at_word_widths(a in any::<u64>(), b in any::<u64>(), wi in 0..8usize, sh in 0u64..70) {
+        let w = WIDTHS[wi].min(64);
+        let (ma, mb) = (a & word::mask(w), b & word::mask(w));
+        let (ba, bb) = (Bits::new(w, ma), Bits::new(w, mb));
+        prop_assert_eq!(word::add(w, ma, mb), ba.add(&bb).to_u64());
+        prop_assert_eq!(word::sub(w, ma, mb), ba.sub(&bb).to_u64());
+        prop_assert_eq!(word::mul(w, ma, mb), ba.mul(&bb).to_u64());
+        prop_assert_eq!(word::shl(w, ma, sh), ba.shl(sh).to_u64());
+        prop_assert_eq!(word::shr(w, ma, sh), ba.shr(sh).to_u64());
+        prop_assert_eq!(word::sra(w, ma, sh), ba.sra(sh).to_u64());
+        prop_assert_eq!(word::ult(ma, mb), ba.ult(&bb).to_u64());
+        prop_assert_eq!(word::slt(w, ma, mb), ba.slt(&bb).to_u64());
+    }
+
+    #[test]
+    fn bit_indexing_matches_u128((w, a, _b) in width_and_two_values(), i in 0u32..128) {
+        prop_assume!(i < w);
+        prop_assert_eq!(Bits::new(w, a).bit(i), (a >> i) & 1 == 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! A small two-pass RV32I assembler with labels and common pseudo-
+//! instructions — enough to write the paper's benchmark programs without an
+//! external toolchain.
+//!
+//! Supported pseudo-instructions: `nop`, `li rd, imm` (full 32-bit),
+//! `mv rd, rs`, `j label`, `jal label` (rd = ra), `call label`, `ret`,
+//! `ble`/`bgt`/`bleu`/`bgtu` (operand-swapped branches), `beqz`/`bnez`, and
+//! `halt` (the `jal x0, 0` self-loop every program ends with).
+//!
+//! Syntax: one instruction per line; `#` or `//` start comments; labels end
+//! with `:`; registers are `x0`..`x31` or ABI names (`zero`, `ra`, `sp`,
+//! `a0`..); loads/stores use `off(base)` addressing.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = koika_riscv::asm::assemble("
+//!     li   a0, 5
+//! loop:
+//!     addi a0, a0, -1
+//!     bnez a0, loop
+//!     halt
+//! ")?;
+//! assert_eq!(prog.len(), 5); // li expands to lui+addi
+//! # Ok::<(), koika_riscv::asm::AsmError>(())
+//! ```
+
+use crate::isa::{encode, Instr};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error, with the offending 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    let tok = tok.trim();
+    if let Some(n) = tok.strip_prefix('x') {
+        if let Ok(v) = n.parse::<u8>() {
+            if v < 32 {
+                return Ok(v);
+            }
+        }
+    }
+    if tok == "fp" {
+        return Ok(8);
+    }
+    if let Some(i) = ABI.iter().position(|a| *a == tok) {
+        return Ok(i as u8);
+    }
+    Err(err(line, format!("unknown register {tok:?}")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate {tok:?}")))?;
+    Ok(if neg { -v } else { v })
+}
+
+#[derive(Debug)]
+enum Operand {
+    Reg(u8),
+    Imm(i64),
+    Label(String),
+    Mem { offset: i64, base: u8 },
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let tok = tok.trim();
+    if let Some(open) = tok.find('(') {
+        let close = tok
+            .rfind(')')
+            .ok_or_else(|| err(line, "missing ) in memory operand"))?;
+        let off = if tok[..open].trim().is_empty() {
+            0
+        } else {
+            parse_imm(&tok[..open], line)?
+        };
+        let base = parse_reg(&tok[open + 1..close], line)?;
+        return Ok(Operand::Mem { offset: off, base });
+    }
+    if let Ok(r) = parse_reg(tok, line) {
+        return Ok(Operand::Reg(r));
+    }
+    if tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        return Ok(Operand::Imm(parse_imm(tok, line)?));
+    }
+    Ok(Operand::Label(tok.to_string()))
+}
+
+struct Line {
+    line_no: usize,
+    mnemonic: String,
+    ops: Vec<Operand>,
+}
+
+/// Assembles a program into 32-bit machine words (loaded at address 0).
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (unknown mnemonic or register, bad
+/// operand count, immediate out of range, undefined label).
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: tokenize, record label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut text = raw;
+        if let Some(p) = text.find('#') {
+            text = &text[..p];
+        }
+        if let Some(p) = text.find("//") {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line_no, "malformed label"));
+            }
+            let addr = size_of_program(&lines) * 4;
+            if labels.insert(label.to_string(), addr as u32).is_some() {
+                return Err(err(line_no, format!("duplicate label {label:?}")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], &text[p..]),
+            None => (text, ""),
+        };
+        let ops = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',')
+                .map(|t| parse_operand(t, line_no))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        lines.push(Line {
+            line_no,
+            mnemonic: mnemonic.to_lowercase(),
+            ops,
+        });
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::new();
+    for l in &lines {
+        let pc = (words.len() * 4) as u32;
+        for instr in lower(l, pc, &labels)? {
+            words.push(encode(instr));
+        }
+    }
+    Ok(words)
+}
+
+/// How many words each line expands to (needed for label addresses).
+fn size_of_program(lines: &[Line]) -> usize {
+    lines.iter().map(|l| expansion_size(&l.mnemonic)).sum()
+}
+
+fn expansion_size(mnemonic: &str) -> usize {
+    match mnemonic {
+        "li" => 2, // worst case lui+addi; kept fixed for simple label math
+        "call" => 1,
+        _ => 1,
+    }
+}
+
+fn get_label(labels: &HashMap<String, u32>, name: &str, line: usize) -> Result<u32, AsmError> {
+    labels
+        .get(name)
+        .copied()
+        .ok_or_else(|| err(line, format!("undefined label {name:?}")))
+}
+
+fn reg_of(op: &Operand, line: usize) -> Result<u8, AsmError> {
+    match op {
+        Operand::Reg(r) => Ok(*r),
+        _ => Err(err(line, "expected a register")),
+    }
+}
+
+fn imm_of(op: &Operand, line: usize) -> Result<i64, AsmError> {
+    match op {
+        Operand::Imm(v) => Ok(*v),
+        _ => Err(err(line, "expected an immediate")),
+    }
+}
+
+fn target_of(
+    op: &Operand,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<i32, AsmError> {
+    let target = match op {
+        Operand::Label(name) => get_label(labels, name, line)? as i64,
+        Operand::Imm(v) => *v,
+        _ => return Err(err(line, "expected a label or address")),
+    };
+    Ok((target - pc as i64) as i32)
+}
+
+fn check_range(v: i64, bits: u32, line: usize) -> Result<i32, AsmError> {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    if v < lo || v > hi {
+        return Err(err(line, format!("immediate {v} out of {bits}-bit range")));
+    }
+    Ok(v as i32)
+}
+
+fn lower(l: &Line, pc: u32, labels: &HashMap<String, u32>) -> Result<Vec<Instr>, AsmError> {
+    use Instr::*;
+    let n = l.line_no;
+    let ops = &l.ops;
+    let need = |count: usize| -> Result<(), AsmError> {
+        if ops.len() == count {
+            Ok(())
+        } else {
+            Err(err(n, format!("expected {count} operands, got {}", ops.len())))
+        }
+    };
+
+    let mem_rr = |f: fn(u8, u8, i32) -> Instr| -> Result<Vec<Instr>, AsmError> {
+        need(2)?;
+        let r = reg_of(&ops[0], n)?;
+        match &ops[1] {
+            Operand::Mem { offset, base } => {
+                Ok(vec![f(r, *base, check_range(*offset, 12, n)?)])
+            }
+            _ => Err(err(n, "expected off(base) operand")),
+        }
+    };
+
+    let r3 = |f: fn(u8, u8, u8) -> Instr| -> Result<Vec<Instr>, AsmError> {
+        need(3)?;
+        Ok(vec![f(
+            reg_of(&ops[0], n)?,
+            reg_of(&ops[1], n)?,
+            reg_of(&ops[2], n)?,
+        )])
+    };
+
+    let i12 = |f: fn(u8, u8, i32) -> Instr| -> Result<Vec<Instr>, AsmError> {
+        need(3)?;
+        Ok(vec![f(
+            reg_of(&ops[0], n)?,
+            reg_of(&ops[1], n)?,
+            check_range(imm_of(&ops[2], n)?, 12, n)?,
+        )])
+    };
+
+    let sh = |f: fn(u8, u8, u8) -> Instr| -> Result<Vec<Instr>, AsmError> {
+        need(3)?;
+        let amt = imm_of(&ops[2], n)?;
+        if !(0..32).contains(&amt) {
+            return Err(err(n, "shift amount out of range"));
+        }
+        Ok(vec![f(reg_of(&ops[0], n)?, reg_of(&ops[1], n)?, amt as u8)])
+    };
+
+    let branch = |f: fn(u8, u8, i32) -> Instr,
+                  swap: bool|
+     -> Result<Vec<Instr>, AsmError> {
+        need(3)?;
+        let (a, b) = (reg_of(&ops[0], n)?, reg_of(&ops[1], n)?);
+        let (a, b) = if swap { (b, a) } else { (a, b) };
+        let off = check_range(target_of(&ops[2], pc, labels, n)? as i64, 13, n)?;
+        Ok(vec![f(a, b, off)])
+    };
+
+    Ok(match l.mnemonic.as_str() {
+        "lui" => {
+            need(2)?;
+            vec![Lui {
+                rd: reg_of(&ops[0], n)?,
+                imm: (imm_of(&ops[1], n)? as i32) << 12,
+            }]
+        }
+        "auipc" => {
+            need(2)?;
+            vec![Auipc {
+                rd: reg_of(&ops[0], n)?,
+                imm: (imm_of(&ops[1], n)? as i32) << 12,
+            }]
+        }
+        "jal" => match ops.len() {
+            1 => vec![Jal {
+                rd: 1,
+                imm: check_range(target_of(&ops[0], pc, labels, n)? as i64, 21, n)?,
+            }],
+            2 => vec![Jal {
+                rd: reg_of(&ops[0], n)?,
+                imm: check_range(target_of(&ops[1], pc, labels, n)? as i64, 21, n)?,
+            }],
+            _ => return Err(err(n, "jal takes 1 or 2 operands")),
+        },
+        "jalr" => match ops.len() {
+            1 => vec![Jalr {
+                rd: 0,
+                rs1: reg_of(&ops[0], n)?,
+                imm: 0,
+            }],
+            3 => vec![Jalr {
+                rd: reg_of(&ops[0], n)?,
+                rs1: reg_of(&ops[1], n)?,
+                imm: check_range(imm_of(&ops[2], n)?, 12, n)?,
+            }],
+            _ => return Err(err(n, "jalr takes 1 or 3 operands")),
+        },
+        "beq" => branch(|rs1, rs2, imm| Beq { rs1, rs2, imm }, false)?,
+        "bne" => branch(|rs1, rs2, imm| Bne { rs1, rs2, imm }, false)?,
+        "blt" => branch(|rs1, rs2, imm| Blt { rs1, rs2, imm }, false)?,
+        "bge" => branch(|rs1, rs2, imm| Bge { rs1, rs2, imm }, false)?,
+        "bltu" => branch(|rs1, rs2, imm| Bltu { rs1, rs2, imm }, false)?,
+        "bgeu" => branch(|rs1, rs2, imm| Bgeu { rs1, rs2, imm }, false)?,
+        // Swapped-operand pseudo-branches.
+        "bgt" => branch(|rs1, rs2, imm| Blt { rs1, rs2, imm }, true)?,
+        "ble" => branch(|rs1, rs2, imm| Bge { rs1, rs2, imm }, true)?,
+        "bgtu" => branch(|rs1, rs2, imm| Bltu { rs1, rs2, imm }, true)?,
+        "bleu" => branch(|rs1, rs2, imm| Bgeu { rs1, rs2, imm }, true)?,
+        "beqz" => {
+            need(2)?;
+            vec![Beq {
+                rs1: reg_of(&ops[0], n)?,
+                rs2: 0,
+                imm: check_range(target_of(&ops[1], pc, labels, n)? as i64, 13, n)?,
+            }]
+        }
+        "bnez" => {
+            need(2)?;
+            vec![Bne {
+                rs1: reg_of(&ops[0], n)?,
+                rs2: 0,
+                imm: check_range(target_of(&ops[1], pc, labels, n)? as i64, 13, n)?,
+            }]
+        }
+        "lb" => mem_rr(|rd, rs1, imm| Lb { rd, rs1, imm })?,
+        "lh" => mem_rr(|rd, rs1, imm| Lh { rd, rs1, imm })?,
+        "lw" => mem_rr(|rd, rs1, imm| Lw { rd, rs1, imm })?,
+        "lbu" => mem_rr(|rd, rs1, imm| Lbu { rd, rs1, imm })?,
+        "lhu" => mem_rr(|rd, rs1, imm| Lhu { rd, rs1, imm })?,
+        "sb" => mem_rr(|rs2, rs1, imm| Sb { rs1, rs2, imm })?,
+        "sh" => mem_rr(|rs2, rs1, imm| Sh { rs1, rs2, imm })?,
+        "sw" => mem_rr(|rs2, rs1, imm| Sw { rs1, rs2, imm })?,
+        "addi" => i12(|rd, rs1, imm| Addi { rd, rs1, imm })?,
+        "slti" => i12(|rd, rs1, imm| Slti { rd, rs1, imm })?,
+        "sltiu" => i12(|rd, rs1, imm| Sltiu { rd, rs1, imm })?,
+        "xori" => i12(|rd, rs1, imm| Xori { rd, rs1, imm })?,
+        "ori" => i12(|rd, rs1, imm| Ori { rd, rs1, imm })?,
+        "andi" => i12(|rd, rs1, imm| Andi { rd, rs1, imm })?,
+        "slli" => sh(|rd, rs1, shamt| Slli { rd, rs1, shamt })?,
+        "srli" => sh(|rd, rs1, shamt| Srli { rd, rs1, shamt })?,
+        "srai" => sh(|rd, rs1, shamt| Srai { rd, rs1, shamt })?,
+        "add" => r3(|rd, rs1, rs2| Add { rd, rs1, rs2 })?,
+        "sub" => r3(|rd, rs1, rs2| Sub { rd, rs1, rs2 })?,
+        "sll" => r3(|rd, rs1, rs2| Sll { rd, rs1, rs2 })?,
+        "slt" => r3(|rd, rs1, rs2| Slt { rd, rs1, rs2 })?,
+        "sltu" => r3(|rd, rs1, rs2| Sltu { rd, rs1, rs2 })?,
+        "xor" => r3(|rd, rs1, rs2| Xor { rd, rs1, rs2 })?,
+        "srl" => r3(|rd, rs1, rs2| Srl { rd, rs1, rs2 })?,
+        "sra" => r3(|rd, rs1, rs2| Sra { rd, rs1, rs2 })?,
+        "or" => r3(|rd, rs1, rs2| Or { rd, rs1, rs2 })?,
+        "and" => r3(|rd, rs1, rs2| And { rd, rs1, rs2 })?,
+        // Pseudo-instructions.
+        "nop" => vec![crate::isa::NOP],
+        "mv" => {
+            need(2)?;
+            vec![Addi {
+                rd: reg_of(&ops[0], n)?,
+                rs1: reg_of(&ops[1], n)?,
+                imm: 0,
+            }]
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg_of(&ops[0], n)?;
+            let v = imm_of(&ops[1], n)? as i32;
+            // Fixed two-instruction expansion keeps label addresses simple.
+            let lo = (v << 20) >> 20; // sign-extended low 12
+            let hi = v.wrapping_sub(lo) as u32; // upper 20, compensated
+            vec![
+                Lui {
+                    rd,
+                    imm: hi as i32,
+                },
+                Addi {
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
+            ]
+        }
+        "j" => {
+            need(1)?;
+            vec![Jal {
+                rd: 0,
+                imm: check_range(target_of(&ops[0], pc, labels, n)? as i64, 21, n)?,
+            }]
+        }
+        "call" => {
+            need(1)?;
+            vec![Jal {
+                rd: 1,
+                imm: check_range(target_of(&ops[0], pc, labels, n)? as i64, 21, n)?,
+            }]
+        }
+        "ret" => vec![Jalr {
+            rd: 0,
+            rs1: 1,
+            imm: 0,
+        }],
+        "halt" => vec![Jal { rd: 0, imm: 0 }],
+        other => return Err(err(n, format!("unknown mnemonic {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{decode, Instr};
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let prog = assemble(
+            "
+        start:
+            addi x1, x0, 1
+            j end
+            addi x1, x0, 2
+        end:
+            bne x1, x0, start
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(decode(prog[1]), Some(Instr::Jal { rd: 0, imm: 8 }));
+        assert_eq!(
+            decode(prog[3]),
+            Some(Instr::Bne {
+                rs1: 1,
+                rs2: 0,
+                imm: -12
+            })
+        );
+    }
+
+    #[test]
+    fn li_expands_to_lui_addi() {
+        for v in [0i32, 1, -1, 2047, 2048, -2048, -2049, 0x12345678, i32::MIN, i32::MAX] {
+            let prog = assemble(&format!("li t0, {v}\nhalt")).unwrap();
+            assert_eq!(prog.len(), 3);
+            let mut m = crate::golden::Golden::new(&prog, 16);
+            m.run(10);
+            assert_eq!(m.regs[5] as i32, v, "li {v}");
+        }
+    }
+
+    #[test]
+    fn abi_register_names() {
+        let prog = assemble("add a0, sp, ra\nhalt").unwrap();
+        assert_eq!(
+            decode(prog[0]),
+            Some(Instr::Add {
+                rd: 10,
+                rs1: 2,
+                rs2: 1
+            })
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let prog = assemble("lw t0, -4(sp)\nsw t0, 8(a0)\nhalt").unwrap();
+        assert_eq!(
+            decode(prog[0]),
+            Some(Instr::Lw {
+                rd: 5,
+                rs1: 2,
+                imm: -4
+            })
+        );
+        assert_eq!(
+            decode(prog[1]),
+            Some(Instr::Sw {
+                rs1: 10,
+                rs2: 5,
+                imm: 8
+            })
+        );
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = assemble("addi x1, x0, 10000").unwrap_err();
+        assert!(e.message.contains("out of 12-bit range"));
+
+        let e = assemble("j nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Golden-model ISA interpreter: an instruction-accurate (not cycle-
+//! accurate) RV32I executor used as functional ground truth for the
+//! pipelined Kôika cores.
+//!
+//! The hardware cores must retire exactly the same architectural state —
+//! register file and memory — as this model, whatever their pipelining and
+//! stalling behavior; lockstep comparison is done by the integration tests.
+
+use crate::isa::{decode, Instr};
+
+/// Execution halts on `jal x0, 0` (a jump-to-self), the convention used by
+/// all benchmark programs in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// Still running.
+    Running,
+    /// The self-jump halt marker was reached.
+    Halted,
+    /// An undecodable instruction was fetched.
+    IllegalInstruction(u32),
+}
+
+/// The golden-model machine state.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// Architectural registers (`x0` is forced to zero).
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Word-addressed flat memory.
+    mem: Vec<u32>,
+    /// Retired instruction count.
+    pub retired: u64,
+    exit: Exit,
+}
+
+impl Golden {
+    /// Creates a machine with the program loaded at address 0 and the given
+    /// total memory size in 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit.
+    pub fn new(program: &[u32], mem_words: usize) -> Golden {
+        assert!(program.len() <= mem_words, "program larger than memory");
+        let mut mem = vec![0u32; mem_words];
+        mem[..program.len()].copy_from_slice(program);
+        Golden {
+            regs: [0; 32],
+            pc: 0,
+            mem,
+            retired: 0,
+            exit: Exit::Running,
+        }
+    }
+
+    /// Current exit status.
+    pub fn exit(&self) -> Exit {
+        self.exit
+    }
+
+    /// Reads a 32-bit word from memory (word-aligned address).
+    pub fn load_word(&self, addr: u32) -> u32 {
+        self.mem[(addr >> 2) as usize % self.mem.len()]
+    }
+
+    /// Writes a 32-bit word to memory (word-aligned address).
+    pub fn store_word(&mut self, addr: u32, value: u32) {
+        let len = self.mem.len();
+        self.mem[(addr >> 2) as usize % len] = value;
+    }
+
+    fn rd(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn rs(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    fn load(&self, addr: u32, width: u32, signed: bool) -> u32 {
+        let word = self.load_word(addr & !3);
+        let shift = (addr & 3) * 8;
+        let raw = word >> shift;
+        match (width, signed) {
+            (8, false) => raw & 0xff,
+            (8, true) => (raw as u8) as i8 as i32 as u32,
+            (16, false) => raw & 0xffff,
+            (16, true) => (raw as u16) as i16 as i32 as u32,
+            _ => word,
+        }
+    }
+
+    fn store(&mut self, addr: u32, width: u32, value: u32) {
+        let aligned = addr & !3;
+        let shift = (addr & 3) * 8;
+        let old = self.load_word(aligned);
+        let new = match width {
+            8 => (old & !(0xff << shift)) | ((value & 0xff) << shift),
+            16 => (old & !(0xffff << shift)) | ((value & 0xffff) << shift),
+            _ => value,
+        };
+        self.store_word(aligned, new);
+    }
+
+    /// Executes one instruction; returns the new exit status.
+    pub fn step(&mut self) -> Exit {
+        if self.exit != Exit::Running {
+            return self.exit;
+        }
+        let word = self.load_word(self.pc);
+        let Some(instr) = decode(word) else {
+            self.exit = Exit::IllegalInstruction(word);
+            return self.exit;
+        };
+        use Instr::*;
+        let pc = self.pc;
+        let mut next_pc = pc.wrapping_add(4);
+        match instr {
+            Lui { rd, imm } => self.rd(rd, imm as u32),
+            Auipc { rd, imm } => self.rd(rd, pc.wrapping_add(imm as u32)),
+            Jal { rd, imm } => {
+                if rd == 0 && imm == 0 {
+                    self.exit = Exit::Halted;
+                    return self.exit;
+                }
+                self.rd(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u32);
+            }
+            Jalr { rd, rs1, imm } => {
+                let t = self.rs(rs1).wrapping_add(imm as u32) & !1;
+                self.rd(rd, pc.wrapping_add(4));
+                next_pc = t;
+            }
+            Beq { rs1, rs2, imm } => {
+                if self.rs(rs1) == self.rs(rs2) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Bne { rs1, rs2, imm } => {
+                if self.rs(rs1) != self.rs(rs2) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Blt { rs1, rs2, imm } => {
+                if (self.rs(rs1) as i32) < (self.rs(rs2) as i32) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Bge { rs1, rs2, imm } => {
+                if (self.rs(rs1) as i32) >= (self.rs(rs2) as i32) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Bltu { rs1, rs2, imm } => {
+                if self.rs(rs1) < self.rs(rs2) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Bgeu { rs1, rs2, imm } => {
+                if self.rs(rs1) >= self.rs(rs2) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Lb { rd, rs1, imm } => {
+                let v = self.load(self.rs(rs1).wrapping_add(imm as u32), 8, true);
+                self.rd(rd, v);
+            }
+            Lh { rd, rs1, imm } => {
+                let v = self.load(self.rs(rs1).wrapping_add(imm as u32), 16, true);
+                self.rd(rd, v);
+            }
+            Lw { rd, rs1, imm } => {
+                let v = self.load(self.rs(rs1).wrapping_add(imm as u32), 32, false);
+                self.rd(rd, v);
+            }
+            Lbu { rd, rs1, imm } => {
+                let v = self.load(self.rs(rs1).wrapping_add(imm as u32), 8, false);
+                self.rd(rd, v);
+            }
+            Lhu { rd, rs1, imm } => {
+                let v = self.load(self.rs(rs1).wrapping_add(imm as u32), 16, false);
+                self.rd(rd, v);
+            }
+            Sb { rs1, rs2, imm } => {
+                self.store(self.rs(rs1).wrapping_add(imm as u32), 8, self.rs(rs2))
+            }
+            Sh { rs1, rs2, imm } => {
+                self.store(self.rs(rs1).wrapping_add(imm as u32), 16, self.rs(rs2))
+            }
+            Sw { rs1, rs2, imm } => {
+                self.store(self.rs(rs1).wrapping_add(imm as u32), 32, self.rs(rs2))
+            }
+            Addi { rd, rs1, imm } => self.rd(rd, self.rs(rs1).wrapping_add(imm as u32)),
+            Slti { rd, rs1, imm } => self.rd(rd, ((self.rs(rs1) as i32) < imm) as u32),
+            Sltiu { rd, rs1, imm } => self.rd(rd, (self.rs(rs1) < imm as u32) as u32),
+            Xori { rd, rs1, imm } => self.rd(rd, self.rs(rs1) ^ imm as u32),
+            Ori { rd, rs1, imm } => self.rd(rd, self.rs(rs1) | imm as u32),
+            Andi { rd, rs1, imm } => self.rd(rd, self.rs(rs1) & imm as u32),
+            Slli { rd, rs1, shamt } => self.rd(rd, self.rs(rs1) << shamt),
+            Srli { rd, rs1, shamt } => self.rd(rd, self.rs(rs1) >> shamt),
+            Srai { rd, rs1, shamt } => self.rd(rd, ((self.rs(rs1) as i32) >> shamt) as u32),
+            Add { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1).wrapping_add(self.rs(rs2))),
+            Sub { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1).wrapping_sub(self.rs(rs2))),
+            Sll { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1) << (self.rs(rs2) & 31)),
+            Slt { rd, rs1, rs2 } => {
+                self.rd(rd, ((self.rs(rs1) as i32) < (self.rs(rs2) as i32)) as u32)
+            }
+            Sltu { rd, rs1, rs2 } => self.rd(rd, (self.rs(rs1) < self.rs(rs2)) as u32),
+            Xor { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1) ^ self.rs(rs2)),
+            Srl { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1) >> (self.rs(rs2) & 31)),
+            Sra { rd, rs1, rs2 } => {
+                self.rd(rd, ((self.rs(rs1) as i32) >> (self.rs(rs2) & 31)) as u32)
+            }
+            Or { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1) | self.rs(rs2)),
+            And { rd, rs1, rs2 } => self.rd(rd, self.rs(rs1) & self.rs(rs2)),
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Exit::Running
+    }
+
+    /// Runs until halt, an illegal instruction, or `max_steps`.
+    pub fn run(&mut self, max_steps: u64) -> Exit {
+        for _ in 0..max_steps {
+            if self.step() != Exit::Running {
+                break;
+            }
+        }
+        self.exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let prog = assemble(
+            "
+            addi x1, x0, 5
+            addi x2, x0, 7
+            add  x3, x1, x2
+            sub  x4, x2, x1
+            halt
+            ",
+        )
+        .unwrap();
+        let mut m = Golden::new(&prog, 64);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.regs[3], 12);
+        assert_eq!(m.regs[4], 2);
+        assert_eq!(m.retired, 4);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let prog = assemble("addi x0, x0, 42\nhalt").unwrap();
+        let mut m = Golden::new(&prog, 16);
+        m.run(10);
+        assert_eq!(m.regs[0], 0);
+    }
+
+    #[test]
+    fn loads_and_stores_subword() {
+        let prog = assemble(
+            "
+            addi x1, x0, 64       # base address
+            addi x2, x0, -2       # 0xfffffffe
+            sw   x2, 0(x1)
+            lb   x3, 0(x1)        # sign-extended byte: -2
+            lbu  x4, 0(x1)        # zero-extended byte: 0xfe
+            lh   x5, 2(x1)        # -1
+            lhu  x6, 2(x1)        # 0xffff
+            sb   x0, 1(x1)
+            lw   x7, 0(x1)        # 0xffff00fe
+            halt
+            ",
+        )
+        .unwrap();
+        let mut m = Golden::new(&prog, 64);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.regs[3] as i32, -2);
+        assert_eq!(m.regs[4], 0xfe);
+        assert_eq!(m.regs[5] as i32, -1);
+        assert_eq!(m.regs[6], 0xffff);
+        assert_eq!(m.regs[7], 0xffff_00fe);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Sum 1..=10.
+        let prog = assemble(
+            "
+            addi x1, x0, 0       # sum
+            addi x2, x0, 1       # i
+            addi x3, x0, 10      # limit
+        loop:
+            add  x1, x1, x2
+            addi x2, x2, 1
+            ble  x2, x3, loop
+            halt
+            ",
+        )
+        .unwrap();
+        let mut m = Golden::new(&prog, 64);
+        assert_eq!(m.run(1000), Exit::Halted);
+        assert_eq!(m.regs[1], 55);
+    }
+
+    #[test]
+    fn jal_jalr_link() {
+        let prog = assemble(
+            "
+            jal  x1, target
+            addi x2, x0, 99      # skipped on first pass, executed on return
+            halt
+        target:
+            addi x3, x0, 7
+            jalr x0, x1, 0
+            ",
+        )
+        .unwrap();
+        let mut m = Golden::new(&prog, 64);
+        assert_eq!(m.run(100), Exit::Halted);
+        assert_eq!(m.regs[3], 7);
+        assert_eq!(m.regs[2], 99);
+    }
+
+    #[test]
+    fn illegal_instruction_reported() {
+        let mut m = Golden::new(&[0xffff_ffff], 16);
+        assert_eq!(m.run(10), Exit::IllegalInstruction(0xffff_ffff));
+    }
+}

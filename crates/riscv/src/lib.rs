@@ -1,0 +1,35 @@
+//! RISC-V RV32I/E substrate: instruction encoding and decoding, a small
+//! two-pass assembler, a golden-model ISA interpreter, and the benchmark
+//! programs used throughout the Cuttlesim reproduction.
+//!
+//! The paper evaluates Cuttlesim on "an embedded processor core supporting
+//! the RV32I&E flavors of the RISC-V ISA (minus system instructions,
+//! interrupts and exceptions) running a simple integer arithmetic
+//! benchmark"; this crate provides that ISA surface ([`isa`]), the tooling
+//! to build workloads without an external toolchain ([`asm`],
+//! [`programs`]), and the functional ground truth the pipelined cores are
+//! verified against ([`golden`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use koika_riscv::{asm::assemble, golden::{Golden, Exit}};
+//!
+//! let prog = assemble("li a0, 21\nadd a0, a0, a0\nhalt")?;
+//! let mut m = Golden::new(&prog, 64);
+//! assert_eq!(m.run(100), Exit::Halted);
+//! assert_eq!(m.regs[10], 42);
+//! # Ok::<(), koika_riscv::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asm;
+pub mod golden;
+pub mod isa;
+pub mod programs;
+
+pub use asm::assemble;
+pub use golden::Golden;
+pub use isa::{decode, encode, Instr};

@@ -1,0 +1,515 @@
+//! Netlist IR: the synchronous-circuit representation produced by the
+//! Kôika→RTL compiler.
+//!
+//! A [`Netlist`] is a sea of combinational nodes over the current register
+//! values ([`Node::RegQ`]), plus one *next-value* node per register. Nodes
+//! are hash-consed (structurally deduplicated) and lightly constant-folded
+//! at construction, mirroring the local simplifications real RTL generators
+//! perform; node ids are therefore already in topological order, which the
+//! cycle-based simulator exploits.
+//!
+//! All node widths are 1..=64 bits (the same fast path as the rest of the
+//! workspace).
+
+use std::collections::HashMap;
+
+/// Identifier of a combinational node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Binary operators at the netlist level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NlBin {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right (operand-width aware).
+    Sra,
+    /// Equality (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Concatenation (left operand high).
+    Concat,
+}
+
+/// Unary operators at the netlist level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NlUn {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Sign extension from the operand's width.
+    Sext,
+    /// Extract bits `[lo, lo + width)`.
+    Slice {
+        /// First extracted bit.
+        lo: u32,
+    },
+    /// Mask to the node's width (zero-extension / truncation).
+    Mask,
+}
+
+/// A combinational node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Constant.
+    Const {
+        /// Width.
+        w: u32,
+        /// Value (masked).
+        v: u64,
+    },
+    /// Current value of a register (its flip-flop `Q` output).
+    RegQ {
+        /// Width.
+        w: u32,
+        /// Flat register index.
+        reg: u32,
+    },
+    /// Unary gate.
+    Un {
+        /// Result width.
+        w: u32,
+        /// Operator.
+        op: NlUn,
+        /// Operand.
+        a: NodeId,
+    },
+    /// Binary gate.
+    Bin {
+        /// Result width.
+        w: u32,
+        /// Operator.
+        op: NlBin,
+        /// Left operand.
+        a: NodeId,
+        /// Right operand.
+        b: NodeId,
+    },
+    /// 2:1 multiplexer: `c ? t : f`.
+    Mux {
+        /// Result width.
+        w: u32,
+        /// 1-bit select.
+        c: NodeId,
+        /// Selected when `c == 1`.
+        t: NodeId,
+        /// Selected when `c == 0`.
+        f: NodeId,
+    },
+}
+
+impl Node {
+    /// The width of the value this node produces.
+    pub fn width(&self) -> u32 {
+        match self {
+            Node::Const { w, .. }
+            | Node::RegQ { w, .. }
+            | Node::Un { w, .. }
+            | Node::Bin { w, .. }
+            | Node::Mux { w, .. } => *w,
+        }
+    }
+}
+
+/// A register in the netlist.
+#[derive(Debug, Clone)]
+pub struct NlReg {
+    /// Diagnostic name.
+    pub name: String,
+    /// Width.
+    pub width: u32,
+    /// Reset value.
+    pub init: u64,
+    /// The node computing the next value (set by the compiler).
+    pub next: Option<NodeId>,
+}
+
+/// A hash-consed synchronous netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, NodeId>,
+    /// Registers, in the same flat order as the source design.
+    pub regs: Vec<NlReg>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// The nodes in topological (creation) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of combinational nodes — the paper's intuition for circuit
+    /// size/cost.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn intern(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// Declares a register; returns its flat index.
+    pub fn add_reg(&mut self, name: impl Into<String>, width: u32, init: u64) -> u32 {
+        assert!((1..=64).contains(&width), "RTL registers must be 1..=64 bits");
+        let idx = self.regs.len() as u32;
+        self.regs.push(NlReg {
+            name: name.into(),
+            width,
+            init: init & mask(width),
+            next: None,
+        });
+        idx
+    }
+
+    /// Sets a register's next-value node.
+    pub fn set_next(&mut self, reg: u32, next: NodeId) {
+        self.regs[reg as usize].next = Some(next);
+    }
+
+    /// A constant node.
+    pub fn constant(&mut self, w: u32, v: u64) -> NodeId {
+        self.intern(Node::Const { w, v: v & mask(w) })
+    }
+
+    /// The current-value node of a register.
+    pub fn reg_q(&mut self, reg: u32) -> NodeId {
+        let w = self.regs[reg as usize].width;
+        self.intern(Node::RegQ { w, reg })
+    }
+
+    fn const_val(&self, id: NodeId) -> Option<u64> {
+        match self.nodes[id.0 as usize] {
+            Node::Const { v, .. } => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A unary gate (with local constant folding).
+    pub fn un(&mut self, w: u32, op: NlUn, a: NodeId) -> NodeId {
+        let aw = self.nodes[a.0 as usize].width();
+        if let Some(va) = self.const_val(a) {
+            let v = match op {
+                NlUn::Not => !va,
+                NlUn::Neg => va.wrapping_neg(),
+                NlUn::Sext => koika::bits::word::sext(aw, va),
+                NlUn::Slice { lo } => {
+                    if lo >= 64 {
+                        0
+                    } else {
+                        va >> lo
+                    }
+                }
+                NlUn::Mask => va,
+            };
+            return self.constant(w, v);
+        }
+        // no-op masks
+        if matches!(op, NlUn::Mask) && w >= aw {
+            return a;
+        }
+        self.intern(Node::Un { w, op, a })
+    }
+
+    /// A binary gate (with local constant folding and identity
+    /// simplification).
+    pub fn bin(&mut self, w: u32, op: NlBin, a: NodeId, b: NodeId) -> NodeId {
+        let aw = self.nodes[a.0 as usize].width();
+        if let (Some(va), Some(vb)) = (self.const_val(a), self.const_val(b)) {
+            use koika::bits::word;
+            let v = match op {
+                NlBin::Add => va.wrapping_add(vb),
+                NlBin::Sub => va.wrapping_sub(vb),
+                NlBin::Mul => va.wrapping_mul(vb),
+                NlBin::And => va & vb,
+                NlBin::Or => va | vb,
+                NlBin::Xor => va ^ vb,
+                NlBin::Shl => {
+                    if vb >= 64 {
+                        0
+                    } else {
+                        va << vb
+                    }
+                }
+                NlBin::Shr => {
+                    if vb >= 64 {
+                        0
+                    } else {
+                        va >> vb
+                    }
+                }
+                NlBin::Sra => word::sra(aw, va, vb),
+                NlBin::Eq => (va == vb) as u64,
+                NlBin::Ult => (va < vb) as u64,
+                NlBin::Slt => word::slt(aw, va, vb),
+                NlBin::Concat => {
+                    let bw = self.nodes[b.0 as usize].width();
+                    (va << bw) | vb
+                }
+            };
+            return self.constant(w, v);
+        }
+        // Identity simplifications on boolean-ish operations.
+        match op {
+            NlBin::And => {
+                if self.const_val(a) == Some(0) || self.const_val(b) == Some(0) {
+                    return self.constant(w, 0);
+                }
+                if self.const_val(a) == Some(mask(w)) {
+                    return b;
+                }
+                if self.const_val(b) == Some(mask(w)) {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            NlBin::Or => {
+                if self.const_val(a) == Some(0) {
+                    return b;
+                }
+                if self.const_val(b) == Some(0) {
+                    return a;
+                }
+                if self.const_val(a) == Some(mask(w)) || self.const_val(b) == Some(mask(w)) {
+                    return self.constant(w, mask(w));
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            NlBin::Xor => {
+                if self.const_val(b) == Some(0) {
+                    return a;
+                }
+                if self.const_val(a) == Some(0) {
+                    return b;
+                }
+            }
+            NlBin::Add | NlBin::Shl | NlBin::Shr => {
+                if self.const_val(b) == Some(0) {
+                    return a;
+                }
+            }
+            NlBin::Sub => {
+                if self.const_val(b) == Some(0) {
+                    return a;
+                }
+            }
+            _ => {}
+        }
+        self.intern(Node::Bin { w, op, a, b })
+    }
+
+    /// A 2:1 mux (folds constant selects and equal arms).
+    pub fn mux(&mut self, w: u32, c: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        match self.const_val(c) {
+            Some(0) => return f,
+            Some(_) => return t,
+            None => {}
+        }
+        if t == f {
+            return t;
+        }
+        self.intern(Node::Mux { w, c, t, f })
+    }
+
+    /// Dead-node elimination: rebuilds the netlist keeping only nodes
+    /// reachable from the register next-value nodes and `extra_roots`,
+    /// returning the remapping applied (old id → new id). Ids stay
+    /// topological.
+    pub fn prune(&mut self, extra_roots: &[NodeId]) -> Vec<Option<NodeId>> {
+        let n = self.nodes.len();
+        let mut live = vec![false; n];
+        let mark = |live: &mut Vec<bool>, root: NodeId| {
+            // Operands always precede users, so a reverse sweep after
+            // seeding roots marks everything reachable.
+            live[root.0 as usize] = true;
+        };
+        for r in &self.regs {
+            if let Some(next) = r.next {
+                mark(&mut live, next);
+            }
+        }
+        for &r in extra_roots {
+            mark(&mut live, r);
+        }
+        for i in (0..n).rev() {
+            if !live[i] {
+                continue;
+            }
+            match self.nodes[i] {
+                Node::Un { a, .. } => live[a.0 as usize] = true,
+                Node::Bin { a, b, .. } => {
+                    live[a.0 as usize] = true;
+                    live[b.0 as usize] = true;
+                }
+                Node::Mux { c, t, f, .. } => {
+                    live[c.0 as usize] = true;
+                    live[t.0 as usize] = true;
+                    live[f.0 as usize] = true;
+                }
+                _ => {}
+            }
+        }
+        let mut remap: Vec<Option<NodeId>> = vec![None; n];
+        let mut new_nodes = Vec::new();
+        for i in 0..n {
+            if live[i] {
+                let node = match self.nodes[i] {
+                    Node::Un { w, op, a } => Node::Un {
+                        w,
+                        op,
+                        a: remap[a.0 as usize].expect("operand is live"),
+                    },
+                    Node::Bin { w, op, a, b } => Node::Bin {
+                        w,
+                        op,
+                        a: remap[a.0 as usize].expect("operand is live"),
+                        b: remap[b.0 as usize].expect("operand is live"),
+                    },
+                    Node::Mux { w, c, t, f } => Node::Mux {
+                        w,
+                        c: remap[c.0 as usize].expect("operand is live"),
+                        t: remap[t.0 as usize].expect("operand is live"),
+                        f: remap[f.0 as usize].expect("operand is live"),
+                    },
+                    other => other,
+                };
+                remap[i] = Some(NodeId(new_nodes.len() as u32));
+                new_nodes.push(node);
+            }
+        }
+        self.nodes = new_nodes;
+        self.dedup.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.dedup.insert(*node, NodeId(i as u32));
+        }
+        for r in &mut self.regs {
+            if let Some(next) = r.next {
+                r.next = remap[next.0 as usize];
+            }
+        }
+        remap
+    }
+
+    /// Convenience: 1-bit OR.
+    pub fn or1(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.bin(1, NlBin::Or, a, b)
+    }
+
+    /// Convenience: 1-bit AND.
+    pub fn and1(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.bin(1, NlBin::And, a, b)
+    }
+
+    /// Convenience: 1-bit NOT.
+    pub fn not1(&mut self, a: NodeId) -> NodeId {
+        self.un(1, NlUn::Not, a)
+    }
+}
+
+pub(crate) fn mask(width: u32) -> u64 {
+    koika::bits::word::mask(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut nl = Netlist::new();
+        let r = nl.add_reg("r", 8, 0);
+        let q1 = nl.reg_q(r);
+        let q2 = nl.reg_q(r);
+        assert_eq!(q1, q2);
+        let one = nl.constant(8, 1);
+        let a = nl.bin(8, NlBin::Add, q1, one);
+        let b = nl.bin(8, NlBin::Add, q2, one);
+        assert_eq!(a, b);
+        assert_eq!(nl.len(), 3); // RegQ, Const, Add
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut nl = Netlist::new();
+        let a = nl.constant(8, 200);
+        let b = nl.constant(8, 100);
+        let s = nl.bin(8, NlBin::Add, a, b);
+        assert_eq!(nl.nodes()[s.0 as usize], Node::Const { w: 8, v: 44 });
+        let one = nl.constant(1, 1);
+        let m = nl.mux(8, one, a, b);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn identity_simplification() {
+        let mut nl = Netlist::new();
+        let r = nl.add_reg("r", 1, 0);
+        let q = nl.reg_q(r);
+        let zero = nl.constant(1, 0);
+        assert_eq!(nl.or1(q, zero), q);
+        assert_eq!(nl.and1(q, zero), zero);
+        let ones = nl.constant(1, 1);
+        assert_eq!(nl.and1(q, ones), q);
+        assert_eq!(nl.mux(1, q, ones, ones), ones);
+    }
+
+    #[test]
+    fn creation_order_is_topological() {
+        let mut nl = Netlist::new();
+        let r = nl.add_reg("r", 4, 3);
+        let q = nl.reg_q(r);
+        let c = nl.constant(4, 1);
+        let s = nl.bin(4, NlBin::Add, q, c);
+        let n = nl.un(4, NlUn::Not, s);
+        for (i, node) in nl.nodes().iter().enumerate() {
+            let ok = match node {
+                Node::Un { a, .. } => (a.0 as usize) < i,
+                Node::Bin { a, b, .. } => (a.0 as usize) < i && (b.0 as usize) < i,
+                Node::Mux { c, t, f, .. } => {
+                    (c.0 as usize) < i && (t.0 as usize) < i && (f.0 as usize) < i
+                }
+                _ => true,
+            };
+            assert!(ok, "node {i} references a later node");
+        }
+        let _ = n;
+    }
+}

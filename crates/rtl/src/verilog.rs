@@ -1,0 +1,131 @@
+//! Structural Verilog emission from a compiled RTL model.
+//!
+//! Like Kôika's verified compiler, we emit a deliberately small subset of
+//! Verilog: wire declarations with single continuous assignments (one per
+//! netlist node) and one clocked `always` block updating the registers. The
+//! output is golden-tested; its line count is the "Verilog SLOC" column of
+//! Table 1.
+
+use crate::compile::RtlModel;
+use crate::netlist::{NlBin, NlUn, Node};
+use std::fmt::Write as _;
+
+/// Emits a single-module Verilog rendering of the model.
+pub fn emit(model: &RtlModel) -> String {
+    let nl = &model.netlist;
+    let mut out = String::new();
+    let _ = writeln!(out, "// Generated from Koika design `{}` ({:?} scheme).", model.name, model.scheme);
+    let _ = writeln!(out, "module {}(input wire CLK);", sanitize(&model.name));
+
+    for (i, r) in nl.regs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  reg [{}:0] r{i} = {}'h{:x};  // {}",
+            r.width - 1,
+            r.width,
+            r.init,
+            r.name
+        );
+    }
+
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let w = node.width();
+        let rhs = match *node {
+            Node::Const { w, v } => format!("{w}'h{v:x}"),
+            Node::RegQ { reg, .. } => format!("r{reg}"),
+            Node::Un { op, a, .. } => match op {
+                NlUn::Not => format!("~n{}", a.0),
+                NlUn::Neg => format!("-n{}", a.0),
+                NlUn::Sext => format!("$signed(n{})", a.0),
+                NlUn::Slice { lo } => format!("(n{} >> {lo})", a.0),
+                NlUn::Mask => format!("n{}", a.0),
+            },
+            Node::Bin { op, a, b, .. } => {
+                let (a, b) = (format!("n{}", a.0), format!("n{}", b.0));
+                match op {
+                    NlBin::Add => format!("({a} + {b})"),
+                    NlBin::Sub => format!("({a} - {b})"),
+                    NlBin::Mul => format!("({a} * {b})"),
+                    NlBin::And => format!("({a} & {b})"),
+                    NlBin::Or => format!("({a} | {b})"),
+                    NlBin::Xor => format!("({a} ^ {b})"),
+                    NlBin::Shl => format!("({a} << {b})"),
+                    NlBin::Shr => format!("({a} >> {b})"),
+                    NlBin::Sra => format!("($signed({a}) >>> {b})"),
+                    NlBin::Eq => format!("({a} == {b})"),
+                    NlBin::Ult => format!("({a} < {b})"),
+                    NlBin::Slt => format!("($signed({a}) < $signed({b}))"),
+                    NlBin::Concat => format!("{{{a}, {b}}}"),
+                }
+            }
+            Node::Mux { c, t, f, .. } => format!("(n{} ? n{} : n{})", c.0, t.0, f.0),
+        };
+        let _ = writeln!(out, "  wire [{}:0] n{i} = {rhs};", w - 1);
+    }
+
+    let _ = writeln!(out, "  always @(posedge CLK) begin");
+    for (i, r) in nl.regs.iter().enumerate() {
+        if let Some(next) = r.next {
+            let _ = writeln!(out, "    r{i} <= n{};", next.0);
+        }
+    }
+    let _ = writeln!(out, "  end");
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Line count of the emitted Verilog (Table 1's Verilog SLOC column).
+pub fn sloc(model: &RtlModel) -> usize {
+    emit(model).lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{compile, Scheme};
+    use koika::ast::*;
+    use koika::check::check;
+    use koika::design::DesignBuilder;
+
+    #[test]
+    fn golden_counter_module() {
+        let mut b = DesignBuilder::new("counter");
+        b.reg("count", 8, 0u64);
+        b.rule("incr", vec![wr0("count", rd0("count").add(k(8, 1)))]);
+        let td = check(&b.build()).unwrap();
+        let model = compile(&td, Scheme::Dynamic).unwrap();
+        let v = super::emit(&model);
+        assert!(v.contains("module counter(input wire CLK);"), "{v}");
+        assert!(v.contains("reg [7:0] r0 = 8'h0;"), "{v}");
+        assert!(v.contains("always @(posedge CLK) begin"), "{v}");
+        assert!(v.contains("r0 <= "), "{v}");
+        assert!(v.contains("endmodule"), "{v}");
+        assert!(super::sloc(&model) > 5);
+    }
+
+    #[test]
+    fn static_scheme_is_leaner() {
+        // With static conflict resolution there are no read-write-set wires,
+        // so the emitted module is smaller — the Fig. 2 intuition.
+        let mut b = DesignBuilder::new("two");
+        b.reg("x", 8, 0u64);
+        b.reg("y", 8, 0u64);
+        b.rule("a", vec![wr0("x", rd0("y").add(k(8, 1)))]);
+        b.rule("bb", vec![wr0("y", rd1("x").add(k(8, 2)))]);
+        b.schedule(["a", "bb"]);
+        let td = check(&b.build()).unwrap();
+        let dynamic = compile(&td, Scheme::Dynamic).unwrap();
+        let stat = compile(&td, Scheme::Static).unwrap();
+        assert!(
+            stat.netlist.len() <= dynamic.netlist.len(),
+            "static {} vs dynamic {}",
+            stat.netlist.len(),
+            dynamic.netlist.len()
+        );
+    }
+}

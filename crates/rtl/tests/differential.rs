@@ -1,0 +1,209 @@
+//! Differential testing of the RTL pipeline against the reference
+//! interpreter: the dynamic-scheme netlist must be cycle-accurate with the
+//! one-rule-at-a-time semantics — every register, every cycle, and the same
+//! rules firing.
+//!
+//! This is the property that lets the paper treat RTL simulation and
+//! Cuttlesim as interchangeable oracles ("decoupling simulation from
+//! synthesis but keeping them cycle-accurate with respect to each other").
+//!
+//! The static ("Bluespec-style") scheme is *not* required to be cycle-exact
+//! — it resolves maybe-conflicts conservatively at compile time — so for it
+//! we only check a weaker property: that it never commits a rule the dynamic
+//! scheme's semantics would forbid (checked on designs without
+//! maybe-conflicts), plus functional correctness on designs where the two
+//! coincide.
+
+use koika::check::check;
+use koika::design::DesignBuilder;
+use koika::device::{RegAccess, SimBackend};
+use koika::interp::Interp;
+use koika::testgen::random_design;
+use koika::tir::RegId;
+use koika::ast::*;
+use koika_rtl::{compile, RtlSim, Scheme};
+use proptest::prelude::*;
+
+fn assert_rtl_matches_interp(design: &koika::design::Design, cycles: usize) {
+    let td = check(design).expect("design must typecheck");
+    let mut reference = Interp::new(&td);
+    let model = compile(&td, Scheme::Dynamic).expect("RTL-compilable");
+    let mut rtl = RtlSim::new(model);
+    for cycle in 0..cycles {
+        reference.cycle();
+        rtl.cycle();
+        for r in 0..td.num_regs() {
+            let reg = RegId(r as u32);
+            assert_eq!(
+                rtl.get64(reg),
+                reference.get64(reg),
+                "design {:?}, cycle {cycle}, register {}",
+                td.name,
+                td.regs[r].name
+            );
+        }
+        assert_eq!(
+            rtl.rules_fired(),
+            reference.rules_fired(),
+            "design {:?}, cycle {cycle}: fire counts diverged",
+            td.name
+        );
+    }
+}
+
+#[test]
+fn counter_and_forwarding() {
+    let mut b = DesignBuilder::new("fwd");
+    b.reg("a", 16, 1u64);
+    b.reg("w", 16, 0u64);
+    b.reg("out", 16, 0u64);
+    b.rule("s1", vec![wr0("w", rd0("a").add(k(16, 3)))]);
+    b.rule("s2", vec![wr0("out", rd1("w").mul(k(16, 5)))]);
+    b.rule("bump", vec![wr0("a", rd0("a").add(k(16, 1)))]);
+    b.schedule(["s1", "s2", "bump"]);
+    assert_rtl_matches_interp(&b.build(), 50);
+}
+
+#[test]
+fn conflicts_discard_losing_rules() {
+    let mut b = DesignBuilder::new("conf");
+    b.reg("r", 8, 0u64);
+    b.reg("tick", 8, 0u64);
+    b.rule(
+        "even",
+        vec![guard(rd0("tick").bit(0).eq(k(1, 0))), wr0("r", rd0("tick"))],
+    );
+    b.rule("always", vec![wr0("r", k(8, 0xaa))]);
+    b.rule(
+        "third",
+        vec![guard(rd0("tick").bit(1).eq(k(1, 1))), wr1("r", k(8, 0x55))],
+    );
+    b.rule("t", vec![wr0("tick", rd0("tick").add(k(8, 1)))]);
+    b.schedule(["even", "always", "third", "t"]);
+    assert_rtl_matches_interp(&b.build(), 64);
+}
+
+#[test]
+fn array_decoders() {
+    let mut b = DesignBuilder::new("arr");
+    b.array("t", 8, 8, 0u64);
+    b.reg("i", 8, 0u64);
+    b.rule(
+        "w",
+        vec![
+            let_("idx", rd0("i").slice(0, 3)),
+            let_("cur", rd0a("t", var("idx"))),
+            wr0a("t", var("idx"), var("cur").add(k(8, 5))),
+            wr0("i", rd0("i").add(k(8, 3))),
+        ],
+    );
+    assert_rtl_matches_interp(&b.build(), 100);
+}
+
+#[test]
+fn explicit_aborts_discard_everything() {
+    let mut b = DesignBuilder::new("ab");
+    b.reg("n", 8, 0u64);
+    b.reg("m", 8, 0u64);
+    b.rule(
+        "rl",
+        vec![
+            let_("n0", rd0("n")),
+            wr0("m", var("n0")),
+            when(var("n0").bit(0).eq(k(1, 1)), vec![abort()]),
+            wr0("n", var("n0").add(k(8, 1))),
+        ],
+    );
+    assert_rtl_matches_interp(&b.build(), 32);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn random_designs_match_reference(seed in any::<u64>()) {
+        let design = random_design(seed);
+        assert_rtl_matches_interp(&design, 24);
+    }
+}
+
+/// The static scheme must still be a valid one-rule-at-a-time execution:
+/// whatever subset of rules it commits in a cycle, replaying exactly that
+/// subset (in schedule order) on the reference interpreter from the same
+/// pre-state must yield the same post-state.
+#[test]
+fn static_scheme_is_a_valid_oraat_execution() {
+    for seed in 0..96u64 {
+        let design = random_design(seed);
+        let td = check(&design).expect("typechecks");
+        let model = compile(&td, Scheme::Static).expect("compilable");
+        let schedule = td.schedule.clone();
+        let mut rtl = RtlSim::new(model);
+        let mut reference = Interp::new(&td);
+        let mut prev_fired: Vec<u64> = vec![0; schedule.len()];
+
+        for cycle in 0..16 {
+            rtl.cycle();
+            let fired_now: Vec<usize> = rtl
+                .fired_per_rule()
+                .iter()
+                .enumerate()
+                .filter(|(i, &c)| c > prev_fired[*i])
+                .map(|(i, _)| schedule[i])
+                .collect();
+            prev_fired = rtl.fired_per_rule().to_vec();
+
+            reference.begin_cycle();
+            for &rule in &fired_now {
+                assert!(
+                    reference.step_rule(rule),
+                    "seed {seed} cycle {cycle}: statically-fired rule {} \
+                     aborts under one-rule-at-a-time replay",
+                    td.rules[rule].name
+                );
+            }
+            reference.end_cycle();
+
+            for r in 0..td.num_regs() {
+                let reg = RegId(r as u32);
+                assert_eq!(
+                    rtl.get64(reg),
+                    reference.get64(reg),
+                    "seed {seed} cycle {cycle}: register {} diverges from \
+                     the one-rule-at-a-time replay of the fired subset",
+                    td.regs[r].name
+                );
+            }
+        }
+    }
+}
+
+/// On designs with only *definite* conflicts (no Maybe), the static scheme
+/// agrees exactly with the dynamic scheme.
+#[test]
+fn static_matches_dynamic_on_definite_designs() {
+    // Unconditional rules: all conflicts are definite.
+    let mut b = DesignBuilder::new("definite");
+    b.reg("x", 8, 1u64);
+    b.reg("y", 8, 2u64);
+    b.reg("z", 8, 0u64);
+    b.rule("a", vec![wr0("x", rd0("x").add(k(8, 1)))]);
+    b.rule("bb", vec![wr0("y", rd1("x").mul(k(8, 3)))]); // forwarding, no conflict
+    b.rule("c", vec![wr0("x", k(8, 9))]); // definite conflict with rule a
+    b.rule("d", vec![wr0("z", rd0("y").add(rd0("z")))]);
+    b.schedule(["a", "bb", "c", "d"]);
+    let td = check(&b.build()).unwrap();
+    let mut dynamic = RtlSim::new(compile(&td, Scheme::Dynamic).unwrap());
+    let mut stat = RtlSim::new(compile(&td, Scheme::Static).unwrap());
+    for cycle in 0..32 {
+        dynamic.cycle();
+        stat.cycle();
+        for r in 0..td.num_regs() {
+            assert_eq!(
+                dynamic.get64(RegId(r as u32)),
+                stat.get64(RegId(r as u32)),
+                "cycle {cycle}, register {}",
+                td.regs[r].name
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Static-analysis report: what the §3.3 abstract-interpretation pass
+//! discovers about each benchmark design — register classification (plain
+//! register / wire / EHR), safe registers (no conflict checks compiled in),
+//! and commit footprints — plus the resulting circuit sizes on the RTL
+//! side. This is the data the design-specific optimization level feeds on.
+//!
+//! Run with: `cargo run --example analysis_report`
+
+use koika::analysis::{analyze, RegClass, ScheduleAssumption};
+use koika::check::check;
+use koika_designs::{msi, rv32, small};
+use koika_rtl::{compile as rtl_compile, Scheme};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<14} {:>6} {:>7} {:>6} {:>5} {:>6} {:>7} {:>9} {:>7}",
+        "design", "syms", "plain", "wire", "ehr", "safe", "safe%", "avg-fp", "gates"
+    );
+    for design in [
+        small::collatz(),
+        small::fir(),
+        small::fft(),
+        rv32::rv32i(),
+        rv32::rv32i_bp(),
+        rv32::rv32i_bypass(),
+        msi::msi_system(),
+    ] {
+        let td = check(&design)?;
+        let a = analyze(&td, ScheduleAssumption::Declared);
+        let count = |c: RegClass| a.class.iter().filter(|x| **x == c).count();
+        let safe = a.safe_sym.iter().filter(|s| **s).count();
+        let avg_fp: f64 = a
+            .rules
+            .iter()
+            .map(|r| r.footprint_data.len() as f64)
+            .sum::<f64>()
+            / td.rules.len().max(1) as f64;
+        let gates = rtl_compile(&td, Scheme::Dynamic)?.netlist.len();
+        println!(
+            "{:<14} {:>6} {:>7} {:>6} {:>5} {:>6} {:>6.0}% {:>9.1} {:>7}",
+            td.name,
+            td.syms.len(),
+            count(RegClass::Plain),
+            count(RegClass::Wire),
+            count(RegClass::Ehr),
+            safe,
+            100.0 * safe as f64 / td.syms.len() as f64,
+            avg_fp,
+            gates,
+        );
+    }
+
+    // Detail view for the rv32i core: the per-register story.
+    println!("\nrv32i register detail (the §3.3 classification):");
+    let td = check(&rv32::rv32i())?;
+    let a = analyze(&td, ScheduleAssumption::Declared);
+    for (i, sym) in td.syms.iter().enumerate() {
+        println!(
+            "  {:<18} {:<15} {}",
+            sym.name,
+            a.class[i].to_string(),
+            if a.safe_sym[i] {
+                "safe: compiled without conflict checks"
+            } else {
+                "checked"
+            }
+        );
+    }
+    Ok(())
+}

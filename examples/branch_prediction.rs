@@ -1,0 +1,104 @@
+//! Case study 4 (§4.2): branch-prediction exploration with coverage
+//! counters instead of hardware performance counters.
+//!
+//! The paper adds a BTB + BHT to a baseline "PC + 4" core and, instead of
+//! wiring in counters, reads Gcov line counts off the running model: the
+//! count of the `WRITE0(pc, ...)` line inside the mispredict branch *is*
+//! the misprediction counter, and the scoreboard `FAIL()` count exposes the
+//! missing-bypass stalls.
+//!
+//! Run with: `cargo run --release --example branch_prediction`
+
+use cuttlesim::{CompileOptions, CoverageReport, Sim};
+use koika::check::check;
+use koika::device::{Device, RegAccess, SimBackend};
+use koika_designs::harness::{golden_run, MEM_WORDS};
+use koika_designs::memdev::MagicMemory;
+use koika_designs::rv32;
+use koika_riscv::programs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = programs::branchy(3000);
+    let golden = golden_run(&program, 100_000_000);
+    println!(
+        "Workload: branchy kernel, {} instructions retired by the golden model.\n",
+        golden.retired
+    );
+
+    let mut results = Vec::new();
+    for (name, design) in [("baseline", rv32::rv32i()), ("bp", rv32::rv32i_bp())] {
+        let td = check(&design)?;
+        let mut sim = Sim::compile_with(
+            &td,
+            &CompileOptions {
+                coverage: true,
+                ..CompileOptions::default()
+            },
+        )?;
+        let mut mem = MagicMemory::new(&td, &["imem", "dmem"], &program, MEM_WORDS);
+        let retired = td.reg_id("retired");
+        let mut cycles = 0u64;
+        while sim.get64(retired) < golden.retired {
+            mem.tick(cycles, sim.as_reg_access());
+            sim.cycle();
+            cycles += 1;
+        }
+        let report = CoverageReport::collect(&sim);
+
+        // The paper's listing: the execute stage's redirect line.
+        println!("--- snippet of the execute stage ({name}), Gcov style ---");
+        let mut in_mispredict = false;
+        for (count, rule, label) in report.iter() {
+            if rule != "execute" {
+                continue;
+            }
+            if label == "mispredict" {
+                in_mispredict = true;
+            }
+            if label.contains("if ((v") && in_mispredict
+                || label.contains("WRITE0(pc,")
+                || label == "mispredict"
+            {
+                println!("  {count:>10}: {label}");
+            }
+            if label.contains("WRITE0(epoch") {
+                in_mispredict = false;
+            }
+        }
+        let mispredicts: u64 = report
+            .iter()
+            .filter(|(_, rule, l)| *rule == "execute" && l.contains("WRITE0(pc,"))
+            .map(|(c, _, _)| c)
+            .sum();
+        let stalls = report.count_matching("decode", "FAIL()");
+        println!("--- snippet of the scoreboard logic ({name}) ---");
+        for (count, rule, label) in report.iter() {
+            if rule == "decode" && (label.contains("scoreboard_stall") || label.contains("FAIL")) {
+                println!("  {count:>10}: {label}");
+            }
+        }
+        println!();
+        results.push((name, cycles, mispredicts, stalls));
+    }
+
+    println!("{:<10} {:>10} {:>13} {:>16} {:>8}", "design", "cycles", "mispredicts", "sb-stalls", "IPC");
+    for (name, cycles, mispredicts, stalls) in &results {
+        println!(
+            "{:<10} {:>10} {:>13} {:>16} {:>8.3}",
+            name,
+            cycles,
+            mispredicts,
+            stalls,
+            golden.retired as f64 / *cycles as f64
+        );
+    }
+    let (_, _, base_mp, base_st) = results[0];
+    let (_, _, bp_mp, bp_st) = results[1];
+    println!(
+        "\nMispredictions fell {:.1}x with the BTB+BHT; scoreboard stalls barely moved \
+         ({base_st} -> {bp_st}),\npointing at missing bypass paths as the next bottleneck — \
+         the paper's exact conclusion.",
+        base_mp as f64 / bp_mp.max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Case study 1 (§4.2): debugging a deadlock in a 2-core MSI cache-
+//! coherence system with software-debugger workflows.
+//!
+//! The paper's programmer runs the model under gdb, prints the MSHR and
+//! parent state *by name* (the enum survives compilation), breaks on
+//! `FAIL()`, and steps backwards with `rr`. This example walks the same
+//! investigation using the equivalents this library exposes: named state
+//! inspection, per-rule failure counters, state snapshots and reverse
+//! stepping.
+//!
+//! Run with: `cargo run --example msi_debugging`
+
+use cuttlesim::Sim;
+use koika::check::check;
+use koika::device::{Device, RegAccess, SimBackend};
+use koika::testgen::SplitMix64;
+use koika::tir::{RegId, TDesign};
+use koika_designs::msi::{self, mshr, parent};
+
+fn mshr_name(v: u64) -> &'static str {
+    match v {
+        mshr::READY => "Ready",
+        mshr::SEND_FILL_REQ => "SendFillReq",
+        mshr::WAIT_FILL_RESP => "WaitFillResp",
+        _ => "?",
+    }
+}
+
+fn parent_name(v: u64) -> &'static str {
+    match v {
+        parent::READY => "Ready",
+        parent::CONFIRM_DOWNGRADES => "ConfirmDowngrades",
+        _ => "?",
+    }
+}
+
+#[derive(Clone, Copy)]
+struct CpuPort {
+    req_valid: RegId,
+    req_addr: RegId,
+    req_store: RegId,
+    req_wdata: RegId,
+    resp_valid: RegId,
+}
+
+impl CpuPort {
+    fn resolve(td: &TDesign, core: usize) -> CpuPort {
+        CpuPort {
+            req_valid: td.reg_id(&format!("c{core}_cpu_req_valid")),
+            req_addr: td.reg_id(&format!("c{core}_cpu_req_addr")),
+            req_store: td.reg_id(&format!("c{core}_cpu_req_store")),
+            req_wdata: td.reg_id(&format!("c{core}_cpu_req_wdata")),
+            resp_valid: td.reg_id(&format!("c{core}_cpu_resp_valid")),
+        }
+    }
+}
+
+/// Minimal traffic generator: both cores hammer a few shared addresses.
+struct Traffic {
+    rng: SplitMix64,
+    ports: [CpuPort; 2],
+    pending: [bool; 2],
+    completed: u64,
+}
+
+impl Device for Traffic {
+    fn tick(&mut self, _cycle: u64, regs: &mut dyn RegAccess) {
+        for i in 0..2 {
+            let p = self.ports[i];
+            if regs.get64(p.resp_valid) == 1 {
+                regs.set64(p.resp_valid, 0);
+                self.pending[i] = false;
+                self.completed += 1;
+            }
+            if !self.pending[i] && regs.get64(p.req_valid) == 0 {
+                regs.set64(p.req_valid, 1);
+                regs.set64(p.req_addr, self.rng.below(4)); // heavy contention
+                regs.set64(p.req_store, self.rng.chance(1, 2) as u64);
+                regs.set64(p.req_wdata, self.rng.next_u64() & 0xffff);
+                self.pending[i] = true;
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let td = check(&msi::msi_system_buggy())?;
+    let mut sim = Sim::compile(&td)?;
+    sim.enable_history(64); // our `rr`: keep the last 64 cycles
+    let mut traffic = Traffic {
+        rng: SplitMix64::new(99),
+        ports: [CpuPort::resolve(&td, 0), CpuPort::resolve(&td, 1)],
+        pending: [false, false],
+        completed: 0,
+    };
+
+    println!("Running the (buggy) MSI system until it stops making progress...");
+    let mut last_completed = 0;
+    let mut stuck = 0;
+    let mut cycle = 0u64;
+    loop {
+        traffic.tick(cycle, sim.as_reg_access());
+        sim.cycle();
+        cycle += 1;
+        if traffic.completed == last_completed {
+            stuck += 1;
+            if stuck > 500 {
+                break;
+            }
+        } else {
+            stuck = 0;
+            last_completed = traffic.completed;
+        }
+        if cycle > 100_000 {
+            println!("no deadlock observed — is this the fixed system?");
+            return Ok(());
+        }
+    }
+    println!(
+        "Deadlock: no operation completed for 500 cycles (cycle {cycle}, {} ops done).\n",
+        traffic.completed
+    );
+
+    // "gdb> print system state" — names, not bit soup:
+    println!("Inspecting the stuck state (the paper's gdb session):");
+    for i in 0..2 {
+        let st = sim.get64(td.reg_id(&format!("c{i}_mshr_state")));
+        let addr = sim.get64(td.reg_id(&format!("c{i}_mshr_addr")));
+        println!("  core {i}: MSHR = {:<13} (addr {addr})", mshr_name(st));
+    }
+    let req_core = sim.get64(td.reg_id("p_req_core"));
+    println!(
+        "  parent: state = {:<18} (serving core {req_core}, addr {})",
+        parent_name(sim.get64(td.reg_id("p_state"))),
+        sim.get64(td.reg_id("p_req_addr"))
+    );
+
+    // "gdb> break FAIL(); run" — which rules keep failing:
+    println!("\nPer-rule counters (the FAIL() breakpoint view):");
+    for (i, rule) in td.rules.iter().enumerate() {
+        let fails = sim.fails_per_rule()[i];
+        let fires = sim.fired_per_rule()[i];
+        if fails > 0 || fires > 0 {
+            println!(
+                "  {:<14} fired {:>8}  failed {:>8}",
+                rule.name, fires, fails
+            );
+        }
+    }
+    if let Some(fail) = sim.last_fail() {
+        println!(
+            "  last failure: rule {:?} at cycle {}",
+            td.rules[fail.rule].name, fail.cycle
+        );
+    }
+
+    // "rr> reverse-continue" — step back through history and find the cycle
+    // the parent entered ConfirmDowngrades for the wedged transaction.
+    println!("\nReverse execution: searching for the transition into ConfirmDowngrades...");
+    let mut steps_back = 0;
+    while sim.get64(td.reg_id("p_state")) == parent::CONFIRM_DOWNGRADES && sim.step_back(1) {
+        steps_back += 1;
+    }
+    println!(
+        "  the parent entered ConfirmDowngrades {steps_back}+ cycles before the deadlock \
+         was detected;"
+    );
+    println!(
+        "  the downgrade request went to core {}, but the (buggy) parent waits for an",
+        1 - req_core
+    );
+    println!(
+        "  acknowledgement from core {req_core} — the requester — which will never send one."
+    );
+    println!("\nDiagnosis: p_confirm checks the wrong ack channel (see msi_system_buggy).");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Case study 2 (§4.2): functional verification with scheduler
+//! randomization.
+//!
+//! "A good rule-based design should use its scheduler for performance, but
+//! not for functional correctness: designs should work regardless of the
+//! order that rules are executed in." With Cuttlesim this is trivial to
+//! test: call the rules in a random order each cycle and check the design
+//! still computes the right answer.
+//!
+//! Run with: `cargo run --release --example scheduler_randomization`
+
+use cuttlesim::{CompileOptions, OptLevel, Sim};
+use koika::analysis::ScheduleAssumption;
+use koika::check::check;
+use koika::device::{Device, RegAccess, SimBackend};
+use koika::testgen::SplitMix64;
+use koika_designs::harness::{golden_run, MEM_WORDS};
+use koika_designs::memdev::MagicMemory;
+use koika_designs::rv32;
+use koika_riscv::programs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let td = check(&rv32::rv32i())?;
+    let program = programs::primes(100);
+    let golden = golden_run(&program, 10_000_000);
+    println!(
+        "Golden model: {} primes below 100, {} instructions retired.",
+        golden.regs[10], golden.retired
+    );
+
+    // Compile with the AnyOrder assumption: the static analysis must not
+    // bake in the declared schedule if we are going to permute it.
+    let opts = CompileOptions {
+        level: OptLevel::max(),
+        assumption: ScheduleAssumption::AnyOrder,
+        coverage: false,
+        optimize: true,
+    };
+
+    for trial in 0..5u64 {
+        let mut sim = Sim::compile_with(&td, &opts)?;
+        let mut mem = MagicMemory::new(&td, &["imem", "dmem"], &program, MEM_WORDS);
+        let retired = td.reg_id("retired");
+        let mut rng = SplitMix64::new(0xD1CE + trial);
+        let nrules = td.rules.len();
+
+        let mut cycles = 0u64;
+        while sim.get64(retired) < golden.retired {
+            mem.tick(cycles, sim.as_reg_access());
+            // A fresh random permutation of all rules, every cycle.
+            let mut order: Vec<usize> = (0..nrules).collect();
+            for i in (1..nrules).rev() {
+                order.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            sim.cycle_with_order(&order);
+            cycles += 1;
+            assert!(cycles < 50_000_000, "did not finish");
+        }
+
+        let result = mem.word(programs::RESULT_ADDR);
+        assert_eq!(result, golden.regs[10], "wrong result under permutation");
+        for i in 0..32 {
+            assert_eq!(
+                sim.get64(td.reg_elem("rf", i)) as u32,
+                golden.regs[i as usize],
+                "architectural register x{i} diverged"
+            );
+        }
+        println!(
+            "trial {trial}: random schedules ok — result {result}, {} cycles \
+             (vs ~{} instructions; random orders waste slots, as expected)",
+            cycles, golden.retired
+        );
+    }
+    println!("\nThe core is schedule-independent: correctness never relied on rule order.");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Waveform dumping: the traditional hardware-debugging view, available
+//! from any backend. Records the collatz design's registers into a VCD
+//! file that GTKWave (or any VCD viewer) can open.
+//!
+//! Run with: `cargo run --example waveforms`
+
+use cuttlesim::Sim;
+use koika::check::check;
+use koika::device::SimBackend;
+use koika::vcd::VcdRecorder;
+use koika_designs::small::collatz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let td = check(&collatz())?;
+    let mut sim = Sim::compile(&td)?;
+    let mut vcd = VcdRecorder::all_registers(&td);
+
+    let cycles = 120;
+    sim.run(cycles, &mut [&mut vcd]);
+
+    let dump = vcd.finish(cycles);
+    let path = std::env::temp_dir().join("collatz.vcd");
+    std::fs::write(&path, &dump)?;
+    println!("Wrote {} bytes of VCD to {}", dump.len(), path.display());
+    println!("\nFirst lines:");
+    for line in dump.lines().take(14) {
+        println!("  {line}");
+    }
+    println!("  ...");
+    println!("\nOpen it with e.g.: gtkwave {}", path.display());
+    Ok(())
+}

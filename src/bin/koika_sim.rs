@@ -1,0 +1,327 @@
+//! `koika-sim`: command-line driver for the bundled designs — simulate on
+//! any backend, dump waveforms, profile, trace, or emit C++/Verilog.
+//!
+//! ```text
+//! Usage: koika-sim <design> [options]
+//!
+//! Designs:
+//!   collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
+//!   rv32i-x0bug | msi | msi-buggy
+//!
+//! Options:
+//!   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
+//!   --level <1..6>      Cuttlesim optimization level  (default 6)
+//!   --cycles <N>        cycles to run                 (default 10000)
+//!   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
+//!   --vcd <FILE>        record all registers to a VCD file
+//!   --profile           print a per-rule work profile (cuttlesim backend)
+//!   --trace <N>         print the last N cycles of rule activity
+//!   --emit <cpp|cpp-header|verilog>  print generated code and exit
+//! ```
+
+use cuttlesim::{codegen_cpp, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
+use koika::check::check;
+use koika::design::Design;
+use koika::device::{Device, SimBackend};
+use koika::vcd::VcdRecorder;
+use koika_designs::harness::MEM_WORDS;
+use koika_designs::memdev::MagicMemory;
+use koika_designs::{msi, rv32, small};
+use koika_riscv::programs;
+use koika_rtl::{compile as rtl_compile, verilog, RtlSim, Scheme};
+use std::process::ExitCode;
+
+struct Args {
+    design: String,
+    backend: String,
+    level: u32,
+    cycles: u64,
+    program: String,
+    vcd: Option<String>,
+    profile: bool,
+    trace: Option<u64>,
+    emit: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: koika-sim <design> [--backend interp|cuttlesim|rtl|rtl-static] \
+         [--level 1..6] [--cycles N] [--program primes:N|nops:N|branchy:N] \
+         [--vcd FILE] [--profile] [--trace N] [--emit cpp|cpp-header|verilog]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let Some(design) = argv.next() else {
+        return Err(usage());
+    };
+    let mut args = Args {
+        design,
+        backend: "cuttlesim".into(),
+        level: 6,
+        cycles: 10_000,
+        program: "primes:100".into(),
+        vcd: None,
+        profile: false,
+        trace: None,
+        emit: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--backend" => args.backend = value("--backend")?,
+            "--level" => {
+                args.level = value("--level")?.parse().map_err(|_| usage())?;
+            }
+            "--cycles" => {
+                args.cycles = value("--cycles")?.parse().map_err(|_| usage())?;
+            }
+            "--program" => args.program = value("--program")?,
+            "--vcd" => args.vcd = Some(value("--vcd")?),
+            "--profile" => args.profile = true,
+            "--trace" => {
+                args.trace = Some(value("--trace")?.parse().map_err(|_| usage())?);
+            }
+            "--emit" => args.emit = Some(value("--emit")?),
+            other => {
+                eprintln!("unknown option {other}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn design_by_name(name: &str) -> Option<Design> {
+    Some(match name {
+        "collatz" => small::collatz(),
+        "fir" => small::fir(),
+        "fft" => small::fft(),
+        "rv32i" => rv32::rv32i(),
+        "rv32e" => rv32::rv32e(),
+        "rv32i-bp" => rv32::rv32i_bp(),
+        "rv32i-bypass" => rv32::rv32i_bypass(),
+        "rv32i-x0bug" => rv32::rv32i_x0bug(),
+        "msi" => msi::msi_system(),
+        "msi-buggy" => msi::msi_system_buggy(),
+        _ => return None,
+    })
+}
+
+fn workload(spec: &str) -> Option<Vec<u32>> {
+    let (kind, n) = spec.split_once(':')?;
+    let n: u32 = n.parse().ok()?;
+    Some(match kind {
+        "primes" => programs::primes(n),
+        "nops" => programs::nops(n as usize),
+        "branchy" => programs::branchy(n),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some(design) = design_by_name(&args.design) else {
+        eprintln!("unknown design {:?}", args.design);
+        return usage();
+    };
+    let td = match check(&design) {
+        Ok(td) => td,
+        Err(e) => {
+            eprintln!("design error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(what) = &args.emit {
+        match what.as_str() {
+            "cpp" => print!("{}", codegen_cpp::emit(&td)),
+            "cpp-header" => print!("{}", codegen_cpp::emit_runtime_header()),
+            "verilog" => match rtl_compile(&td, Scheme::Dynamic) {
+                Ok(model) => print!("{}", verilog::emit(&model)),
+                Err(e) => {
+                    eprintln!("rtl error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => return usage(),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Devices: cores get a magic memory preloaded with the workload.
+    let mut devices: Vec<Box<dyn Device>> = Vec::new();
+    if args.design.starts_with("rv32") {
+        let Some(program) = workload(&args.program) else {
+            eprintln!("bad --program spec {:?}", args.program);
+            return usage();
+        };
+        devices.push(Box::new(MagicMemory::new(
+            &td,
+            &["imem", "dmem"],
+            &program,
+            MEM_WORDS,
+        )));
+    }
+    let mut vcd = args
+        .vcd
+        .as_ref()
+        .map(|_| VcdRecorder::all_registers(&td));
+
+    let level = match args.level {
+        1 => OptLevel::SplitRwSets,
+        2 => OptLevel::AccumulatedLogs,
+        3 => OptLevel::ResetOnFailure,
+        4 => OptLevel::MergedData,
+        5 => OptLevel::NoBocState,
+        6 => OptLevel::DesignSpecific,
+        _ => return usage(),
+    };
+
+    let mut sim: Box<dyn SimBackend> = match args.backend.as_str() {
+        "interp" => Box::new(koika::Interp::new(&td)),
+        "cuttlesim" => {
+            let mut sim = Sim::compile_with(
+                &td,
+                &CompileOptions {
+                    level,
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("bundled designs compile");
+            if args.profile {
+                sim.enable_profiling();
+            }
+            Box::new(sim)
+        }
+        "rtl" => Box::new(RtlSim::new(
+            rtl_compile(&td, Scheme::Dynamic).expect("bundled designs compile"),
+        )),
+        "rtl-static" => Box::new(RtlSim::new(
+            rtl_compile(&td, Scheme::Static).expect("bundled designs compile"),
+        )),
+        _ => return usage(),
+    };
+
+    let start = std::time::Instant::now();
+    let main_cycles = args.cycles.saturating_sub(args.trace.unwrap_or(0));
+    for cycle in 0..main_cycles {
+        for d in devices.iter_mut() {
+            d.tick(cycle, sim.as_reg_access());
+        }
+        if let Some(v) = &mut vcd {
+            v.tick(cycle, sim.as_reg_access());
+        }
+        sim.cycle();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "{}: {} cycles on {} in {:.3}s ({:.0} cycles/s), {} rule commits",
+        td.name,
+        sim.cycle_count(),
+        args.backend,
+        elapsed,
+        main_cycles as f64 / elapsed.max(1e-9),
+        sim.rules_fired()
+    );
+
+    // Design-specific summary lines.
+    if args.design.starts_with("rv32") {
+        let retired = sim.as_reg_access().get64(td.reg_id("retired"));
+        println!(
+            "  retired {} instructions (IPC {:.3}), pc = {:#x}",
+            retired,
+            retired as f64 / sim.cycle_count().max(1) as f64,
+            sim.as_reg_access().get64(td.reg_id("pc"))
+        );
+    }
+
+    if let (Some(n), "cuttlesim") = (args.trace, args.backend.as_str()) {
+        // Tracing uses the VM's stepping API: rebuild a fresh Sim with the
+        // same (deterministic) devices, fast-forward, then record the tail.
+        let mut traced = Sim::compile_with(
+            &td,
+            &CompileOptions {
+                level,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compiles");
+        // Deterministic devices: rebuild and fast-forward.
+        let mut devices2: Vec<Box<dyn Device>> = Vec::new();
+        if args.design.starts_with("rv32") {
+            let program = workload(&args.program).expect("validated above");
+            devices2.push(Box::new(MagicMemory::new(
+                &td,
+                &["imem", "dmem"],
+                &program,
+                MEM_WORDS,
+            )));
+        }
+        for cycle in 0..main_cycles {
+            for d in devices2.iter_mut() {
+                d.tick(cycle, traced.as_reg_access());
+            }
+            traced.cycle();
+        }
+        let trace = {
+            let mut dev_refs: Vec<&mut dyn Device> =
+                devices2.iter_mut().map(|d| &mut **d as &mut dyn Device).collect();
+            RuleTrace::record(&mut traced, &mut dev_refs, n)
+        };
+        println!("\nRule activity (last {n} cycles):\n{trace}");
+    }
+
+    if args.profile && args.backend == "cuttlesim" {
+        // The profile lives in the Sim; re-run quickly to fetch it when the
+        // box has been consumed by tracing above.
+        let mut profiled = Sim::compile_with(
+            &td,
+            &CompileOptions {
+                level,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compiles");
+        profiled.enable_profiling();
+        let mut devices3: Vec<Box<dyn Device>> = Vec::new();
+        if args.design.starts_with("rv32") {
+            let program = workload(&args.program).expect("validated above");
+            devices3.push(Box::new(MagicMemory::new(
+                &td,
+                &["imem", "dmem"],
+                &program,
+                MEM_WORDS,
+            )));
+        }
+        for cycle in 0..main_cycles {
+            for d in devices3.iter_mut() {
+                d.tick(cycle, profiled.as_reg_access());
+            }
+            profiled.cycle();
+        }
+        println!("\n{}", ProfileReport::collect(&profiled));
+    }
+
+    if let (Some(path), Some(v)) = (&args.vcd, &vcd) {
+        let dump = v.finish(main_cycles);
+        if let Err(e) = std::fs::write(path, &dump) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} bytes of VCD to {path}", dump.len());
+    }
+
+    ExitCode::SUCCESS
+}

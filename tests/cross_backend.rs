@@ -1,0 +1,236 @@
+//! Workspace-level integration tests: every Table-1 design, every backend,
+//! shared devices — the "completely separate toolchains that stay
+//! cycle-accurate with respect to each other" property, end to end.
+
+use cuttlesim::{CompileOptions, Dispatch, OptLevel, Sim};
+use koika::check::check;
+use koika::design::Design;
+use koika::device::{Device, RegAccess, SimBackend};
+use koika::interp::Interp;
+use koika::testgen::SplitMix64;
+use koika::tir::{RegId, TDesign};
+use koika_designs::memdev::MagicMemory;
+use koika_designs::{rv32, small};
+use koika_riscv::programs;
+use koika_rtl::{compile as rtl_compile, RtlSim, Scheme};
+
+/// Drives `in*`/`input` stimulus registers with pseudorandom values.
+struct Stimulus {
+    regs: Vec<RegId>,
+    rng: SplitMix64,
+}
+
+impl Device for Stimulus {
+    fn tick(&mut self, _cycle: u64, regs: &mut dyn RegAccess) {
+        for &r in &self.regs {
+            regs.set64(r, self.rng.next_u64() & 0xffff);
+        }
+    }
+}
+
+fn stimulus_for(td: &TDesign) -> Option<Stimulus> {
+    let regs: Vec<RegId> = td
+        .syms
+        .iter()
+        .filter(|s| s.name == "input" || s.name.starts_with("in"))
+        .filter(|s| s.len == 1 && s.name != "input_ready")
+        .map(|s| s.base)
+        .collect();
+    if regs.is_empty() {
+        None
+    } else {
+        Some(Stimulus {
+            regs,
+            rng: SplitMix64::new(0xBEEF),
+        })
+    }
+}
+
+fn compare_all_backends(design: &Design, cycles: u64) {
+    let td = check(design).expect("typechecks");
+    let mut interp = Interp::new(&td);
+    let mut interp_dev = stimulus_for(&td);
+    let mut vm = Sim::compile(&td).expect("compiles");
+    let mut vm_dev = stimulus_for(&td);
+    let mut vm_closure = Sim::compile(&td).expect("compiles");
+    vm_closure.set_dispatch(Dispatch::Closure);
+    let mut vmc_dev = stimulus_for(&td);
+    let mut rtl = RtlSim::new(rtl_compile(&td, Scheme::Dynamic).expect("compiles"));
+    let mut rtl_dev = stimulus_for(&td);
+
+    for cycle in 0..cycles {
+        if let Some(d) = &mut interp_dev {
+            d.tick(cycle, interp.as_reg_access());
+        }
+        interp.cycle();
+        if let Some(d) = &mut vm_dev {
+            d.tick(cycle, vm.as_reg_access());
+        }
+        vm.cycle();
+        if let Some(d) = &mut vmc_dev {
+            d.tick(cycle, vm_closure.as_reg_access());
+        }
+        vm_closure.cycle();
+        if let Some(d) = &mut rtl_dev {
+            d.tick(cycle, rtl.as_reg_access());
+        }
+        rtl.cycle();
+        for r in 0..td.num_regs() {
+            let reg = RegId(r as u32);
+            let expect = interp.get64(reg);
+            assert_eq!(vm.get64(reg), expect, "{}: cycle {cycle} reg {} (vm)", td.name, td.regs[r].name);
+            assert_eq!(
+                vm_closure.get64(reg),
+                expect,
+                "{}: cycle {cycle} reg {} (vm closure)",
+                td.name,
+                td.regs[r].name
+            );
+            assert_eq!(rtl.get64(reg), expect, "{}: cycle {cycle} reg {} (rtl)", td.name, td.regs[r].name);
+        }
+    }
+}
+
+#[test]
+fn collatz_agrees_everywhere() {
+    compare_all_backends(&small::collatz(), 500);
+}
+
+#[test]
+fn fir_agrees_everywhere() {
+    compare_all_backends(&small::fir(), 300);
+}
+
+#[test]
+fn fft_agrees_everywhere() {
+    compare_all_backends(&small::fft(), 200);
+}
+
+#[test]
+fn rtl_core_runs_primes_to_completion() {
+    // The RTL pipeline, too, runs whole programs correctly (Fig. 1's
+    // baseline is a *working* simulator, just a slower one).
+    let td = check(&rv32::rv32i()).unwrap();
+    let program = programs::primes(30);
+    let golden = koika_designs::harness::golden_run(&program, 1_000_000);
+    let mut rtl = RtlSim::new(rtl_compile(&td, Scheme::Dynamic).unwrap());
+    let mut mem = MagicMemory::new(
+        &td,
+        &["imem", "dmem"],
+        &program,
+        koika_designs::harness::MEM_WORDS,
+    );
+    let run = koika_designs::harness::run_until_retired(
+        &mut rtl,
+        &mut mem,
+        &td,
+        "",
+        golden.retired,
+        2_000_000,
+    );
+    assert!(run.completed);
+    assert_eq!(mem.word(programs::RESULT_ADDR), programs::primes_expected(30));
+}
+
+#[test]
+fn static_scheme_core_runs_primes_to_completion() {
+    // The Bluespec-style scheme may schedule more conservatively, but the
+    // core still computes the right answer (Fig. 2's baseline works).
+    let td = check(&rv32::rv32i()).unwrap();
+    let program = programs::primes(30);
+    let golden = koika_designs::harness::golden_run(&program, 1_000_000);
+    let mut rtl = RtlSim::new(rtl_compile(&td, Scheme::Static).unwrap());
+    let mut mem = MagicMemory::new(
+        &td,
+        &["imem", "dmem"],
+        &program,
+        koika_designs::harness::MEM_WORDS,
+    );
+    let run = koika_designs::harness::run_until_retired(
+        &mut rtl,
+        &mut mem,
+        &td,
+        "",
+        golden.retired,
+        4_000_000,
+    );
+    assert!(run.completed, "static-scheme core did not finish: {run:?}");
+    assert_eq!(mem.word(programs::RESULT_ADDR), programs::primes_expected(30));
+}
+
+#[test]
+fn coverage_counts_are_dispatch_independent() {
+    let td = check(&small::collatz()).unwrap();
+    let opts = CompileOptions {
+        coverage: true,
+        ..CompileOptions::default()
+    };
+    let mut a = Sim::compile_with(&td, &opts).unwrap();
+    let mut b = Sim::compile_with(&td, &opts).unwrap();
+    b.set_dispatch(Dispatch::Closure);
+    for _ in 0..500 {
+        a.cycle();
+        b.cycle();
+    }
+    assert_eq!(a.coverage_counts(), b.coverage_counts());
+}
+
+#[test]
+fn snapshots_restore_full_determinism() {
+    let td = check(&rv32::rv32i()).unwrap();
+    let program = programs::primes(20);
+    let mut sim = Sim::compile(&td).unwrap();
+    let mut mem = MagicMemory::new(
+        &td,
+        &["imem", "dmem"],
+        &program,
+        koika_designs::harness::MEM_WORDS,
+    );
+    for cycle in 0..1000u64 {
+        mem.tick(cycle, sim.as_reg_access());
+        sim.cycle();
+    }
+    let snap = sim.save_state();
+    let mem_snap = mem.clone();
+    let run_on = |sim: &mut Sim, mem: &mut MagicMemory| -> Vec<u64> {
+        for cycle in 1000..1500u64 {
+            mem.tick(cycle, sim.as_reg_access());
+            sim.cycle();
+        }
+        sim.reg_values()
+    };
+    let first = run_on(&mut sim, &mut mem);
+    sim.restore_state(&snap);
+    let mut mem2 = mem_snap;
+    let second = run_on(&mut sim, &mut mem2);
+    assert_eq!(first, second, "replay from a snapshot must be deterministic");
+}
+
+#[test]
+fn wide_designs_run_on_the_interpreter_and_are_rejected_by_the_vm() {
+    use koika::ast::*;
+    use koika::design::DesignBuilder;
+    let mut b = DesignBuilder::new("wide");
+    b.reg("acc", 100, 1u64);
+    b.rule(
+        "rot",
+        vec![wr0(
+            "acc",
+            rd0("acc").shl(k(8, 7)).or(rd0("acc").shr(k(8, 93))),
+        )],
+    );
+    let td = check(&b.build()).unwrap();
+    // The interpreter supports arbitrary widths...
+    let mut interp = Interp::new(&td);
+    for _ in 0..200 {
+        interp.cycle();
+    }
+    let acc = interp.reg_bits(td.reg_id("acc"));
+    assert_eq!(acc.width(), 100);
+    // ... 200 rotations by 7 over a width-100 register: 1400 = 14 full
+    // rotations exactly, so we are back at 1.
+    assert_eq!(acc.to_u128(), 1);
+    // ... while the fast backends report a clean error instead of truncating.
+    assert!(Sim::compile(&td).is_err());
+    assert!(rtl_compile(&td, Scheme::Dynamic).is_err());
+}
