@@ -8,6 +8,7 @@
 //! rule's body actually runs — the early-exit behavior §2.3 is about.
 
 use crate::vm::Sim;
+use koika::obs::Metrics;
 use std::fmt;
 
 /// A per-rule work profile extracted from a [`Sim`].
@@ -56,17 +57,24 @@ impl ProfileReport {
         let insns = sim
             .profile_insns()
             .expect("profiling not enabled; call Sim::enable_profiling() first");
-        let rows: Vec<ProfileRow> = sim
-            .program()
-            .rules
+        let body_lens: Vec<usize> = sim.program().rules.iter().map(|r| r.code.len()).collect();
+        ProfileReport::from_metrics(&sim.metrics_snapshot(), insns, &body_lens)
+    }
+
+    /// Builds a report as a view over a [`Metrics`] snapshot, pairing its
+    /// per-rule commit/failure counts with instruction counts and static
+    /// body lengths (both indexed in rule-declaration order).
+    pub fn from_metrics(metrics: &Metrics, insns: &[u64], body_lens: &[usize]) -> ProfileReport {
+        let rows: Vec<ProfileRow> = metrics
+            .rules()
             .iter()
             .enumerate()
             .map(|(i, r)| ProfileRow {
                 rule: r.name.clone(),
-                insns: insns[i],
-                fired: sim.fired_per_rule()[i],
-                failed: sim.fails_per_rule()[i],
-                body_len: r.code.len(),
+                insns: insns.get(i).copied().unwrap_or(0),
+                fired: r.fired,
+                failed: r.failed(),
+                body_len: body_lens.get(i).copied().unwrap_or(0),
             })
             .collect();
         let total_insns = rows.iter().map(|r| r.insns).sum();
@@ -76,7 +84,7 @@ impl ProfileReport {
     /// Rows, hottest first.
     pub fn rows(&self) -> Vec<&ProfileRow> {
         let mut rows: Vec<&ProfileRow> = self.rows.iter().collect();
-        rows.sort_by(|a, b| b.insns.cmp(&a.insns));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.insns));
         rows
     }
 

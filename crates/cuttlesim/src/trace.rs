@@ -4,12 +4,14 @@
 //! which parts of the design execute in a given cycle" — this module makes
 //! that view available in batch form: a per-cycle record of which rules
 //! committed, which failed (exited early), and which were skipped, rendered
-//! as a timeline. Built entirely on the public mid-cycle stepping API
-//! ([`Sim::begin_cycle`] / [`Sim::step_rule`] / [`Sim::end_cycle`]), so it
-//! needs no hooks inside the VM.
+//! as a timeline. A thin view over the unified observability layer
+//! ([`koika::obs::Observer`]): recording is just an observer that collects
+//! each rule's commit/fail event, so the trace is guaranteed to agree with
+//! every other sink attached to the same run.
 
 use crate::vm::Sim;
 use koika::device::Device;
+use koika::obs::{FailureReason, Observer};
 use std::fmt;
 
 /// The outcome of one rule in one cycle.
@@ -29,37 +31,46 @@ pub struct RuleTrace {
     cycles: Vec<(u64, Vec<RuleOutcome>)>,
 }
 
+/// The observer behind [`RuleTrace::record`]: outcome events arrive in
+/// schedule order within each cycle, so collecting them in arrival order
+/// reproduces the trace's schedule-order columns.
+#[derive(Default)]
+struct TraceCollector {
+    cycles: Vec<(u64, Vec<RuleOutcome>)>,
+    cur: Vec<RuleOutcome>,
+}
+
+impl Observer for TraceCollector {
+    fn rule_commit(&mut self, _rule: usize) {
+        self.cur.push(RuleOutcome::Fired);
+    }
+
+    fn rule_fail(&mut self, _rule: usize, _reason: FailureReason) {
+        self.cur.push(RuleOutcome::Failed);
+    }
+
+    fn cycle_end(&mut self, cycle: u64) {
+        self.cycles.push((cycle, std::mem::take(&mut self.cur)));
+    }
+}
+
 impl RuleTrace {
     /// Runs `ncycles` cycles on `sim` (ticking `devices` at each boundary),
     /// recording every rule's outcome.
     pub fn record(sim: &mut Sim, devices: &mut [&mut dyn Device], ncycles: u64) -> RuleTrace {
         use koika::device::SimBackend;
-        let schedule = sim.program().schedule.clone();
-        let rule_names: Vec<String> = schedule
+        let rule_names: Vec<String> = sim
+            .program()
+            .schedule
             .iter()
             .map(|&i| sim.program().rules[i].name.clone())
             .collect();
-        let mut cycles = Vec::with_capacity(ncycles as usize);
-        for _ in 0..ncycles {
-            let cycle = sim.cycle_count();
-            for d in devices.iter_mut() {
-                d.tick(cycle, sim.as_reg_access());
-            }
-            sim.begin_cycle();
-            let outcomes = schedule
-                .iter()
-                .map(|&rule| {
-                    if sim.step_rule(rule) {
-                        RuleOutcome::Fired
-                    } else {
-                        RuleOutcome::Failed
-                    }
-                })
-                .collect();
-            sim.end_cycle();
-            cycles.push((cycle, outcomes));
+        let mut collector = TraceCollector::default();
+        sim.run_obs(ncycles, devices, &mut collector);
+        RuleTrace {
+            rule_names,
+            cycles: collector.cycles,
         }
-        RuleTrace { rule_names, cycles }
     }
 
     /// The recorded cycles: `(cycle number, outcome per scheduled rule)`.

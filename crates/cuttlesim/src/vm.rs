@@ -20,6 +20,7 @@ use crate::level::LevelCfg;
 use koika::analysis::ScheduleAssumption;
 use koika::bits::word;
 use koika::device::{RegAccess, SimBackend};
+use koika::obs::{FailureReason, Metrics, Observer};
 use koika::tir::{RegId, TDesign};
 
 const R1: u8 = 0b0010;
@@ -35,6 +36,10 @@ enum Flow {
     Fail { clean: bool },
     Done,
 }
+
+/// A pre-bound instruction thunk, one per instruction, for the
+/// closure-dispatch backend ([`Dispatch::Closure`]).
+type RuleClosure = Box<dyn Fn(&mut State, LevelCfg) -> Flow>;
 
 /// Information about the most recent rule failure — the software analogue of
 /// breaking on the paper's `FAIL()` macro.
@@ -119,12 +124,15 @@ pub struct Sim {
     prog: Program,
     st: State,
     dispatch: Dispatch,
-    closures: Vec<Vec<Box<dyn Fn(&mut State, LevelCfg) -> Flow>>>,
+    closures: Vec<Vec<RuleClosure>>,
     history: Option<History>,
     mid_cycle: bool,
     /// Per-rule executed-instruction counters (gprof-style profiling),
     /// `None` unless enabled.
     profile: Option<Vec<u64>>,
+    /// Scratch buffer for `cycle_obs` boundary diffs. Lives outside `State`
+    /// so snapshots and reverse debugging don't drag it along.
+    obs_prev: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -184,6 +192,7 @@ impl Sim {
             history: None,
             mid_cycle: false,
             profile: None,
+            obs_prev: Vec::new(),
         }
     }
 
@@ -213,7 +222,7 @@ impl Sim {
                     r.code
                         .iter()
                         .map(|&insn| {
-                            let f: Box<dyn Fn(&mut State, LevelCfg) -> Flow> =
+                            let f: RuleClosure =
                                 Box::new(move |st, cfg| exec_insn(st, cfg, insn));
                             f
                         })
@@ -241,6 +250,17 @@ impl Sim {
     /// The most recent rule failure, if any.
     pub fn last_fail(&self) -> Option<FailInfo> {
         self.st.last_fail
+    }
+
+    /// A [`Metrics`] snapshot built from the VM's always-on counters
+    /// (commits, failures, cycles) — available without ever attaching an
+    /// observer, because the VM keeps these counts on its fast path anyway.
+    /// Failures are unclassified here; attach a `Metrics` observer via
+    /// [`SimBackend::cycle_obs`] for per-reason breakdowns.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = Metrics::for_design(&self.prog.design);
+        m.set_counts(&self.st.fired_per_rule, &self.st.fail_per_rule, self.st.cycles);
+        m
     }
 
     /// Raw coverage counters (parallel to `program().cov`).
@@ -481,9 +501,8 @@ impl Sim {
         }
         st.cycles += 1;
         self.mid_cycle = false;
-        if self.history.is_some() {
-            let snap = self.st.clone();
-            let h = self.history.as_mut().expect("checked above");
+        if let Some(h) = &mut self.history {
+            let snap = st.clone();
             if h.snapshots.len() == h.capacity {
                 h.snapshots.remove(0);
             }
@@ -908,6 +927,41 @@ impl SimBackend for Sim {
             self.step_rule(rule);
         }
         self.end_cycle();
+    }
+
+    fn cycle_obs(&mut self, obs: &mut dyn Observer) {
+        debug_assert!(!self.mid_cycle, "cycle_obs() called while stepping mid-cycle");
+        let nregs = self.prog.init.len();
+        let mut prev = std::mem::take(&mut self.obs_prev);
+        prev.clear();
+        prev.extend((0..nregs).map(|i| self.read_reg(i)));
+        let cycle = self.st.cycles;
+        obs.cycle_start(cycle);
+        self.begin_cycle();
+        for i in 0..self.prog.schedule.len() {
+            let rule = self.prog.schedule[i];
+            obs.rule_attempt(rule);
+            if self.step_rule(rule) {
+                obs.rule_commit(rule);
+            } else {
+                // step_rule just refreshed `last_fail` for this failure.
+                let reason = match self.st.last_fail {
+                    Some(FailInfo { reg: Some(r), .. }) => FailureReason::Conflict(r),
+                    Some(FailInfo { reg: None, .. }) => FailureReason::Abort,
+                    None => FailureReason::Unspecified,
+                };
+                obs.rule_fail(rule, reason);
+            }
+        }
+        self.end_cycle();
+        for (i, &old) in prev.iter().enumerate() {
+            let new = self.read_reg(i);
+            if new != old {
+                obs.reg_write(RegId(i as u32), old, new);
+            }
+        }
+        self.obs_prev = prev;
+        obs.cycle_end(cycle);
     }
 
     fn cycle_count(&self) -> u64 {

@@ -268,8 +268,7 @@ fn ownership_ping_pong_on_a_hot_address() {
     let mut sim = Sim::compile(&td).unwrap();
 
     let port = |i: usize, n: &str| td.reg_id(&format!("c{i}_cpu_{n}"));
-    let mut value = 1u64;
-    for round in 0..40 {
+    for (round, value) in (0..40).zip(1u64..) {
         let core = round % 2;
         // Issue a store of `value` to address 3 from `core`.
         sim.set64(port(core, "req_valid"), 1);
@@ -306,6 +305,5 @@ fn ownership_ping_pong_on_a_hot_address() {
             "round {round}: core {other} read a stale value"
         );
         check_safety(&mut sim, &td);
-        value += 1;
     }
 }

@@ -12,6 +12,9 @@ use koika_designs::memdev::MagicMemory;
 use koika_designs::rv32;
 use koika_riscv::isa::{encode, Instr};
 
+/// Constructor shape shared by the store/load instruction pairs below.
+type MemInstrCtor = fn(u8, u8, i32) -> Instr;
+
 /// Scratch memory region used by generated loads/stores (word 256 on).
 const SCRATCH: u32 = 0x400;
 
@@ -63,7 +66,7 @@ fn torture_program(seed: u64, len: usize) -> Vec<u32> {
             15 | 16 => {
                 // Store then load back at a random alignment in scratch.
                 let width = rng.below(3);
-                let (off, store, load): (i32, fn(u8, u8, i32) -> Instr, fn(u8, u8, i32) -> Instr) =
+                let (off, store, load): (i32, MemInstrCtor, MemInstrCtor) =
                     match width {
                         0 => (
                             rng.below(64) as i32,

@@ -454,12 +454,12 @@ impl Bits {
             let mut out = vec![0u64; words.len()];
             let word_sh = (amount / 64) as usize;
             let bit_sh = (amount % 64) as u32;
-            for i in 0..words.len() {
+            for (i, o) in out.iter_mut().enumerate() {
                 let src = i + word_sh;
                 if src < words.len() {
-                    out[i] |= words[src] >> bit_sh;
+                    *o |= words[src] >> bit_sh;
                     if bit_sh > 0 && src + 1 < words.len() {
-                        out[i] |= words[src + 1] << (64 - bit_sh);
+                        *o |= words[src + 1] << (64 - bit_sh);
                     }
                 }
             }

@@ -12,6 +12,7 @@
 //! Devices may only touch registers at most 64 bits wide (every design in
 //! this repository qualifies).
 
+use crate::obs::Observer;
 use crate::tir::RegId;
 
 /// Register-level access to a simulator's architectural state, as visible
@@ -55,6 +56,22 @@ pub trait SimBackend: RegAccess {
     /// update).
     fn cycle(&mut self);
 
+    /// Executes one full cycle while reporting rule-level events to the
+    /// given [`Observer`].
+    ///
+    /// This is a separate entry point (rather than an `Option<&mut dyn
+    /// Observer>` parameter on [`SimBackend::cycle`]) so that unobserved
+    /// simulation pays no dispatch or branching cost at all: the hot
+    /// `cycle` loops stay byte-for-byte what they were before observation
+    /// existed.
+    ///
+    /// Rule indices reported to the observer are **declaration order**
+    /// indices on every backend, and `reg_write` reports registers whose
+    /// low 64 bits changed across the cycle boundary, so event streams
+    /// from different backends over the same design are directly
+    /// comparable.
+    fn cycle_obs(&mut self, obs: &mut dyn Observer);
+
     /// The number of cycles executed so far.
     fn cycle_count(&self) -> u64;
 
@@ -69,6 +86,18 @@ pub trait SimBackend: RegAccess {
                 d.tick(cycle, self.as_reg_access());
             }
             self.cycle();
+        }
+    }
+
+    /// Like [`SimBackend::run`], but with an [`Observer`] attached to
+    /// every cycle.
+    fn run_obs(&mut self, ncycles: u64, devices: &mut [&mut dyn Device], obs: &mut dyn Observer) {
+        for _ in 0..ncycles {
+            let cycle = self.cycle_count();
+            for d in devices.iter_mut() {
+                d.tick(cycle, self.as_reg_access());
+            }
+            self.cycle_obs(obs);
         }
     }
 

@@ -25,12 +25,17 @@
 
 use crate::bits::Bits;
 use crate::device::{RegAccess, SimBackend};
+use crate::obs::{FailureReason, Observer};
 use crate::tir::{RegId, TAction, TDesign, TExpr};
 use crate::ast::{BinOp, Port, UnOp};
 
-/// Rule execution aborted (explicit `abort` or a failed read/write check).
+/// Rule execution aborted: an explicit `abort` (or failed guard), or a
+/// read/write check failing on a specific register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Aborted;
+enum Aborted {
+    Explicit,
+    Conflict(RegId),
+}
 
 #[derive(Debug, Clone, Default)]
 struct LogEntry {
@@ -115,14 +120,14 @@ impl Interp {
         match port {
             Port::P0 => {
                 if cyc.w0 || cyc.w1 {
-                    return Err(Aborted);
+                    return Err(Aborted::Conflict(reg));
                 }
                 self.rule_log[i].r0 = true;
                 Ok(self.regs[i].clone())
             }
             Port::P1 => {
                 if cyc.w1 {
-                    return Err(Aborted);
+                    return Err(Aborted::Conflict(reg));
                 }
                 let value = if let Some(d0) = &self.rule_log[i].d0 {
                     d0.clone()
@@ -143,7 +148,7 @@ impl Interp {
         match port {
             Port::P0 => {
                 if cyc.r1 || cyc.w0 || cyc.w1 || rl.r1 || rl.w0 || rl.w1 {
-                    return Err(Aborted);
+                    return Err(Aborted::Conflict(reg));
                 }
                 let e = &mut self.rule_log[i];
                 e.w0 = true;
@@ -151,7 +156,7 @@ impl Interp {
             }
             Port::P1 => {
                 if cyc.w1 || rl.w1 {
-                    return Err(Aborted);
+                    return Err(Aborted::Conflict(reg));
                 }
                 let e = &mut self.rule_log[i];
                 e.w1 = true;
@@ -257,7 +262,7 @@ impl Interp {
                         self.exec(t)?;
                     }
                 }
-                TAction::Abort => return Err(Aborted),
+                TAction::Abort => return Err(Aborted::Explicit),
                 TAction::Named { body, .. } => self.exec(body)?,
             }
         }
@@ -278,14 +283,19 @@ impl Interp {
     ///
     /// Must be bracketed by [`Interp::begin_cycle`] / [`Interp::end_cycle`].
     pub fn step_rule(&mut self, rule_idx: usize) -> bool {
+        self.try_rule(rule_idx).is_ok()
+    }
+
+    /// [`Interp::step_rule`], but reporting *why* a failed rule failed.
+    fn try_rule(&mut self, rule_idx: usize) -> Result<(), Aborted> {
         for e in &mut self.rule_log {
             e.clear();
         }
         self.locals.clear();
         let body = std::mem::take(&mut self.design.rules[rule_idx].body);
-        let ok = self.exec(&body).is_ok();
+        let result = self.exec(&body);
         self.design.rules[rule_idx].body = body;
-        if ok {
+        if result.is_ok() {
             // Commit: or the read-write sets, move write data.
             for (cyc, rl) in self.cycle_log.iter_mut().zip(self.rule_log.iter_mut()) {
                 cyc.r0 |= rl.r0;
@@ -302,7 +312,7 @@ impl Interp {
             self.fired += 1;
             self.fired_per_rule[rule_idx] += 1;
         }
-        ok
+        result
     }
 
     /// Ends the cycle: commits the cycle log into the register state.
@@ -355,6 +365,31 @@ impl SimBackend for Interp {
             self.step_rule(idx);
         }
         self.end_cycle();
+    }
+
+    fn cycle_obs(&mut self, obs: &mut dyn Observer) {
+        debug_assert!(!self.mid_cycle, "cycle_obs() called while stepping mid-cycle");
+        let n = self.cycles;
+        let prev: Vec<u64> = self.regs.iter().map(|b| b.low_u64()).collect();
+        obs.cycle_start(n);
+        self.begin_cycle();
+        let schedule = self.design.schedule.clone();
+        for idx in schedule {
+            obs.rule_attempt(idx);
+            match self.try_rule(idx) {
+                Ok(()) => obs.rule_commit(idx),
+                Err(Aborted::Explicit) => obs.rule_fail(idx, FailureReason::Abort),
+                Err(Aborted::Conflict(reg)) => obs.rule_fail(idx, FailureReason::Conflict(reg)),
+            }
+        }
+        self.end_cycle();
+        for (i, &old) in prev.iter().enumerate() {
+            let new = self.regs[i].low_u64();
+            if new != old {
+                obs.reg_write(RegId(i as u32), old, new);
+            }
+        }
+        obs.cycle_end(n);
     }
 
     fn cycle_count(&self) -> u64 {

@@ -14,7 +14,10 @@
 //! * [`analysis`] — the abstract-interpretation pass behind Cuttlesim's
 //!   design-specific optimizations (§3.3);
 //! * [`device`] — the external-device harness that keeps every backend
-//!   cycle-accurate with respect to every other one.
+//!   cycle-accurate with respect to every other one;
+//! * [`obs`] — the unified observability layer: probe hooks, cycle
+//!   metrics, and Perfetto/JSON export shared by all backends (§4.2's
+//!   debugging story as a library).
 //!
 //! The fast simulator lives in the `cuttlesim` crate; the RTL pipeline
 //! (the "Verilator baseline") lives in `koika-rtl`.
@@ -50,6 +53,7 @@ pub mod check;
 pub mod design;
 pub mod device;
 pub mod interp;
+pub mod obs;
 pub mod testgen;
 pub mod tir;
 pub mod vcd;
@@ -59,4 +63,5 @@ pub use check::check;
 pub use design::{Design, DesignBuilder};
 pub use device::{Device, RegAccess, SimBackend};
 pub use interp::Interp;
+pub use obs::{FailureReason, Metrics, Observer, PerfettoTrace};
 pub use tir::{RegId, TDesign};

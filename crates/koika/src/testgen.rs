@@ -120,11 +120,12 @@ pub fn random_design(seed: u64) -> Design {
         // Write phase.
         let nwrites = rng.range(1, 3) as usize;
         for _ in 0..nwrites {
-            let (target, w): (String, u32) = if arr.is_some() && rng.chance(1, 4) {
-                ("arr".to_string(), arr.expect("checked").0)
-            } else {
-                let t = rng.below(nregs as u64) as usize;
-                (format!("r{t}"), widths[t])
+            let (target, w): (String, u32) = match arr {
+                Some((aw, _)) if rng.chance(1, 4) => ("arr".to_string(), aw),
+                _ => {
+                    let t = rng.below(nregs as u64) as usize;
+                    (format!("r{t}"), widths[t])
+                }
             };
             let e = random_expr(&mut rng, &vars, w, 3);
             let act = if target == "arr" {

@@ -87,6 +87,10 @@ pub struct RtlModel {
     pub fires: Vec<NodeId>,
     /// Names of the scheduled rules, parallel to `fires`.
     pub fire_names: Vec<String>,
+    /// Declaration-order rule index of each scheduled rule, parallel to
+    /// `fires` — maps schedule positions back to `TDesign::rules` so
+    /// observers report the same rule indices as the other backends.
+    pub sched_rules: Vec<usize>,
     /// The compilation scheme used.
     pub scheme: Scheme,
 }
@@ -472,17 +476,17 @@ impl RuleCtx<'_> {
                     self.guard = saved_guard;
 
                     // Merge the logs and locals of the two branches.
-                    for i in 0..self.rflags.len() {
-                        let (a, b) = (rflags_t[i], self.rflags[i]);
+                    for (i, &a) in rflags_t.iter().enumerate() {
+                        let b = self.rflags[i];
                         self.rflags[i] = (
                             self.nl.mux(1, cn, a.0, b.0),
                             self.nl.mux(1, cn, a.1, b.1),
                             self.nl.mux(1, cn, a.2, b.2),
                         );
                     }
-                    for i in 0..self.log.len() {
+                    for (i, &a) in log_t.iter().enumerate() {
                         let w = self.design.regs[i].width;
-                        let (a, b) = (log_t[i], self.log[i]);
+                        let b = self.log[i];
                         self.log[i] = WireLog {
                             r1: self.nl.mux(1, cn, a.r1, b.r1),
                             w0: self.nl.mux(1, cn, a.w0, b.w0),
@@ -622,10 +626,9 @@ pub fn compile(design: &TDesign, scheme: Scheme) -> Result<RtlModel, RtlError> {
     }
 
     // Register update: next = w1 ? d1 : w0 ? d0 : hold.
-    for i in 0..design.num_regs() {
+    for (i, &entry) in cycle_log.iter().enumerate() {
         let w = design.regs[i].width;
         let q = nl.reg_q(i as u32);
-        let entry = cycle_log[i];
         let on_w0 = nl.mux(w, entry.w0, entry.d0, q);
         let next = nl.mux(w, entry.w1, entry.d1, on_w0);
         nl.set_next(i as u32, next);
@@ -644,6 +647,7 @@ pub fn compile(design: &TDesign, scheme: Scheme) -> Result<RtlModel, RtlError> {
         netlist: nl,
         fires,
         fire_names,
+        sched_rules: design.schedule.clone(),
         scheme,
     })
 }

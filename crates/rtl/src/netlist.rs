@@ -321,15 +321,10 @@ impl Netlist {
                     return b;
                 }
             }
-            NlBin::Add | NlBin::Shl | NlBin::Shr => {
-                if self.const_val(b) == Some(0) {
-                    return a;
-                }
-            }
-            NlBin::Sub => {
-                if self.const_val(b) == Some(0) {
-                    return a;
-                }
+            NlBin::Add | NlBin::Shl | NlBin::Shr | NlBin::Sub
+                if self.const_val(b) == Some(0) =>
+            {
+                return a;
             }
             _ => {}
         }

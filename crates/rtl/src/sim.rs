@@ -17,6 +17,7 @@ use crate::compile::RtlModel;
 use crate::netlist::{NlBin, NlUn, Node};
 use koika::bits::word;
 use koika::device::{RegAccess, SimBackend};
+use koika::obs::{FailureReason, Observer};
 use koika::tir::RegId;
 
 /// A running RTL simulation.
@@ -30,6 +31,8 @@ pub struct RtlSim {
     cycles: u64,
     fired: u64,
     fired_per_rule: Vec<u64>,
+    /// Scratch buffer for `cycle_obs` boundary diffs.
+    obs_prev: Vec<u64>,
 }
 
 impl RtlSim {
@@ -45,6 +48,7 @@ impl RtlSim {
             cycles: 0,
             fired: 0,
             fired_per_rule: vec![0; nrules],
+            obs_prev: Vec::new(),
         }
     }
 
@@ -162,6 +166,45 @@ impl SimBackend for RtlSim {
         self.cycles += 1;
     }
 
+    fn cycle_obs(&mut self, obs: &mut dyn Observer) {
+        let mut prev = std::mem::take(&mut self.obs_prev);
+        prev.clear();
+        prev.extend_from_slice(&self.regs);
+        let cycle = self.cycles;
+        obs.cycle_start(cycle);
+        self.settle();
+        for (i, &fire) in self.model.fires.iter().enumerate() {
+            // Report the declaration-order rule index, like the other
+            // backends (schedule position falls back to itself for
+            // hand-built models without scheduling metadata).
+            let rule = self.model.sched_rules.get(i).copied().unwrap_or(i);
+            obs.rule_attempt(rule);
+            if self.vals[fire.0 as usize] != 0 {
+                self.fired += 1;
+                self.fired_per_rule[i] += 1;
+                obs.rule_commit(rule);
+            } else {
+                // The netlist only exposes the final will-fire wire; abort
+                // and conflict are indistinguishable here.
+                obs.rule_fail(rule, FailureReason::Unspecified);
+            }
+        }
+        for i in 0..self.regs.len() {
+            if let Some(next) = self.model.netlist.regs[i].next {
+                self.regs[i] = self.vals[next.0 as usize];
+            }
+        }
+        self.cycles += 1;
+        for (i, &old) in prev.iter().enumerate() {
+            let new = self.regs[i];
+            if new != old {
+                obs.reg_write(RegId(i as u32), old, new);
+            }
+        }
+        self.obs_prev = prev;
+        obs.cycle_end(cycle);
+    }
+
     fn cycle_count(&self) -> u64 {
         self.cycles
     }
@@ -195,6 +238,7 @@ mod tests {
             netlist: nl,
             fires: Vec::new(),
             fire_names: Vec::new(),
+            sched_rules: Vec::new(),
             scheme: crate::Scheme::Dynamic,
         };
         let mut sim = RtlSim::new(model);
@@ -242,6 +286,7 @@ mod tests {
             netlist: nl,
             fires: Vec::new(),
             fire_names: Vec::new(),
+            sched_rules: Vec::new(),
             scheme: crate::Scheme::Dynamic,
         };
         let mut sim = RtlSim::new(model);
@@ -264,6 +309,7 @@ mod tests {
             netlist: nl,
             fires: Vec::new(),
             fire_names: Vec::new(),
+            sched_rules: Vec::new(),
             scheme: crate::Scheme::Dynamic,
         };
         let mut sim = RtlSim::new(model);

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this shim mirrors the
+//! builder API the workspace's benches use (`benchmark_group`, chained
+//! `sample_size`/`warm_up_time`/`measurement_time`/`throughput`,
+//! `bench_function`, `criterion_group!`/`criterion_main!`) and backs it with
+//! a plain wall-clock loop: warm up for the configured duration, then time
+//! batches until the measurement window closes and report the mean per
+//! iteration plus element throughput. No outlier analysis, no HTML reports.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque blackbox re-export so benches can defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Criterion { _private: () }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run single iterations until the window closes, using the
+        // observed time to pick a batch size for measurement.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            bencher.iters = 1;
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for `sample_size` timed batches filling the measurement window.
+        let per_batch = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch_iters = ((per_batch / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let meas_start = Instant::now();
+        while meas_start.elapsed() < self.measurement {
+            bencher.iters = batch_iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total_iters += batch_iters;
+            total_time += bencher.elapsed;
+        }
+
+        let mean_ns = total_time.as_secs_f64() * 1e9 / total_iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * total_iters as f64 / total_time.as_secs_f64().max(1e-12);
+                format!("  {:>12.0} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * total_iters as f64 / total_time.as_secs_f64().max(1e-12);
+                format!("  {:>12.0} B/s", per_sec)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<24} {:>12.1} ns/iter ({} iters){}",
+            self.name, id, mean_ns, total_iters, rate
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so this shim provides
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//! the `proptest!` / `prop_compose!` / `prop_oneof!` macros, the
+//! `prop_assert*` / `prop_assume!` assertion macros, `any::<T>()`, integer
+//! range strategies, tuple strategies, and `Strategy::prop_map`.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **no shrinking** — a failing case reports the generated input as-is;
+//! - **deterministic seeding** — the RNG seed is derived from the test
+//!   name (FNV-1a), so runs are reproducible without a persistence file;
+//! - `PROPTEST_CASES` still overrides the default case count (256).
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Upstream strategies produce shrinkable value *trees*; this shim only
+    /// generates, so the trait is a plain `&self`-driven sampler. `prop_map`
+    /// is a provided method kept `Sized`-bound so the trait stays
+    /// object-safe for [`OneOf`].
+    pub trait Strategy {
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "anything goes" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $w:expr),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias toward boundary values the way upstream's
+                    // integer strategies weight edges: all-zeros, all-ones,
+                    // and extremes show up far more often than 1-in-2^w.
+                    match rng.next_u64() % 16 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => $w(rng),
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(
+        u8 => |r: &mut TestRng| r.next_u64() as u8,
+        u16 => |r: &mut TestRng| r.next_u64() as u16,
+        u32 => |r: &mut TestRng| r.next_u64() as u32,
+        u64 => |r: &mut TestRng| r.next_u64(),
+        u128 => |r: &mut TestRng| ((r.next_u64() as u128) << 64) | r.next_u64() as u128,
+        usize => |r: &mut TestRng| r.next_u64() as usize,
+        i8 => |r: &mut TestRng| r.next_u64() as i8,
+        i16 => |r: &mut TestRng| r.next_u64() as i16,
+        i32 => |r: &mut TestRng| r.next_u64() as i32,
+        i64 => |r: &mut TestRng| r.next_u64() as i64,
+        i128 => |r: &mut TestRng| ((r.next_u64() as i128) << 64) | r.next_u64() as i128,
+        isize => |r: &mut TestRng| r.next_u64() as isize,
+    );
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (((rng.next_u64() as u128) % span) as i128 + self.start as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (((rng.next_u64() as u128) % span) as i128 + start as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Constant strategy (`Just(v)`).
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    }
+
+    /// Uniform choice between boxed alternatives; built by [`crate::prop_oneof!`].
+    pub struct OneOf<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            OneOf { arms: Vec::new() }
+        }
+
+        /// Adds one alternative (builder-style, used by the macro).
+        pub fn with<S>(mut self, s: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod test_runner {
+    /// SplitMix64 — the runner's only entropy source.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input precondition not met (`prop_assume!`); does not count as a case.
+        Reject(String),
+        /// Property violated (`prop_assert*`); aborts the whole test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one property: generate inputs, run the body, stop at the
+    /// configured case count or the first failure.
+    pub struct TestRunner {
+        name: &'static str,
+        cfg: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new_for(name: &'static str, cfg: ProptestConfig) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms,
+            // distinct per property.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                name,
+                cfg,
+                rng: TestRng::from_seed(h),
+            }
+        }
+
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let mut passed = 0u32;
+            let mut attempts = 0u64;
+            let max_attempts = (self.cfg.cases as u64).saturating_mul(20).max(1000);
+            while passed < self.cfg.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "property `{}`: gave up after {} attempts ({} cases passed): \
+                         too many prop_assume! rejections",
+                        self.name, attempts, passed
+                    );
+                }
+                let value = strategy.generate(&mut self.rng);
+                let shown = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "property `{}` failed after {} passing case(s)\n  input: {}\n  {}",
+                        self.name, passed, shown, msg
+                    ),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Defines property tests: each `fn` body runs once per generated input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new_for(stringify!($name), $cfg);
+                let strategy = ( $($strat,)+ );
+                runner.run(&strategy, |( $($pat,)+ )| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Defines a named strategy function from sub-strategies plus a mapping body.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($arg:ident : $argty:ty),* $(,)? )
+                 ( $($pat:pat in $strat:expr),+ $(,)? )
+                 -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ( $($strat,)+ ),
+                move |( $($pat,)+ )| -> $ret { $body },
+            )
+        }
+    };
+}
+
+/// Uniform choice among strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.with($strat))+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_even()(n in 0u32..100) -> u32 { n * 2 }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn composed_values_are_even(v in small_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![0u32..1, 10u32..11, (20u32..21).prop_map(|x| x)]) {
+            prop_assert!(v == 0 || v == 10 || v == 20, "got {}", v);
+        }
+
+        #[test]
+        fn tuple_patterns_bind((a, b) in (0u8..4, 0u8..4)) {
+            prop_assert!(a < 4 && b < 4);
+        }
+    }
+
+    proptest! {
+        fn always_fails(n in 0u32..10) {
+            prop_assert!(n > 100, "n was {}", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_panics_with_input() {
+        always_fails();
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this shim provides the (small) subset of the `rand 0.8` API the
+//! workspace actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] extension methods `gen_bool` / `gen_range` / `gen`.
+//! The generator is SplitMix64 — statistically fine for tests, not
+//! cryptographic, and deliberately *not* reproducing upstream `StdRng`
+//! streams (no test in this workspace depends on them).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128 + start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Sampling a full uniform value (the `rng.gen::<T>()` shape).
+pub trait Standard {
+    /// Draws one uniformly distributed value.
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a uniformly distributed value.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's stand-in for `rand::rngs::StdRng`: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..=7);
+            assert!(v <= 7);
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.8)).count();
+        assert!((7_500..8_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..4).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..4).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

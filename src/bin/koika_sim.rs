@@ -17,12 +17,17 @@
 //!   --profile           print a per-rule work profile (cuttlesim backend)
 //!   --trace <N>         print the last N cycles of rule activity
 //!   --emit <cpp|cpp-header|verilog>  print generated code and exit
+//!   --metrics-json <FILE>  write a JSON metrics snapshot (per-rule counts)
+//!   --perfetto <FILE>   write a Chrome-trace/Perfetto rule timeline
+//!   --watch <REG>       print a line when REG changes (repeatable)
+//!   --help              print this help and exit
 //! ```
 
 use cuttlesim::{codegen_cpp, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
 use koika::check::check;
 use koika::design::Design;
 use koika::device::{Device, SimBackend};
+use koika::obs::{Fanout, Metrics, Observer, PerfettoTrace, RegWatch};
 use koika::vcd::VcdRecorder;
 use koika_designs::harness::MEM_WORDS;
 use koika_designs::memdev::MagicMemory;
@@ -41,13 +46,42 @@ struct Args {
     profile: bool,
     trace: Option<u64>,
     emit: Option<String>,
+    metrics_json: Option<String>,
+    perfetto: Option<String>,
+    watch: Vec<String>,
 }
+
+const HELP: &str = "\
+Usage: koika-sim <design> [options]
+
+Designs:
+  collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
+  rv32i-x0bug | msi | msi-buggy
+
+Options:
+  --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
+  --level <1..6>      Cuttlesim optimization level  (default 6)
+  --cycles <N>        cycles to run                 (default 10000)
+  --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
+  --vcd <FILE>        record all registers to a VCD file
+  --profile           print a per-rule work profile (cuttlesim backend)
+  --trace <N>         print the last N cycles of rule activity
+  --emit <cpp|cpp-header|verilog>  print generated code and exit
+  --metrics-json <FILE>  write a JSON metrics snapshot (per-rule fired/failed
+                         counts, histograms, cycles/sec)
+  --perfetto <FILE>   write a Chrome-trace/Perfetto timeline (one track per
+                      rule; open in chrome://tracing or ui.perfetto.dev)
+  --watch <REG>       print a line whenever REG changes (repeatable)
+  --help              print this help and exit
+";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: koika-sim <design> [--backend interp|cuttlesim|rtl|rtl-static] \
          [--level 1..6] [--cycles N] [--program primes:N|nops:N|branchy:N] \
-         [--vcd FILE] [--profile] [--trace N] [--emit cpp|cpp-header|verilog]"
+         [--vcd FILE] [--profile] [--trace N] [--emit cpp|cpp-header|verilog] \
+         [--metrics-json FILE] [--perfetto FILE] [--watch REG]\n\
+         try: koika-sim --help"
     );
     ExitCode::from(2)
 }
@@ -57,6 +91,10 @@ fn parse_args() -> Result<Args, ExitCode> {
     let Some(design) = argv.next() else {
         return Err(usage());
     };
+    if design == "--help" || design == "-h" {
+        print!("{HELP}");
+        return Err(ExitCode::SUCCESS);
+    }
     let mut args = Args {
         design,
         backend: "cuttlesim".into(),
@@ -67,6 +105,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         profile: false,
         trace: None,
         emit: None,
+        metrics_json: None,
+        perfetto: None,
+        watch: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -90,6 +131,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.trace = Some(value("--trace")?.parse().map_err(|_| usage())?);
             }
             "--emit" => args.emit = Some(value("--emit")?),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--perfetto" => args.perfetto = Some(value("--perfetto")?),
+            "--watch" => args.watch.push(value("--watch")?),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Err(ExitCode::SUCCESS);
+            }
             other => {
                 eprintln!("unknown option {other}");
                 return Err(usage());
@@ -213,16 +261,54 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
 
+    // Observability sinks, attached only when asked for — unobserved runs
+    // take the plain `cycle()` path below.
+    let mut metrics = args.metrics_json.as_ref().map(|_| Metrics::for_design(&td));
+    let mut perfetto = args.perfetto.as_ref().map(|_| PerfettoTrace::for_design(&td));
+    let mut watch = if args.watch.is_empty() {
+        None
+    } else {
+        let mut watched = Vec::new();
+        for name in &args.watch {
+            let Some(i) = td.regs.iter().position(|r| &r.name == name) else {
+                eprintln!("unknown register {name:?} in --watch");
+                return usage();
+            };
+            watched.push((koika::RegId(i as u32), name.clone()));
+        }
+        Some(RegWatch::printing(watched))
+    };
+
     let start = std::time::Instant::now();
     let main_cycles = args.cycles.saturating_sub(args.trace.unwrap_or(0));
-    for cycle in 0..main_cycles {
-        for d in devices.iter_mut() {
-            d.tick(cycle, sim.as_reg_access());
+    {
+        let mut sinks: Vec<&mut dyn Observer> = Vec::new();
+        if let Some(m) = &mut metrics {
+            sinks.push(m);
         }
-        if let Some(v) = &mut vcd {
-            v.tick(cycle, sim.as_reg_access());
+        if let Some(p) = &mut perfetto {
+            sinks.push(p);
         }
-        sim.cycle();
+        if let Some(w) = &mut watch {
+            sinks.push(w);
+        }
+        let mut fan = if sinks.is_empty() {
+            None
+        } else {
+            Some(Fanout::new(sinks))
+        };
+        for cycle in 0..main_cycles {
+            for d in devices.iter_mut() {
+                d.tick(cycle, sim.as_reg_access());
+            }
+            if let Some(v) = &mut vcd {
+                v.tick(cycle, sim.as_reg_access());
+            }
+            match &mut fan {
+                Some(f) => sim.cycle_obs(f),
+                None => sim.cycle(),
+            }
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -312,6 +398,24 @@ fn main() -> ExitCode {
             profiled.cycle();
         }
         println!("\n{}", ProfileReport::collect(&profiled));
+    }
+
+    if let (Some(path), Some(m)) = (&args.metrics_json, &metrics) {
+        let json = m.to_json(true);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics snapshot to {path}");
+    }
+
+    if let (Some(path), Some(p)) = (&args.perfetto, &perfetto) {
+        let json = p.to_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} trace events to {path}", p.len());
     }
 
     if let (Some(path), Some(v)) = (&args.vcd, &vcd) {

@@ -2,7 +2,7 @@
 //! shared devices — the "completely separate toolchains that stay
 //! cycle-accurate with respect to each other" property, end to end.
 
-use cuttlesim::{CompileOptions, Dispatch, OptLevel, Sim};
+use cuttlesim::{CompileOptions, Dispatch, Sim};
 use koika::check::check;
 use koika::design::Design;
 use koika::device::{Device, RegAccess, SimBackend};

@@ -5,7 +5,7 @@
 
 use cuttlesim::{ProfileReport, Sim};
 use koika::check::check;
-use koika::device::{Device, RegAccess, SimBackend};
+use koika::device::{Device, SimBackend};
 use koika::vcd::VcdRecorder;
 use koika_designs::harness::{golden_run, run_until_retired, MEM_WORDS};
 use koika_designs::memdev::MagicMemory;
