@@ -19,8 +19,10 @@ use crate::insn::{FusedBin, Insn};
 use crate::level::LevelCfg;
 use koika::analysis::ScheduleAssumption;
 use koika::bits::word;
+use koika::bits::Bits;
 use koika::device::{RegAccess, SimBackend};
 use koika::obs::{FailureReason, Metrics, Observer};
+use koika::snapshot::{Snapshot, SnapshotError};
 use koika::tir::{RegId, TDesign};
 
 const R1: u8 = 0b0010;
@@ -166,7 +168,7 @@ impl Sim {
     pub fn new(prog: Program) -> Sim {
         let n = prog.init.len();
         let cfg = prog.cfg;
-        let max_locals = prog.rules.iter().map(|r| r.nlocals as usize).max().unwrap_or(0);
+        let max_locals = prog.rules.iter().fold(0, |m, r| m.max(r.nlocals as usize));
         let st = State {
             boc: if cfg.no_boc { Vec::new() } else { prog.init.clone() },
             cyc_rw: vec![0; n],
@@ -970,6 +972,37 @@ impl SimBackend for Sim {
 
     fn rules_fired(&self) -> u64 {
         self.st.fired
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            design: self.prog.design.name.clone(),
+            cycles: self.st.cycles,
+            fired: self.st.fired,
+            fired_per_rule: self.st.fired_per_rule.clone(),
+            regs: (0..self.prog.init.len())
+                .map(|i| Bits::new(self.prog.widths[i], self.read_reg(i)))
+                .collect(),
+        }
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if self.mid_cycle {
+            return Err(SnapshotError::MidCycle);
+        }
+        snap.check_shape(&self.prog.design.name, &self.prog.widths)?;
+        for (i, v) in snap.regs.iter().enumerate() {
+            self.set64(RegId(i as u32), v.low_u64());
+        }
+        self.st.cycles = snap.cycles;
+        self.st.fired = snap.fired;
+        if snap.fired_per_rule.len() == self.st.fired_per_rule.len() {
+            self.st.fired_per_rule.copy_from_slice(&snap.fired_per_rule);
+        } else {
+            self.st.fired_per_rule.fill(0);
+        }
+        self.st.last_fail = None;
+        Ok(())
     }
 
     fn as_reg_access(&mut self) -> &mut dyn RegAccess {

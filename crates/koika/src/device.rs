@@ -13,6 +13,7 @@
 //! this repository qualifies).
 
 use crate::obs::Observer;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::tir::RegId;
 
 /// Register-level access to a simulator's architectural state, as visible
@@ -77,6 +78,24 @@ pub trait SimBackend: RegAccess {
 
     /// The number of rule executions that committed so far.
     fn rules_fired(&self) -> u64;
+
+    /// Captures the complete architectural state (register file, cycle
+    /// counter, commit counters) at the current cycle boundary.
+    ///
+    /// Snapshots are portable across backends: a snapshot taken here
+    /// restores onto any other [`SimBackend`] running the same design, and
+    /// the subsequent commit streams are identical (the cross-backend
+    /// equivalence the differential tests check).
+    fn snapshot(&self) -> Snapshot;
+
+    /// Restores a previously captured state.
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying the simulator if the snapshot was taken
+    /// from a different design or its register shape does not match
+    /// ([`SnapshotError`]).
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError>;
 
     /// Runs `ncycles` cycles, ticking each device before each cycle.
     fn run(&mut self, ncycles: u64, devices: &mut [&mut dyn Device]) {

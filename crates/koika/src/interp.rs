@@ -26,6 +26,7 @@
 use crate::bits::Bits;
 use crate::device::{RegAccess, SimBackend};
 use crate::obs::{FailureReason, Observer};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::tir::{RegId, TAction, TDesign, TExpr};
 use crate::ast::{BinOp, Port, UnOp};
 
@@ -398,6 +399,33 @@ impl SimBackend for Interp {
 
     fn rules_fired(&self) -> u64 {
         self.fired
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            design: self.design.name.clone(),
+            cycles: self.cycles,
+            fired: self.fired,
+            fired_per_rule: self.fired_per_rule.clone(),
+            regs: self.regs.clone(),
+        }
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if self.mid_cycle {
+            return Err(SnapshotError::MidCycle);
+        }
+        let widths: Vec<u32> = self.design.regs.iter().map(|r| r.width).collect();
+        snap.check_shape(&self.design.name, &widths)?;
+        self.regs = snap.regs.clone();
+        self.cycles = snap.cycles;
+        self.fired = snap.fired;
+        if snap.fired_per_rule.len() == self.fired_per_rule.len() {
+            self.fired_per_rule.copy_from_slice(&snap.fired_per_rule);
+        } else {
+            self.fired_per_rule.fill(0);
+        }
+        Ok(())
     }
 
     fn as_reg_access(&mut self) -> &mut dyn RegAccess {

@@ -17,7 +17,12 @@
 //!   cycle-accurate with respect to every other one;
 //! * [`obs`] — the unified observability layer: probe hooks, cycle
 //!   metrics, and Perfetto/JSON export shared by all backends (§4.2's
-//!   debugging story as a library).
+//!   debugging story as a library);
+//! * [`snapshot`] — versioned capture/restore of complete simulator state,
+//!   portable across all backends;
+//! * [`fault`] — the resilience-testing harness: seeded SEU bit-flip
+//!   campaigns classified against a golden run, watchdog budgets, and
+//!   deterministic replay with shrinking.
 //!
 //! The fast simulator lives in the `cuttlesim` crate; the RTL pipeline
 //! (the "Verilator baseline") lives in `koika-rtl`.
@@ -52,8 +57,10 @@ pub mod bits;
 pub mod check;
 pub mod design;
 pub mod device;
+pub mod fault;
 pub mod interp;
 pub mod obs;
+pub mod snapshot;
 pub mod testgen;
 pub mod tir;
 pub mod vcd;
@@ -62,6 +69,8 @@ pub use bits::Bits;
 pub use check::check;
 pub use design::{Design, DesignBuilder};
 pub use device::{Device, RegAccess, SimBackend};
+pub use fault::{CampaignConfig, CampaignReport, Injection, Outcome, Watchdog};
 pub use interp::Interp;
 pub use obs::{FailureReason, Metrics, Observer, PerfettoTrace};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use tir::{RegId, TDesign};

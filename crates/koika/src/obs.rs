@@ -67,6 +67,12 @@ pub trait Observer {
     fn reg_write(&mut self, _reg: RegId, _old: u64, _new: u64) {}
     /// The cycle finished and registers are latched.
     fn cycle_end(&mut self, _cycle: u64) {}
+    /// A fault was injected before the given cycle: bit `bit` of `reg` was
+    /// flipped from `old` to `new` (see [`crate::fault`]).
+    fn fault_injected(&mut self, _cycle: u64, _reg: RegId, _bit: u32, _old: u64, _new: u64) {}
+    /// A watchdog aborted the run before the given cycle (budget exhausted
+    /// or progress stalled).
+    fn watchdog_trip(&mut self, _cycle: u64, _reason: &str) {}
 }
 
 /// Broadcasts every event to several observers, in order.
@@ -110,6 +116,16 @@ impl Observer for Fanout<'_> {
     fn cycle_end(&mut self, cycle: u64) {
         for s in &mut self.sinks {
             s.cycle_end(cycle);
+        }
+    }
+    fn fault_injected(&mut self, cycle: u64, reg: RegId, bit: u32, old: u64, new: u64) {
+        for s in &mut self.sinks {
+            s.fault_injected(cycle, reg, bit, old, new);
+        }
+    }
+    fn watchdog_trip(&mut self, cycle: u64, reason: &str) {
+        for s in &mut self.sinks {
+            s.watchdog_trip(cycle, reason);
         }
     }
 }
@@ -176,6 +192,8 @@ pub struct Metrics {
     abort_hist: Vec<u64>,
     cur_commits: usize,
     cur_aborts: usize,
+    faults_injected: u64,
+    watchdog_trips: u64,
     started: Option<Instant>,
     elapsed_secs: f64,
 }
@@ -200,6 +218,8 @@ impl Metrics {
             abort_hist: Vec::new(),
             cur_commits: 0,
             cur_aborts: 0,
+            faults_injected: 0,
+            watchdog_trips: 0,
             started: None,
             elapsed_secs: 0.0,
         }
@@ -292,6 +312,16 @@ impl Metrics {
         &self.abort_hist
     }
 
+    /// Faults injected into the observed run (see [`crate::fault`]).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Watchdog trips observed (budget exhausted or progress stalled).
+    pub fn watchdog_trips(&self) -> u64 {
+        self.watchdog_trips
+    }
+
     /// Observed simulation throughput in cycles per wall-clock second
     /// (0.0 before the first cycle completes).
     pub fn cycles_per_sec(&self) -> f64 {
@@ -361,6 +391,14 @@ impl Metrics {
             "  ],\n  \"commits_per_cycle_hist\": {:?},\n  \"aborts_per_cycle_hist\": {:?}",
             self.commit_hist, self.abort_hist,
         );
+        // Fault/watchdog counters only appear when something happened, so
+        // fault-free runs keep their historical (golden-snapshotted) shape.
+        if self.faults_injected > 0 {
+            let _ = write!(s, ",\n  \"faults_injected\": {}", self.faults_injected);
+        }
+        if self.watchdog_trips > 0 {
+            let _ = write!(s, ",\n  \"watchdog_trips\": {}", self.watchdog_trips);
+        }
         if include_throughput {
             let _ = write!(s, ",\n  \"cycles_per_sec\": {:.1}", self.cycles_per_sec());
         }
@@ -425,6 +463,24 @@ impl Metrics {
                 w
             );
         }
+        if self.faults_injected > 0 || self.watchdog_trips > 0 {
+            s.push_str(
+                "# HELP koika_faults_injected_total SEU bit flips injected.\n# TYPE koika_faults_injected_total counter\n",
+            );
+            let _ = writeln!(
+                s,
+                "koika_faults_injected_total{{design=\"{d}\"}} {}",
+                self.faults_injected
+            );
+            s.push_str(
+                "# HELP koika_watchdog_trips_total Watchdog aborts.\n# TYPE koika_watchdog_trips_total counter\n",
+            );
+            let _ = writeln!(
+                s,
+                "koika_watchdog_trips_total{{design=\"{d}\"}} {}",
+                self.watchdog_trips
+            );
+        }
         s.push_str(
             "# HELP koika_cycles_per_second Observed simulation throughput.\n# TYPE koika_cycles_per_second gauge\n",
         );
@@ -480,6 +536,14 @@ impl Observer for Metrics {
         if let Some(t0) = self.started {
             self.elapsed_secs = t0.elapsed().as_secs_f64();
         }
+    }
+
+    fn fault_injected(&mut self, _cycle: u64, _reg: RegId, _bit: u32, _old: u64, _new: u64) {
+        self.faults_injected += 1;
+    }
+
+    fn watchdog_trip(&mut self, _cycle: u64, _reason: &str) {
+        self.watchdog_trips += 1;
     }
 }
 
@@ -607,6 +671,29 @@ impl Observer for PerfettoTrace {
             self.cycle,
             json_escape(&self.rule_name(rule)),
             json_escape(&why),
+        ));
+    }
+
+    fn fault_injected(&mut self, cycle: u64, reg: RegId, bit: u32, old: u64, new: u64) {
+        let name = self
+            .reg_names
+            .get(reg.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("reg{}", reg.0));
+        // Injections and watchdog trips land on a dedicated track (tid 0),
+        // global scope so they draw as full-height markers over the rules.
+        self.events.push(format!(
+            "{{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"ts\": {cycle}, \"s\": \"g\", \
+             \"name\": \"SEU {} bit {bit}\", \"args\": {{\"old\": \"{old:#x}\", \"new\": \"{new:#x}\"}}}}",
+            json_escape(&name),
+        ));
+    }
+
+    fn watchdog_trip(&mut self, cycle: u64, reason: &str) {
+        self.events.push(format!(
+            "{{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"ts\": {cycle}, \"s\": \"g\", \
+             \"name\": \"watchdog trip\", \"args\": {{\"reason\": \"{}\"}}}}",
+            json_escape(reason),
         ));
     }
 }

@@ -1,0 +1,353 @@
+//! Snapshot/restore of complete simulator state, shared by every backend.
+//!
+//! A [`Snapshot`] captures everything a backend needs to resume a run at a
+//! cycle boundary: the full register file (at declared widths, so the
+//! reference interpreter's wide registers survive), the cycle counter, and
+//! the commit counters. Because all backends expose the same flattened
+//! register space (see [`crate::tir`]) and agree on cycle boundaries, a
+//! snapshot taken on one backend restores onto any other — snapshot on the
+//! interpreter, restore on the Cuttlesim VM or the RTL simulator, and the
+//! subsequent commit streams are identical. That cross-backend property is
+//! what makes snapshots useful for resilience testing: a fault-injection
+//! campaign (see [`crate::fault`]) can checkpoint a golden run once and
+//! fan members out over whichever backend is fastest.
+//!
+//! Two serializations are provided:
+//!
+//! * a **versioned binary format** (`KSNP`, version 1; see
+//!   [`Snapshot::to_bytes`]) — the durable on-disk form, written by
+//!   `koika-sim --snapshot-every` and read back by `--restore`;
+//! * a **JSON debug form** ([`Snapshot::to_json`]) — human-readable, used
+//!   for watchdog state dumps and diffing two snapshots in a text editor.
+//!
+//! Restores are validated: the design name, register count, and every
+//! register width must match the target simulator, so a stale snapshot
+//! fails loudly ([`SnapshotError`]) instead of silently corrupting state.
+
+use crate::bits::Bits;
+use crate::tir::TDesign;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Magic bytes opening every binary snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"KSNP";
+
+/// Current binary snapshot format version. Bump on any layout change; old
+/// versions are rejected, never reinterpreted.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A saved copy of a simulator's architectural state at a cycle boundary.
+///
+/// Produced by [`crate::device::SimBackend::snapshot`]; applied with
+/// [`crate::device::SimBackend::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Name of the design the snapshot was taken from.
+    pub design: String,
+    /// Cycles executed when the snapshot was taken.
+    pub cycles: u64,
+    /// Total rule commits when the snapshot was taken.
+    pub fired: u64,
+    /// Per-rule commit counts in **declaration order** (empty if the
+    /// backend does not track them).
+    pub fired_per_rule: Vec<u64>,
+    /// Every register's value, flattened-register-space order, at the
+    /// declared width.
+    pub regs: Vec<Bits>,
+}
+
+/// Why a snapshot could not be parsed or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream does not start with the `KSNP` magic.
+    BadMagic,
+    /// The format version is not one this build understands.
+    BadVersion(u32),
+    /// The byte stream ended mid-field.
+    Truncated,
+    /// A length or width field is implausibly large for the stream.
+    Corrupt(&'static str),
+    /// The snapshot was taken from a different design.
+    DesignMismatch {
+        /// Design name in the snapshot.
+        snapshot: String,
+        /// Design name of the simulator being restored.
+        simulator: String,
+    },
+    /// Register count or a register width differs from the target design.
+    ShapeMismatch(String),
+    /// The simulator is mid-cycle; snapshots only apply at cycle boundaries.
+    MidCycle,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a koika snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::DesignMismatch { snapshot, simulator } => write!(
+                f,
+                "snapshot is of design {snapshot:?} but the simulator runs {simulator:?}"
+            ),
+            SnapshotError::ShapeMismatch(why) => write!(f, "snapshot shape mismatch: {why}"),
+            SnapshotError::MidCycle => {
+                write!(f, "cannot snapshot/restore mid-cycle; finish the cycle first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], SnapshotError> {
+    if buf.len() < n {
+        return Err(SnapshotError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn read_u32(buf: &mut &[u8]) -> Result<u32, SnapshotError> {
+    let b = take(buf, 4)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("length checked")))
+}
+
+fn read_u64(buf: &mut &[u8]) -> Result<u64, SnapshotError> {
+    let b = take(buf, 8)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("length checked")))
+}
+
+impl Snapshot {
+    /// Serializes to the versioned binary format.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// "KSNP"  version:u32  name_len:u32 name_bytes
+    /// cycles:u64  fired:u64
+    /// nrules:u32  fired_per_rule:u64 × nrules
+    /// nregs:u32   (width:u32 nwords:u32 words:u64 × nwords) × nregs
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 16 * self.regs.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.design.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.design.as_bytes());
+        out.extend_from_slice(&self.cycles.to_le_bytes());
+        out.extend_from_slice(&self.fired.to_le_bytes());
+        out.extend_from_slice(&(self.fired_per_rule.len() as u32).to_le_bytes());
+        for &n in &self.fired_per_rule {
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.regs.len() as u32).to_le_bytes());
+        for r in &self.regs {
+            let words = r.words();
+            out.extend_from_slice(&r.width().to_le_bytes());
+            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the versioned binary format produced by [`Snapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic, unknown versions, truncated streams, and
+    /// implausible length fields — bad input never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut buf = bytes;
+        if take(&mut buf, 4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = read_u32(&mut buf)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let name_len = read_u32(&mut buf)? as usize;
+        let design = String::from_utf8(take(&mut buf, name_len)?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("design name is not UTF-8"))?;
+        let cycles = read_u64(&mut buf)?;
+        let fired = read_u64(&mut buf)?;
+        let nrules = read_u32(&mut buf)? as usize;
+        if nrules > bytes.len() {
+            return Err(SnapshotError::Corrupt("rule count exceeds stream size"));
+        }
+        let mut fired_per_rule = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            fired_per_rule.push(read_u64(&mut buf)?);
+        }
+        let nregs = read_u32(&mut buf)? as usize;
+        if nregs > bytes.len() {
+            return Err(SnapshotError::Corrupt("register count exceeds stream size"));
+        }
+        let mut regs = Vec::with_capacity(nregs);
+        for _ in 0..nregs {
+            let width = read_u32(&mut buf)?;
+            let nwords = read_u32(&mut buf)? as usize;
+            if nwords != width.div_ceil(64).max(1) as usize {
+                return Err(SnapshotError::Corrupt("word count disagrees with width"));
+            }
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(read_u64(&mut buf)?);
+            }
+            regs.push(Bits::from_words(width, &words));
+        }
+        Ok(Snapshot {
+            design,
+            cycles,
+            fired,
+            fired_per_rule,
+            regs,
+        })
+    }
+
+    /// Checks that this snapshot fits a simulator of the given design name
+    /// and register widths.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DesignMismatch`] or [`SnapshotError::ShapeMismatch`].
+    pub fn check_shape(&self, design: &str, widths: &[u32]) -> Result<(), SnapshotError> {
+        if self.design != design {
+            return Err(SnapshotError::DesignMismatch {
+                snapshot: self.design.clone(),
+                simulator: design.to_string(),
+            });
+        }
+        if self.regs.len() != widths.len() {
+            return Err(SnapshotError::ShapeMismatch(format!(
+                "snapshot has {} registers, design has {}",
+                self.regs.len(),
+                widths.len()
+            )));
+        }
+        for (i, (r, &w)) in self.regs.iter().zip(widths).enumerate() {
+            if r.width() != w {
+                return Err(SnapshotError::ShapeMismatch(format!(
+                    "register {i} is {} bits in the snapshot but {w} in the design",
+                    r.width()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the JSON debug form. Register names come from the design
+    /// when one is supplied; otherwise registers are labeled by index.
+    pub fn to_json(&self, design: Option<&TDesign>) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"format\": \"ksnp\",\n  \"version\": {SNAPSHOT_VERSION},\n  \
+             \"design\": \"{}\",\n  \"cycles\": {},\n  \"fired\": {},\n",
+            self.design.escape_default(),
+            self.cycles,
+            self.fired
+        );
+        let _ = write!(s, "  \"fired_per_rule\": {:?},\n  \"regs\": [\n", self.fired_per_rule);
+        for (i, r) in self.regs.iter().enumerate() {
+            let name = design
+                .and_then(|td| td.regs.get(i))
+                .map(|ri| ri.name.clone())
+                .unwrap_or_else(|| format!("reg{i}"));
+            let mut hex = String::new();
+            for w in r.words().iter().rev() {
+                let _ = write!(hex, "{w:016x}");
+            }
+            let trimmed = hex.trim_start_matches('0');
+            let value = if trimmed.is_empty() { "0" } else { trimmed };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"width\": {}, \"value\": \"0x{value}\"}}{}",
+                name.escape_default(),
+                r.width(),
+                if i + 1 == self.regs.len() { "" } else { "," },
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            design: "demo".into(),
+            cycles: 42,
+            fired: 77,
+            fired_per_rule: vec![40, 37],
+            regs: vec![Bits::new(8, 0xabu64), Bits::new(96, 0x1_0000_0000_0000_0000u128)],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        assert_eq!(&bytes[..4], b"KSNP");
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn bad_inputs_fail_without_panicking() {
+        let s = sample();
+        let mut bytes = s.to_bytes();
+        assert_eq!(Snapshot::from_bytes(b"np"), Err(SnapshotError::Truncated));
+        assert_eq!(Snapshot::from_bytes(b"nope"), Err(SnapshotError::BadMagic));
+        assert_eq!(
+            Snapshot::from_bytes(b"XXXXmore-bytes-here"),
+            Err(SnapshotError::BadMagic)
+        );
+        bytes[4] = 99; // version
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadVersion(99)));
+        let good = s.to_bytes();
+        for cut in [5, 12, good.len() - 1] {
+            assert_eq!(
+                Snapshot::from_bytes(&good[..cut]),
+                Err(SnapshotError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_check_catches_mismatches() {
+        let s = sample();
+        assert!(s.check_shape("demo", &[8, 96]).is_ok());
+        assert!(matches!(
+            s.check_shape("other", &[8, 96]),
+            Err(SnapshotError::DesignMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_shape("demo", &[8]),
+            Err(SnapshotError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            s.check_shape("demo", &[8, 64]),
+            Err(SnapshotError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn json_debug_form_names_registers() {
+        let s = sample();
+        let json = s.to_json(None);
+        assert!(json.contains("\"design\": \"demo\""));
+        assert!(json.contains("\"cycles\": 42"));
+        assert!(json.contains("\"reg0\""));
+    }
+}

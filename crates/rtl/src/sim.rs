@@ -15,9 +15,10 @@
 
 use crate::compile::RtlModel;
 use crate::netlist::{NlBin, NlUn, Node};
-use koika::bits::word;
+use koika::bits::{word, Bits};
 use koika::device::{RegAccess, SimBackend};
 use koika::obs::{FailureReason, Observer};
+use koika::snapshot::{Snapshot, SnapshotError};
 use koika::tir::RegId;
 
 /// A running RTL simulation.
@@ -211,6 +212,53 @@ impl SimBackend for RtlSim {
 
     fn rules_fired(&self) -> u64 {
         self.fired
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        // Commit counters live in schedule order here; export them in
+        // declaration order like the other backends so snapshots are
+        // portable.
+        let nrules = self
+            .model
+            .sched_rules
+            .iter()
+            .map(|&r| r + 1)
+            .max()
+            .unwrap_or(self.fired_per_rule.len());
+        let mut decl = vec![0u64; nrules];
+        for (i, &count) in self.fired_per_rule.iter().enumerate() {
+            let rule = self.model.sched_rules.get(i).copied().unwrap_or(i);
+            decl[rule] += count;
+        }
+        Snapshot {
+            design: self.model.name.clone(),
+            cycles: self.cycles,
+            fired: self.fired,
+            fired_per_rule: decl,
+            regs: self
+                .model
+                .netlist
+                .regs
+                .iter()
+                .zip(&self.regs)
+                .map(|(r, &v)| Bits::new(r.width, v))
+                .collect(),
+        }
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let widths: Vec<u32> = self.model.netlist.regs.iter().map(|r| r.width).collect();
+        snap.check_shape(&self.model.name, &widths)?;
+        for (i, v) in snap.regs.iter().enumerate() {
+            self.regs[i] = v.low_u64();
+        }
+        self.cycles = snap.cycles;
+        self.fired = snap.fired;
+        for (i, slot) in self.fired_per_rule.iter_mut().enumerate() {
+            let rule = self.model.sched_rules.get(i).copied().unwrap_or(i);
+            *slot = snap.fired_per_rule.get(rule).copied().unwrap_or(0);
+        }
+        Ok(())
     }
 
     fn as_reg_access(&mut self) -> &mut dyn RegAccess {

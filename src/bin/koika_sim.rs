@@ -1,5 +1,6 @@
 //! `koika-sim`: command-line driver for the bundled designs — simulate on
-//! any backend, dump waveforms, profile, trace, or emit C++/Verilog.
+//! any backend, dump waveforms, profile, trace, emit C++/Verilog, run
+//! fault-injection campaigns, or snapshot/restore simulator state.
 //!
 //! ```text
 //! Usage: koika-sim <design> [options]
@@ -20,6 +21,18 @@
 //!   --metrics-json <FILE>  write a JSON metrics snapshot (per-rule counts)
 //!   --perfetto <FILE>   write a Chrome-trace/Perfetto rule timeline
 //!   --watch <REG>       print a line when REG changes (repeatable)
+//!   --inject <spec|seed>  flip bits: cycle:reg:bit spec, or a PRNG seed
+//!   --campaign <N>      run an N-member fault-injection campaign
+//!   --seed <N>          campaign / seeded-injection PRNG seed
+//!   --max-injections <N>  upsets per campaign member (default 3)
+//!   --record <FILE>     write failing campaign members to a replay log
+//!   --replay <FILE>     re-run a replay log's members; shrink reproducers
+//!   --snapshot-every <K>  write a state snapshot every K cycles
+//!   --snapshot-prefix <P> snapshot file prefix (default "<design>-")
+//!   --restore <FILE>    restore simulator state from a snapshot first
+//!   --max-cycles <N>    watchdog: abort after N total cycles (exit 3)
+//!   --stall-cycles <N>  watchdog: abort after N commit-free cycles (exit 3)
+//!   --max-wall-ms <N>   watchdog: abort after N ms of wall-clock (exit 3)
 //!   --help              print this help and exit
 //! ```
 
@@ -27,7 +40,13 @@ use cuttlesim::{codegen_cpp, CompileOptions, OptLevel, ProfileReport, RuleTrace,
 use koika::check::check;
 use koika::design::Design;
 use koika::device::{Device, SimBackend};
+use koika::fault::{
+    classify, draw_schedule, replay_campaign, CampaignConfig, CommitFingerprint, FaultEngine,
+    Injection, ReplayLog, Watchdog, WatchdogTrip,
+};
 use koika::obs::{Fanout, Metrics, Observer, PerfettoTrace, RegWatch};
+use koika::snapshot::Snapshot;
+use koika::tir::TDesign;
 use koika::vcd::VcdRecorder;
 use koika_designs::harness::MEM_WORDS;
 use koika_designs::memdev::MagicMemory;
@@ -35,6 +54,7 @@ use koika_designs::{msi, rv32, small};
 use koika_riscv::programs;
 use koika_rtl::{compile as rtl_compile, verilog, RtlSim, Scheme};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     design: String,
@@ -49,6 +69,18 @@ struct Args {
     metrics_json: Option<String>,
     perfetto: Option<String>,
     watch: Vec<String>,
+    inject: Option<String>,
+    campaign: Option<usize>,
+    seed: u64,
+    max_injections: u32,
+    record: Option<String>,
+    replay: Option<String>,
+    snapshot_every: Option<u64>,
+    snapshot_prefix: Option<String>,
+    restore: Option<String>,
+    max_cycles: Option<u64>,
+    stall_cycles: Option<u64>,
+    max_wall_ms: Option<u64>,
 }
 
 const HELP: &str = "\
@@ -72,28 +104,59 @@ Options:
   --perfetto <FILE>   write a Chrome-trace/Perfetto timeline (one track per
                       rule; open in chrome://tracing or ui.perfetto.dev)
   --watch <REG>       print a line whenever REG changes (repeatable)
+
+Fault injection, snapshots & replay:
+  --inject <spec|seed>  single-run injection: a cycle:reg:bit spec (e.g.
+                        12:pc:3, repeatable), or a bare integer treated as a
+                        PRNG seed drawing a schedule; the run is classified
+                        against a fault-free golden run
+  --campaign <N>      run an N-member seeded SEU campaign and print the
+                      masked/sdc/divergence/hang classification
+  --seed <N>          campaign / seeded-injection PRNG seed (default 0xC0FFEE)
+  --max-injections <N>  upsets per campaign member (default 3)
+  --record <FILE>     with --campaign: write failing members to a replay log
+  --replay <FILE>     re-run a replay log's members, verify each outcome
+                      reproduces, and shrink to single-injection reproducers
+  --snapshot-every <K>  write <prefix><cycle>.ksnap every K cycles
+  --snapshot-prefix <P> snapshot file prefix (default \"<design>-\")
+  --restore <FILE>    restore simulator state from a .ksnap snapshot first
+  --max-cycles <N>    watchdog: abort after N total cycles (exit 3)
+  --stall-cycles <N>  watchdog: abort after N consecutive commit-free
+                      cycles with a JSON state dump (exit 3)
+  --max-wall-ms <N>   watchdog: abort after N ms of wall-clock (exit 3)
   --help              print this help and exit
 ";
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: koika-sim <design> [--backend interp|cuttlesim|rtl|rtl-static] \
-         [--level 1..6] [--cycles N] [--program primes:N|nops:N|branchy:N] \
-         [--vcd FILE] [--profile] [--trace N] [--emit cpp|cpp-header|verilog] \
-         [--metrics-json FILE] [--perfetto FILE] [--watch REG]\n\
-         try: koika-sim --help"
-    );
-    ExitCode::from(2)
+/// All user-facing failures funnel through this one error type: `Usage`
+/// exits 2, `Runtime` exits 1, `Watchdog` exits 3. Nothing on a
+/// user-reachable path panics.
+enum CliError {
+    Usage(String),
+    Runtime(String),
 }
 
-fn parse_args() -> Result<Args, ExitCode> {
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
+
+fn usage_hint() -> &'static str {
+    "try: koika-sim --help"
+}
+
+fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
     let mut argv = std::env::args().skip(1);
     let Some(design) = argv.next() else {
-        return Err(usage());
+        return Err(Err(CliError::usage("missing <design> argument")));
     };
     if design == "--help" || design == "-h" {
         print!("{HELP}");
-        return Err(ExitCode::SUCCESS);
+        return Err(Ok(ExitCode::SUCCESS));
     }
     let mut args = Args {
         design,
@@ -108,40 +171,72 @@ fn parse_args() -> Result<Args, ExitCode> {
         metrics_json: None,
         perfetto: None,
         watch: Vec::new(),
+        inject: None,
+        campaign: None,
+        seed: 0xC0FFEE,
+        max_injections: 3,
+        record: None,
+        replay: None,
+        snapshot_every: None,
+        snapshot_prefix: None,
+        restore: None,
+        max_cycles: None,
+        stall_cycles: None,
+        max_wall_ms: None,
     };
+    fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, Result<ExitCode, CliError>> {
+        v.parse()
+            .map_err(|_| Err(CliError::usage(format!("bad value {v:?} for {name}"))))
+    }
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
-            argv.next().ok_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            })
+            argv.next()
+                .ok_or_else(|| Err(CliError::usage(format!("missing value for {name}"))))
         };
         match flag.as_str() {
             "--backend" => args.backend = value("--backend")?,
-            "--level" => {
-                args.level = value("--level")?.parse().map_err(|_| usage())?;
-            }
-            "--cycles" => {
-                args.cycles = value("--cycles")?.parse().map_err(|_| usage())?;
-            }
+            "--level" => args.level = parsed("--level", value("--level")?)?,
+            "--cycles" => args.cycles = parsed("--cycles", value("--cycles")?)?,
             "--program" => args.program = value("--program")?,
             "--vcd" => args.vcd = Some(value("--vcd")?),
             "--profile" => args.profile = true,
-            "--trace" => {
-                args.trace = Some(value("--trace")?.parse().map_err(|_| usage())?);
-            }
+            "--trace" => args.trace = Some(parsed("--trace", value("--trace")?)?),
             "--emit" => args.emit = Some(value("--emit")?),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--perfetto" => args.perfetto = Some(value("--perfetto")?),
             "--watch" => args.watch.push(value("--watch")?),
+            "--inject" => args.inject = Some(value("--inject")?),
+            "--campaign" => args.campaign = Some(parsed("--campaign", value("--campaign")?)?),
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16)
+                        .map_err(|_| Err(CliError::usage(format!("bad value {v:?} for --seed"))))?,
+                    None => parsed("--seed", v)?,
+                };
+            }
+            "--max-injections" => {
+                args.max_injections = parsed("--max-injections", value("--max-injections")?)?;
+            }
+            "--record" => args.record = Some(value("--record")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--snapshot-every" => {
+                args.snapshot_every = Some(parsed("--snapshot-every", value("--snapshot-every")?)?);
+            }
+            "--snapshot-prefix" => args.snapshot_prefix = Some(value("--snapshot-prefix")?),
+            "--restore" => args.restore = Some(value("--restore")?),
+            "--max-cycles" => args.max_cycles = Some(parsed("--max-cycles", value("--max-cycles")?)?),
+            "--stall-cycles" => {
+                args.stall_cycles = Some(parsed("--stall-cycles", value("--stall-cycles")?)?);
+            }
+            "--max-wall-ms" => {
+                args.max_wall_ms = Some(parsed("--max-wall-ms", value("--max-wall-ms")?)?);
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
-                return Err(ExitCode::SUCCESS);
+                return Err(Ok(ExitCode::SUCCESS));
             }
-            other => {
-                eprintln!("unknown option {other}");
-                return Err(usage());
-            }
+            other => return Err(Err(CliError::usage(format!("unknown option {other}")))),
         }
     }
     Ok(args)
@@ -174,58 +269,30 @@ fn workload(spec: &str) -> Option<Vec<u32>> {
     })
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(code) => return code,
-    };
-    let Some(design) = design_by_name(&args.design) else {
-        eprintln!("unknown design {:?}", args.design);
-        return usage();
-    };
-    let td = match check(&design) {
-        Ok(td) => td,
-        Err(e) => {
-            eprintln!("design error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Everything `validate` resolves up front so the run phases can't hit a
+/// bad-input error (or a panic) halfway through.
+struct Plan {
+    td: TDesign,
+    level: OptLevel,
+    program: Option<Vec<u32>>,
+    injections: Vec<Injection>,
+    watch: Vec<(koika::RegId, String)>,
+    snapshot_prefix: String,
+    stall_cycles: u64,
+}
 
-    if let Some(what) = &args.emit {
-        match what.as_str() {
-            "cpp" => print!("{}", codegen_cpp::emit(&td)),
-            "cpp-header" => print!("{}", codegen_cpp::emit_runtime_header()),
-            "verilog" => match rtl_compile(&td, Scheme::Dynamic) {
-                Ok(model) => print!("{}", verilog::emit(&model)),
-                Err(e) => {
-                    eprintln!("rtl error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            _ => return usage(),
-        }
-        return ExitCode::SUCCESS;
+/// Validates flag *combinations* and cross-references against the design —
+/// the single place a bad invocation is rejected, before any simulator is
+/// built.
+fn validate(args: &Args) -> Result<Plan, CliError> {
+    let design = design_by_name(&args.design)
+        .ok_or_else(|| CliError::usage(format!("unknown design {:?}", args.design)))?;
+    let td = check(&design).map_err(|e| CliError::runtime(format!("design error: {e}")))?;
+
+    match args.backend.as_str() {
+        "interp" | "cuttlesim" | "rtl" | "rtl-static" => {}
+        other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
     }
-
-    // Devices: cores get a magic memory preloaded with the workload.
-    let mut devices: Vec<Box<dyn Device>> = Vec::new();
-    if args.design.starts_with("rv32") {
-        let Some(program) = workload(&args.program) else {
-            eprintln!("bad --program spec {:?}", args.program);
-            return usage();
-        };
-        devices.push(Box::new(MagicMemory::new(
-            &td,
-            &["imem", "dmem"],
-            &program,
-            MEM_WORDS,
-        )));
-    }
-    let mut vcd = args
-        .vcd
-        .as_ref()
-        .map(|_| VcdRecorder::all_registers(&td));
-
     let level = match args.level {
         1 => OptLevel::SplitRwSets,
         2 => OptLevel::AccumulatedLogs,
@@ -233,54 +300,364 @@ fn main() -> ExitCode {
         4 => OptLevel::MergedData,
         5 => OptLevel::NoBocState,
         6 => OptLevel::DesignSpecific,
-        _ => return usage(),
+        n => return Err(CliError::usage(format!("bad --level {n}: expected 1..6"))),
+    };
+    if let Some(what) = &args.emit {
+        if !matches!(what.as_str(), "cpp" | "cpp-header" | "verilog") {
+            return Err(CliError::usage(format!(
+                "bad --emit {what:?}: expected cpp, cpp-header, or verilog"
+            )));
+        }
+    }
+
+    // Mutually exclusive run modes, rejected together so the user sees the
+    // conflict rather than one mode silently winning.
+    let modes: Vec<&str> = [
+        args.emit.as_ref().map(|_| "--emit"),
+        args.campaign.map(|_| "--campaign"),
+        args.replay.as_ref().map(|_| "--replay"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    if modes.len() > 1 {
+        return Err(CliError::usage(format!(
+            "conflicting modes: {} cannot be combined",
+            modes.join(" and ")
+        )));
+    }
+    if args.record.is_some() && args.campaign.is_none() {
+        return Err(CliError::usage("--record requires --campaign"));
+    }
+    if args.inject.is_some() && (args.campaign.is_some() || args.replay.is_some()) {
+        return Err(CliError::usage(
+            "--inject cannot be combined with --campaign or --replay (they draw \
+             their own schedules)",
+        ));
+    }
+    // Trace and profile replay the run without injections or restored
+    // state, so combining them would silently show a different execution.
+    for (on, flag) in [(args.trace.is_some(), "--trace"), (args.profile, "--profile")] {
+        if !on {
+            continue;
+        }
+        if args.inject.is_some() || args.restore.is_some() {
+            return Err(CliError::usage(format!(
+                "{flag} replays the run from reset and cannot be combined with \
+                 --inject or --restore"
+            )));
+        }
+    }
+    if args.max_injections == 0 {
+        return Err(CliError::usage("--max-injections must be at least 1"));
+    }
+    if args.snapshot_every == Some(0) {
+        return Err(CliError::usage("--snapshot-every must be at least 1"));
+    }
+    if args.stall_cycles == Some(0) {
+        return Err(CliError::usage("--stall-cycles must be at least 1"));
+    }
+
+    // Fault classification compares 64-bit register values.
+    if args.inject.is_some() || args.campaign.is_some() || args.replay.is_some() {
+        if let Some(r) = td.regs.iter().find(|r| r.width > 64) {
+            return Err(CliError::usage(format!(
+                "fault injection requires <=64-bit registers; design {} has {} ({} bits)",
+                td.name, r.name, r.width
+            )));
+        }
+    }
+
+    // Core workloads parse up front (only rv32 designs take one).
+    let program = if args.design.starts_with("rv32") {
+        Some(
+            workload(&args.program)
+                .ok_or_else(|| CliError::usage(format!("bad --program spec {:?}", args.program)))?,
+        )
+    } else {
+        None
     };
 
-    let mut sim: Box<dyn SimBackend> = match args.backend.as_str() {
-        "interp" => Box::new(koika::Interp::new(&td)),
+    // --inject: either one-or-more explicit specs, or a bare seed.
+    let mut injections = Vec::new();
+    if let Some(spec) = &args.inject {
+        if let Ok(seed) = spec.parse::<u64>() {
+            let cfg = CampaignConfig {
+                seed,
+                cycles: args.cycles,
+                max_injections: args.max_injections,
+                ..CampaignConfig::default()
+            };
+            injections = draw_schedule(&td, &cfg, 0);
+        } else {
+            injections.push(Injection::parse(spec, &td).map_err(CliError::Usage)?);
+        }
+    }
+
+    let mut watch = Vec::new();
+    for name in &args.watch {
+        let i = td
+            .regs
+            .iter()
+            .position(|r| &r.name == name)
+            .ok_or_else(|| CliError::usage(format!("unknown register {name:?} in --watch")))?;
+        watch.push((koika::RegId(i as u32), name.clone()));
+    }
+
+    let snapshot_prefix = args
+        .snapshot_prefix
+        .clone()
+        .unwrap_or_else(|| format!("{}-", args.design));
+    let stall_cycles = args.stall_cycles.unwrap_or(256);
+
+    Ok(Plan {
+        td,
+        level,
+        program,
+        injections,
+        watch,
+        snapshot_prefix,
+        stall_cycles,
+    })
+}
+
+fn build_sim(
+    td: &TDesign,
+    backend: &str,
+    level: OptLevel,
+    profile: bool,
+) -> Result<Box<dyn SimBackend>, CliError> {
+    Ok(match backend {
+        "interp" => Box::new(koika::Interp::new(td)),
         "cuttlesim" => {
             let mut sim = Sim::compile_with(
-                &td,
+                td,
                 &CompileOptions {
                     level,
                     ..CompileOptions::default()
                 },
             )
-            .expect("bundled designs compile");
-            if args.profile {
+            .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+            if profile {
                 sim.enable_profiling();
             }
             Box::new(sim)
         }
         "rtl" => Box::new(RtlSim::new(
-            rtl_compile(&td, Scheme::Dynamic).expect("bundled designs compile"),
+            rtl_compile(td, Scheme::Dynamic)
+                .map_err(|e| CliError::runtime(format!("rtl error: {e}")))?,
         )),
         "rtl-static" => Box::new(RtlSim::new(
-            rtl_compile(&td, Scheme::Static).expect("bundled designs compile"),
+            rtl_compile(td, Scheme::Static)
+                .map_err(|e| CliError::runtime(format!("rtl error: {e}")))?,
         )),
-        _ => return usage(),
+        other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
+    })
+}
+
+fn build_devices(td: &TDesign, program: &Option<Vec<u32>>) -> Vec<Box<dyn Device>> {
+    match program {
+        Some(words) => vec![Box::new(MagicMemory::new(
+            td,
+            &["imem", "dmem"],
+            words,
+            MEM_WORDS,
+        ))],
+        None => Vec::new(),
+    }
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|e| CliError::runtime(format!("failed to write {path}: {e}")))
+}
+
+fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCode, CliError> {
+    let td = &plan.td;
+    let cfg = CampaignConfig {
+        seed: args.seed,
+        members,
+        cycles: args.cycles,
+        max_injections: args.max_injections,
+        stall_cycles: plan.stall_cycles,
     };
+    let backend = args.backend.clone();
+    let level = plan.level;
+    let td2 = td.clone();
+    let mut make_sim = move || {
+        build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
+            // The same compile already succeeded during validation; an
+            // error here is unreachable, but exit cleanly regardless.
+            match e {
+                CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
+            }
+            std::process::exit(1);
+        })
+    };
+    let program = plan.program.clone();
+    let td3 = td.clone();
+    let mut make_devices = move || build_devices(&td3, &program);
+    let mut engine = FaultEngine {
+        td,
+        make_sim: &mut make_sim,
+        make_devices: &mut make_devices,
+    };
+    let report = engine
+        .run_campaign(&cfg)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    print!("{}", report.summary());
+    if let Some(path) = &args.record {
+        // Only designs that take a workload record one (others replay with
+        // no devices).
+        let program = if plan.program.is_some() { args.program.as_str() } else { "" };
+        let log = report.to_replay_log(&args.backend, args.level, program);
+        write_file(path, log.to_text().as_bytes())?;
+        println!(
+            "wrote replay log ({} failing members) to {path}",
+            log.members.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
+    let log = ReplayLog::from_text(&text).map_err(CliError::Runtime)?;
+    if log.design != args.design {
+        return Err(CliError::usage(format!(
+            "replay log {path} records design {:?}, but {:?} was requested",
+            log.design, args.design
+        )));
+    }
+    // The log's recorded environment wins over CLI defaults: backend,
+    // level, workload, and cycle count all come from the recording.
+    let level = match log.level {
+        1 => OptLevel::SplitRwSets,
+        2 => OptLevel::AccumulatedLogs,
+        3 => OptLevel::ResetOnFailure,
+        4 => OptLevel::MergedData,
+        5 => OptLevel::NoBocState,
+        _ => OptLevel::DesignSpecific,
+    };
+    let program = if log.program.is_empty() || !args.design.starts_with("rv32") {
+        None
+    } else {
+        Some(
+            workload(&log.program)
+                .ok_or_else(|| CliError::runtime(format!("bad program {:?} in replay log", log.program)))?,
+        )
+    };
+    let td = &plan.td;
+    let backend = log.backend.clone();
+    let td2 = td.clone();
+    let mut make_sim = move || {
+        build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
+            match e {
+                CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
+            }
+            std::process::exit(1);
+        })
+    };
+    let td3 = td.clone();
+    let mut make_devices = move || build_devices(&td3, &program);
+    let mut engine = FaultEngine {
+        td,
+        make_sim: &mut make_sim,
+        make_devices: &mut make_devices,
+    };
+    println!(
+        "replaying {} members from {path} (design {}, backend {}, {} cycles)",
+        log.members.len(),
+        log.design,
+        log.backend,
+        log.cycles
+    );
+    let results = replay_campaign(&mut engine, &log).map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut reproduced = 0usize;
+    for r in &results {
+        let minimal = match &r.minimal {
+            Some(inj) => format!("; minimal reproducer {}", inj.display_with(td)),
+            None => String::new(),
+        };
+        println!(
+            "  member {:>3}: recorded {}, observed {} — {}{}",
+            r.member.index,
+            r.member.outcome,
+            r.observed,
+            if r.reproduced { "reproduced" } else { "NOT reproduced" },
+            minimal
+        );
+        reproduced += r.reproduced as usize;
+    }
+    println!("replay: {reproduced}/{} reproduced", results.len());
+    if reproduced != results.len() {
+        return Err(CliError::runtime("some members did not reproduce"));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run(args: &Args) -> Result<ExitCode, CliError> {
+    let plan = validate(args)?;
+    let td = &plan.td;
+
+    if let Some(what) = &args.emit {
+        match what.as_str() {
+            "cpp" => print!("{}", codegen_cpp::emit(td)),
+            "cpp-header" => print!("{}", codegen_cpp::emit_runtime_header()),
+            "verilog" => {
+                let model = rtl_compile(td, Scheme::Dynamic)
+                    .map_err(|e| CliError::runtime(format!("rtl error: {e}")))?;
+                print!("{}", verilog::emit(&model));
+            }
+            _ => unreachable!("validated"),
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(n) = args.campaign {
+        return run_campaign_mode(args, &plan, n);
+    }
+    if let Some(path) = &args.replay {
+        return run_replay_mode(args, &plan, path);
+    }
+
+    // Normal run (possibly with injections, snapshots, and a watchdog).
+    let mut devices = build_devices(td, &plan.program);
+    let mut vcd = args.vcd.as_ref().map(|_| VcdRecorder::all_registers(td));
+    let mut sim = build_sim(td, &args.backend, plan.level, args.profile)?;
+
+    if let Some(path) = &args.restore {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
+        let snap = Snapshot::from_bytes(&bytes)
+            .map_err(|e| CliError::runtime(format!("bad snapshot {path}: {e}")))?;
+        sim.restore(&snap)
+            .map_err(|e| CliError::runtime(format!("cannot restore {path}: {e}")))?;
+        println!("restored {} at cycle {} from {path}", snap.design, snap.cycles);
+    }
 
     // Observability sinks, attached only when asked for — unobserved runs
     // take the plain `cycle()` path below.
-    let mut metrics = args.metrics_json.as_ref().map(|_| Metrics::for_design(&td));
-    let mut perfetto = args.perfetto.as_ref().map(|_| PerfettoTrace::for_design(&td));
-    let mut watch = if args.watch.is_empty() {
+    let mut metrics = args.metrics_json.as_ref().map(|_| Metrics::for_design(td));
+    let mut perfetto = args.perfetto.as_ref().map(|_| PerfettoTrace::for_design(td));
+    let mut watch = if plan.watch.is_empty() {
         None
     } else {
-        let mut watched = Vec::new();
-        for name in &args.watch {
-            let Some(i) = td.regs.iter().position(|r| &r.name == name) else {
-                eprintln!("unknown register {name:?} in --watch");
-                return usage();
-            };
-            watched.push((koika::RegId(i as u32), name.clone()));
-        }
-        Some(RegWatch::printing(watched))
+        Some(RegWatch::printing(plan.watch.clone()))
+    };
+    // Injected runs also record commit fingerprints so the run can be
+    // classified against a golden run afterwards.
+    let mut fingerprint = (!plan.injections.is_empty()).then(CommitFingerprint::default);
+
+    let watchdog = Watchdog {
+        max_cycles: args.max_cycles,
+        stall_cycles: args.stall_cycles,
+        wall_budget: args.max_wall_ms.map(Duration::from_millis),
     };
 
     let start = std::time::Instant::now();
+    let start_cycle = sim.cycle_count();
     let main_cycles = args.cycles.saturating_sub(args.trace.unwrap_or(0));
+    let mut trip: Option<WatchdogTrip> = None;
     {
         let mut sinks: Vec<&mut dyn Observer> = Vec::new();
         if let Some(m) = &mut metrics {
@@ -292,25 +669,62 @@ fn main() -> ExitCode {
         if let Some(w) = &mut watch {
             sinks.push(w);
         }
+        if let Some(f) = &mut fingerprint {
+            sinks.push(f);
+        }
         let mut fan = if sinks.is_empty() {
             None
         } else {
             Some(Fanout::new(sinks))
         };
-        for cycle in 0..main_cycles {
+        let mut armed = watchdog.arm();
+        for _ in 0..main_cycles {
+            let cycle = sim.cycle_count();
             for d in devices.iter_mut() {
                 d.tick(cycle, sim.as_reg_access());
             }
             if let Some(v) = &mut vcd {
                 v.tick(cycle, sim.as_reg_access());
             }
+            for inj in plan.injections.iter().filter(|i| i.cycle == cycle) {
+                let regs = sim.as_reg_access();
+                let old = regs.get64(inj.reg);
+                let new = old ^ (1u64 << inj.bit);
+                regs.set64(inj.reg, new);
+                println!(
+                    "injected SEU {} (value {old:#x} -> {new:#x})",
+                    inj.display_with(td)
+                );
+                if let Some(f) = &mut fan {
+                    f.fault_injected(cycle, inj.reg, inj.bit, old, new);
+                }
+            }
+            let before = sim.rules_fired();
             match &mut fan {
                 Some(f) => sim.cycle_obs(f),
                 None => sim.cycle(),
             }
+            let commits = sim.rules_fired().wrapping_sub(before);
+            if let Some(k) = args.snapshot_every {
+                let now = sim.cycle_count();
+                if now % k == 0 {
+                    let snap = sim.snapshot();
+                    let path = format!("{}{now:08}.ksnap", plan.snapshot_prefix);
+                    write_file(&path, &snap.to_bytes())?;
+                    println!("wrote snapshot {path}");
+                }
+            }
+            if let Some(t) = armed.observe(sim.cycle_count(), commits) {
+                if let Some(f) = &mut fan {
+                    f.watchdog_trip(t.cycle, &t.reason);
+                }
+                trip = Some(t);
+                break;
+            }
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let cycles_run = sim.cycle_count() - start_cycle;
 
     println!(
         "{}: {} cycles on {} in {:.3}s ({:.0} cycles/s), {} rule commits",
@@ -318,7 +732,7 @@ fn main() -> ExitCode {
         sim.cycle_count(),
         args.backend,
         elapsed,
-        main_cycles as f64 / elapsed.max(1e-9),
+        cycles_run as f64 / elapsed.max(1e-9),
         sim.rules_fired()
     );
 
@@ -333,28 +747,54 @@ fn main() -> ExitCode {
         );
     }
 
+    // Classify an injected run against a fresh golden run.
+    if let Some(fp) = &fingerprint {
+        let backend = args.backend.clone();
+        let level = plan.level;
+        let td2 = td.clone();
+        let mut make_sim = move || {
+            build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
+                match e {
+                    CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
+                }
+                std::process::exit(1);
+            })
+        };
+        let program = plan.program.clone();
+        let td3 = td.clone();
+        let mut make_devices = move || build_devices(&td3, &program);
+        let mut engine = FaultEngine {
+            td,
+            make_sim: &mut make_sim,
+            make_devices: &mut make_devices,
+        };
+        let golden = engine
+            .golden(main_cycles, plan.stall_cycles)
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        let final_regs: Vec<u64> = (0..td.regs.len())
+            .map(|i| sim.as_reg_access().get64(koika::RegId(i as u32)))
+            .collect();
+        let outcome = classify(
+            &golden,
+            &fp.per_cycle,
+            &final_regs,
+            trip.as_ref().map(|t| t.cycle),
+        );
+        println!("injection outcome: {outcome}");
+    }
+
     if let (Some(n), "cuttlesim") = (args.trace, args.backend.as_str()) {
         // Tracing uses the VM's stepping API: rebuild a fresh Sim with the
         // same (deterministic) devices, fast-forward, then record the tail.
         let mut traced = Sim::compile_with(
-            &td,
+            td,
             &CompileOptions {
-                level,
+                level: plan.level,
                 ..CompileOptions::default()
             },
         )
-        .expect("compiles");
-        // Deterministic devices: rebuild and fast-forward.
-        let mut devices2: Vec<Box<dyn Device>> = Vec::new();
-        if args.design.starts_with("rv32") {
-            let program = workload(&args.program).expect("validated above");
-            devices2.push(Box::new(MagicMemory::new(
-                &td,
-                &["imem", "dmem"],
-                &program,
-                MEM_WORDS,
-            )));
-        }
+        .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+        let mut devices2 = build_devices(td, &plan.program);
         for cycle in 0..main_cycles {
             for d in devices2.iter_mut() {
                 d.tick(cycle, traced.as_reg_access());
@@ -362,8 +802,10 @@ fn main() -> ExitCode {
             traced.cycle();
         }
         let trace = {
-            let mut dev_refs: Vec<&mut dyn Device> =
-                devices2.iter_mut().map(|d| &mut **d as &mut dyn Device).collect();
+            let mut dev_refs: Vec<&mut dyn Device> = devices2
+                .iter_mut()
+                .map(|d| &mut **d as &mut dyn Device)
+                .collect();
             RuleTrace::record(&mut traced, &mut dev_refs, n)
         };
         println!("\nRule activity (last {n} cycles):\n{trace}");
@@ -373,24 +815,15 @@ fn main() -> ExitCode {
         // The profile lives in the Sim; re-run quickly to fetch it when the
         // box has been consumed by tracing above.
         let mut profiled = Sim::compile_with(
-            &td,
+            td,
             &CompileOptions {
-                level,
+                level: plan.level,
                 ..CompileOptions::default()
             },
         )
-        .expect("compiles");
+        .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
         profiled.enable_profiling();
-        let mut devices3: Vec<Box<dyn Device>> = Vec::new();
-        if args.design.starts_with("rv32") {
-            let program = workload(&args.program).expect("validated above");
-            devices3.push(Box::new(MagicMemory::new(
-                &td,
-                &["imem", "dmem"],
-                &program,
-                MEM_WORDS,
-            )));
-        }
+        let mut devices3 = build_devices(td, &plan.program);
         for cycle in 0..main_cycles {
             for d in devices3.iter_mut() {
                 d.tick(cycle, profiled.as_reg_access());
@@ -402,30 +835,59 @@ fn main() -> ExitCode {
 
     if let (Some(path), Some(m)) = (&args.metrics_json, &metrics) {
         let json = m.to_json(true);
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("failed to write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        write_file(path, json.as_bytes())?;
         println!("wrote metrics snapshot to {path}");
     }
 
     if let (Some(path), Some(p)) = (&args.perfetto, &perfetto) {
         let json = p.to_json();
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("failed to write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        write_file(path, json.as_bytes())?;
         println!("wrote {} trace events to {path}", p.len());
     }
 
     if let (Some(path), Some(v)) = (&args.vcd, &vcd) {
-        let dump = v.finish(main_cycles);
-        if let Err(e) = std::fs::write(path, &dump) {
-            eprintln!("failed to write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        let dump = v.finish(cycles_run);
+        write_file(path, dump.as_bytes())?;
         println!("wrote {} bytes of VCD to {path}", dump.len());
     }
 
-    ExitCode::SUCCESS
+    if let Some(t) = trip {
+        // Abort with a state dump: registers, cycle, and commit counters in
+        // the snapshot's JSON debug form, so the hung state is inspectable.
+        eprintln!("{t}");
+        eprintln!("{}", sim.snapshot().to_json(Some(td)));
+        return Ok(ExitCode::from(3));
+    }
+
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(Ok(code)) => return code,
+        Err(Err(e)) => {
+            return match e {
+                CliError::Usage(msg) => {
+                    eprintln!("{msg}\n{}", usage_hint());
+                    ExitCode::from(2)
+                }
+                CliError::Runtime(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}\n{}", usage_hint());
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }

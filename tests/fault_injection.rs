@@ -1,0 +1,537 @@
+//! Integration tests for the resilience layer: snapshot/restore across all
+//! three backends, seeded fault-injection campaigns with golden-run
+//! classification, watchdog enforcement, and deterministic replay — at the
+//! library level and through the `koika-sim` CLI.
+//!
+//! Golden snapshots live in `tests/golden/`; regenerate with
+//! `BLESS=1 cargo test --test fault_injection`.
+
+use cuttlesim::Sim;
+use koika::ast::{guard, k, rd0, wr0};
+use koika::check::check;
+use koika::design::DesignBuilder;
+use koika::device::{Device, SimBackend};
+use koika::fault::{
+    replay_campaign, run_watchdogged, CampaignConfig, FaultEngine, Injection, Outcome, ReplayLog,
+    Watchdog,
+};
+use koika::snapshot::{Snapshot, SnapshotError};
+use koika::tir::TDesign;
+use koika_designs::harness::MEM_WORDS;
+use koika_designs::memdev::MagicMemory;
+use koika_designs::{rv32, small};
+use koika_riscv::programs;
+use koika_rtl::{compile as rtl_compile, RtlSim, Scheme};
+use std::process::Command;
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+fn collatz() -> TDesign {
+    check(&small::collatz()).unwrap()
+}
+
+type BackendFactory = Box<dyn Fn(&TDesign) -> Box<dyn SimBackend>>;
+type SimFactory = Box<dyn FnMut() -> Box<dyn SimBackend>>;
+type DeviceFactory = Box<dyn FnMut() -> Vec<Box<dyn Device>>>;
+
+/// One factory per backend, so every test below can sweep all three.
+fn backends() -> Vec<(&'static str, BackendFactory)> {
+    vec![
+        (
+            "interp",
+            Box::new(|td: &TDesign| Box::new(koika::Interp::new(td)) as Box<dyn SimBackend>),
+        ),
+        (
+            "cuttlesim",
+            Box::new(|td: &TDesign| Box::new(Sim::compile(td).unwrap()) as Box<dyn SimBackend>),
+        ),
+        (
+            "rtl",
+            Box::new(|td: &TDesign| {
+                Box::new(RtlSim::new(rtl_compile(td, Scheme::Dynamic).unwrap()))
+                    as Box<dyn SimBackend>
+            }),
+        ),
+    ]
+}
+
+fn run_plain(sim: &mut dyn SimBackend, cycles: u64) {
+    for _ in 0..cycles {
+        sim.cycle();
+    }
+}
+
+fn golden_check(path: &str, actual: &str) {
+    let full = format!("{}/tests/golden/{path}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&full, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("missing golden file {full}: {e} (run with BLESS=1)"));
+    assert_eq!(
+        actual, expected,
+        "{path} drifted from its golden snapshot; run with BLESS=1 to regenerate"
+    );
+}
+
+fn koika_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_koika_sim"))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore.
+
+#[test]
+fn snapshot_restore_round_trips_on_all_three_backends() {
+    let td = collatz();
+    for (name, make) in backends() {
+        // Reference: 64 uninterrupted cycles.
+        let mut straight = make(&td);
+        run_plain(&mut *straight, 64);
+        let want = straight.snapshot();
+
+        // Same run, interrupted at cycle 40 by a snapshot/restore cycle
+        // into a *fresh* simulator.
+        let mut first = make(&td);
+        run_plain(&mut *first, 40);
+        let snap = first.snapshot();
+        assert_eq!(snap.cycles, 40);
+        let mut resumed = make(&td);
+        resumed.restore(&snap).unwrap();
+        run_plain(&mut *resumed, 24);
+        let got = resumed.snapshot();
+
+        assert_eq!(got, want, "snapshot round-trip diverged on {name}");
+        assert_eq!(got.to_bytes(), want.to_bytes(), "binary form differs on {name}");
+    }
+}
+
+#[test]
+fn snapshots_are_portable_across_backends() {
+    let td = collatz();
+    // Capture interpreter state mid-run...
+    let mut interp = koika::Interp::new(&td);
+    run_plain(&mut interp, 32);
+    let snap = interp.snapshot();
+    run_plain(&mut interp, 32);
+    let want = interp.snapshot();
+
+    // ...and resume it on every other backend: identical final state and
+    // commit counters.
+    for (name, make) in backends() {
+        let mut sim = make(&td);
+        sim.restore(&snap).unwrap();
+        run_plain(&mut *sim, 32);
+        assert_eq!(
+            sim.snapshot(),
+            want,
+            "interp state resumed on {name} must match interp's own continuation"
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_designs_and_corrupt_bytes() {
+    let td = collatz();
+    let other = check(&small::fir()).unwrap();
+    let mut sim = koika::Interp::new(&td);
+    run_plain(&mut sim, 8);
+    let snap = sim.snapshot();
+
+    let mut wrong = koika::Interp::new(&other);
+    assert!(matches!(
+        wrong.restore(&snap),
+        Err(SnapshotError::DesignMismatch { .. })
+    ));
+
+    let mut bytes = snap.to_bytes();
+    bytes.truncate(bytes.len() - 3);
+    assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::Truncated));
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns and classification.
+
+fn collatz_engine_parts() -> (TDesign, SimFactory, DeviceFactory) {
+    let td = collatz();
+    let td2 = td.clone();
+    (
+        td,
+        Box::new(move || Box::new(Sim::compile(&td2).unwrap()) as Box<dyn SimBackend>),
+        Box::new(Vec::new),
+    )
+}
+
+#[test]
+fn collatz_campaign_summary_matches_golden_and_is_reproducible() {
+    let (td, mut make_sim, mut make_devices) = collatz_engine_parts();
+    let cfg = CampaignConfig {
+        seed: 0xC0FFEE,
+        members: 40,
+        cycles: 64,
+        max_injections: 3,
+        stall_cycles: 32,
+    };
+    let mut engine = FaultEngine {
+        td: &td,
+        make_sim: &mut *make_sim,
+        make_devices: &mut *make_devices,
+    };
+    let a = engine.run_campaign(&cfg).unwrap();
+    let b = engine.run_campaign(&cfg).unwrap();
+    assert_eq!(a.summary(), b.summary(), "campaign must be deterministic");
+    assert_eq!(a.counts().iter().sum::<usize>(), 40, "every member classified");
+    golden_check("collatz_campaign.txt", &a.summary());
+}
+
+#[test]
+fn campaigns_agree_across_backends_on_collatz() {
+    // The engine is backend-agnostic and all backends are cycle-accurate,
+    // so the same seed must classify identically everywhere.
+    let td = collatz();
+    let cfg = CampaignConfig {
+        seed: 99,
+        members: 12,
+        cycles: 48,
+        max_injections: 2,
+        stall_cycles: 24,
+    };
+    let mut summaries = Vec::new();
+    for (name, make) in backends() {
+        let td2 = td.clone();
+        let mut make_sim = move || make(&td2);
+        let mut make_devices = Vec::new;
+        let mut engine = FaultEngine {
+            td: &td,
+            make_sim: &mut make_sim,
+            make_devices: &mut make_devices,
+        };
+        let report = engine.run_campaign(&cfg).unwrap();
+        summaries.push((name, report.summary()));
+    }
+    let (first_name, first) = &summaries[0];
+    for (name, summary) in &summaries[1..] {
+        assert_eq!(
+            summary, first,
+            "campaign classification differs between {first_name} and {name}"
+        );
+    }
+}
+
+#[test]
+fn watchdog_aborts_non_terminating_design_on_every_backend() {
+    // A design whose only rule is guarded on a bit that is never set: it
+    // commits nothing, ever. Without a watchdog this "runs" forever.
+    let mut b = DesignBuilder::new("stuck");
+    b.reg("go", 1, 0u64);
+    b.reg("n", 8, 0u64);
+    b.rule(
+        "inc",
+        vec![guard(rd0("go").eq(k(1, 1))), wr0("n", rd0("n").add(k(8, 1)))],
+    );
+    let td = check(&b.build()).unwrap();
+    for (name, make) in backends() {
+        let mut sim = make(&td);
+        let mut devices: Vec<Box<dyn Device>> = Vec::new();
+        let trip = run_watchdogged(
+            &mut *sim,
+            &mut devices,
+            1_000_000,
+            &[],
+            &Watchdog::stall_only(16),
+            None,
+        )
+        .expect_err("stuck design must trip the watchdog");
+        assert_eq!(trip.cycle, 16, "on {name}");
+        assert!(trip.reason.contains("no rule committed"), "on {name}");
+    }
+}
+
+#[test]
+fn hang_injections_are_caught_and_classified() {
+    // A two-state machine with a 2-bit state register: states 0 and 1
+    // alternate, state 2 is unreachable and no rule handles it. An SEU on
+    // the state's high bit wedges the design — the watchdog must classify
+    // that as a hang rather than letting the run spin.
+    let mut b = DesignBuilder::new("twostate");
+    b.reg("st", 2, 0u64);
+    b.reg("n", 8, 0u64);
+    b.rule(
+        "a",
+        vec![
+            guard(rd0("st").eq(k(2, 0))),
+            wr0("st", k(2, 1)),
+            wr0("n", rd0("n").add(k(8, 1))),
+        ],
+    );
+    b.rule(
+        "b",
+        vec![guard(rd0("st").eq(k(2, 1))), wr0("st", k(2, 0))],
+    );
+    b.schedule(["a", "b"]);
+    let td = check(&b.build()).unwrap();
+    let td2 = td.clone();
+    let mut make_sim = move || Box::new(koika::Interp::new(&td2)) as Box<dyn SimBackend>;
+    let mut make_devices = Vec::new;
+    let mut engine = FaultEngine {
+        td: &td,
+        make_sim: &mut make_sim,
+        make_devices: &mut make_devices,
+    };
+    let golden = engine.golden(64, 16).unwrap();
+    let st = td.reg_id("st");
+    let inj = Injection { cycle: 10, reg: st, bit: 1 };
+    let outcome = engine.classify_injections(&[inj], 64, 16, &golden);
+    assert!(matches!(outcome, Outcome::Hang { cycle: 26 }), "got {outcome}");
+}
+
+#[test]
+fn replay_log_survives_text_round_trip_and_reproduces() {
+    let (td, mut make_sim, mut make_devices) = collatz_engine_parts();
+    let cfg = CampaignConfig {
+        seed: 5,
+        members: 10,
+        cycles: 48,
+        max_injections: 2,
+        stall_cycles: 24,
+    };
+    let mut engine = FaultEngine {
+        td: &td,
+        make_sim: &mut *make_sim,
+        make_devices: &mut *make_devices,
+    };
+    let report = engine.run_campaign(&cfg).unwrap();
+    let log = report.to_replay_log("cuttlesim", 6, "");
+    let parsed = ReplayLog::from_text(&log.to_text()).unwrap();
+    assert_eq!(parsed, log);
+    let results = replay_campaign(&mut engine, &parsed).unwrap();
+    assert_eq!(results.len(), log.members.len());
+    for r in &results {
+        assert!(r.reproduced, "member {} did not reproduce", r.member.index);
+        assert!(
+            r.minimal.is_some(),
+            "member {} must shrink to a single-injection reproducer or keep \
+             its own single injection",
+            r.member.index
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI.
+
+#[test]
+fn cli_campaign_on_rv32_is_byte_for_byte_reproducible() {
+    // The ISSUE's acceptance bar: a fixed-seed 100-member campaign on an
+    // rv32 core, identical output across two invocations, every member
+    // classified, with the watchdog catching every hang.
+    let run = || {
+        koika_sim()
+            .args([
+                "rv32i", "--cycles", "600", "--campaign", "100", "--seed", "7",
+                "--stall-cycles", "64",
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.status.success(), "stderr: {}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "campaign output must be reproducible");
+    let text = String::from_utf8_lossy(&a.stdout);
+    for class in ["masked", "sdc", "divergence", "hang"] {
+        assert!(text.contains(class), "summary must report {class} counts");
+    }
+    // All 100 members land in exactly one class: the four percentages are
+    // over the full population (counts sum printed members).
+    assert!(text.contains("members=100"));
+}
+
+#[test]
+fn cli_snapshot_restore_round_trips_across_backends() {
+    let dir = std::env::temp_dir().join(format!("koika-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = |p: &str| dir.join(p).to_str().unwrap().to_string();
+
+    // Straight cuttlesim run of 64 cycles, snapshot at the end.
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "64", "--snapshot-every", "64"])
+        .args(["--snapshot-prefix", &prefix("straight-")])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Interp snapshot at cycle 32, resumed on the RTL backend for 32 more.
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "32", "--backend", "interp"])
+        .args(["--snapshot-every", "32", "--snapshot-prefix", &prefix("interp-")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "32", "--backend", "rtl"])
+        .args(["--restore", &prefix("interp-00000032.ksnap")])
+        .args(["--snapshot-every", "64", "--snapshot-prefix", &prefix("rtl-")])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let straight = std::fs::read(prefix("straight-00000064.ksnap")).unwrap();
+    let resumed = std::fs::read(prefix("rtl-00000064.ksnap")).unwrap();
+    assert_eq!(
+        straight, resumed,
+        "interp snapshot resumed on rtl must land byte-identical to a \
+         straight cuttlesim run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_record_and_replay_reproduce_every_failing_member() {
+    let dir = std::env::temp_dir().join(format!("koika-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("campaign.replay");
+    let log = log.to_str().unwrap();
+
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "64", "--campaign", "20", "--seed", "42"])
+        .args(["--record", log])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = koika_sim().args(["collatz", "--replay", log]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "replay failed\nstdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("reproduced"));
+    assert!(
+        text.contains("minimal reproducer"),
+        "replay must shrink failures to single-injection reproducers"
+    );
+    assert!(!text.contains("NOT reproduced"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_watchdog_trips_with_exit_3_and_state_dump() {
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "100", "--max-cycles", "50"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "watchdog trip must exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("watchdog trip at cycle 50"));
+    assert!(err.contains("cycle budget of 50 exhausted"));
+    // The state dump is the snapshot's JSON debug form.
+    assert!(err.contains("\"format\": \"ksnp\""), "stderr: {err}");
+    assert!(err.contains("\"cycles\": 50"));
+}
+
+#[test]
+fn cli_single_injection_is_classified_against_golden() {
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "64", "--inject", "10:x:3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("injected SEU 10:x:3"));
+    assert!(text.contains("injection outcome: sdc"), "stdout: {text}");
+}
+
+#[test]
+fn cli_rejects_bad_flag_combinations_up_front_without_panicking() {
+    // Every bad invocation exits 2 with a message on stderr — never a
+    // panic, never exit 101.
+    let cases: &[&[&str]] = &[
+        &["collatz", "--record", "x.log"],
+        &["collatz", "--campaign", "5", "--replay", "x.log"],
+        &["collatz", "--inject", "1:x:0", "--campaign", "5"],
+        &["collatz", "--inject", "1:x:0", "--trace", "8"],
+        &["collatz", "--restore", "x.ksnap", "--profile"],
+        &["collatz", "--watch", "nosuch"],
+        &["collatz", "--inject", "1:nosuch:0"],
+        &["collatz", "--inject", "1:x:99"],
+        &["collatz", "--inject", "not-a-spec"],
+        &["collatz", "--snapshot-every", "0"],
+        &["collatz", "--stall-cycles", "0"],
+        &["collatz", "--max-injections", "0"],
+        &["collatz", "--cycles", "banana"],
+        &["collatz", "--seed"],
+        &["rv32i", "--program", "garbage"],
+        &["nosuchdesign"],
+    ];
+    for case in cases {
+        let out = koika_sim().args(*case).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{case:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.is_empty(), "{case:?} must print a message");
+        assert!(!err.contains("panicked"), "{case:?} panicked: {err}");
+    }
+}
+
+#[test]
+fn cli_restore_rejects_wrong_design_snapshot() {
+    let dir = std::env::temp_dir().join(format!("koika-wrongsnap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("c-").to_str().unwrap().to_string();
+    let snap = format!("{prefix}00000016.ksnap");
+
+    let out = koika_sim()
+        .args(["collatz", "--cycles", "16", "--snapshot-every", "16"])
+        .args(["--snapshot-prefix", &prefix])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = koika_sim().args(["fir", "--restore", &snap]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("collatz"), "error must name the mismatch: {err}");
+    assert!(!err.contains("panicked"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// rv32: injected workloads behave, memory devices stay deterministic.
+
+#[test]
+fn rv32_campaign_reproduces_at_library_level() {
+    let td = check(&rv32::rv32i()).unwrap();
+    let program = programs::primes(10);
+    let cfg = CampaignConfig {
+        seed: 21,
+        members: 8,
+        cycles: 300,
+        max_injections: 2,
+        stall_cycles: 64,
+    };
+    let td2 = td.clone();
+    let mut make_sim =
+        move || Box::new(Sim::compile(&td2).unwrap()) as Box<dyn SimBackend>;
+    let td3 = td.clone();
+    let prog = program.clone();
+    let mut make_devices = move || {
+        vec![Box::new(MagicMemory::new(&td3, &["imem", "dmem"], &prog, MEM_WORDS)) as Box<dyn Device>]
+    };
+    let mut engine = FaultEngine {
+        td: &td,
+        make_sim: &mut make_sim,
+        make_devices: &mut make_devices,
+    };
+    let a = engine.run_campaign(&cfg).unwrap();
+    let b = engine.run_campaign(&cfg).unwrap();
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.counts().iter().sum::<usize>(), 8);
+}
