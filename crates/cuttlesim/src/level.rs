@@ -58,6 +58,16 @@ impl OptLevel {
         OptLevel::DesignSpecific
     }
 
+    /// The level for a user-facing `--level` number (`1..=6`).
+    pub fn from_number(n: u32) -> Option<OptLevel> {
+        OptLevel::ALL.get(n.checked_sub(1)? as usize).copied()
+    }
+
+    /// The user-facing `--level` number (`1..=6`).
+    pub fn number(self) -> u32 {
+        OptLevel::ALL.iter().position(|&l| l == self).unwrap_or(5) as u32 + 1
+    }
+
     /// Short name used in benchmark output (`O1`..`O6`).
     pub fn short_name(self) -> &'static str {
         match self {

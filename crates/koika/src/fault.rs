@@ -34,6 +34,7 @@
 
 use crate::device::{Device, SimBackend};
 use crate::obs::Observer;
+use crate::runner::{self, contain, JobError, JobUpdate, RunnerConfig, RunnerStats};
 use crate::testgen::SplitMix64;
 use crate::tir::{RegId, TDesign};
 use std::fmt;
@@ -125,11 +126,20 @@ pub enum Outcome {
         /// First cycle whose commit set differed from golden.
         first_cycle: u64,
     },
-    /// The watchdog aborted the run before the given cycle.
+    /// The watchdog aborted the run before the given cycle on a
+    /// **deterministic** budget (stall or cycle count).
     Hang {
         /// Cycle count when the watchdog tripped.
         cycle: u64,
     },
+    /// The member panicked; the panic was contained by the runner and the
+    /// message recorded in [`MemberReport::detail`].
+    Panic,
+    /// Only the wall-clock budget tripped, and kept tripping after every
+    /// retry. Unlike `Hang`, this is a statement about the *machine* (load,
+    /// scheduling), not the design — which is why wall-only trips get their
+    /// own class and never pollute the deterministic `hang` counts.
+    Flaky,
 }
 
 impl Outcome {
@@ -141,6 +151,8 @@ impl Outcome {
             Outcome::Sdc => "sdc",
             Outcome::Divergence { .. } => "divergence",
             Outcome::Hang { .. } => "hang",
+            Outcome::Panic => "panic",
+            Outcome::Flaky => "flaky",
         }
     }
 
@@ -155,6 +167,8 @@ impl Outcome {
             Outcome::Sdc => "sdc".into(),
             Outcome::Divergence { first_cycle } => format!("divergence@{first_cycle}"),
             Outcome::Hang { cycle } => format!("hang@{cycle}"),
+            Outcome::Panic => "panic".into(),
+            Outcome::Flaky => "flaky".into(),
         }
     }
 
@@ -171,10 +185,15 @@ impl Outcome {
             ("sdc", None) => Ok(Outcome::Sdc),
             ("divergence", Some(c)) => Ok(Outcome::Divergence { first_cycle: c }),
             ("hang", Some(c)) => Ok(Outcome::Hang { cycle: c }),
+            ("panic", None) => Ok(Outcome::Panic),
+            ("flaky", None) => Ok(Outcome::Flaky),
             _ => Err(format!("bad outcome token {tok:?}")),
         }
     }
 }
+
+/// All outcome class labels, in the order [`CampaignReport::counts`] uses.
+pub const OUTCOME_CLASSES: [&str; 6] = ["masked", "sdc", "divergence", "hang", "panic", "flaky"];
 
 impl fmt::Display for Outcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -218,11 +237,36 @@ impl Watchdog {
     }
 }
 
+/// Which budget a watchdog trip exhausted.
+///
+/// Stall and cycle budgets are pure functions of the simulation, so their
+/// trips reproduce on any machine; a wall-clock trip depends on load and
+/// scheduling, which is why campaign classification treats it as
+/// retry-then-`flaky` rather than `hang`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripKind {
+    /// Deterministic: too many consecutive commit-free cycles.
+    Stall,
+    /// Deterministic: total cycle budget exhausted.
+    CycleBudget,
+    /// Machine-dependent: wall-clock budget exhausted.
+    Wall,
+}
+
+impl TripKind {
+    /// True for budgets that are pure functions of the simulation.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, TripKind::Wall)
+    }
+}
+
 /// Why a watchdog aborted a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchdogTrip {
     /// Cycle count when the trip happened.
     pub cycle: u64,
+    /// Which budget tripped.
+    pub kind: TripKind,
     /// Human-readable trigger.
     pub reason: String,
 }
@@ -254,6 +298,7 @@ impl ArmedWatchdog<'_> {
             if self.stalled >= k {
                 return Some(WatchdogTrip {
                     cycle: cycles_done,
+                    kind: TripKind::Stall,
                     reason: format!("no rule committed for {k} consecutive cycles"),
                 });
             }
@@ -262,6 +307,7 @@ impl ArmedWatchdog<'_> {
             if cycles_done >= max {
                 return Some(WatchdogTrip {
                     cycle: cycles_done,
+                    kind: TripKind::CycleBudget,
                     reason: format!("cycle budget of {max} exhausted"),
                 });
             }
@@ -270,6 +316,7 @@ impl ArmedWatchdog<'_> {
             if self.start.elapsed() > budget {
                 return Some(WatchdogTrip {
                     cycle: cycles_done,
+                    kind: TripKind::Wall,
                     reason: format!("wall-clock budget of {budget:?} exhausted"),
                 });
             }
@@ -453,6 +500,10 @@ pub struct MemberReport {
     pub injections: Vec<Injection>,
     /// How the run ended.
     pub outcome: Outcome,
+    /// Supporting evidence for `panic` (the contained panic message) and
+    /// `flaky` (the wall trip reason) outcomes; `None` for the classes
+    /// derived from golden-run comparison.
+    pub detail: Option<String>,
 }
 
 /// Errors from campaign setup (never from individual members — those
@@ -466,6 +517,22 @@ pub enum FaultError {
     /// The *golden* run tripped the watchdog — the configuration itself
     /// never makes progress, so no member can be classified against it.
     GoldenHang(WatchdogTrip),
+    /// The *golden* run panicked; the string is the contained panic
+    /// message. No member can be classified without a golden run.
+    GoldenPanic(String),
+    /// A simulator could not be built (factory reported an error).
+    Setup(String),
+    /// A replay log's recorded golden digest does not match the golden run
+    /// observed in this environment.
+    DigestMismatch {
+        /// Digest recorded in the log.
+        recorded: u64,
+        /// Digest observed on replay.
+        observed: u64,
+    },
+    /// A replayed injection does not fit the design (register index or bit
+    /// out of range).
+    BadInjection(String),
 }
 
 impl fmt::Display for FaultError {
@@ -478,6 +545,16 @@ impl fmt::Display for FaultError {
             FaultError::GoldenHang(trip) => {
                 write!(f, "golden run made no progress ({trip}); nothing to classify against")
             }
+            FaultError::GoldenPanic(msg) => {
+                write!(f, "golden run panicked ({msg}); nothing to classify against")
+            }
+            FaultError::Setup(msg) => write!(f, "simulator setup failed: {msg}"),
+            FaultError::DigestMismatch { recorded, observed } => write!(
+                f,
+                "golden digest {observed:#018x} does not match recorded {recorded:#018x} — \
+                 different design/backend/workload than the recording"
+            ),
+            FaultError::BadInjection(msg) => write!(f, "bad injection in replay log: {msg}"),
         }
     }
 }
@@ -496,21 +573,60 @@ pub struct FaultEngine<'a> {
     pub make_devices: &'a mut dyn FnMut() -> Vec<Box<dyn Device>>,
 }
 
+/// Checks that every register of the design fits the engine's `u64`-based
+/// state comparison.
+fn check_design_regs(td: &TDesign) -> Result<(), FaultError> {
+    if td.regs.is_empty() {
+        return Err(FaultError::NoRegisters);
+    }
+    match td.regs.iter().find(|r| r.width > 64) {
+        Some(r) => Err(FaultError::WideDesign(r.name.clone())),
+        None => Ok(()),
+    }
+}
+
+/// Reads the full flattened register file (low 64 bits each).
+fn read_final_regs(td: &TDesign, sim: &mut dyn SimBackend) -> Vec<u64> {
+    (0..td.regs.len())
+        .map(|i| sim.as_reg_access().get64(RegId(i as u32)))
+        .collect()
+}
+
+/// Checks that injections (typically parsed from a replay log) actually fit
+/// the design: register index in range, bit inside the register's width.
+///
+/// # Errors
+///
+/// [`FaultError::BadInjection`] naming the first offending spec. Without
+/// this check a hand-edited log could drive the simulator into an
+/// out-of-bounds register access or an oversized shift — a panic on a
+/// user-reachable path.
+pub fn validate_injections(td: &TDesign, injections: &[Injection]) -> Result<(), FaultError> {
+    for inj in injections {
+        let Some(reg) = td.regs.get(inj.reg.0 as usize) else {
+            return Err(FaultError::BadInjection(format!(
+                "register index {} out of range ({} registers)",
+                inj.reg.0,
+                td.regs.len()
+            )));
+        };
+        if inj.bit >= reg.width {
+            return Err(FaultError::BadInjection(format!(
+                "bit {} out of range for {} ({} bits)",
+                inj.bit, reg.name, reg.width
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl FaultEngine<'_> {
     fn check_design(&self) -> Result<(), FaultError> {
-        if self.td.regs.is_empty() {
-            return Err(FaultError::NoRegisters);
-        }
-        match self.td.regs.iter().find(|r| r.width > 64) {
-            Some(r) => Err(FaultError::WideDesign(r.name.clone())),
-            None => Ok(()),
-        }
+        check_design_regs(self.td)
     }
 
     fn final_regs(&self, sim: &mut dyn SimBackend) -> Vec<u64> {
-        (0..self.td.regs.len())
-            .map(|i| sim.as_reg_access().get64(RegId(i as u32)))
-            .collect()
+        read_final_regs(self.td, sim)
     }
 
     /// Executes the fault-free golden run.
@@ -587,6 +703,7 @@ impl FaultEngine<'_> {
                 index,
                 injections,
                 outcome,
+                detail: None,
             });
         }
         Ok(CampaignReport {
@@ -646,6 +763,148 @@ pub fn draw_schedule(td: &TDesign, cfg: &CampaignConfig, index: usize) -> Vec<In
     injections
 }
 
+/// Thread-safe simulator/device factories, for campaigns whose members run
+/// on a worker pool. Unlike [`FaultEngine`]'s `FnMut` factories these are
+/// `Fn + Sync` — invoked concurrently from every worker — and the simulator
+/// factory is fallible so a build error becomes a classified result
+/// instead of a `panic!`/`exit` somewhere inside a worker.
+pub struct ParallelFactories<'a> {
+    /// The design under test.
+    pub td: &'a TDesign,
+    /// Produces a fresh simulator at reset state.
+    pub make_sim: &'a (dyn Fn() -> Result<Box<dyn SimBackend>, String> + Sync),
+    /// Produces the matching device set (must be deterministic — campaign
+    /// reproducibility depends on it).
+    pub make_devices: &'a (dyn Fn() -> Vec<Box<dyn Device>> + Sync),
+}
+
+/// Execution policy for [`run_campaign_parallel`]: worker-pool shape plus
+/// the per-member wall-clock deadline.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelOptions {
+    /// Worker count, retry budget, and backoff.
+    pub runner: RunnerConfig,
+    /// Per-member wall-clock deadline. Trips are treated as *transient*
+    /// (the machine was slow, not the design): retried per
+    /// [`RunnerConfig::max_retries`], and classified [`Outcome::Flaky`]
+    /// only once retries are exhausted. `None` (the default) keeps
+    /// classification fully machine-independent.
+    pub wall_budget: Option<Duration>,
+}
+
+fn golden_run_par(
+    env: &ParallelFactories<'_>,
+    cycles: u64,
+    stall_cycles: u64,
+) -> Result<GoldenRun, FaultError> {
+    let mut sim = (env.make_sim)().map_err(FaultError::Setup)?;
+    let mut devices = (env.make_devices)();
+    let mut fp = CommitFingerprint::default();
+    run_watchdogged(
+        &mut *sim,
+        &mut devices,
+        cycles,
+        &[],
+        &Watchdog::stall_only(stall_cycles),
+        Some(&mut fp),
+    )
+    .map_err(FaultError::GoldenHang)?;
+    let final_regs = read_final_regs(env.td, &mut *sim);
+    Ok(GoldenRun {
+        fps: fp.per_cycle,
+        final_regs,
+    })
+}
+
+/// Runs a campaign with members fanned out over a crash-isolated worker
+/// pool ([`crate::runner`]). Returns the report plus the runner's aggregate
+/// stats (panics contained, retries spent).
+///
+/// Guarantees, regardless of `opts.runner.jobs`:
+///
+/// * every member is reported, in index order — a member that panics is
+///   contained and classified [`Outcome::Panic`] (message in
+///   [`MemberReport::detail`]) instead of taking down the run;
+/// * a member whose wall deadline trips is retried with backoff and
+///   classified [`Outcome::Flaky`] only if it keeps tripping —
+///   deterministic stall/cycle trips classify [`Outcome::Hang`] as always
+///   and are never retried;
+/// * the report (and [`CampaignReport::summary`]) is **byte-identical**
+///   across worker counts: outcomes are pure functions of `(seed, index)`
+///   and ordering is restored after the fan-out.
+///
+/// # Errors
+///
+/// Only from setup: the golden run hanging ([`FaultError::GoldenHang`]),
+/// panicking ([`FaultError::GoldenPanic`]), or a simulator build failure
+/// ([`FaultError::Setup`]).
+pub fn run_campaign_parallel(
+    env: &ParallelFactories<'_>,
+    cfg: &CampaignConfig,
+    opts: &ParallelOptions,
+    progress: Option<&mut dyn FnMut(JobUpdate)>,
+) -> Result<(CampaignReport, RunnerStats), FaultError> {
+    check_design_regs(env.td)?;
+    let golden = contain(|| golden_run_par(env, cfg.cycles, cfg.stall_cycles))
+        .map_err(FaultError::GoldenPanic)??;
+
+    let job = |index: usize| -> Result<Outcome, JobError> {
+        let injections = draw_schedule(env.td, cfg, index);
+        let mut sim = (env.make_sim)().map_err(JobError::Fatal)?;
+        let mut devices = (env.make_devices)();
+        let mut fp = CommitFingerprint::default();
+        let watchdog = Watchdog {
+            max_cycles: None,
+            stall_cycles: Some(cfg.stall_cycles),
+            wall_budget: opts.wall_budget,
+        };
+        let hang = match run_watchdogged(
+            &mut *sim,
+            &mut devices,
+            cfg.cycles,
+            &injections,
+            &watchdog,
+            Some(&mut fp),
+        ) {
+            Ok(()) => None,
+            Err(trip) if trip.kind == TripKind::Wall => {
+                return Err(JobError::Transient(trip.to_string()))
+            }
+            Err(trip) => Some(trip.cycle),
+        };
+        let final_regs = read_final_regs(env.td, &mut *sim);
+        Ok(classify(&golden, &fp.per_cycle, &final_regs, hang))
+    };
+
+    let (reports, stats) = runner::run_jobs(cfg.members, &opts.runner, job, progress);
+    let members = reports
+        .into_iter()
+        .map(|r| {
+            let injections = draw_schedule(env.td, cfg, r.index);
+            let (outcome, detail) = match r.result {
+                Ok(outcome) => (outcome, None),
+                Err(JobError::Panic(msg)) => (Outcome::Panic, Some(msg)),
+                Err(JobError::Transient(msg)) => (Outcome::Flaky, Some(msg)),
+                Err(JobError::Fatal(msg)) => (Outcome::Panic, Some(msg)),
+            };
+            MemberReport {
+                index: r.index,
+                injections,
+                outcome,
+                detail,
+            }
+        })
+        .collect();
+    let report = CampaignReport {
+        design: env.td.name.clone(),
+        reg_names: env.td.regs.iter().map(|r| r.name.clone()).collect(),
+        config: cfg.clone(),
+        golden_digest: golden.digest(),
+        members,
+    };
+    Ok((report, stats))
+}
+
 /// A finished campaign: configuration, golden digest, and every member's
 /// schedule and outcome. Fully deterministic for a given seed and
 /// configuration.
@@ -664,15 +923,18 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// `[masked, sdc, divergence, hang]` counts.
-    pub fn counts(&self) -> [usize; 4] {
-        let mut counts = [0usize; 4];
+    /// `[masked, sdc, divergence, hang, panic, flaky]` counts, in
+    /// [`OUTCOME_CLASSES`] order.
+    pub fn counts(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
         for m in &self.members {
             let i = match m.outcome {
                 Outcome::Masked => 0,
                 Outcome::Sdc => 1,
                 Outcome::Divergence { .. } => 2,
                 Outcome::Hang { .. } => 3,
+                Outcome::Panic => 4,
+                Outcome::Flaky => 5,
             };
             counts[i] += 1;
         }
@@ -709,7 +971,7 @@ impl CampaignReport {
         let _ = writeln!(s, "golden commit digest: {:#018x}", self.golden_digest);
         let counts = self.counts();
         let total = self.members.len().max(1);
-        for (label, n) in ["masked", "sdc", "divergence", "hang"].iter().zip(counts) {
+        for (label, n) in OUTCOME_CLASSES.iter().zip(counts) {
             let _ = writeln!(
                 s,
                 "  {label:<10} {n:>4}  ({:.1}%)",
@@ -720,9 +982,13 @@ impl CampaignReport {
         let _ = writeln!(s, "failing members: {}", failing.len());
         for m in failing {
             let specs: Vec<String> = m.injections.iter().map(|i| self.spec_with_names(i)).collect();
+            let detail = match &m.detail {
+                Some(d) => format!("  ({d})"),
+                None => String::new(),
+            };
             let _ = writeln!(
                 s,
-                "  member {:>3}: {:<14} inject {}",
+                "  member {:>3}: {:<14} inject {}{detail}",
                 m.index,
                 m.outcome.to_token(),
                 specs.join(" ")
@@ -744,7 +1010,16 @@ impl CampaignReport {
             seed: self.config.seed,
             stall_cycles: self.config.stall_cycles,
             golden_digest: self.golden_digest,
-            members: self.failing().cloned().collect(),
+            // The line-based log format carries only what a replay needs to
+            // re-derive the member; free-text detail stays out of it.
+            members: self
+                .failing()
+                .cloned()
+                .map(|mut m| {
+                    m.detail = None;
+                    m
+                })
+                .collect(),
         }
     }
 }
@@ -872,6 +1147,7 @@ impl ReplayLog {
                         index,
                         injections,
                         outcome,
+                        detail: None,
                     });
                 }
                 other => return Err(format!("unknown replay key {other:?}")),
@@ -909,17 +1185,15 @@ pub fn replay_campaign(
     engine: &mut FaultEngine<'_>,
     log: &ReplayLog,
 ) -> Result<Vec<ReplayResult>, FaultError> {
+    for member in &log.members {
+        validate_injections(engine.td, &member.injections)?;
+    }
     let golden = engine.golden(log.cycles, log.stall_cycles)?;
     if golden.digest() != log.golden_digest {
-        return Err(FaultError::GoldenHang(WatchdogTrip {
-            cycle: 0,
-            reason: format!(
-                "golden digest {:#018x} does not match recorded {:#018x} — \
-                 different design/backend/workload than the recording",
-                golden.digest(),
-                log.golden_digest
-            ),
-        }));
+        return Err(FaultError::DigestMismatch {
+            recorded: log.golden_digest,
+            observed: golden.digest(),
+        });
     }
     let mut results = Vec::with_capacity(log.members.len());
     for member in &log.members {
@@ -1112,6 +1386,7 @@ mod tests {
                 index: 0,
                 injections: vec![harmless, harmful],
                 outcome: e.classify_injections(&[harmless, harmful], 32, 16, &golden),
+                detail: None,
             };
             assert!(member.outcome.is_failure());
             let minimal = e.shrink(&member, 32, 16, &golden);

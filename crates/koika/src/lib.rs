@@ -22,7 +22,11 @@
 //!   portable across all backends;
 //! * [`fault`] — the resilience-testing harness: seeded SEU bit-flip
 //!   campaigns classified against a golden run, watchdog budgets, and
-//!   deterministic replay with shrinking.
+//!   deterministic replay with shrinking;
+//! * [`runner`] — the crash-isolated parallel job runner under campaigns
+//!   and differential fuzzing: fixed worker pool, per-job panic
+//!   containment, retry with exponential backoff, deterministic result
+//!   ordering.
 //!
 //! The fast simulator lives in the `cuttlesim` crate; the RTL pipeline
 //! (the "Verilator baseline") lives in `koika-rtl`.
@@ -60,6 +64,7 @@ pub mod device;
 pub mod fault;
 pub mod interp;
 pub mod obs;
+pub mod runner;
 pub mod snapshot;
 pub mod testgen;
 pub mod tir;
@@ -72,5 +77,6 @@ pub use device::{Device, RegAccess, SimBackend};
 pub use fault::{CampaignConfig, CampaignReport, Injection, Outcome, Watchdog};
 pub use interp::Interp;
 pub use obs::{FailureReason, Metrics, Observer, PerfettoTrace};
+pub use runner::{JobError, JobReport, JobUpdate, RunnerConfig, RunnerStats};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use tir::{RegId, TDesign};

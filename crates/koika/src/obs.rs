@@ -73,6 +73,11 @@ pub trait Observer {
     /// A watchdog aborted the run before the given cycle (budget exhausted
     /// or progress stalled).
     fn watchdog_trip(&mut self, _cycle: u64, _reason: &str) {}
+    /// A parallel-runner job (campaign member, fuzz seed) committed its
+    /// final verdict: `attempts` tries were consumed (1 = first try), and
+    /// `panicked` is true when the verdict is a contained panic (see
+    /// [`crate::runner`]).
+    fn job_finished(&mut self, _index: usize, _attempts: u32, _panicked: bool) {}
 }
 
 /// Broadcasts every event to several observers, in order.
@@ -126,6 +131,11 @@ impl Observer for Fanout<'_> {
     fn watchdog_trip(&mut self, cycle: u64, reason: &str) {
         for s in &mut self.sinks {
             s.watchdog_trip(cycle, reason);
+        }
+    }
+    fn job_finished(&mut self, index: usize, attempts: u32, panicked: bool) {
+        for s in &mut self.sinks {
+            s.job_finished(index, attempts, panicked);
         }
     }
 }
@@ -194,6 +204,9 @@ pub struct Metrics {
     cur_aborts: usize,
     faults_injected: u64,
     watchdog_trips: u64,
+    jobs_completed: u64,
+    job_retries: u64,
+    panics_contained: u64,
     started: Option<Instant>,
     elapsed_secs: f64,
 }
@@ -220,6 +233,9 @@ impl Metrics {
             cur_aborts: 0,
             faults_injected: 0,
             watchdog_trips: 0,
+            jobs_completed: 0,
+            job_retries: 0,
+            panics_contained: 0,
             started: None,
             elapsed_secs: 0.0,
         }
@@ -322,6 +338,21 @@ impl Metrics {
         self.watchdog_trips
     }
 
+    /// Parallel-runner jobs that committed a final verdict.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Retry attempts consumed by transiently failing jobs.
+    pub fn job_retries(&self) -> u64 {
+        self.job_retries
+    }
+
+    /// Jobs whose final verdict was a contained panic.
+    pub fn panics_contained(&self) -> u64 {
+        self.panics_contained
+    }
+
     /// Observed simulation throughput in cycles per wall-clock second
     /// (0.0 before the first cycle completes).
     pub fn cycles_per_sec(&self) -> f64 {
@@ -398,6 +429,13 @@ impl Metrics {
         }
         if self.watchdog_trips > 0 {
             let _ = write!(s, ",\n  \"watchdog_trips\": {}", self.watchdog_trips);
+        }
+        if self.jobs_completed > 0 {
+            let _ = write!(
+                s,
+                ",\n  \"runner\": {{\"jobs_completed\": {}, \"retries\": {}, \"panics_contained\": {}}}",
+                self.jobs_completed, self.job_retries, self.panics_contained,
+            );
         }
         if include_throughput {
             let _ = write!(s, ",\n  \"cycles_per_sec\": {:.1}", self.cycles_per_sec());
@@ -481,6 +519,29 @@ impl Metrics {
                 self.watchdog_trips
             );
         }
+        if self.jobs_completed > 0 {
+            s.push_str(
+                "# HELP koika_runner_jobs_total Parallel-runner jobs by final verdict.\n# TYPE koika_runner_jobs_total counter\n",
+            );
+            let _ = writeln!(
+                s,
+                "koika_runner_jobs_total{{design=\"{d}\",verdict=\"panic\"}} {}",
+                self.panics_contained
+            );
+            let _ = writeln!(
+                s,
+                "koika_runner_jobs_total{{design=\"{d}\",verdict=\"other\"}} {}",
+                self.jobs_completed - self.panics_contained
+            );
+            s.push_str(
+                "# HELP koika_runner_retries_total Retry attempts consumed by transient job failures.\n# TYPE koika_runner_retries_total counter\n",
+            );
+            let _ = writeln!(
+                s,
+                "koika_runner_retries_total{{design=\"{d}\"}} {}",
+                self.job_retries
+            );
+        }
         s.push_str(
             "# HELP koika_cycles_per_second Observed simulation throughput.\n# TYPE koika_cycles_per_second gauge\n",
         );
@@ -544,6 +605,12 @@ impl Observer for Metrics {
 
     fn watchdog_trip(&mut self, _cycle: u64, _reason: &str) {
         self.watchdog_trips += 1;
+    }
+
+    fn job_finished(&mut self, _index: usize, attempts: u32, panicked: bool) {
+        self.jobs_completed += 1;
+        self.job_retries += attempts.saturating_sub(1) as u64;
+        self.panics_contained += panicked as u64;
     }
 }
 

@@ -1,0 +1,493 @@
+//! A crash-isolated parallel job runner: the throughput-and-fault-tolerance
+//! substrate under fault-injection campaigns and differential fuzzing.
+//!
+//! The paper's case study 2 (§4) leans on randomized functional verification
+//! at scale; campaign members and fuzz seeds are embarrassingly parallel, so
+//! the same mechanism buys both speed and containment:
+//!
+//! * **Fixed worker pool** — `jobs` OS threads ([`std::thread::scope`], no
+//!   dependencies) pull job indices from a shared atomic counter, so a slow
+//!   job never blocks the queue behind it.
+//! * **Panic containment** — every job attempt runs under
+//!   [`std::panic::catch_unwind`]; a panicking job becomes a
+//!   [`JobError::Panic`] carrying the panic message while every other job
+//!   keeps running. The default panic hook is silenced *only* on the
+//!   panicking runner thread, so unrelated panics elsewhere in the process
+//!   still print normally.
+//! * **Retry with exponential backoff** — a job that fails with
+//!   [`JobError::Transient`] (e.g. a wall-clock watchdog trip on a loaded
+//!   machine) is retried up to [`RunnerConfig::max_retries`] times with
+//!   exponentially growing sleeps. Deterministic failures
+//!   ([`JobError::Fatal`]) and panics are **not** retried: re-running them
+//!   can only reproduce the same result more slowly.
+//! * **Deterministic results** — reports come back ordered by job index
+//!   regardless of which worker finished first, so anything rendered from
+//!   them is byte-identical across `jobs` values.
+//!
+//! The runner is generic: a job is any `Fn(usize) -> Result<T, JobError> +
+//! Sync` closure. [`crate::fault::run_campaign_parallel`] builds campaign
+//! members on top of it; the workspace's fuzz harness builds differential
+//! seeds the same way.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Worker-pool shape and retry policy.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads. `1` (the default) runs jobs inline on the calling
+    /// thread — same containment and retry behavior, no thread overhead.
+    pub jobs: usize,
+    /// Retries granted to a job failing with [`JobError::Transient`].
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff * 2^(k-1)`, capped at 2 s.
+    pub backoff: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            jobs: 1,
+            max_retries: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A config with the given worker count and default retry policy.
+    pub fn with_jobs(jobs: usize) -> Self {
+        RunnerConfig {
+            jobs,
+            ..RunnerConfig::default()
+        }
+    }
+}
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload is the panic message. Deterministic —
+    /// never retried.
+    Panic(String),
+    /// An environment-dependent failure (wall-clock deadline on a loaded
+    /// machine, resource exhaustion). Retried per policy; this is the final
+    /// error only once retries are exhausted.
+    Transient(String),
+    /// A deterministic failure the job itself reported. Never retried.
+    Fatal(String),
+}
+
+impl JobError {
+    /// Short class label: `panic`, `transient`, or `fatal`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobError::Panic(_) => "panic",
+            JobError::Transient(_) => "transient",
+            JobError::Fatal(_) => "fatal",
+        }
+    }
+
+    /// The human-readable message carried by any variant.
+    pub fn message(&self) -> &str {
+        match self {
+            JobError::Panic(m) | JobError::Transient(m) | JobError::Fatal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.label(), self.message())
+    }
+}
+
+/// One job's final verdict, after containment and any retries.
+#[derive(Debug)]
+pub struct JobReport<T> {
+    /// The job's index in `0..total`.
+    pub index: usize,
+    /// Attempts consumed (1 = succeeded or failed on the first try).
+    pub attempts: u32,
+    /// The job's value, or why it has none.
+    pub result: Result<T, JobError>,
+}
+
+/// A progress event, delivered on the *calling* thread (so the callback
+/// needs no synchronization).
+#[derive(Debug, Clone)]
+pub enum JobUpdate {
+    /// A job committed its final verdict.
+    Finished {
+        /// Job index.
+        index: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// True when the final verdict is a contained panic.
+        panicked: bool,
+        /// Jobs finished so far, including this one.
+        done: usize,
+        /// Total jobs in this run.
+        total: usize,
+    },
+    /// A job failed transiently and is backing off before another attempt.
+    Retrying {
+        /// Job index.
+        index: usize,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// The transient failure message.
+        reason: String,
+    },
+}
+
+/// Aggregate counters for one [`run_jobs`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Jobs submitted.
+    pub total: usize,
+    /// Jobs that returned `Ok`.
+    pub succeeded: usize,
+    /// Jobs whose final verdict was a contained panic.
+    pub panics_contained: usize,
+    /// Retry attempts consumed across all jobs (machine-dependent: only
+    /// transient failures retry).
+    pub retries: u64,
+}
+
+thread_local! {
+    /// True while this thread is executing a contained job attempt; the
+    /// process-global panic hook consults it to stay quiet for contained
+    /// panics only.
+    static CONTAINING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that forwards to the previous
+/// hook unless the panicking thread is inside a contained job attempt.
+fn install_containment_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panics contained: `Err(message)` instead of unwinding
+/// further, and nothing printed by the default panic hook.
+///
+/// This is the single-closure form of the containment the runner applies to
+/// every job attempt; harnesses use it to attribute panics to a specific
+/// backend *inside* a job.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_containment_hook();
+    let was = CONTAINING.with(|c| c.replace(true));
+    let caught = catch_unwind(AssertUnwindSafe(f));
+    CONTAINING.with(|c| c.set(was));
+    caught.map_err(|payload| panic_message(&*payload))
+}
+
+fn backoff_delay(base: Duration, failed_attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << failed_attempt.saturating_sub(1).min(6));
+    exp.min(Duration::from_secs(2))
+}
+
+/// Runs one job to its final verdict: containment around every attempt,
+/// retry with backoff on transient failures.
+fn run_one<T>(
+    job: &(impl Fn(usize) -> Result<T, JobError> + Sync),
+    index: usize,
+    cfg: &RunnerConfig,
+    mut on_retry: impl FnMut(u32, &str),
+) -> JobReport<T> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = match contain(|| job(index)) {
+            Ok(r) => r,
+            Err(msg) => Err(JobError::Panic(msg)),
+        };
+        match result {
+            Err(JobError::Transient(reason)) if attempts <= cfg.max_retries => {
+                on_retry(attempts, &reason);
+                std::thread::sleep(backoff_delay(cfg.backoff, attempts));
+            }
+            result => {
+                return JobReport {
+                    index,
+                    attempts,
+                    result,
+                }
+            }
+        }
+    }
+}
+
+enum WorkerMsg<T> {
+    Done(JobReport<T>),
+    Retry { index: usize, attempt: u32, reason: String },
+}
+
+/// Executes jobs `0..total` on a fixed worker pool and returns their
+/// reports **ordered by index**, plus aggregate stats.
+///
+/// Every attempt runs under panic containment; transient failures retry
+/// with exponential backoff; progress events fire on the calling thread as
+/// verdicts arrive (in completion order — only the returned reports are
+/// index-ordered).
+///
+/// The results are a pure function of the job closure: worker count and
+/// scheduling affect wall-clock time and the interleaving of progress
+/// events, never the returned reports.
+pub fn run_jobs<T, F>(
+    total: usize,
+    cfg: &RunnerConfig,
+    job: F,
+    mut progress: Option<&mut dyn FnMut(JobUpdate)>,
+) -> (Vec<JobReport<T>>, RunnerStats)
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, JobError> + Sync,
+{
+    install_containment_hook();
+    let mut stats = RunnerStats {
+        total,
+        ..RunnerStats::default()
+    };
+    let mut slots: Vec<Option<JobReport<T>>> = (0..total).map(|_| None).collect();
+    let workers = cfg.jobs.max(1).min(total.max(1));
+
+    let mut finish = |report: JobReport<T>,
+                      done: usize,
+                      stats: &mut RunnerStats,
+                      progress: &mut Option<&mut dyn FnMut(JobUpdate)>|
+     -> (usize, bool) {
+        let panicked = matches!(report.result, Err(JobError::Panic(_)));
+        stats.succeeded += report.result.is_ok() as usize;
+        stats.panics_contained += panicked as usize;
+        let update = JobUpdate::Finished {
+            index: report.index,
+            attempts: report.attempts,
+            panicked,
+            done: done + 1,
+            total,
+        };
+        let index = report.index;
+        if index < total {
+            slots[index] = Some(report);
+        }
+        if let Some(p) = progress.as_deref_mut() {
+            p(update);
+        }
+        (done + 1, panicked)
+    };
+
+    if workers <= 1 {
+        let mut done = 0;
+        for index in 0..total {
+            let mut retries = 0u64;
+            let mut retry_updates: Vec<JobUpdate> = Vec::new();
+            let report = run_one(&job, index, cfg, |attempt, reason| {
+                retries += 1;
+                retry_updates.push(JobUpdate::Retrying {
+                    index,
+                    attempt,
+                    reason: reason.to_string(),
+                });
+            });
+            stats.retries += retries;
+            if let Some(p) = progress.as_deref_mut() {
+                for u in retry_updates {
+                    p(u);
+                }
+            }
+            (done, _) = finish(report, done, &mut stats, &mut progress);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<WorkerMsg<T>>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let job = &job;
+                s.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let report = run_one(job, index, cfg, |attempt, reason| {
+                        let _ = tx.send(WorkerMsg::Retry {
+                            index,
+                            attempt,
+                            reason: reason.to_string(),
+                        });
+                    });
+                    if tx.send(WorkerMsg::Done(report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0;
+            while done < total {
+                match rx.recv() {
+                    Ok(WorkerMsg::Done(report)) => {
+                        (done, _) = finish(report, done, &mut stats, &mut progress);
+                    }
+                    Ok(WorkerMsg::Retry { index, attempt, reason }) => {
+                        stats.retries += 1;
+                        if let Some(p) = progress.as_deref_mut() {
+                            p(JobUpdate::Retrying { index, attempt, reason });
+                        }
+                    }
+                    // All senders gone with jobs missing: workers died in a
+                    // way containment could not catch. Fill below.
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+
+    let reports: Vec<JobReport<T>> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or(JobReport {
+                index,
+                attempts: 0,
+                result: Err(JobError::Fatal("job result lost (worker died)".into())),
+            })
+        })
+        .collect();
+    (reports, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_index_order_at_any_width() {
+        for jobs in [1, 2, 8, 33] {
+            let cfg = RunnerConfig::with_jobs(jobs);
+            let (reports, stats) =
+                run_jobs(17, &cfg, |i| Ok::<usize, JobError>(i * i), None);
+            assert_eq!(reports.len(), 17);
+            for (i, r) in reports.iter().enumerate() {
+                assert_eq!(r.index, i);
+                assert_eq!(r.result.as_ref().unwrap(), &(i * i));
+                assert_eq!(r.attempts, 1);
+            }
+            assert_eq!(stats.succeeded, 17);
+            assert_eq!(stats.panics_contained, 0);
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_and_attributed() {
+        let cfg = RunnerConfig::with_jobs(4);
+        let (reports, stats) = run_jobs(
+            8,
+            &cfg,
+            |i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                Ok::<usize, JobError>(i)
+            },
+            None,
+        );
+        assert_eq!(stats.panics_contained, 1);
+        assert_eq!(stats.succeeded, 7);
+        match &reports[3].result {
+            Err(JobError::Panic(msg)) => assert_eq!(msg, "boom at 3"),
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        assert_eq!(reports[3].attempts, 1, "panics are not retried");
+    }
+
+    #[test]
+    fn transient_failures_retry_and_then_stick() {
+        let cfg = RunnerConfig {
+            jobs: 2,
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let attempts = [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)];
+        let (reports, stats) = run_jobs(
+            3,
+            &cfg,
+            |i| {
+                let n = attempts[i].fetch_add(1, Ordering::SeqCst) + 1;
+                match i {
+                    // Succeeds on the second attempt.
+                    0 if n < 2 => Err(JobError::Transient("warming up".into())),
+                    // Never succeeds: exhausts retries.
+                    1 => Err(JobError::Transient("always flaky".into())),
+                    // Deterministic failure: must not be retried.
+                    2 => Err(JobError::Fatal("broken".into())),
+                    _ => Ok(i),
+                }
+            },
+            None,
+        );
+        assert_eq!(reports[0].result.as_ref().unwrap(), &0);
+        assert_eq!(reports[0].attempts, 2);
+        assert!(matches!(reports[1].result, Err(JobError::Transient(_))));
+        assert_eq!(reports[1].attempts, 3, "initial + max_retries");
+        assert!(matches!(reports[2].result, Err(JobError::Fatal(_))));
+        assert_eq!(reports[2].attempts, 1);
+        assert_eq!(stats.retries, 1 + 2);
+    }
+
+    #[test]
+    fn progress_reports_every_finish_exactly_once() {
+        let cfg = RunnerConfig::with_jobs(4);
+        let mut seen = Vec::new();
+        let mut cb = |u: JobUpdate| {
+            if let JobUpdate::Finished { index, done, total, .. } = u {
+                assert_eq!(total, 9);
+                assert!((1..=9).contains(&done));
+                seen.push(index);
+            }
+        };
+        let (_, stats) = run_jobs(9, &cfg, Ok::<usize, JobError>, Some(&mut cb));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).collect::<Vec<_>>());
+        assert_eq!(stats.total, 9);
+    }
+
+    #[test]
+    fn contain_returns_the_panic_message() {
+        assert_eq!(contain(|| 5).unwrap(), 5);
+        let err = contain(|| -> u32 { panic!("inner {}", 7) }).unwrap_err();
+        assert_eq!(err, "inner 7");
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let (reports, stats) =
+            run_jobs(0, &RunnerConfig::default(), Ok::<usize, JobError>, None);
+        assert!(reports.is_empty());
+        assert_eq!(stats.total, 0);
+    }
+}

@@ -17,6 +17,35 @@
 use crate::ast::*;
 use crate::bits::word;
 use crate::design::{Design, DesignBuilder};
+use crate::tir::TDesign;
+
+/// A structural fingerprint of a checked design: FNV-1a over the register
+/// shapes (names and widths) and rule names, ignoring initial values and
+/// rule bodies.
+///
+/// Fuzz triage keys crash buckets on this: two seeds whose designs share
+/// the same register/rule *shape* and fail the same way are almost
+/// certainly the same root cause, so they dedup into one bucket even
+/// though their constants differ.
+pub fn shape_fingerprint(td: &TDesign) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    for r in &td.regs {
+        eat(r.name.as_bytes());
+        eat(&r.width.to_le_bytes());
+    }
+    eat(&[0xff]);
+    for rule in &td.rules {
+        eat(rule.name.as_bytes());
+    }
+    h
+}
 
 /// A small, fast, seedable RNG (SplitMix64).
 #[derive(Debug, Clone)]

@@ -1,9 +1,12 @@
 //! `koika-sim`: command-line driver for the bundled designs — simulate on
 //! any backend, dump waveforms, profile, trace, emit C++/Verilog, run
-//! fault-injection campaigns, or snapshot/restore simulator state.
+//! fault-injection campaigns (optionally in parallel), differentially fuzz
+//! all backends against each other, or snapshot/restore simulator state.
 //!
 //! ```text
 //! Usage: koika-sim <design> [options]
+//!        koika-sim --fuzz <N> [--seed S] [--jobs J] [--corpus-dir DIR]
+//!        koika-sim --replay-corpus <DIR>
 //!
 //! Designs:
 //!   collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
@@ -12,7 +15,7 @@
 //! Options:
 //!   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
 //!   --level <1..6>      Cuttlesim optimization level  (default 6)
-//!   --cycles <N>        cycles to run                 (default 10000)
+//!   --cycles <N>        cycles to run        (default 10000; 96 under --fuzz)
 //!   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
 //!   --vcd <FILE>        record all registers to a VCD file
 //!   --profile           print a per-rule work profile (cuttlesim backend)
@@ -23,7 +26,12 @@
 //!   --watch <REG>       print a line when REG changes (repeatable)
 //!   --inject <spec|seed>  flip bits: cycle:reg:bit spec, or a PRNG seed
 //!   --campaign <N>      run an N-member fault-injection campaign
-//!   --seed <N>          campaign / seeded-injection PRNG seed
+//!   --fuzz <N>          run N differential-fuzz cases over all backends
+//!   --jobs <J>          worker threads for --campaign/--fuzz (default 1)
+//!   --retries <K>       retries for wall-budget trips (default 2)
+//!   --corpus-dir <DIR>  persist shrunk fuzz reproducers to DIR
+//!   --replay-corpus <DIR>  re-run every *.fuzz reproducer in DIR
+//!   --seed <N>          campaign / fuzz / seeded-injection PRNG seed
 //!   --max-injections <N>  upsets per campaign member (default 3)
 //!   --record <FILE>     write failing campaign members to a replay log
 //!   --replay <FILE>     re-run a replay log's members; shrink reproducers
@@ -35,16 +43,22 @@
 //!   --max-wall-ms <N>   watchdog: abort after N ms of wall-clock (exit 3)
 //!   --help              print this help and exit
 //! ```
+//!
+//! Campaign and fuzz progress goes to **stderr**; stdout carries only the
+//! machine-parseable report, which is byte-identical for a given seed
+//! regardless of `--jobs`.
 
 use cuttlesim::{codegen_cpp, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
 use koika::check::check;
 use koika::design::Design;
 use koika::device::{Device, SimBackend};
 use koika::fault::{
-    classify, draw_schedule, replay_campaign, CampaignConfig, CommitFingerprint, FaultEngine,
-    Injection, ReplayLog, Watchdog, WatchdogTrip,
+    classify, draw_schedule, replay_campaign, run_campaign_parallel, CampaignConfig,
+    CommitFingerprint, FaultEngine, Injection, ParallelFactories, ParallelOptions, ReplayLog,
+    Watchdog, WatchdogTrip,
 };
 use koika::obs::{Fanout, Metrics, Observer, PerfettoTrace, RegWatch};
+use koika::runner::{JobUpdate, RunnerConfig, RunnerStats};
 use koika::snapshot::Snapshot;
 use koika::tir::TDesign;
 use koika::vcd::VcdRecorder;
@@ -60,7 +74,7 @@ struct Args {
     design: String,
     backend: String,
     level: u32,
-    cycles: u64,
+    cycles: Option<u64>,
     program: String,
     vcd: Option<String>,
     profile: bool,
@@ -71,6 +85,11 @@ struct Args {
     watch: Vec<String>,
     inject: Option<String>,
     campaign: Option<usize>,
+    fuzz: Option<usize>,
+    jobs: usize,
+    retries: u32,
+    corpus_dir: Option<String>,
+    replay_corpus: Option<String>,
     seed: u64,
     max_injections: u32,
     record: Option<String>,
@@ -83,8 +102,27 @@ struct Args {
     max_wall_ms: Option<u64>,
 }
 
+impl Args {
+    /// The effective cycle budget for design runs (fuzz has its own,
+    /// smaller default — see `run_fuzz_mode`).
+    fn run_cycles(&self) -> u64 {
+        self.cycles.unwrap_or(10_000)
+    }
+
+    /// Worker-pool shape shared by `--campaign` and `--fuzz`.
+    fn runner_config(&self) -> RunnerConfig {
+        RunnerConfig {
+            jobs: self.jobs,
+            max_retries: self.retries,
+            ..RunnerConfig::default()
+        }
+    }
+}
+
 const HELP: &str = "\
 Usage: koika-sim <design> [options]
+       koika-sim --fuzz <N> [--seed S] [--jobs J] [--corpus-dir DIR]
+       koika-sim --replay-corpus <DIR>
 
 Designs:
   collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
@@ -93,7 +131,7 @@ Designs:
 Options:
   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
   --level <1..6>      Cuttlesim optimization level  (default 6)
-  --cycles <N>        cycles to run                 (default 10000)
+  --cycles <N>        cycles to run       (default 10000; 96 under --fuzz)
   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
   --vcd <FILE>        record all registers to a VCD file
   --profile           print a per-rule work profile (cuttlesim backend)
@@ -111,8 +149,24 @@ Fault injection, snapshots & replay:
                         PRNG seed drawing a schedule; the run is classified
                         against a fault-free golden run
   --campaign <N>      run an N-member seeded SEU campaign and print the
-                      masked/sdc/divergence/hang classification
-  --seed <N>          campaign / seeded-injection PRNG seed (default 0xC0FFEE)
+                      masked/sdc/divergence/hang/panic/flaky classification
+  --seed <N>          campaign / fuzz / seeded-injection PRNG seed
+                      (default 0xC0FFEE)
+
+Parallel execution & differential fuzzing:
+  --fuzz <N>          run N differential-fuzz cases: random designs compared
+                      cycle-by-cycle across the reference interpreter, all
+                      six VM levels, and both RTL schemes; mismatches,
+                      panics, and hangs are triaged into deduplicated
+                      buckets with shrunk reproducers (exit 1 on findings)
+  --jobs <J>          worker threads for --campaign/--fuzz (default 1);
+                      the report is byte-identical at any J
+  --retries <K>       retries granted to wall-budget trips before they are
+                      classified flaky (default 2)
+  --corpus-dir <DIR>  with --fuzz: persist one koika-fuzz v1 reproducer
+                      file per bucket into DIR
+  --replay-corpus <DIR>  re-run every *.fuzz reproducer in DIR and check
+                      its recorded expectation (exit 1 on failure)
   --max-injections <N>  upsets per campaign member (default 3)
   --record <FILE>     with --campaign: write failing members to a replay log
   --replay <FILE>     re-run a replay log's members, verify each outcome
@@ -150,19 +204,18 @@ fn usage_hint() -> &'static str {
 }
 
 fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
-    let mut argv = std::env::args().skip(1);
-    let Some(design) = argv.next() else {
-        return Err(Err(CliError::usage("missing <design> argument")));
+    let mut argv = std::env::args().skip(1).peekable();
+    // The design positional is optional: `--fuzz` and `--replay-corpus`
+    // generate or load their own designs.
+    let design = match argv.peek() {
+        Some(first) if !first.starts_with('-') => argv.next().unwrap_or_default(),
+        _ => String::new(),
     };
-    if design == "--help" || design == "-h" {
-        print!("{HELP}");
-        return Err(Ok(ExitCode::SUCCESS));
-    }
     let mut args = Args {
         design,
         backend: "cuttlesim".into(),
         level: 6,
-        cycles: 10_000,
+        cycles: None,
         program: "primes:100".into(),
         vcd: None,
         profile: false,
@@ -173,6 +226,11 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         watch: Vec::new(),
         inject: None,
         campaign: None,
+        fuzz: None,
+        jobs: 1,
+        retries: 2,
+        corpus_dir: None,
+        replay_corpus: None,
         seed: 0xC0FFEE,
         max_injections: 3,
         record: None,
@@ -196,7 +254,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         match flag.as_str() {
             "--backend" => args.backend = value("--backend")?,
             "--level" => args.level = parsed("--level", value("--level")?)?,
-            "--cycles" => args.cycles = parsed("--cycles", value("--cycles")?)?,
+            "--cycles" => args.cycles = Some(parsed("--cycles", value("--cycles")?)?),
             "--program" => args.program = value("--program")?,
             "--vcd" => args.vcd = Some(value("--vcd")?),
             "--profile" => args.profile = true,
@@ -207,6 +265,11 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--watch" => args.watch.push(value("--watch")?),
             "--inject" => args.inject = Some(value("--inject")?),
             "--campaign" => args.campaign = Some(parsed("--campaign", value("--campaign")?)?),
+            "--fuzz" => args.fuzz = Some(parsed("--fuzz", value("--fuzz")?)?),
+            "--jobs" => args.jobs = parsed("--jobs", value("--jobs")?)?,
+            "--retries" => args.retries = parsed("--retries", value("--retries")?)?,
+            "--corpus-dir" => args.corpus_dir = Some(value("--corpus-dir")?),
+            "--replay-corpus" => args.replay_corpus = Some(value("--replay-corpus")?),
             "--seed" => {
                 let v = value("--seed")?;
                 args.seed = match v.strip_prefix("0x") {
@@ -293,15 +356,8 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
         "interp" | "cuttlesim" | "rtl" | "rtl-static" => {}
         other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
     }
-    let level = match args.level {
-        1 => OptLevel::SplitRwSets,
-        2 => OptLevel::AccumulatedLogs,
-        3 => OptLevel::ResetOnFailure,
-        4 => OptLevel::MergedData,
-        5 => OptLevel::NoBocState,
-        6 => OptLevel::DesignSpecific,
-        n => return Err(CliError::usage(format!("bad --level {n}: expected 1..6"))),
-    };
+    let level = OptLevel::from_number(args.level)
+        .ok_or_else(|| CliError::usage(format!("bad --level {}: expected 1..6", args.level)))?;
     if let Some(what) = &args.emit {
         if !matches!(what.as_str(), "cpp" | "cpp-header" | "verilog") {
             return Err(CliError::usage(format!(
@@ -328,6 +384,9 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
     }
     if args.record.is_some() && args.campaign.is_none() {
         return Err(CliError::usage("--record requires --campaign"));
+    }
+    if args.jobs == 0 {
+        return Err(CliError::usage("--jobs must be at least 1"));
     }
     if args.inject.is_some() && (args.campaign.is_some() || args.replay.is_some()) {
         return Err(CliError::usage(
@@ -384,7 +443,7 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
         if let Ok(seed) = spec.parse::<u64>() {
             let cfg = CampaignConfig {
                 seed,
-                cycles: args.cycles,
+                cycles: args.run_cycles(),
                 max_injections: args.max_injections,
                 ..CampaignConfig::default()
             };
@@ -471,39 +530,81 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     std::fs::write(path, bytes).map_err(|e| CliError::runtime(format!("failed to write {path}: {e}")))
 }
 
+/// The stderr progress reporter shared by `--campaign` and `--fuzz`: one
+/// carriage-return-free line per finished job (cheap enough at campaign
+/// scale, and CI logs stay readable), plus retry notices. Also feeds the
+/// runner counters of an optional [`Metrics`] sink.
+fn report_progress<'a>(
+    what: &'a str,
+    metrics: Option<&'a mut Metrics>,
+) -> impl FnMut(JobUpdate) + 'a {
+    let mut metrics = metrics;
+    move |u| match u {
+        JobUpdate::Finished {
+            index,
+            attempts,
+            panicked,
+            done,
+            total,
+        } => {
+            if let Some(m) = metrics.as_deref_mut() {
+                m.job_finished(index, attempts, panicked);
+            }
+            eprintln!("{what}: {done}/{total} done");
+        }
+        JobUpdate::Retrying {
+            index,
+            attempt,
+            reason,
+        } => {
+            eprintln!("{what}: member {index} retry {attempt}: {reason}");
+        }
+    }
+}
+
+fn print_runner_stats(what: &str, stats: &RunnerStats) {
+    eprintln!(
+        "{what}: {} jobs, {} panics contained, {} retries",
+        stats.total, stats.panics_contained, stats.retries
+    );
+}
+
 fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCode, CliError> {
     let td = &plan.td;
     let cfg = CampaignConfig {
         seed: args.seed,
         members,
-        cycles: args.cycles,
+        cycles: args.run_cycles(),
         max_injections: args.max_injections,
         stall_cycles: plan.stall_cycles,
     };
     let backend = args.backend.clone();
     let level = plan.level;
-    let td2 = td.clone();
-    let mut make_sim = move || {
-        build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
-            // The same compile already succeeded during validation; an
-            // error here is unreachable, but exit cleanly regardless.
-            match e {
-                CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
-            }
-            std::process::exit(1);
+    let make_sim = move |td: &TDesign| {
+        build_sim(td, &backend, level, false).map_err(|e| match e {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
         })
     };
+    let td2 = td.clone();
+    let make_sim = move || make_sim(&td2);
     let program = plan.program.clone();
     let td3 = td.clone();
-    let mut make_devices = move || build_devices(&td3, &program);
-    let mut engine = FaultEngine {
+    let make_devices = move || build_devices(&td3, &program);
+    let env = ParallelFactories {
         td,
-        make_sim: &mut make_sim,
-        make_devices: &mut make_devices,
+        make_sim: &make_sim,
+        make_devices: &make_devices,
     };
-    let report = engine
-        .run_campaign(&cfg)
+    let opts = ParallelOptions {
+        runner: args.runner_config(),
+        wall_budget: args.max_wall_ms.map(Duration::from_millis),
+    };
+    let mut metrics = args.metrics_json.as_ref().map(|_| Metrics::for_design(td));
+    let mut progress = report_progress("campaign", metrics.as_mut());
+    let (report, stats) = run_campaign_parallel(&env, &cfg, &opts, Some(&mut progress))
         .map_err(|e| CliError::runtime(e.to_string()))?;
+    drop(progress);
+    print_runner_stats("campaign", &stats);
     print!("{}", report.summary());
     if let Some(path) = &args.record {
         // Only designs that take a workload record one (others replay with
@@ -511,12 +612,80 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
         let program = if plan.program.is_some() { args.program.as_str() } else { "" };
         let log = report.to_replay_log(&args.backend, args.level, program);
         write_file(path, log.to_text().as_bytes())?;
-        println!(
+        eprintln!(
             "wrote replay log ({} failing members) to {path}",
             log.members.len()
         );
     }
+    if let (Some(path), Some(m)) = (&args.metrics_json, &metrics) {
+        write_file(path, m.to_json(true).as_bytes())?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
+    let cases = args.fuzz.unwrap_or(0);
+    let cfg = cuttlesim_repro::fuzz::FuzzConfig {
+        seed: args.seed,
+        cases,
+        cycles: args.cycles.unwrap_or(96),
+        runner: args.runner_config(),
+        wall_budget: args.max_wall_ms.map(Duration::from_millis),
+    };
+    let mut metrics = args
+        .metrics_json
+        .as_ref()
+        .map(|_| Metrics::new("fuzz", Vec::new(), Vec::new()));
+    let mut progress = report_progress("fuzz", metrics.as_mut());
+    let (report, stats) = cuttlesim_repro::fuzz::run_fuzz(&cfg, Some(&mut progress));
+    drop(progress);
+    print_runner_stats("fuzz", &stats);
+    print!("{}", report.summary());
+    if let Some(dir) = &args.corpus_dir {
+        if report.buckets.is_empty() {
+            eprintln!("no buckets; corpus dir {dir} left untouched");
+        } else {
+            let paths = cuttlesim_repro::fuzz::write_corpus(std::path::Path::new(dir), &report)
+                .map_err(|e| CliError::runtime(format!("failed to write corpus: {e}")))?;
+            for p in &paths {
+                eprintln!("wrote reproducer {}", p.display());
+            }
+        }
+    }
+    if let (Some(path), Some(m)) = (&args.metrics_json, &metrics) {
+        write_file(path, m.to_json(true).as_bytes())?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if report.buckets.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn run_replay_corpus_mode(dir: &str) -> Result<ExitCode, CliError> {
+    let results = cuttlesim_repro::fuzz::replay_corpus_dir(std::path::Path::new(dir))
+        .map_err(|e| CliError::runtime(format!("cannot read corpus dir {dir}: {e}")))?;
+    if results.is_empty() {
+        eprintln!("no *.fuzz entries in {dir}");
+    }
+    let mut failed = 0usize;
+    for (path, outcome) in &results {
+        match outcome {
+            Ok(()) => println!("corpus {}: ok", path.display()),
+            Err(msg) => {
+                println!("corpus {}: FAILED — {msg}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("corpus replay: {}/{} ok", results.len() - failed, results.len());
+    if failed == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, CliError> {
@@ -531,14 +700,7 @@ fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, Cli
     }
     // The log's recorded environment wins over CLI defaults: backend,
     // level, workload, and cycle count all come from the recording.
-    let level = match log.level {
-        1 => OptLevel::SplitRwSets,
-        2 => OptLevel::AccumulatedLogs,
-        3 => OptLevel::ResetOnFailure,
-        4 => OptLevel::MergedData,
-        5 => OptLevel::NoBocState,
-        _ => OptLevel::DesignSpecific,
-    };
+    let level = OptLevel::from_number(log.level).unwrap_or_else(OptLevel::max);
     let program = if log.program.is_empty() || !args.design.starts_with("rv32") {
         None
     } else {
@@ -597,6 +759,52 @@ fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, Cli
 }
 
 fn run(args: &Args) -> Result<ExitCode, CliError> {
+    // Design-free modes dispatch before design validation. Their flag
+    // conflicts are checked here; everything design-bound stays in
+    // `validate`.
+    if args.fuzz.is_some() || args.replay_corpus.is_some() {
+        let conflicts: Vec<&str> = [
+            args.fuzz.map(|_| "--fuzz"),
+            args.replay_corpus.as_ref().map(|_| "--replay-corpus"),
+            args.emit.as_ref().map(|_| "--emit"),
+            args.campaign.map(|_| "--campaign"),
+            args.replay.as_ref().map(|_| "--replay"),
+            args.inject.as_ref().map(|_| "--inject"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if conflicts.len() > 1 {
+            return Err(CliError::usage(format!(
+                "conflicting modes: {} cannot be combined",
+                conflicts.join(" and ")
+            )));
+        }
+        if !args.design.is_empty() {
+            return Err(CliError::usage(format!(
+                "{} does not take a <design> argument (got {:?})",
+                conflicts[0], args.design
+            )));
+        }
+        if args.jobs == 0 {
+            return Err(CliError::usage("--jobs must be at least 1"));
+        }
+        if args.fuzz.is_some() {
+            return run_fuzz_mode(args);
+        }
+        if let Some(dir) = &args.replay_corpus {
+            return run_replay_corpus_mode(dir);
+        }
+    }
+    if args.design.is_empty() {
+        return Err(CliError::usage(
+            "missing <design> argument (or use --fuzz / --replay-corpus)",
+        ));
+    }
+    if args.corpus_dir.is_some() && args.fuzz.is_none() {
+        return Err(CliError::usage("--corpus-dir requires --fuzz"));
+    }
+
     let plan = validate(args)?;
     let td = &plan.td;
 
@@ -656,7 +864,7 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
 
     let start = std::time::Instant::now();
     let start_cycle = sim.cycle_count();
-    let main_cycles = args.cycles.saturating_sub(args.trace.unwrap_or(0));
+    let main_cycles = args.run_cycles().saturating_sub(args.trace.unwrap_or(0));
     let mut trip: Option<WatchdogTrip> = None;
     {
         let mut sinks: Vec<&mut dyn Observer> = Vec::new();

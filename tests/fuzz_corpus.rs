@@ -1,0 +1,72 @@
+//! Corpus-replay regression suite: every checked-in `corpus/*.fuzz`
+//! reproducer is re-run against all backends, plus negative tests of the
+//! replay expectations themselves.
+
+use std::path::Path;
+use std::process::Command;
+
+use cuttlesim_repro::fuzz::{replay_corpus_dir, CorpusEntry, Expectation};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let results = replay_corpus_dir(corpus_dir()).expect("corpus dir must exist");
+    assert!(
+        !results.is_empty(),
+        "corpus/ should contain at least one .fuzz reproducer"
+    );
+    for (path, outcome) in &results {
+        if let Err(msg) = outcome {
+            panic!("corpus entry {} failed to replay: {msg}", path.display());
+        }
+    }
+}
+
+#[test]
+fn expect_finding_on_a_clean_seed_fails_replay() {
+    // Take a pinned known-clean seed from the corpus and flip its
+    // expectation: replay must now fail, and the message must nudge
+    // toward flipping the entry back to `expect agree`.
+    let text = std::fs::read_to_string(corpus_dir().join("agree-079f67de.fuzz")).unwrap();
+    let clean = CorpusEntry::from_text(&text).unwrap();
+    let lying = CorpusEntry {
+        expect: Expectation::Finding("panic:O6:".to_string()),
+        ..clean
+    };
+    let err = lying.replay().unwrap_err();
+    assert!(err.contains("expect agree"), "unhelpful message: {err}");
+}
+
+#[test]
+fn cli_replays_the_checked_in_corpus() {
+    let out = Command::new(env!("CARGO_BIN_EXE_koika_sim"))
+        .args(["--replay-corpus", corpus_dir().to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "corpus replay failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corpus replay: 3/3 ok"), "got: {stdout}");
+}
+
+#[test]
+fn cli_corpus_replay_fails_on_a_bad_entry() {
+    let dir = std::env::temp_dir().join("koika-bad-corpus-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("broken.fuzz"), "not a corpus file\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_koika_sim"))
+        .args(["--replay-corpus", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "got: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
