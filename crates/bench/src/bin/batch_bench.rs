@@ -1,0 +1,158 @@
+//! Measures the batched lock-step SoA engine against the scalar Cuttlesim
+//! VM and writes a machine-readable baseline to `BENCH_PR4.json`.
+//!
+//! For each of `collatz`, `fir`, and `rv32i-primes`, the scalar VM at the
+//! top optimization level is timed first, then the batched engine at lane
+//! widths 16 and 32 with identical per-lane stimulus (identical lanes never
+//! diverge, so this is the engine's pure lock-step throughput). Batched
+//! rows report *instance*-cycles per second — `cycles * lanes / wall` —
+//! which is the number comparable to the scalar cycles/sec.
+//!
+//! ```text
+//! Usage: batch_bench [--quick] [--out FILE]
+//!   --quick    tiny cycle budgets (CI smoke: validates the JSON shape,
+//!              asserts nothing about performance)
+//!   --out FILE where to write the JSON baseline (default BENCH_PR4.json)
+//! ```
+//!
+//! Cycle budgets also honor `CUTTLE_BENCH_SCALE`.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, run_bench_batched, scaled, BackendKind, RunStats};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// The designs this baseline tracks.
+const DESIGNS: [&str; 3] = ["collatz", "fir", "rv32i-primes"];
+
+/// Batch widths measured per design.
+const WIDTHS: [usize; 2] = [16, 32];
+
+struct Row {
+    design: &'static str,
+    lanes: usize,
+    stats: RunStats,
+    /// Instance-cycles per second (== `stats.cps()` for the scalar row).
+    ips: f64,
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match argv.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("missing value for --out");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other} (batch_bench takes --quick and --out FILE)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let level = OptLevel::max();
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<14} {:>6} {:>12} {:>10} {:>16} {:>8}",
+        "design", "lanes", "cycles", "wall ms", "inst-cycles/s", "speedup"
+    );
+    for bench in all_benches() {
+        if !DESIGNS.contains(&bench.name) {
+            continue;
+        }
+        let cycles = if quick {
+            5_000
+        } else {
+            scaled(bench.default_cycles)
+        };
+        let scalar = run_bench(&bench, BackendKind::Vm(level, Dispatch::Match), cycles);
+        let scalar_cps = scalar.cps();
+        print_row(bench.name, 1, &scalar, scalar_cps, 1.0);
+        rows.push(Row {
+            design: bench.name,
+            lanes: 1,
+            stats: scalar,
+            ips: scalar_cps,
+        });
+        for lanes in WIDTHS {
+            let stats = run_bench_batched(&bench, level, cycles, lanes);
+            let ips = stats.cps() * lanes as f64;
+            print_row(bench.name, lanes, &stats, ips, ips / scalar_cps);
+            rows.push(Row {
+                design: bench.name,
+                lanes,
+                stats,
+                ips,
+            });
+        }
+    }
+
+    let json = render_json(&rows, quick);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn print_row(design: &str, lanes: usize, stats: &RunStats, ips: f64, speedup: f64) {
+    println!(
+        "{:<14} {:>6} {:>12} {:>10.1} {:>16.0} {:>7.2}x",
+        design,
+        lanes,
+        stats.cycles,
+        stats.secs * 1e3,
+        ips,
+        speedup,
+    );
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"batch_bench\",");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(s, "  \"level\": \"{}\",", OptLevel::max().short_name());
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"design\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"cycles\": {}, \
+             \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}}}{}",
+            r.design,
+            if r.lanes == 1 {
+                "cuttlesim-scalar"
+            } else {
+                "cuttlesim-batch"
+            },
+            r.lanes,
+            r.stats.cycles,
+            r.stats.secs * 1e3,
+            r.ips,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

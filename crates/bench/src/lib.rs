@@ -15,10 +15,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use cuttlesim::{CompileOptions, Dispatch, OptLevel, Sim};
+use cuttlesim::{BatchSim, CompileOptions, Dispatch, OptLevel, Sim};
 use koika::check::check;
 use koika::design::Design;
-use koika::device::{Device, RegAccess, SimBackend};
+use koika::device::{Device, LaneAccess, RegAccess, SimBackend};
 use koika::interp::Interp;
 use koika::testgen::SplitMix64;
 use koika::tir::TDesign;
@@ -237,6 +237,47 @@ pub fn run_bench(bench: &Bench, kind: BackendKind, cycles: u64) -> RunStats {
     }
 }
 
+/// Runs a benchmark as `lanes` identical instances of the batched
+/// lock-step SoA engine, each lane with its own copy of the standard
+/// stimulus devices. Identical lanes never diverge, so this measures the
+/// engine's pure lock-step throughput; `rules_fired` sums over all lanes,
+/// and the interesting figure is *instance*-cycles per second:
+/// `stats.cps() * lanes as f64`.
+///
+/// # Panics
+///
+/// Panics if the design cannot be compiled or a cycle reports an engine
+/// error (no Table-1 design does).
+pub fn run_bench_batched(bench: &Bench, level: OptLevel, cycles: u64, lanes: usize) -> RunStats {
+    let td = check(&(bench.design)()).expect("benchmark designs typecheck");
+    let mut lane_devices: Vec<Vec<Box<dyn Device>>> =
+        (0..lanes).map(|_| (bench.devices)(&td)).collect();
+    let mut sim = BatchSim::compile_with(
+        &td,
+        &CompileOptions {
+            level,
+            ..CompileOptions::default()
+        },
+        lanes,
+    )
+    .expect("benchmark designs fit the fast path");
+    let start = Instant::now();
+    for cycle in 0..cycles {
+        for (l, devices) in lane_devices.iter_mut().enumerate() {
+            let mut access = LaneAccess::new(&mut sim, l);
+            for d in devices.iter_mut() {
+                d.tick(cycle, &mut access);
+            }
+        }
+        sim.cycle().expect("benchmark designs execute cleanly");
+    }
+    RunStats {
+        cycles,
+        secs: start.elapsed().as_secs_f64(),
+        rules_fired: (0..lanes).map(|l| sim.lane_fired(l)).sum(),
+    }
+}
+
 /// The scale factor from the `CUTTLE_BENCH_SCALE` environment variable
 /// (default 1.0) — lets CI and quick runs shrink every cycle budget.
 pub fn scale() -> f64 {
@@ -272,6 +313,20 @@ mod tests {
                     kind.label()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_fired_counts_match_scalar_times_lanes() {
+        for bench in all_benches() {
+            let scalar = run_bench(&bench, BackendKind::Vm(OptLevel::max(), Dispatch::Match), 300);
+            let batched = run_bench_batched(&bench, OptLevel::max(), 300, 4);
+            assert_eq!(
+                batched.rules_fired,
+                scalar.rules_fired * 4,
+                "{}: identical lanes must fire identically",
+                bench.name
+            );
         }
     }
 

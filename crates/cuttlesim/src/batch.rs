@@ -1,0 +1,1498 @@
+//! Batched lock-step simulation: N instances of one compiled design,
+//! structure-of-arrays state, one dispatch per instruction per cycle.
+//!
+//! Fault campaigns and fuzz sweeps run *thousands* of near-identical
+//! instances of the same design; the scalar VM pays full dispatch and
+//! log-bookkeeping cost for each. [`BatchSim`] amortizes those costs by
+//! running `lanes` instances in lock-step over structure-of-arrays register
+//! state: every flat array of the scalar [`State`](crate::vm) becomes
+//! `reg[r * lanes + lane]`, and the interpreter executes each bytecode op
+//! once *across the whole batch*. Rule scheduling, instruction dispatch, and
+//! the optimization ladder's log-maintenance memcpys (prologue copies,
+//! commit plans, rollbacks) all become single strided or contiguous
+//! operations over the batch.
+//!
+//! # Divergence fallback
+//!
+//! Lanes stay in lock-step only while control flow agrees. At every
+//! control-flow-relevant point — a checked register access, a conditional
+//! jump — the batch tests all lanes:
+//!
+//! * **all lanes agree** → one batched step (the fast path);
+//! * **all lanes fail** a check → one batched rule failure, with per-lane
+//!   [`FailInfo`] recorded exactly as the scalar VM would;
+//! * **lanes disagree** → the rule *diverges*: the engine restores the
+//!   batch to its state at rule entry (a snapshot taken after the rule
+//!   prologue, which is idempotent at every level) and re-runs the rule
+//!   per-lane through the *exact scalar executor*
+//!   ([`step_rule_impl`](crate::vm)) — only this rule, only this cycle;
+//!   the next rule starts in lock-step again.
+//!
+//! Because the fallback path *is* the scalar semantics and the lock-step
+//! path executes the same checks and side effects lane-wise, per-lane
+//! architectural state and commit/failure bookkeeping are bit-identical to
+//! `lanes` independent scalar [`Sim`](crate::Sim)s at every
+//! [`OptLevel`](crate::OptLevel). The differential suite
+//! (`tests/batched.rs`) enforces this with per-cycle commit digests.
+//!
+//! # Quick start
+//!
+//! ```
+//! use koika::{ast::*, design::DesignBuilder, check};
+//! use cuttlesim::batch::BatchSim;
+//! use koika::tir::RegId;
+//!
+//! let mut b = DesignBuilder::new("counter");
+//! b.reg("count", 8, 0u64);
+//! b.rule("incr", vec![wr0("count", rd0("count").add(k(8, 1)))]);
+//! let design = check::check(&b.build())?;
+//!
+//! let mut batch = BatchSim::compile(&design, 4)?;
+//! batch.lane_set64(2, design.reg_id("count"), 10);
+//! batch.cycle()?;
+//! assert_eq!(batch.lane_get64(0, design.reg_id("count")), 1);
+//! assert_eq!(batch.lane_get64(2, design.reg_id("count")), 11);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::compile::{compile, CompileError, CompileOptions, CopyPlan, Program};
+use crate::insn::Insn;
+use crate::vm::{step_rule_impl, FailInfo, State, VmError};
+use koika::bits::word;
+use koika::device::{BatchBackend, RegAccess};
+use koika::tir::{RegId, TDesign};
+
+const R0: u8 = 0b0001;
+const R1: u8 = 0b0010;
+const W0: u8 = 0b0100;
+const W1: u8 = 0b1000;
+
+/// Why a batched instruction stopped the lock-step loop.
+enum BatchFlow {
+    Next,
+    Jump(u32),
+    /// Every lane failed the same check: one batched rule failure.
+    FailAll { clean: bool },
+    Done,
+    /// Lanes disagreed on control flow: fall back to per-lane execution.
+    Diverge,
+    Trap(&'static str),
+}
+
+/// Per-rule facts precomputed at construction: which flat register indices
+/// the rule can write (bounding the data snapshot needed for divergence
+/// restore) and the rule's coverage-counter range.
+#[derive(Debug, Default)]
+struct RuleMeta {
+    /// Sorted, deduplicated flat register indices of every write-class
+    /// instruction in the rule (array writes contribute their whole range).
+    writes: Vec<u32>,
+    /// First coverage counter id owned by this rule.
+    cov_start: u32,
+    /// Number of coverage counters owned by this rule.
+    cov_len: u32,
+}
+
+fn rule_metas(prog: &Program) -> Vec<RuleMeta> {
+    prog.rules
+        .iter()
+        .map(|rule| {
+            let mut writes: Vec<u32> = Vec::new();
+            let mut cov_min = u32::MAX;
+            let mut cov_max = 0u32;
+            for insn in &rule.code {
+                match *insn {
+                    Insn::Wr0 { reg, .. }
+                    | Insn::Wr1 { reg, .. }
+                    | Insn::Wr0Fast { reg }
+                    | Insn::Wr1Fast { reg }
+                    | Insn::StFast { reg, .. } => writes.push(reg),
+                    Insn::Wr0Arr { base, mask, .. }
+                    | Insn::Wr1Arr { base, mask, .. }
+                    | Insn::Wr0ArrFast { base, mask }
+                    | Insn::Wr1ArrFast { base, mask } => writes.extend(base..=base + mask),
+                    Insn::Cov(id) => {
+                        cov_min = cov_min.min(id);
+                        cov_max = cov_max.max(id);
+                    }
+                    _ => {}
+                }
+            }
+            writes.sort_unstable();
+            writes.dedup();
+            let (cov_start, cov_len) = if cov_min == u32::MAX {
+                (0, 0)
+            } else {
+                (cov_min, cov_max - cov_min + 1)
+            };
+            RuleMeta {
+                writes,
+                cov_start,
+                cov_len,
+            }
+        })
+        .collect()
+}
+
+/// A batched simulator: `lanes` instances of one compiled design executing
+/// in lock-step over structure-of-arrays state.
+///
+/// All per-register arrays are laid out `reg * lanes + lane`, so one
+/// register's values across the batch are contiguous — the lock-step
+/// interpreter touches them as stripes, and the ladder's log-maintenance
+/// copies become whole-array `memcpy`s regardless of batch width.
+pub struct BatchSim {
+    prog: Program,
+    lanes: usize,
+    // SoA architectural and log state (reg-major, `reg * lanes + lane`).
+    boc: Vec<u64>,
+    cyc_rw: Vec<u8>,
+    log_rw: Vec<u8>,
+    cyc_d0: Vec<u64>,
+    cyc_d1: Vec<u64>,
+    log_d0: Vec<u64>,
+    log_d1: Vec<u64>,
+    /// Operand stack, slot-major: slot `s` occupies
+    /// `[s * lanes, (s + 1) * lanes)`. Grows on demand, never shrinks.
+    stack: Vec<u64>,
+    /// Local-variable slots, slot-major.
+    locals: Vec<u64>,
+    /// Coverage counters, id-major.
+    cov: Vec<u64>,
+    cycles: u64,
+    // Per-lane bookkeeping (bit-identical to the scalar VM's).
+    fired: Vec<u64>,
+    fired_per_rule: Vec<u64>,
+    fail_per_rule: Vec<u64>,
+    last_fail: Vec<Option<FailInfo>>,
+    /// Rules committed this cycle, per lane, in schedule order — the raw
+    /// material for commit digests (the batched/scalar equivalence oracle).
+    commits: Vec<Vec<u32>>,
+    // Divergence-fallback machinery.
+    rule_meta: Vec<RuleMeta>,
+    /// Scalar scratch state for running diverged lanes through the exact
+    /// scalar rule executor.
+    scratch: State,
+    // Rule-entry snapshot buffers (post-prologue).
+    snap_rw: Vec<u8>,
+    snap_d0: Vec<u64>,
+    snap_d1: Vec<u64>,
+    snap_locals: Vec<u64>,
+    snap_cov: Vec<u64>,
+    // Lock-step effectiveness counters.
+    lockstep_rules: u64,
+    fallback_rules: u64,
+}
+
+impl BatchSim {
+    /// Compiles `design` at the maximum optimization level and instantiates
+    /// a `lanes`-wide batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design uses values wider than 64 bits.
+    pub fn compile(design: &TDesign, lanes: usize) -> Result<BatchSim, CompileError> {
+        Ok(BatchSim::new(
+            compile(design, &CompileOptions::default())?,
+            lanes,
+        ))
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design uses values wider than 64 bits.
+    pub fn compile_with(
+        design: &TDesign,
+        opts: &CompileOptions,
+        lanes: usize,
+    ) -> Result<BatchSim, CompileError> {
+        Ok(BatchSim::new(compile(design, opts)?, lanes))
+    }
+
+    /// Instantiates a batch of `lanes` instances of a pre-compiled program,
+    /// every lane starting from the declared initial register values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(prog: Program, lanes: usize) -> BatchSim {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        let n = prog.init.len();
+        let cfg = prog.cfg;
+        let max_locals = prog.rules.iter().fold(0, |m, r| m.max(r.nlocals as usize));
+        let nrules = prog.rules.len();
+        let mut init_soa = vec![0u64; n * lanes];
+        for r in 0..n {
+            init_soa[r * lanes..(r + 1) * lanes].fill(prog.init[r]);
+        }
+        let scratch = State::for_program(&prog);
+        let rule_meta = rule_metas(&prog);
+        let ncov = prog.cov.len();
+        BatchSim {
+            lanes,
+            boc: if cfg.no_boc {
+                Vec::new()
+            } else {
+                init_soa.clone()
+            },
+            cyc_rw: vec![0; n * lanes],
+            log_rw: vec![0; n * lanes],
+            cyc_d0: init_soa.clone(),
+            cyc_d1: if cfg.merged_data {
+                Vec::new()
+            } else {
+                init_soa.clone()
+            },
+            log_d0: init_soa.clone(),
+            log_d1: if cfg.merged_data { Vec::new() } else { init_soa },
+            stack: Vec::new(),
+            locals: vec![0; max_locals * lanes],
+            cov: vec![0; ncov * lanes],
+            cycles: 0,
+            fired: vec![0; lanes],
+            fired_per_rule: vec![0; nrules * lanes],
+            fail_per_rule: vec![0; nrules * lanes],
+            last_fail: vec![None; lanes],
+            commits: vec![Vec::new(); lanes],
+            rule_meta,
+            scratch,
+            snap_rw: vec![0; n * lanes],
+            snap_d0: vec![0; n * lanes],
+            snap_d1: if cfg.merged_data {
+                Vec::new()
+            } else {
+                vec![0; n * lanes]
+            },
+            snap_locals: vec![0; max_locals * lanes],
+            snap_cov: vec![0; ncov * lanes],
+            lockstep_rules: 0,
+            fallback_rules: 0,
+            prog,
+        }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The compiled program shared by every lane.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Cycles executed so far (identical across lanes, by construction).
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Rules that executed fully in lock-step (all lanes together).
+    pub fn lockstep_rules(&self) -> u64 {
+        self.lockstep_rules
+    }
+
+    /// Rules that diverged and were re-run per-lane by the scalar executor.
+    pub fn fallback_rules(&self) -> u64 {
+        self.fallback_rules
+    }
+
+    /// One lane's current value of `reg` (the same observable as the scalar
+    /// VM's `get64`).
+    pub fn lane_get64(&self, lane: usize, reg: RegId) -> u64 {
+        let i = reg.0 as usize * self.lanes + lane;
+        if self.prog.cfg.no_boc {
+            self.log_d0[i]
+        } else {
+            self.boc[i]
+        }
+    }
+
+    /// Sets `reg` in one lane, masked to the register's width (the same
+    /// observable as the scalar VM's `set64`). Lanes seeded with different
+    /// values are exactly what exercises the divergence fallback.
+    pub fn lane_set64(&mut self, lane: usize, reg: RegId, value: u64) {
+        let r = reg.0 as usize;
+        let i = r * self.lanes + lane;
+        let v = value & word::mask(self.prog.widths[r]);
+        if self.prog.cfg.no_boc {
+            self.log_d0[i] = v;
+            self.cyc_d0[i] = v;
+        } else {
+            self.boc[i] = v;
+        }
+    }
+
+    /// One lane's current value of every register.
+    pub fn lane_reg_values(&self, lane: usize) -> Vec<u64> {
+        (0..self.prog.init.len())
+            .map(|r| self.lane_get64(lane, RegId(r as u32)))
+            .collect()
+    }
+
+    /// Total rules committed by one lane.
+    pub fn lane_fired(&self, lane: usize) -> u64 {
+        self.fired[lane]
+    }
+
+    /// One lane's per-rule commit counts (rule-declaration order).
+    pub fn lane_fired_per_rule(&self, lane: usize) -> Vec<u64> {
+        (0..self.prog.rules.len())
+            .map(|r| self.fired_per_rule[r * self.lanes + lane])
+            .collect()
+    }
+
+    /// One lane's per-rule failure counts.
+    pub fn lane_fails_per_rule(&self, lane: usize) -> Vec<u64> {
+        (0..self.prog.rules.len())
+            .map(|r| self.fail_per_rule[r * self.lanes + lane])
+            .collect()
+    }
+
+    /// One lane's most recent rule failure, if any.
+    pub fn lane_last_fail(&self, lane: usize) -> Option<FailInfo> {
+        self.last_fail[lane]
+    }
+
+    /// The rules one lane committed during the most recent cycle, as rule
+    /// indices in schedule order — feed these to a commit-fingerprint to
+    /// compare against a scalar run.
+    pub fn lane_commits(&self, lane: usize) -> &[u32] {
+        &self.commits[lane]
+    }
+
+    /// A [`RegAccess`] view of one lane, for devices that tick against a
+    /// single instance.
+    pub fn lane(&mut self, lane: usize) -> BatchLane<'_> {
+        assert!(lane < self.lanes, "lane out of range");
+        BatchLane { sim: self, lane }
+    }
+
+    /// Runs one full cycle across every lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::CompilerBug`] if the bytecode violates a VM
+    /// invariant (never for programs produced by
+    /// [`compile`](crate::compile::compile)); the cycle is abandoned
+    /// mid-way and the batch state is unspecified (but memory-safe).
+    pub fn cycle(&mut self) -> Result<(), VmError> {
+        // begin_cycle, vectorized.
+        self.cyc_rw.fill(0);
+        if self.prog.cfg.reset_on_fail {
+            self.log_rw.fill(0);
+        }
+        for c in &mut self.commits {
+            c.clear();
+        }
+        for i in 0..self.prog.schedule.len() {
+            let rule = self.prog.schedule[i];
+            self.step_rule_batch(rule)?;
+        }
+        // end_cycle, vectorized.
+        let cfg = self.prog.cfg;
+        if !cfg.no_boc {
+            for i in 0..self.boc.len() {
+                let rw = self.cyc_rw[i];
+                if rw & W1 != 0 {
+                    self.boc[i] = if cfg.merged_data {
+                        self.cyc_d0[i]
+                    } else {
+                        self.cyc_d1[i]
+                    };
+                } else if rw & W0 != 0 {
+                    self.boc[i] = self.cyc_d0[i];
+                }
+            }
+        }
+        self.cycles += 1;
+        Ok(())
+    }
+
+    fn step_rule_batch(&mut self, rule_idx: usize) -> Result<(), VmError> {
+        // Take the meta out so the inner method can borrow `self` freely.
+        let meta = std::mem::take(&mut self.rule_meta[rule_idx]);
+        let res = self.step_rule_batch_inner(rule_idx, &meta);
+        self.rule_meta[rule_idx] = meta;
+        res
+    }
+
+    fn step_rule_batch_inner(&mut self, rule_idx: usize, meta: &RuleMeta) -> Result<(), VmError> {
+        let cfg = self.prog.cfg;
+        let lanes = self.lanes;
+
+        // Rule prologue, vectorized — this is the SoA payoff: the ladder's
+        // per-rule log maintenance is a fixed number of whole-array copies
+        // regardless of batch width.
+        if !cfg.acc_logs {
+            self.log_rw.fill(0);
+        } else if !cfg.reset_on_fail {
+            self.log_rw.copy_from_slice(&self.cyc_rw);
+            self.log_d0.copy_from_slice(&self.cyc_d0);
+            if !cfg.merged_data {
+                self.log_d1.copy_from_slice(&self.cyc_d1);
+            }
+        }
+
+        // Rule-entry snapshot (post-prologue; the prologue is idempotent at
+        // every level, so the fallback's scalar re-run can redo it safely).
+        // Read-write sets can gain bits at any register (reads record), so
+        // they are saved whole; data fields only change at write
+        // instructions, so the rule's static write footprint bounds them.
+        self.snap_rw.copy_from_slice(&self.log_rw);
+        for &r in &meta.writes {
+            let s = r as usize * lanes;
+            self.snap_d0[s..s + lanes].copy_from_slice(&self.log_d0[s..s + lanes]);
+            if !cfg.merged_data {
+                self.snap_d1[s..s + lanes].copy_from_slice(&self.log_d1[s..s + lanes]);
+            }
+        }
+        self.snap_locals.copy_from_slice(&self.locals);
+        for c in 0..meta.cov_len as usize {
+            let s = (meta.cov_start as usize + c) * lanes;
+            self.snap_cov[s..s + lanes].copy_from_slice(&self.cov[s..s + lanes]);
+        }
+
+        // Lock-step execution.
+        let mut pc = 0usize;
+        let mut sp = 0usize;
+        let outcome = loop {
+            let insn = self.prog.rules[rule_idx].code[pc];
+            match self.exec_batch_insn(insn, &mut sp, rule_idx, pc) {
+                BatchFlow::Next => pc += 1,
+                BatchFlow::Jump(t) => pc = t as usize,
+                BatchFlow::FailAll { clean } => break Some(Err(clean)),
+                BatchFlow::Done => break Some(Ok(())),
+                BatchFlow::Diverge => break None,
+                BatchFlow::Trap(what) => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc,
+                        what,
+                    })
+                }
+            }
+        };
+
+        match outcome {
+            Some(Ok(())) => {
+                // Batched commit.
+                self.lockstep_rules += 1;
+                let n = self.prog.init.len();
+                let BatchSim {
+                    prog,
+                    cyc_rw,
+                    log_rw,
+                    cyc_d0,
+                    log_d0,
+                    cyc_d1,
+                    log_d1,
+                    ..
+                } = self;
+                if !cfg.acc_logs {
+                    for r in 0..n {
+                        for l in 0..lanes {
+                            let i = r * lanes + l;
+                            let rl = log_rw[i];
+                            if rl != 0 {
+                                cyc_rw[i] |= rl;
+                                if rl & W0 != 0 {
+                                    cyc_d0[i] = log_d0[i];
+                                }
+                                if rl & W1 != 0 {
+                                    if cfg.merged_data {
+                                        cyc_d0[i] = log_d0[i];
+                                    } else {
+                                        cyc_d1[i] = log_d1[i];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    match &prog.rules[rule_idx].commit {
+                        CopyPlan::Full => {
+                            cyc_rw.copy_from_slice(log_rw);
+                            cyc_d0.copy_from_slice(log_d0);
+                            if !cfg.merged_data {
+                                cyc_d1.copy_from_slice(log_d1);
+                            }
+                        }
+                        CopyPlan::Footprint { rw, data } => {
+                            for &r in rw {
+                                let s = r as usize * lanes;
+                                cyc_rw[s..s + lanes].copy_from_slice(&log_rw[s..s + lanes]);
+                            }
+                            for &r in data {
+                                let s = r as usize * lanes;
+                                cyc_d0[s..s + lanes].copy_from_slice(&log_d0[s..s + lanes]);
+                                if !cfg.merged_data {
+                                    cyc_d1[s..s + lanes].copy_from_slice(&log_d1[s..s + lanes]);
+                                }
+                            }
+                        }
+                    }
+                }
+                for l in 0..lanes {
+                    self.fired[l] += 1;
+                    self.fired_per_rule[rule_idx * lanes + l] += 1;
+                    self.commits[l].push(rule_idx as u32);
+                }
+                Ok(())
+            }
+            Some(Err(clean)) => {
+                // Batched failure: every lane failed the same check.
+                // `exec_batch_insn` already recorded per-lane FailInfo.
+                self.lockstep_rules += 1;
+                for l in 0..lanes {
+                    self.fail_per_rule[rule_idx * lanes + l] += 1;
+                }
+                if cfg.reset_on_fail && !clean {
+                    let BatchSim {
+                        prog,
+                        cyc_rw,
+                        log_rw,
+                        cyc_d0,
+                        log_d0,
+                        cyc_d1,
+                        log_d1,
+                        ..
+                    } = self;
+                    match &prog.rules[rule_idx].rollback {
+                        CopyPlan::Full => {
+                            log_rw.copy_from_slice(cyc_rw);
+                            log_d0.copy_from_slice(cyc_d0);
+                            if !cfg.merged_data {
+                                log_d1.copy_from_slice(cyc_d1);
+                            }
+                        }
+                        CopyPlan::Footprint { rw, data } => {
+                            for &r in rw {
+                                let s = r as usize * lanes;
+                                log_rw[s..s + lanes].copy_from_slice(&cyc_rw[s..s + lanes]);
+                            }
+                            for &r in data {
+                                let s = r as usize * lanes;
+                                log_d0[s..s + lanes].copy_from_slice(&cyc_d0[s..s + lanes]);
+                                if !cfg.merged_data {
+                                    log_d1[s..s + lanes].copy_from_slice(&cyc_d1[s..s + lanes]);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                // Divergence: restore to rule entry and re-run every lane
+                // through the exact scalar executor.
+                self.fallback_rules += 1;
+                self.log_rw.copy_from_slice(&self.snap_rw);
+                for &r in &meta.writes {
+                    let s = r as usize * lanes;
+                    self.log_d0[s..s + lanes].copy_from_slice(&self.snap_d0[s..s + lanes]);
+                    if !cfg.merged_data {
+                        self.log_d1[s..s + lanes].copy_from_slice(&self.snap_d1[s..s + lanes]);
+                    }
+                }
+                self.locals.copy_from_slice(&self.snap_locals);
+                for c in 0..meta.cov_len as usize {
+                    let s = (meta.cov_start as usize + c) * lanes;
+                    self.cov[s..s + lanes].copy_from_slice(&self.snap_cov[s..s + lanes]);
+                }
+                let mut executed = 0u64;
+                for l in 0..lanes {
+                    self.gather_lane(l);
+                    let committed = step_rule_impl(
+                        &self.prog,
+                        &mut self.scratch,
+                        rule_idx,
+                        None,
+                        &mut executed,
+                        false,
+                    )?;
+                    self.scatter_lane(l, rule_idx, committed);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Copies one lane's column of every array into the scalar scratch
+    /// state.
+    fn gather_lane(&mut self, l: usize) {
+        let lanes = self.lanes;
+        let BatchSim {
+            boc,
+            cyc_rw,
+            log_rw,
+            cyc_d0,
+            cyc_d1,
+            log_d0,
+            log_d1,
+            locals,
+            cov,
+            scratch,
+            last_fail,
+            cycles,
+            ..
+        } = self;
+        for (r, dst) in scratch.boc.iter_mut().enumerate() {
+            *dst = boc[r * lanes + l];
+        }
+        for (r, dst) in scratch.cyc_rw.iter_mut().enumerate() {
+            *dst = cyc_rw[r * lanes + l];
+        }
+        for (r, dst) in scratch.log_rw.iter_mut().enumerate() {
+            *dst = log_rw[r * lanes + l];
+        }
+        for (r, dst) in scratch.cyc_d0.iter_mut().enumerate() {
+            *dst = cyc_d0[r * lanes + l];
+        }
+        for (r, dst) in scratch.cyc_d1.iter_mut().enumerate() {
+            *dst = cyc_d1[r * lanes + l];
+        }
+        for (r, dst) in scratch.log_d0.iter_mut().enumerate() {
+            *dst = log_d0[r * lanes + l];
+        }
+        for (r, dst) in scratch.log_d1.iter_mut().enumerate() {
+            *dst = log_d1[r * lanes + l];
+        }
+        for (s, dst) in scratch.locals.iter_mut().enumerate() {
+            *dst = locals[s * lanes + l];
+        }
+        for (c, dst) in scratch.cov.iter_mut().enumerate() {
+            *dst = cov[c * lanes + l];
+        }
+        scratch.stack.clear();
+        scratch.cycles = *cycles;
+        scratch.last_fail = last_fail[l];
+    }
+
+    /// Copies the scalar scratch state back into one lane's column and
+    /// updates the lane's commit/failure bookkeeping.
+    fn scatter_lane(&mut self, l: usize, rule_idx: usize, committed: bool) {
+        let lanes = self.lanes;
+        {
+            let BatchSim {
+                cyc_rw,
+                log_rw,
+                cyc_d0,
+                cyc_d1,
+                log_d0,
+                log_d1,
+                locals,
+                cov,
+                scratch,
+                last_fail,
+                ..
+            } = self;
+            // `boc` is read-only during a rule: no need to scatter it back.
+            for (r, &src) in scratch.cyc_rw.iter().enumerate() {
+                cyc_rw[r * lanes + l] = src;
+            }
+            for (r, &src) in scratch.log_rw.iter().enumerate() {
+                log_rw[r * lanes + l] = src;
+            }
+            for (r, &src) in scratch.cyc_d0.iter().enumerate() {
+                cyc_d0[r * lanes + l] = src;
+            }
+            for (r, &src) in scratch.cyc_d1.iter().enumerate() {
+                cyc_d1[r * lanes + l] = src;
+            }
+            for (r, &src) in scratch.log_d0.iter().enumerate() {
+                log_d0[r * lanes + l] = src;
+            }
+            for (r, &src) in scratch.log_d1.iter().enumerate() {
+                log_d1[r * lanes + l] = src;
+            }
+            for (s, &src) in scratch.locals.iter().enumerate() {
+                locals[s * lanes + l] = src;
+            }
+            for (c, &src) in scratch.cov.iter().enumerate() {
+                cov[c * lanes + l] = src;
+            }
+            last_fail[l] = scratch.last_fail;
+        }
+        if committed {
+            self.fired[l] += 1;
+            self.fired_per_rule[rule_idx * lanes + l] += 1;
+            self.commits[l].push(rule_idx as u32);
+        } else {
+            self.fail_per_rule[rule_idx * lanes + l] += 1;
+        }
+    }
+
+    /// Executes one instruction across every lane. Returns `Diverge` the
+    /// moment lanes disagree on control flow, leaving batch state to be
+    /// discarded by the caller's rule-entry restore.
+    #[allow(clippy::too_many_lines)]
+    fn exec_batch_insn(
+        &mut self,
+        insn: Insn,
+        sp: &mut usize,
+        rule_idx: usize,
+        pc: usize,
+    ) -> BatchFlow {
+        let cfg = self.prog.cfg;
+        let cycle = self.cycles;
+        let BatchSim {
+            lanes,
+            stack,
+            boc,
+            cyc_rw,
+            log_rw,
+            cyc_d0,
+            log_d0,
+            log_d1,
+            locals,
+            cov,
+            last_fail,
+            ..
+        } = self;
+        let lanes = *lanes;
+
+        // Ensures the stack can hold one more stripe.
+        macro_rules! grow {
+            () => {
+                if stack.len() < (*sp + 1) * lanes {
+                    stack.resize((*sp + 1) * lanes, 0);
+                }
+            };
+        }
+        macro_rules! need {
+            ($k:expr) => {
+                if *sp < $k {
+                    return BatchFlow::Trap("operand stack underflow");
+                }
+            };
+        }
+        // Binary op over the top two stripes; result replaces the lower.
+        macro_rules! vbin {
+            (|$a:ident, $b:ident| $body:expr) => {{
+                need!(2);
+                let base = (*sp - 2) * lanes;
+                for l in 0..lanes {
+                    let $a = stack[base + l];
+                    let $b = stack[base + lanes + l];
+                    stack[base + l] = $body;
+                }
+                *sp -= 1;
+                BatchFlow::Next
+            }};
+        }
+        // Unary op over the top stripe, in place.
+        macro_rules! vun {
+            (|$a:ident| $body:expr) => {{
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                for l in 0..lanes {
+                    let $a = stack[base + l];
+                    stack[base + l] = $body;
+                }
+                BatchFlow::Next
+            }};
+        }
+
+        match insn {
+            Insn::Const(v) => {
+                grow!();
+                stack[*sp * lanes..(*sp + 1) * lanes].fill(v);
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::Local(s) => {
+                grow!();
+                let (src, dst) = (s as usize * lanes, *sp * lanes);
+                stack[dst..dst + lanes].copy_from_slice(&locals[src..src + lanes]);
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::SetLocal(s) => {
+                need!(1);
+                let (src, dst) = ((*sp - 1) * lanes, s as usize * lanes);
+                locals[dst..dst + lanes].copy_from_slice(&stack[src..src + lanes]);
+                *sp -= 1;
+                BatchFlow::Next
+            }
+            Insn::Add { mask } => vbin!(|a, b| a.wrapping_add(b) & mask),
+            Insn::Sub { mask } => vbin!(|a, b| a.wrapping_sub(b) & mask),
+            Insn::Mul { mask } => vbin!(|a, b| a.wrapping_mul(b) & mask),
+            Insn::And => vbin!(|a, b| a & b),
+            Insn::Or => vbin!(|a, b| a | b),
+            Insn::Xor => vbin!(|a, b| a ^ b),
+            Insn::Shl { mask } => vbin!(|a, b| if b >= 64 { 0 } else { (a << b) & mask }),
+            Insn::Shr => vbin!(|a, b| if b >= 64 { 0 } else { a >> b }),
+            Insn::Sra { width } => vbin!(|a, b| word::sra(width, a, b)),
+            Insn::Eq => vbin!(|a, b| (a == b) as u64),
+            Insn::Ne => vbin!(|a, b| (a != b) as u64),
+            Insn::Ult => vbin!(|a, b| (a < b) as u64),
+            Insn::Ule => vbin!(|a, b| (a <= b) as u64),
+            Insn::Slt { width } => vbin!(|a, b| word::slt(width, a, b)),
+            Insn::Sle { width } => vbin!(|a, b| 1 - word::slt(width, b, a)),
+            Insn::ConcatShift { low_width } => vbin!(|a, b| (a << low_width) | b),
+            Insn::Not { mask } => vun!(|a| !a & mask),
+            Insn::Neg { mask } => vun!(|a| a.wrapping_neg() & mask),
+            Insn::Mask { mask } => vun!(|a| a & mask),
+            Insn::Sext { from, mask } => vun!(|a| word::sext(from, a) & mask),
+            Insn::Slice { lo, mask } => vun!(|a| (a >> lo) & mask),
+            Insn::SliceSext { lo, from, mask } => {
+                vun!(|a| word::sext(from, (a >> lo) & word::mask(from)) & mask)
+            }
+            Insn::Select => {
+                // Pure data selection: no divergence regardless of lanes'
+                // conditions.
+                need!(3);
+                let cbase = (*sp - 3) * lanes;
+                for l in 0..lanes {
+                    let f = stack[(*sp - 1) * lanes + l];
+                    let t = stack[(*sp - 2) * lanes + l];
+                    let c = stack[cbase + l];
+                    stack[cbase + l] = if c != 0 { t } else { f };
+                }
+                *sp -= 2;
+                BatchFlow::Next
+            }
+            Insn::Rd0 { reg, clean } => {
+                let r = reg as usize;
+                let mut npass = 0usize;
+                {
+                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                    for l in 0..lanes {
+                        if chk[r * lanes + l] & (W0 | W1) == 0 {
+                            npass += 1;
+                        }
+                    }
+                }
+                if npass == 0 {
+                    for lf in last_fail.iter_mut() {
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(reg)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                grow!();
+                let dst = *sp * lanes;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    if !cfg.design_specific {
+                        log_rw[i] |= R0;
+                    }
+                    stack[dst + l] = if cfg.no_boc { log_d0[i] } else { boc[i] };
+                }
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::Rd1 { reg, clean } => {
+                let r = reg as usize;
+                let mut npass = 0usize;
+                {
+                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                    for l in 0..lanes {
+                        if chk[r * lanes + l] & W1 == 0 {
+                            npass += 1;
+                        }
+                    }
+                }
+                if npass == 0 {
+                    for lf in last_fail.iter_mut() {
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(reg)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                grow!();
+                let dst = *sp * lanes;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    log_rw[i] |= R1;
+                    stack[dst + l] = if cfg.no_boc || log_rw[i] & W0 != 0 {
+                        log_d0[i]
+                    } else if !cfg.acc_logs && cyc_rw[i] & W0 != 0 {
+                        cyc_d0[i]
+                    } else {
+                        boc[i]
+                    };
+                }
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::Wr0 { reg, clean } => {
+                need!(1);
+                let r = reg as usize;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & (R1 | W0 | W1) == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for lf in last_fail.iter_mut() {
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(reg)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                let vbase = (*sp - 1) * lanes;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    log_rw[i] |= W0;
+                    log_d0[i] = stack[vbase + l];
+                }
+                *sp -= 1;
+                BatchFlow::Next
+            }
+            Insn::Wr1 { reg, clean } => {
+                need!(1);
+                let r = reg as usize;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & W1 == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for lf in last_fail.iter_mut() {
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(reg)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                let vbase = (*sp - 1) * lanes;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    log_rw[i] |= W1;
+                    if cfg.merged_data {
+                        log_d0[i] = stack[vbase + l];
+                    } else {
+                        log_d1[i] = stack[vbase + l];
+                    }
+                }
+                *sp -= 1;
+                BatchFlow::Next
+            }
+            Insn::Rd0Fast { reg } | Insn::Rd1Fast { reg } => {
+                grow!();
+                let (src, dst) = (reg as usize * lanes, *sp * lanes);
+                stack[dst..dst + lanes].copy_from_slice(&log_d0[src..src + lanes]);
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::Wr0Fast { reg } | Insn::Wr1Fast { reg } => {
+                need!(1);
+                let (src, dst) = ((*sp - 1) * lanes, reg as usize * lanes);
+                log_d0[dst..dst + lanes].copy_from_slice(&stack[src..src + lanes]);
+                *sp -= 1;
+                BatchFlow::Next
+            }
+            Insn::Rd0Arr { base, mask, clean } => {
+                need!(1);
+                let ibase = (*sp - 1) * lanes;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs { log_rw[i] } else { cyc_rw[i] };
+                    if check & (W0 | W1) == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for (l, lf) in last_fail.iter_mut().enumerate() {
+                        let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(r as u32)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                // Replace the index stripe with the value stripe in place.
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    if !cfg.design_specific {
+                        log_rw[i] |= R0;
+                    }
+                    stack[ibase + l] = if cfg.no_boc { log_d0[i] } else { boc[i] };
+                }
+                BatchFlow::Next
+            }
+            Insn::Rd1Arr { base, mask, clean } => {
+                need!(1);
+                let ibase = (*sp - 1) * lanes;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs { log_rw[i] } else { cyc_rw[i] };
+                    if check & W1 == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for (l, lf) in last_fail.iter_mut().enumerate() {
+                        let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(r as u32)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    log_rw[i] |= R1;
+                    stack[ibase + l] = if cfg.no_boc || log_rw[i] & W0 != 0 {
+                        log_d0[i]
+                    } else if !cfg.acc_logs && cyc_rw[i] & W0 != 0 {
+                        cyc_d0[i]
+                    } else {
+                        boc[i]
+                    };
+                }
+                BatchFlow::Next
+            }
+            Insn::Wr0Arr { base, mask, clean } => {
+                need!(2);
+                let vbase = (*sp - 1) * lanes;
+                let ibase = (*sp - 2) * lanes;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & (R1 | W0 | W1) == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for (l, lf) in last_fail.iter_mut().enumerate() {
+                        let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(r as u32)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    log_rw[i] |= W0;
+                    log_d0[i] = stack[vbase + l];
+                }
+                *sp -= 2;
+                BatchFlow::Next
+            }
+            Insn::Wr1Arr { base, mask, clean } => {
+                need!(2);
+                let vbase = (*sp - 1) * lanes;
+                let ibase = (*sp - 2) * lanes;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & W1 == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    for (l, lf) in last_fail.iter_mut().enumerate() {
+                        let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                        *lf = Some(FailInfo {
+                            rule: rule_idx,
+                            pc,
+                            reg: Some(RegId(r as u32)),
+                            cycle,
+                        });
+                    }
+                    return BatchFlow::FailAll { clean };
+                }
+                if npass < lanes {
+                    return BatchFlow::Diverge;
+                }
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    let i = r * lanes + l;
+                    log_rw[i] |= W1;
+                    if cfg.merged_data {
+                        log_d0[i] = stack[vbase + l];
+                    } else {
+                        log_d1[i] = stack[vbase + l];
+                    }
+                }
+                *sp -= 2;
+                BatchFlow::Next
+            }
+            Insn::Rd0ArrFast { base, mask } | Insn::Rd1ArrFast { base, mask } => {
+                need!(1);
+                let ibase = (*sp - 1) * lanes;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    stack[ibase + l] = log_d0[r * lanes + l];
+                }
+                BatchFlow::Next
+            }
+            Insn::Wr0ArrFast { base, mask } | Insn::Wr1ArrFast { base, mask } => {
+                need!(2);
+                let vbase = (*sp - 1) * lanes;
+                let ibase = (*sp - 2) * lanes;
+                for l in 0..lanes {
+                    let r = base as usize + (stack[ibase + l] & mask as u64) as usize;
+                    log_d0[r * lanes + l] = stack[vbase + l];
+                }
+                *sp -= 2;
+                BatchFlow::Next
+            }
+            Insn::BinRC { op, rhs, mask } => vun!(|a| crate::vm::fused(op, a, rhs, mask)),
+            Insn::BinRL { op, rhs_slot, mask } => {
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                let rbase = rhs_slot as usize * lanes;
+                for l in 0..lanes {
+                    stack[base + l] = crate::vm::fused(op, stack[base + l], locals[rbase + l], mask);
+                }
+                BatchFlow::Next
+            }
+            Insn::BinLL {
+                op,
+                a_slot,
+                b_slot,
+                mask,
+            } => {
+                grow!();
+                let dst = *sp * lanes;
+                let (abase, bbase) = (a_slot as usize * lanes, b_slot as usize * lanes);
+                for l in 0..lanes {
+                    stack[dst + l] = crate::vm::fused(op, locals[abase + l], locals[bbase + l], mask);
+                }
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::BinLC {
+                op,
+                a_slot,
+                rhs,
+                mask,
+            } => {
+                grow!();
+                let dst = *sp * lanes;
+                let abase = a_slot as usize * lanes;
+                for l in 0..lanes {
+                    stack[dst + l] = crate::vm::fused(op, locals[abase + l], rhs, mask);
+                }
+                *sp += 1;
+                BatchFlow::Next
+            }
+            Insn::LdFast { reg, slot } => {
+                let (src, dst) = (reg as usize * lanes, slot as usize * lanes);
+                locals[dst..dst + lanes].copy_from_slice(&log_d0[src..src + lanes]);
+                BatchFlow::Next
+            }
+            Insn::StFast { reg, slot } => {
+                let (src, dst) = (slot as usize * lanes, reg as usize * lanes);
+                log_d0[dst..dst + lanes].copy_from_slice(&locals[src..src + lanes]);
+                BatchFlow::Next
+            }
+            Insn::SetLocalK { slot, imm } => {
+                let dst = slot as usize * lanes;
+                locals[dst..dst + lanes].fill(imm);
+                BatchFlow::Next
+            }
+            Insn::Jmp(t) => BatchFlow::Jump(t),
+            Insn::Jz(t) => {
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                let mut nz = 0usize;
+                for l in 0..lanes {
+                    if stack[base + l] == 0 {
+                        nz += 1;
+                    }
+                }
+                *sp -= 1;
+                if nz == 0 {
+                    BatchFlow::Next
+                } else if nz == lanes {
+                    BatchFlow::Jump(t)
+                } else {
+                    BatchFlow::Diverge
+                }
+            }
+            Insn::Abort => {
+                for lf in last_fail.iter_mut() {
+                    *lf = Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: None,
+                        cycle,
+                    });
+                }
+                BatchFlow::FailAll { clean: false }
+            }
+            Insn::AbortClean => {
+                for lf in last_fail.iter_mut() {
+                    *lf = Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: None,
+                        cycle,
+                    });
+                }
+                BatchFlow::FailAll { clean: true }
+            }
+            Insn::Cov(id) => {
+                let base = id as usize * lanes;
+                for c in &mut cov[base..base + lanes] {
+                    *c += 1;
+                }
+                BatchFlow::Next
+            }
+            Insn::End => BatchFlow::Done,
+        }
+    }
+}
+
+impl BatchBackend for BatchSim {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn cycle_count(&self) -> u64 {
+        self.cycles
+    }
+
+    fn cycle(&mut self) -> Result<(), String> {
+        BatchSim::cycle(self).map_err(|e| e.to_string())
+    }
+
+    fn lane_commits(&self, lane: usize) -> &[u32] {
+        BatchSim::lane_commits(self, lane)
+    }
+
+    fn lane_get64(&self, lane: usize, reg: RegId) -> u64 {
+        BatchSim::lane_get64(self, lane, reg)
+    }
+
+    fn lane_set64(&mut self, lane: usize, reg: RegId, value: u64) {
+        BatchSim::lane_set64(self, lane, reg, value);
+    }
+}
+
+impl std::fmt::Debug for BatchSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSim")
+            .field("design", &self.prog.design.name)
+            .field("level", &self.prog.level)
+            .field("lanes", &self.lanes)
+            .field("cycles", &self.cycles)
+            .field("lockstep_rules", &self.lockstep_rules)
+            .field("fallback_rules", &self.fallback_rules)
+            .finish()
+    }
+}
+
+/// A [`RegAccess`] view of one lane of a [`BatchSim`], so devices and
+/// injectors written against the scalar interface can drive a single
+/// batched instance.
+pub struct BatchLane<'a> {
+    sim: &'a mut BatchSim,
+    lane: usize,
+}
+
+impl RegAccess for BatchLane<'_> {
+    fn get64(&self, reg: RegId) -> u64 {
+        self.sim.lane_get64(self.lane, reg)
+    }
+
+    fn set64(&mut self, reg: RegId, value: u64) {
+        self.sim.lane_set64(self.lane, reg, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Sim;
+    use crate::OptLevel;
+    use koika::ast::*;
+    use koika::check::check;
+    use koika::design::DesignBuilder;
+    use koika::device::SimBackend;
+
+    fn collatz() -> koika::tir::TDesign {
+        let mut b = DesignBuilder::new("collatz");
+        b.reg("x", 16, 7u64);
+        b.rule(
+            "even",
+            vec![iff(
+                rd0("x").and(k(16, 1)).eq(k(16, 0)),
+                vec![wr0("x", rd0("x").shr(k(16, 1)))],
+                vec![],
+            )],
+        );
+        b.rule(
+            "odd",
+            vec![iff(
+                rd1("x").and(k(16, 1)).eq(k(16, 1)),
+                vec![wr1("x", rd1("x").mul(k(16, 3)).add(k(16, 1)))],
+                vec![],
+            )],
+        );
+        check(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn lanes_match_scalar_sims_same_inits() {
+        let td = collatz();
+        for level in OptLevel::ALL {
+            let opts = CompileOptions {
+                level,
+                ..CompileOptions::default()
+            };
+            let mut batch = BatchSim::compile_with(&td, &opts, 4).unwrap();
+            let mut scalars: Vec<Sim> =
+                (0..4).map(|_| Sim::compile_with(&td, &opts).unwrap()).collect();
+            for _ in 0..64 {
+                batch.cycle().unwrap();
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    s.cycle();
+                    assert_eq!(batch.lane_reg_values(l), s.reg_values(), "{level} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_lanes_match_scalar_sims() {
+        let td = collatz();
+        let x = td.reg_id("x");
+        for level in OptLevel::ALL {
+            let opts = CompileOptions {
+                level,
+                ..CompileOptions::default()
+            };
+            let mut batch = BatchSim::compile_with(&td, &opts, 4).unwrap();
+            let mut scalars: Vec<Sim> =
+                (0..4).map(|_| Sim::compile_with(&td, &opts).unwrap()).collect();
+            // Different seeds per lane force the divergence fallback (odd
+            // vs even parity takes different branches).
+            for (l, seed) in [7u64, 6, 27, 1].into_iter().enumerate() {
+                batch.lane_set64(l, x, seed);
+                scalars[l].set64(x, seed);
+            }
+            for cyc in 0..128 {
+                batch.cycle().unwrap();
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    s.cycle();
+                    assert_eq!(
+                        batch.lane_reg_values(l),
+                        s.reg_values(),
+                        "{level} lane {l} cycle {cyc}"
+                    );
+                    assert_eq!(batch.lane_fired(l), s.rules_fired(), "{level} lane {l}");
+                }
+            }
+            assert!(
+                batch.fallback_rules() > 0,
+                "{level}: divergent seeds must exercise the fallback"
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_never_diverges() {
+        let td = collatz();
+        let mut batch = BatchSim::compile(&td, 1).unwrap();
+        for _ in 0..64 {
+            batch.cycle().unwrap();
+        }
+        assert_eq!(batch.fallback_rules(), 0);
+    }
+
+    #[test]
+    fn miscompiled_bytecode_traps() {
+        let mut b = DesignBuilder::new("c");
+        b.reg("n", 8, 0u64);
+        b.rule("inc", vec![wr0("n", rd0("n").add(k(8, 1)))]);
+        let td = check(&b.build()).unwrap();
+        let mut prog = compile(&td, &CompileOptions::default()).unwrap();
+        prog.rules[0].code.insert(0, Insn::Add { mask: u64::MAX });
+        let mut batch = BatchSim::new(prog, 3);
+        let err = batch.cycle().unwrap_err();
+        assert_eq!(
+            err,
+            VmError::CompilerBug {
+                rule: 0,
+                pc: 0,
+                what: "operand stack underflow",
+            }
+        );
+    }
+}

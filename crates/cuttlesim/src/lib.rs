@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod codegen_cpp;
 pub mod compile;
 pub mod coverage;
@@ -51,9 +52,10 @@ pub mod profile;
 pub mod trace;
 pub mod vm;
 
+pub use batch::{BatchLane, BatchSim};
 pub use compile::{compile, CompileError, CompileOptions, Program};
 pub use coverage::CoverageReport;
 pub use profile::ProfileReport;
 pub use trace::{RuleOutcome, RuleTrace};
 pub use level::OptLevel;
-pub use vm::{Dispatch, FailInfo, Sim, SimSnapshot};
+pub use vm::{Dispatch, FailInfo, Sim, SimSnapshot, VmError};

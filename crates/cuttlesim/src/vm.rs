@@ -24,6 +24,7 @@ use koika::device::{RegAccess, SimBackend};
 use koika::obs::{FailureReason, Metrics, Observer};
 use koika::snapshot::{Snapshot, SnapshotError};
 use koika::tir::{RegId, TDesign};
+use std::fmt;
 
 const R1: u8 = 0b0010;
 const W0: u8 = 0b0100;
@@ -32,16 +33,50 @@ const R0: u8 = 0b0001;
 
 /// Why a rule stopped executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Flow {
+pub(crate) enum Flow {
     Next,
     Jump(u32),
     Fail { clean: bool },
     Done,
+    /// A VM-internal invariant was violated (miscompiled bytecode). Never
+    /// produced by correctly-compiled programs; surfaced as
+    /// [`VmError::CompilerBug`] so embedders (batch workers, campaign
+    /// runners) can triage instead of aborting.
+    Trap(&'static str),
 }
 
 /// A pre-bound instruction thunk, one per instruction, for the
 /// closure-dispatch backend ([`Dispatch::Closure`]).
-type RuleClosure = Box<dyn Fn(&mut State, LevelCfg) -> Flow>;
+pub(crate) type RuleClosure = Box<dyn Fn(&mut State, LevelCfg) -> Flow>;
+
+/// A fatal error raised by the VM itself (as opposed to a rule failure,
+/// which is normal Kôika semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The bytecode violated a VM invariant — e.g. an operand-stack
+    /// underflow. This indicates a bug in the compiler (or a hand-built
+    /// [`Program`]), not in the simulated design.
+    CompilerBug {
+        /// Index of the rule being executed.
+        rule: usize,
+        /// Instruction index within the rule.
+        pc: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::CompilerBug { rule, pc, what } => {
+                write!(f, "compiler bug in rule {rule} at pc {pc}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
 
 /// Information about the most recent rule failure — the software analogue of
 /// breaking on the paper's `FAIL()` macro.
@@ -59,24 +94,53 @@ pub struct FailInfo {
 }
 
 /// The VM's mutable simulation state. Cloneable, which is what powers
-/// snapshots and reverse debugging.
+/// snapshots and reverse debugging. Crate-visible so the batched engine
+/// ([`crate::batch`]) can run diverged lanes through the exact scalar rule
+/// executor.
 #[derive(Debug, Clone)]
-struct State {
-    boc: Vec<u64>,
-    cyc_rw: Vec<u8>,
-    log_rw: Vec<u8>,
-    cyc_d0: Vec<u64>,
-    cyc_d1: Vec<u64>,
-    log_d0: Vec<u64>,
-    log_d1: Vec<u64>,
-    stack: Vec<u64>,
-    locals: Vec<u64>,
-    cycles: u64,
-    fired: u64,
-    fired_per_rule: Vec<u64>,
-    fail_per_rule: Vec<u64>,
-    cov: Vec<u64>,
-    last_fail: Option<FailInfo>,
+pub(crate) struct State {
+    pub(crate) boc: Vec<u64>,
+    pub(crate) cyc_rw: Vec<u8>,
+    pub(crate) log_rw: Vec<u8>,
+    pub(crate) cyc_d0: Vec<u64>,
+    pub(crate) cyc_d1: Vec<u64>,
+    pub(crate) log_d0: Vec<u64>,
+    pub(crate) log_d1: Vec<u64>,
+    pub(crate) stack: Vec<u64>,
+    pub(crate) locals: Vec<u64>,
+    pub(crate) cycles: u64,
+    pub(crate) fired: u64,
+    pub(crate) fired_per_rule: Vec<u64>,
+    pub(crate) fail_per_rule: Vec<u64>,
+    pub(crate) cov: Vec<u64>,
+    pub(crate) last_fail: Option<FailInfo>,
+}
+
+impl State {
+    /// A freshly-reset state for `prog` (registers at their declared
+    /// initial values).
+    pub(crate) fn for_program(prog: &Program) -> State {
+        let n = prog.init.len();
+        let cfg = prog.cfg;
+        let max_locals = prog.rules.iter().fold(0, |m, r| m.max(r.nlocals as usize));
+        State {
+            boc: if cfg.no_boc { Vec::new() } else { prog.init.clone() },
+            cyc_rw: vec![0; n],
+            log_rw: vec![0; n],
+            cyc_d0: prog.init.clone(),
+            cyc_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
+            log_d0: prog.init.clone(),
+            log_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
+            stack: Vec::with_capacity(64),
+            locals: vec![0; max_locals],
+            cycles: 0,
+            fired: 0,
+            fired_per_rule: vec![0; prog.rules.len()],
+            fail_per_rule: vec![0; prog.rules.len()],
+            cov: vec![0; prog.cov.len()],
+            last_fail: None,
+        }
+    }
 }
 
 /// A saved copy of a simulator's complete architectural state.
@@ -135,6 +199,8 @@ pub struct Sim {
     /// Scratch buffer for `cycle_obs` boundary diffs. Lives outside `State`
     /// so snapshots and reverse debugging don't drag it along.
     obs_prev: Vec<u64>,
+    /// The first VM-internal error hit, if any (see [`Sim::take_trap`]).
+    trap: Option<VmError>,
 }
 
 #[derive(Debug, Clone)]
@@ -166,26 +232,7 @@ impl Sim {
 
     /// Instantiates a simulator for a pre-compiled program.
     pub fn new(prog: Program) -> Sim {
-        let n = prog.init.len();
-        let cfg = prog.cfg;
-        let max_locals = prog.rules.iter().fold(0, |m, r| m.max(r.nlocals as usize));
-        let st = State {
-            boc: if cfg.no_boc { Vec::new() } else { prog.init.clone() },
-            cyc_rw: vec![0; n],
-            log_rw: vec![0; n],
-            cyc_d0: prog.init.clone(),
-            cyc_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
-            log_d0: prog.init.clone(),
-            log_d1: if cfg.merged_data { Vec::new() } else { prog.init.clone() },
-            stack: Vec::with_capacity(64),
-            locals: vec![0; max_locals],
-            cycles: 0,
-            fired: 0,
-            fired_per_rule: vec![0; prog.rules.len()],
-            fail_per_rule: vec![0; prog.rules.len()],
-            cov: vec![0; prog.cov.len()],
-            last_fail: None,
-        };
+        let st = State::for_program(&prog);
         Sim {
             prog,
             st,
@@ -195,6 +242,7 @@ impl Sim {
             mid_cycle: false,
             profile: None,
             obs_prev: Vec::new(),
+            trap: None,
         }
     }
 
@@ -304,7 +352,10 @@ impl Sim {
         for _ in 0..ncycles - 1 {
             h.snapshots.pop();
         }
-        self.st = h.snapshots.pop().expect("length checked above");
+        let Some(snap) = h.snapshots.pop() else {
+            return false;
+        };
+        self.st = snap;
         true
     }
 
@@ -340,146 +391,65 @@ impl Sim {
 
     /// Executes one rule transactionally; returns `true` if it committed.
     /// Must be bracketed by [`Sim::begin_cycle`] / [`Sim::end_cycle`].
+    ///
+    /// A VM-internal trap (miscompiled bytecode) is recorded — retrieve it
+    /// with [`Sim::take_trap`] — and reported as a non-commit.
     pub fn step_rule(&mut self, rule_idx: usize) -> bool {
-        let cfg = self.prog.cfg;
-        let prog = &self.prog;
-        let st = &mut self.st;
-        let rule = &prog.rules[rule_idx];
-        let n = prog.init.len();
-
-        // Rule prologue.
-        if !cfg.acc_logs {
-            // The log is a plain rule log: clear its read-write sets.
-            for b in &mut st.log_rw {
-                *b = 0;
-            }
-        } else if !cfg.reset_on_fail {
-            // Accumulated log, reset on entry: copy the full cycle log.
-            st.log_rw.copy_from_slice(&st.cyc_rw);
-            st.log_d0.copy_from_slice(&st.cyc_d0);
-            if !cfg.merged_data {
-                st.log_d1.copy_from_slice(&st.cyc_d1);
-            }
-        }
-        st.stack.clear();
-
-        let code = &rule.code;
-        let mut pc = 0usize;
         let mut executed = 0u64;
         let counting = self.profile.is_some();
-        let outcome = if self.dispatch == Dispatch::Match || self.closures.is_empty() {
-            loop {
-                if counting {
-                    executed += 1;
-                }
-                match exec_insn(st, cfg, code[pc]) {
-                    Flow::Next => pc += 1,
-                    Flow::Jump(t) => pc = t as usize,
-                    Flow::Fail { clean } => break Err(clean),
-                    Flow::Done => break Ok(()),
-                }
-            }
+        let closures = if self.dispatch == Dispatch::Match || self.closures.is_empty() {
+            None
         } else {
-            let closures = &self.closures[rule_idx];
-            loop {
-                if counting {
-                    executed += 1;
-                }
-                match closures[pc](st, cfg) {
-                    Flow::Next => pc += 1,
-                    Flow::Jump(t) => pc = t as usize,
-                    Flow::Fail { clean } => break Err(clean),
-                    Flow::Done => break Ok(()),
-                }
-            }
+            Some(self.closures[rule_idx].as_slice())
         };
+        let outcome = step_rule_impl(
+            &self.prog,
+            &mut self.st,
+            rule_idx,
+            closures,
+            &mut executed,
+            counting,
+        );
         if let Some(profile) = &mut self.profile {
             profile[rule_idx] += executed;
         }
-
         match outcome {
-            Ok(()) => {
-                // Commit.
-                if !cfg.acc_logs {
-                    // Naive merge: or the read-write sets, copy write data.
-                    for i in 0..n {
-                        let rl = st.log_rw[i];
-                        if rl != 0 {
-                            st.cyc_rw[i] |= rl;
-                            if rl & W0 != 0 {
-                                st.cyc_d0[i] = st.log_d0[i];
-                            }
-                            if rl & W1 != 0 {
-                                if cfg.merged_data {
-                                    st.cyc_d0[i] = st.log_d0[i];
-                                } else {
-                                    st.cyc_d1[i] = st.log_d1[i];
-                                }
-                            }
-                        }
-                    }
-                } else {
-                    match &rule.commit {
-                        CopyPlan::Full => {
-                            st.cyc_rw.copy_from_slice(&st.log_rw);
-                            st.cyc_d0.copy_from_slice(&st.log_d0);
-                            if !cfg.merged_data {
-                                st.cyc_d1.copy_from_slice(&st.log_d1);
-                            }
-                        }
-                        CopyPlan::Footprint { rw, data } => {
-                            for &i in rw {
-                                st.cyc_rw[i as usize] = st.log_rw[i as usize];
-                            }
-                            for &i in data {
-                                st.cyc_d0[i as usize] = st.log_d0[i as usize];
-                                if !cfg.merged_data {
-                                    st.cyc_d1[i as usize] = st.log_d1[i as usize];
-                                }
-                            }
-                        }
-                    }
-                }
-                st.fired += 1;
-                st.fired_per_rule[rule_idx] += 1;
-                true
-            }
-            Err(clean) => {
-                st.fail_per_rule[rule_idx] += 1;
-                // exec_insn recorded the failing register (if any); fill in
-                // the location.
-                if let Some(f) = &mut st.last_fail {
-                    f.rule = rule_idx;
-                    f.pc = pc;
-                    f.cycle = st.cycles;
-                }
-                // Rollback (reset-on-failure levels only; earlier levels
-                // reset on entry instead).
-                if cfg.reset_on_fail && !clean {
-                    match &rule.rollback {
-                        CopyPlan::Full => {
-                            st.log_rw.copy_from_slice(&st.cyc_rw);
-                            st.log_d0.copy_from_slice(&st.cyc_d0);
-                            if !cfg.merged_data {
-                                st.log_d1.copy_from_slice(&st.cyc_d1);
-                            }
-                        }
-                        CopyPlan::Footprint { rw, data } => {
-                            for &i in rw {
-                                st.log_rw[i as usize] = st.cyc_rw[i as usize];
-                            }
-                            for &i in data {
-                                st.log_d0[i as usize] = st.cyc_d0[i as usize];
-                                if !cfg.merged_data {
-                                    st.log_d1[i as usize] = st.cyc_d1[i as usize];
-                                }
-                            }
-                        }
-                    }
+            Ok(committed) => committed,
+            Err(e) => {
+                if self.trap.is_none() {
+                    self.trap = Some(e);
                 }
                 false
             }
         }
+    }
+
+    /// The first VM-internal error recorded since the last call, if any.
+    /// Cleared by the call.
+    pub fn take_trap(&mut self) -> Option<VmError> {
+        self.trap.take()
+    }
+
+    /// Runs one full cycle, propagating VM-internal errors instead of
+    /// recording them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::CompilerBug`] if the bytecode violates a VM
+    /// invariant (never for programs produced by [`compile`]); the cycle is
+    /// abandoned mid-way.
+    pub fn try_cycle(&mut self) -> Result<(), VmError> {
+        self.begin_cycle();
+        for i in 0..self.prog.schedule.len() {
+            let rule = self.prog.schedule[i];
+            self.step_rule(rule);
+            if let Some(e) = self.trap.take() {
+                self.mid_cycle = false;
+                return Err(e);
+            }
+        }
+        self.end_cycle();
+        Ok(())
     }
 
     /// Ends a cycle: commits the cycle log into the register state (a no-op
@@ -534,6 +504,169 @@ impl Sim {
             self.step_rule(idx);
         }
         self.end_cycle();
+    }
+}
+
+/// Executes one rule transactionally against `st`: prologue, body, and
+/// commit or rollback — the complete scalar per-rule semantics at every
+/// level. Returns `Ok(true)` on commit, `Ok(false)` on a rule failure, and
+/// `Err` on a VM-internal trap (miscompiled bytecode).
+///
+/// This is a free function over [`State`] (rather than a `Sim` method) so
+/// the batched engine can run a diverged lane through the exact scalar
+/// executor.
+pub(crate) fn step_rule_impl(
+    prog: &Program,
+    st: &mut State,
+    rule_idx: usize,
+    closures: Option<&[RuleClosure]>,
+    executed: &mut u64,
+    counting: bool,
+) -> Result<bool, VmError> {
+    let cfg = prog.cfg;
+    let rule = &prog.rules[rule_idx];
+    let n = prog.init.len();
+
+    // Rule prologue.
+    if !cfg.acc_logs {
+        // The log is a plain rule log: clear its read-write sets.
+        for b in &mut st.log_rw {
+            *b = 0;
+        }
+    } else if !cfg.reset_on_fail {
+        // Accumulated log, reset on entry: copy the full cycle log.
+        st.log_rw.copy_from_slice(&st.cyc_rw);
+        st.log_d0.copy_from_slice(&st.cyc_d0);
+        if !cfg.merged_data {
+            st.log_d1.copy_from_slice(&st.cyc_d1);
+        }
+    }
+    st.stack.clear();
+
+    let code = &rule.code;
+    let mut pc = 0usize;
+    let outcome = if let Some(closures) = closures {
+        loop {
+            if counting {
+                *executed += 1;
+            }
+            match closures[pc](st, cfg) {
+                Flow::Next => pc += 1,
+                Flow::Jump(t) => pc = t as usize,
+                Flow::Fail { clean } => break Err(clean),
+                Flow::Done => break Ok(()),
+                Flow::Trap(what) => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc,
+                        what,
+                    })
+                }
+            }
+        }
+    } else {
+        loop {
+            if counting {
+                *executed += 1;
+            }
+            match exec_insn(st, cfg, code[pc]) {
+                Flow::Next => pc += 1,
+                Flow::Jump(t) => pc = t as usize,
+                Flow::Fail { clean } => break Err(clean),
+                Flow::Done => break Ok(()),
+                Flow::Trap(what) => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc,
+                        what,
+                    })
+                }
+            }
+        }
+    };
+
+    match outcome {
+        Ok(()) => {
+            // Commit.
+            if !cfg.acc_logs {
+                // Naive merge: or the read-write sets, copy write data.
+                for i in 0..n {
+                    let rl = st.log_rw[i];
+                    if rl != 0 {
+                        st.cyc_rw[i] |= rl;
+                        if rl & W0 != 0 {
+                            st.cyc_d0[i] = st.log_d0[i];
+                        }
+                        if rl & W1 != 0 {
+                            if cfg.merged_data {
+                                st.cyc_d0[i] = st.log_d0[i];
+                            } else {
+                                st.cyc_d1[i] = st.log_d1[i];
+                            }
+                        }
+                    }
+                }
+            } else {
+                match &rule.commit {
+                    CopyPlan::Full => {
+                        st.cyc_rw.copy_from_slice(&st.log_rw);
+                        st.cyc_d0.copy_from_slice(&st.log_d0);
+                        if !cfg.merged_data {
+                            st.cyc_d1.copy_from_slice(&st.log_d1);
+                        }
+                    }
+                    CopyPlan::Footprint { rw, data } => {
+                        for &i in rw {
+                            st.cyc_rw[i as usize] = st.log_rw[i as usize];
+                        }
+                        for &i in data {
+                            st.cyc_d0[i as usize] = st.log_d0[i as usize];
+                            if !cfg.merged_data {
+                                st.cyc_d1[i as usize] = st.log_d1[i as usize];
+                            }
+                        }
+                    }
+                }
+            }
+            st.fired += 1;
+            st.fired_per_rule[rule_idx] += 1;
+            Ok(true)
+        }
+        Err(clean) => {
+            st.fail_per_rule[rule_idx] += 1;
+            // exec_insn recorded the failing register (if any); fill in
+            // the location.
+            if let Some(f) = &mut st.last_fail {
+                f.rule = rule_idx;
+                f.pc = pc;
+                f.cycle = st.cycles;
+            }
+            // Rollback (reset-on-failure levels only; earlier levels
+            // reset on entry instead).
+            if cfg.reset_on_fail && !clean {
+                match &rule.rollback {
+                    CopyPlan::Full => {
+                        st.log_rw.copy_from_slice(&st.cyc_rw);
+                        st.log_d0.copy_from_slice(&st.cyc_d0);
+                        if !cfg.merged_data {
+                            st.log_d1.copy_from_slice(&st.cyc_d1);
+                        }
+                    }
+                    CopyPlan::Footprint { rw, data } => {
+                        for &i in rw {
+                            st.log_rw[i as usize] = st.cyc_rw[i as usize];
+                        }
+                        for &i in data {
+                            st.log_d0[i as usize] = st.cyc_d0[i as usize];
+                            if !cfg.merged_data {
+                                st.log_d1[i as usize] = st.cyc_d1[i as usize];
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(false)
+        }
     }
 }
 
@@ -626,7 +759,7 @@ fn wr1_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Resul
 }
 
 #[inline(always)]
-fn fused(op: FusedBin, a: u64, b: u64, mask: u64) -> u64 {
+pub(crate) fn fused(op: FusedBin, a: u64, b: u64, mask: u64) -> u64 {
     match op {
         FusedBin::Add => a.wrapping_add(b) & mask,
         FusedBin::Sub => a.wrapping_sub(b) & mask,
@@ -663,7 +796,10 @@ fn fused(op: FusedBin, a: u64, b: u64, mask: u64) -> u64 {
 fn exec_insn(st: &mut State, cfg: LevelCfg, insn: Insn) -> Flow {
     macro_rules! pop {
         () => {
-            st.stack.pop().expect("stack underflow: compiler bug")
+            match st.stack.pop() {
+                Some(v) => v,
+                None => return Flow::Trap("operand stack underflow"),
+            }
         };
     }
     macro_rules! push {
@@ -1018,5 +1154,68 @@ impl std::fmt::Debug for Sim {
             .field("cycles", &self.st.cycles)
             .field("fired", &self.st.fired)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koika::ast::*;
+    use koika::check::check;
+    use koika::design::DesignBuilder;
+
+    fn counter_prog() -> Program {
+        let mut b = DesignBuilder::new("c");
+        b.reg("n", 8, 0u64);
+        b.rule("inc", vec![wr0("n", rd0("n").add(k(8, 1)))]);
+        let td = check(&b.build()).unwrap();
+        compile(&td, &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn miscompiled_bytecode_traps_instead_of_panicking() {
+        let mut prog = counter_prog();
+        // Corrupt the rule: a binop with an empty operand stack.
+        prog.rules[0].code.insert(0, Insn::Add { mask: u64::MAX });
+        let mut sim = Sim::new(prog);
+        let err = sim.try_cycle().unwrap_err();
+        assert_eq!(
+            err,
+            VmError::CompilerBug {
+                rule: 0,
+                pc: 0,
+                what: "operand stack underflow",
+            }
+        );
+        assert!(err.to_string().contains("compiler bug in rule 0"));
+    }
+
+    #[test]
+    fn step_rule_records_trap_and_reports_non_commit() {
+        let mut prog = counter_prog();
+        prog.rules[0].code.insert(0, Insn::Select);
+        let mut sim = Sim::new(prog);
+        sim.begin_cycle();
+        assert!(!sim.step_rule(0));
+        sim.end_cycle();
+        assert!(matches!(
+            sim.take_trap(),
+            Some(VmError::CompilerBug { rule: 0, .. })
+        ));
+        assert_eq!(sim.take_trap(), None, "trap is cleared once taken");
+    }
+
+    #[test]
+    fn step_back_without_history_is_refused() {
+        let mut sim = Sim::new(counter_prog());
+        assert!(!sim.step_back(1));
+        sim.enable_history(4);
+        assert!(!sim.step_back(0), "zero-cycle step-back is refused");
+        assert!(!sim.step_back(1), "no snapshots recorded yet");
+        sim.cycle();
+        sim.cycle();
+        assert!(sim.step_back(2), "history reaches back to end of cycle 1");
+        assert_eq!(sim.get64(RegId(0)), 1);
+        assert!(!sim.step_back(1), "the restore consumed the history");
     }
 }

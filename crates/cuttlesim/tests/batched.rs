@@ -1,0 +1,219 @@
+//! Differential tests for the batched lock-step engine: N lanes of one
+//! [`BatchSim`] must be indistinguishable from N independent scalar
+//! [`Sim`] runs — the same rules committing in the same order every cycle
+//! (checked both as raw commit sequences and as the FNV-1a digest the
+//! fault-injection campaigns fingerprint with) and the same value in every
+//! register, at every optimization level, even when the lanes start from
+//! divergent initial states and stop sharing control flow.
+//!
+//! This is the oracle that licenses the batched campaign and fuzz paths:
+//! if a lane is bit-identical to a scalar run, any report built from lane
+//! observations is byte-identical to the sequential report.
+
+use cuttlesim::{BatchSim, CompileOptions, OptLevel, Sim};
+use koika::ast::*;
+use koika::check::check;
+use koika::design::DesignBuilder;
+use koika::device::{RegAccess, SimBackend};
+use koika::obs::Observer;
+use koika::testgen::{random_design, SplitMix64};
+use koika::tir::{RegId, TDesign};
+use proptest::prelude::*;
+
+/// Records the committed-rule sequence of one cycle.
+struct CommitRec<'a>(&'a mut Vec<u32>);
+
+impl Observer for CommitRec<'_> {
+    fn rule_commit(&mut self, rule: usize) {
+        self.0.push(rule as u32);
+    }
+}
+
+/// The same per-cycle commit fingerprint the campaign engine uses
+/// (FNV-1a over `rule + 1`).
+fn commit_digest(commits: &[u32]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    commits.iter().fold(FNV_OFFSET, |cur, &rule| {
+        (cur ^ u64::from(rule + 1)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// Runs `lanes` lanes of the batched engine against `lanes` independent
+/// scalar VMs at the given level. Lane 0 keeps the declared initial
+/// values; lanes 1.. are perturbed (identically on both sides) so the
+/// lanes diverge and the per-rule fallback path is exercised.
+fn assert_lanes_match_scalar(td: &TDesign, level: OptLevel, lanes: usize, cycles: usize, seed: u64) {
+    let opts = CompileOptions {
+        level,
+        ..CompileOptions::default()
+    };
+    let mut batch =
+        BatchSim::compile_with(td, &opts, lanes).expect("test designs fit the fast path");
+    let mut scalars: Vec<Sim> = (0..lanes)
+        .map(|_| Sim::compile_with(td, &opts).expect("test designs fit the fast path"))
+        .collect();
+    for (lane, scalar) in scalars.iter_mut().enumerate().skip(1) {
+        let mut rng = SplitMix64::new(seed ^ (lane as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for r in 0..td.num_regs() {
+            let reg = RegId(r as u32);
+            let v = rng.next_u64();
+            batch.lane_set64(lane, reg, v);
+            scalar.set64(reg, v);
+        }
+    }
+
+    for cycle in 0..cycles {
+        batch.cycle().expect("test designs execute cleanly");
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            let mut commits = Vec::new();
+            scalar.cycle_obs(&mut CommitRec(&mut commits));
+            assert_eq!(
+                batch.lane_commits(lane),
+                commits.as_slice(),
+                "design {:?}, {level}, cycle {cycle}, lane {lane}: commit sequence diverged",
+                td.name,
+            );
+            assert_eq!(
+                commit_digest(batch.lane_commits(lane)),
+                commit_digest(&commits),
+                "design {:?}, {level}, cycle {cycle}, lane {lane}: commit digest diverged",
+                td.name,
+            );
+            for r in 0..td.num_regs() {
+                let reg = RegId(r as u32);
+                assert_eq!(
+                    batch.lane_get64(lane, reg),
+                    scalar.get64(reg),
+                    "design {:?}, {level}, cycle {cycle}, lane {lane}, register {} ({})",
+                    td.name,
+                    r,
+                    td.regs[r].name,
+                );
+            }
+        }
+    }
+}
+
+fn assert_all_levels(td: &TDesign, lanes: usize, cycles: usize, seed: u64) {
+    for level in OptLevel::ALL {
+        assert_lanes_match_scalar(td, level, lanes, cycles, seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed cases
+// ---------------------------------------------------------------------------
+
+/// A counter with a data-dependent branch: perturbed lanes take different
+/// branches on different cycles, so lock-step execution must fall back.
+#[test]
+fn divergent_branches_across_lanes() {
+    let mut b = DesignBuilder::new("lanes_diverge");
+    b.reg("n", 16, 1u64);
+    b.reg("odd_steps", 16, 0u64);
+    b.rule(
+        "step",
+        vec![
+            let_("n0", rd0("n")),
+            iff(
+                var("n0").bit(0).eq(k(1, 1)),
+                vec![
+                    wr0("n", var("n0").mul(k(16, 3)).add(k(16, 1))),
+                    wr0("odd_steps", rd0("odd_steps").add(k(16, 1))),
+                ],
+                vec![wr0("n", var("n0").shr(k(4, 1)))],
+            ),
+        ],
+    );
+    b.rule(
+        "restart",
+        vec![
+            guard(rd1("n").eq(k(16, 1))),
+            wr1("n", rd0("odd_steps").add(k(16, 27))),
+        ],
+    );
+    b.schedule(["step", "restart"]);
+    let td = check(&b.build()).expect("well-typed");
+    assert_all_levels(&td, 8, 64, 0xD1CE);
+}
+
+/// Guard-failure asymmetry: some lanes' rules abort while others commit,
+/// the mixed outcome that forces the per-lane fallback path.
+#[test]
+fn mixed_guard_failures() {
+    let mut b = DesignBuilder::new("mixed_guards");
+    b.reg("x", 8, 0u64);
+    b.reg("y", 8, 0u64);
+    b.rule(
+        "gated",
+        vec![guard(rd0("x").bit(0).eq(k(1, 0))), wr0("y", rd0("x"))],
+    );
+    b.rule("bump", vec![wr0("x", rd0("x").add(k(8, 1)))]);
+    b.schedule(["gated", "bump"]);
+    let td = check(&b.build()).expect("well-typed");
+    assert_all_levels(&td, 5, 48, 0xBEEF);
+}
+
+/// Identical lanes must stay in pure lock-step and still match scalar.
+#[test]
+fn identical_lanes_lockstep() {
+    let mut b = DesignBuilder::new("lockstep");
+    b.reg("acc", 32, 3u64);
+    b.rule(
+        "mix",
+        vec![wr0("acc", rd0("acc").mul(k(32, 1664525)).add(k(32, 1013904223)))],
+    );
+    let td = check(&b.build()).expect("well-typed");
+    for level in OptLevel::ALL {
+        let opts = CompileOptions {
+            level,
+            ..CompileOptions::default()
+        };
+        let mut batch = BatchSim::compile_with(&td, &opts, 16).unwrap();
+        let mut scalar = Sim::compile_with(&td, &opts).unwrap();
+        for _ in 0..32 {
+            batch.cycle().unwrap();
+            let mut commits = Vec::new();
+            scalar.cycle_obs(&mut CommitRec(&mut commits));
+            for lane in 0..16 {
+                assert_eq!(batch.lane_commits(lane), commits.as_slice());
+                assert_eq!(
+                    batch.lane_get64(lane, RegId(0)),
+                    scalar.get64(RegId(0)),
+                    "{level}: lane {lane} register 0"
+                );
+            }
+        }
+        assert!(
+            batch.fallback_rules() == 0,
+            "{level}: identical lanes must never leave lock-step \
+             ({} fallbacks)",
+            batch.fallback_rules()
+        );
+        assert!(batch.lockstep_rules() > 0, "{level}: no lock-step steps");
+    }
+}
+
+/// A single lane is just the scalar VM with extra indexing.
+#[test]
+fn one_lane_degenerates_to_scalar() {
+    let td = check(&random_design(42)).expect("well-typed");
+    assert_all_levels(&td, 1, 32, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Random-design differential matrix (generator shared via koika::testgen)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// The batched matrix: random design x divergent lane inits x every
+    /// optimization level, lanes bit-compared to scalar runs each cycle.
+    #[test]
+    fn random_designs_batched_vs_scalar(seed in any::<u64>(), lanes in 2usize..6) {
+        let design = random_design(seed);
+        let td = check(&design).expect("generator produces well-typed designs");
+        assert_all_levels(&td, lanes, 16, seed);
+    }
+}

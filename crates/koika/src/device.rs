@@ -124,6 +124,73 @@ pub trait SimBackend: RegAccess {
     fn as_reg_access(&mut self) -> &mut dyn RegAccess;
 }
 
+/// A batched cycle-accurate backend: `lanes` instances of one design
+/// advancing in lock-step, one `cycle()` call stepping all of them.
+///
+/// This is the harness-facing face of SoA batched engines (the Cuttlesim
+/// batch VM implements it): campaign runners drive whole batches through
+/// this trait, reading each lane's observables — commit stream, register
+/// values — exactly as they would a scalar [`SimBackend`]'s. Implementations
+/// guarantee per-lane observables bit-identical to `lanes` independent
+/// scalar runs.
+pub trait BatchBackend {
+    /// Number of instances in the batch.
+    fn lanes(&self) -> usize;
+
+    /// Cycles executed so far (identical across lanes, by construction).
+    fn cycle_count(&self) -> u64;
+
+    /// Executes one full cycle across every lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an internal engine error (e.g.
+    /// miscompiled bytecode); the batch is left in an unspecified but
+    /// memory-safe state.
+    fn cycle(&mut self) -> Result<(), String>;
+
+    /// The rules one lane committed during the most recent cycle, as
+    /// declaration-order rule indices in schedule order — the raw material
+    /// for per-lane commit fingerprints.
+    fn lane_commits(&self, lane: usize) -> &[u32];
+
+    /// Reads a register in one lane (zero-extended into a `u64`).
+    fn lane_get64(&self, lane: usize, reg: RegId) -> u64;
+
+    /// Overwrites a register in one lane (truncated to its width).
+    fn lane_set64(&mut self, lane: usize, reg: RegId, value: u64);
+}
+
+/// [`RegAccess`] over a single lane of a [`BatchBackend`], so devices and
+/// fault injectors written against the scalar interface can drive one
+/// batched instance.
+pub struct LaneAccess<'a> {
+    backend: &'a mut dyn BatchBackend,
+    lane: usize,
+}
+
+impl<'a> LaneAccess<'a> {
+    /// A view of `lane` within `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn new(backend: &'a mut dyn BatchBackend, lane: usize) -> Self {
+        assert!(lane < backend.lanes(), "lane out of range");
+        LaneAccess { backend, lane }
+    }
+}
+
+impl RegAccess for LaneAccess<'_> {
+    fn get64(&self, reg: RegId) -> u64 {
+        self.backend.lane_get64(self.lane, reg)
+    }
+
+    fn set64(&mut self, reg: RegId, value: u64) {
+        self.backend.lane_set64(self.lane, reg, value);
+    }
+}
+
 /// A device that drives a register with successive values of an iterator,
 /// one per cycle — handy for feeding streaming designs like FIR filters.
 pub struct StreamSource<I> {

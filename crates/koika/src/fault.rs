@@ -32,7 +32,7 @@
 //! surface as [`Observer`] events, so they appear in metrics and Perfetto
 //! timelines alongside ordinary rule activity.
 
-use crate::device::{Device, SimBackend};
+use crate::device::{BatchBackend, Device, LaneAccess, RegAccess, SimBackend};
 use crate::obs::Observer;
 use crate::runner::{self, contain, JobError, JobUpdate, RunnerConfig, RunnerStats};
 use crate::testgen::SplitMix64;
@@ -905,6 +905,177 @@ pub fn run_campaign_parallel(
     Ok((report, stats))
 }
 
+/// A thread-safe factory producing batched backends for
+/// [`run_campaign_batched`]: called with the lane count and expected to
+/// return a fresh batch at reset state.
+pub type BatchFactory<'a> = &'a (dyn Fn(usize) -> Result<Box<dyn BatchBackend>, String> + Sync);
+
+/// Runs one chunk of consecutive campaign members as lanes of a single
+/// batched backend, replicating [`run_watchdogged`]'s per-cycle ordering
+/// per lane (device ticks, then injections, then the cycle) so each lane's
+/// observables match a scalar member run exactly.
+fn run_batched_chunk(
+    env: &ParallelFactories<'_>,
+    make_batch: BatchFactory<'_>,
+    cfg: &CampaignConfig,
+    opts: &ParallelOptions,
+    golden: &GoldenRun,
+    first: usize,
+    lanes: usize,
+) -> Result<Vec<Outcome>, JobError> {
+    let mut batch = make_batch(lanes).map_err(JobError::Fatal)?;
+    let mut devices: Vec<Vec<Box<dyn Device>>> =
+        (0..lanes).map(|_| (env.make_devices)()).collect();
+    let schedules: Vec<Vec<Injection>> =
+        (0..lanes).map(|l| draw_schedule(env.td, cfg, first + l)).collect();
+    let mut fps: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+    let mut stalled = vec![0u64; lanes];
+    // A lane whose stall watchdog tripped: its classification inputs
+    // (final registers, trip cycle) are captured at the trip boundary and
+    // the lane goes inert — no more device ticks or injections — exactly
+    // as if its scalar run had stopped there.
+    let mut tripped: Vec<Option<(Vec<u64>, u64)>> = vec![None; lanes];
+    let nregs = env.td.regs.len();
+    let lane_regs = |batch: &dyn BatchBackend, l: usize| -> Vec<u64> {
+        (0..nregs).map(|i| batch.lane_get64(l, RegId(i as u32))).collect()
+    };
+    let start = Instant::now();
+    for _ in 0..cfg.cycles {
+        if tripped.iter().all(Option::is_some) {
+            break;
+        }
+        let cycle = batch.cycle_count();
+        for l in 0..lanes {
+            if tripped[l].is_some() {
+                continue;
+            }
+            let mut access = LaneAccess::new(&mut *batch, l);
+            for d in devices[l].iter_mut() {
+                d.tick(cycle, &mut access);
+            }
+            for inj in schedules[l].iter().filter(|i| i.cycle == cycle) {
+                let old = access.get64(inj.reg);
+                access.set64(inj.reg, old ^ (1u64 << inj.bit));
+            }
+        }
+        batch.cycle().map_err(JobError::Fatal)?;
+        let done = batch.cycle_count();
+        for l in 0..lanes {
+            if tripped[l].is_some() {
+                continue;
+            }
+            let commits = batch.lane_commits(l);
+            let mut cur = FNV_OFFSET;
+            for &r in commits {
+                cur = (cur ^ (r as u64 + 1)).wrapping_mul(FNV_PRIME);
+            }
+            let commit_count = commits.len();
+            fps[l].push(cur);
+            if commit_count == 0 {
+                stalled[l] += 1;
+            } else {
+                stalled[l] = 0;
+            }
+            if stalled[l] >= cfg.stall_cycles {
+                tripped[l] = Some((lane_regs(&*batch, l), done));
+            }
+        }
+        if let Some(budget) = opts.wall_budget {
+            if start.elapsed() > budget {
+                return Err(JobError::Transient(format!(
+                    "watchdog trip at cycle {done}: wall-clock budget of {budget:?} exhausted"
+                )));
+            }
+        }
+    }
+    Ok((0..lanes)
+        .map(|l| match &tripped[l] {
+            Some((final_regs, cycle)) => classify(golden, &fps[l], final_regs, Some(*cycle)),
+            None => classify(golden, &fps[l], &lane_regs(&*batch, l), None),
+        })
+        .collect())
+}
+
+/// Runs a campaign with members packed into lock-step batches, one batch
+/// per worker job. The golden run stays scalar (it is one run; batching
+/// buys nothing), and each chunk of `width` consecutive members becomes the
+/// lanes of one batched backend with per-lane devices, injections, commit
+/// fingerprints, and stall watchdogs.
+///
+/// The report is **byte-identical** to [`run_campaign_parallel`]'s (and the
+/// sequential [`FaultEngine::run_campaign`]'s) for the same configuration:
+/// batching is an execution strategy, not an observable. The only caveats
+/// are the machine-dependent classes: a wall-budget trip or a contained
+/// panic applies to the whole chunk (all of its members retry together or
+/// report [`Outcome::Panic`] together), because the chunk shares one
+/// backend.
+///
+/// # Errors
+///
+/// Only from setup — the same conditions as [`run_campaign_parallel`].
+pub fn run_campaign_batched(
+    env: &ParallelFactories<'_>,
+    make_batch: BatchFactory<'_>,
+    width: usize,
+    cfg: &CampaignConfig,
+    opts: &ParallelOptions,
+    progress: Option<&mut dyn FnMut(JobUpdate)>,
+) -> Result<(CampaignReport, RunnerStats), FaultError> {
+    let width = width.max(1);
+    check_design_regs(env.td)?;
+    let golden = contain(|| golden_run_par(env, cfg.cycles, cfg.stall_cycles))
+        .map_err(FaultError::GoldenPanic)??;
+
+    let nchunks = cfg.members.div_ceil(width);
+    let job = |chunk: usize| -> Result<Vec<Outcome>, JobError> {
+        let first = chunk * width;
+        let lanes = width.min(cfg.members - first);
+        run_batched_chunk(env, make_batch, cfg, opts, &golden, first, lanes)
+    };
+    let (reports, stats) = runner::run_jobs(nchunks, &opts.runner, job, progress);
+
+    let mut members = Vec::with_capacity(cfg.members);
+    for r in reports {
+        let first = r.index * width;
+        let lanes = width.min(cfg.members - first);
+        match r.result {
+            Ok(outcomes) => {
+                for (l, outcome) in outcomes.into_iter().enumerate().take(lanes) {
+                    members.push(MemberReport {
+                        index: first + l,
+                        injections: draw_schedule(env.td, cfg, first + l),
+                        outcome,
+                        detail: None,
+                    });
+                }
+            }
+            Err(e) => {
+                let (outcome, msg) = match e {
+                    JobError::Panic(m) => (Outcome::Panic, m),
+                    JobError::Transient(m) => (Outcome::Flaky, m),
+                    JobError::Fatal(m) => (Outcome::Panic, m),
+                };
+                for l in 0..lanes {
+                    members.push(MemberReport {
+                        index: first + l,
+                        injections: draw_schedule(env.td, cfg, first + l),
+                        outcome,
+                        detail: Some(msg.clone()),
+                    });
+                }
+            }
+        }
+    }
+    let report = CampaignReport {
+        design: env.td.name.clone(),
+        reg_names: env.td.regs.iter().map(|r| r.name.clone()).collect(),
+        config: cfg.clone(),
+        golden_digest: golden.digest(),
+        members,
+    };
+    Ok((report, stats))
+}
+
 /// A finished campaign: configuration, golden digest, and every member's
 /// schedule and outcome. Fully deterministic for a given seed and
 /// configuration.
@@ -1341,6 +1512,85 @@ mod tests {
         assert_eq!(a.summary(), b.summary(), "byte-for-byte reproducible");
         assert_eq!(a.counts().iter().sum::<usize>(), 20);
         assert_eq!(a.counts()[3], 0, "nothing can hang this design");
+    }
+
+    #[test]
+    fn batched_campaign_report_matches_sequential() {
+        // A deliberately naive BatchBackend — N independent interpreters
+        // stepped one after another — so this pins the *chunking and
+        // per-lane harness logic* of `run_campaign_batched` in isolation
+        // from any real lock-step engine.
+        struct InterpBatch {
+            sims: Vec<Interp>,
+            commits: Vec<Vec<u32>>,
+        }
+        struct CommitRec<'a>(&'a mut Vec<u32>);
+        impl Observer for CommitRec<'_> {
+            fn rule_commit(&mut self, rule: usize) {
+                self.0.push(rule as u32);
+            }
+        }
+        impl BatchBackend for InterpBatch {
+            fn lanes(&self) -> usize {
+                self.sims.len()
+            }
+            fn cycle_count(&self) -> u64 {
+                self.sims[0].cycle_count()
+            }
+            fn cycle(&mut self) -> Result<(), String> {
+                for (sim, commits) in self.sims.iter_mut().zip(&mut self.commits) {
+                    commits.clear();
+                    sim.cycle_obs(&mut CommitRec(commits));
+                }
+                Ok(())
+            }
+            fn lane_commits(&self, lane: usize) -> &[u32] {
+                &self.commits[lane]
+            }
+            fn lane_get64(&self, lane: usize, reg: RegId) -> u64 {
+                self.sims[lane].get64(reg)
+            }
+            fn lane_set64(&mut self, lane: usize, reg: RegId, value: u64) {
+                self.sims[lane].set64(reg, value);
+            }
+        }
+
+        let td = counter_design();
+        let cfg = CampaignConfig {
+            seed: 7,
+            members: 20,
+            cycles: 48,
+            max_injections: 3,
+            stall_cycles: 16,
+        };
+        let sequential = engine_test(&td, |e| e.run_campaign(&cfg).unwrap());
+
+        let make_sim = || Ok(Box::new(Interp::new(&td)) as Box<dyn SimBackend>);
+        let make_devices = || Vec::new();
+        let env = ParallelFactories {
+            td: &td,
+            make_sim: &make_sim,
+            make_devices: &make_devices,
+        };
+        let make_batch = |lanes: usize| {
+            Ok(Box::new(InterpBatch {
+                sims: (0..lanes).map(|_| Interp::new(&td)).collect(),
+                commits: vec![Vec::new(); lanes],
+            }) as Box<dyn BatchBackend>)
+        };
+        let opts = ParallelOptions {
+            runner: crate::runner::RunnerConfig::default(),
+            wall_budget: None,
+        };
+        // Widths that divide the member count, leave a ragged tail, and
+        // exceed it entirely.
+        for width in [1usize, 3, 8, 32] {
+            let (report, stats) =
+                run_campaign_batched(&env, &make_batch, width, &cfg, &opts, None).unwrap();
+            assert_eq!(report.members, sequential.members, "width {width}");
+            assert_eq!(report.summary(), sequential.summary(), "width {width}");
+            assert_eq!(stats.total, cfg.members.div_ceil(width));
+        }
     }
 
     #[test]

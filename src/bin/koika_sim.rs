@@ -27,6 +27,8 @@
 //!   --inject <spec|seed>  flip bits: cycle:reg:bit spec, or a PRNG seed
 //!   --campaign <N>      run an N-member fault-injection campaign
 //!   --fuzz <N>          run N differential-fuzz cases over all backends
+//!   --batch <N>         run N instances in one lock-step SoA batch
+//!                       (cuttlesim backend; composes with --campaign/--fuzz)
 //!   --jobs <J>          worker threads for --campaign/--fuzz (default 1)
 //!   --retries <K>       retries for wall-budget trips (default 2)
 //!   --corpus-dir <DIR>  persist shrunk fuzz reproducers to DIR
@@ -48,14 +50,14 @@
 //! machine-parseable report, which is byte-identical for a given seed
 //! regardless of `--jobs`.
 
-use cuttlesim::{codegen_cpp, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
+use cuttlesim::{codegen_cpp, BatchSim, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
 use koika::check::check;
 use koika::design::Design;
-use koika::device::{Device, SimBackend};
+use koika::device::{BatchBackend, Device, LaneAccess, SimBackend};
 use koika::fault::{
-    classify, draw_schedule, replay_campaign, run_campaign_parallel, CampaignConfig,
-    CommitFingerprint, FaultEngine, Injection, ParallelFactories, ParallelOptions, ReplayLog,
-    Watchdog, WatchdogTrip,
+    classify, draw_schedule, replay_campaign, run_campaign_batched, run_campaign_parallel,
+    CampaignConfig, CommitFingerprint, FaultEngine, Injection, ParallelFactories, ParallelOptions,
+    ReplayLog, Watchdog, WatchdogTrip,
 };
 use koika::obs::{Fanout, Metrics, Observer, PerfettoTrace, RegWatch};
 use koika::runner::{JobUpdate, RunnerConfig, RunnerStats};
@@ -86,6 +88,7 @@ struct Args {
     inject: Option<String>,
     campaign: Option<usize>,
     fuzz: Option<usize>,
+    batch: Option<usize>,
     jobs: usize,
     retries: u32,
     corpus_dir: Option<String>,
@@ -159,6 +162,14 @@ Parallel execution & differential fuzzing:
                       six VM levels, and both RTL schemes; mismatches,
                       panics, and hangs are triaged into deduplicated
                       buckets with shrunk reproducers (exit 1 on findings)
+  --batch <N>         run N design instances in one lock-step SoA batch
+                      (cuttlesim backend only). Alone: N identical lanes,
+                      throughput reported in instance-cycles/s. With
+                      --campaign: members run as lanes, one batch per
+                      worker job; with --fuzz: the six VM levels run
+                      batched, lane 0 on declared inits and lanes 1..N on
+                      perturbed inits. Reports stay byte-identical to the
+                      scalar path at any N
   --jobs <J>          worker threads for --campaign/--fuzz (default 1);
                       the report is byte-identical at any J
   --retries <K>       retries granted to wall-budget trips before they are
@@ -227,6 +238,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         inject: None,
         campaign: None,
         fuzz: None,
+        batch: None,
         jobs: 1,
         retries: 2,
         corpus_dir: None,
@@ -266,6 +278,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--inject" => args.inject = Some(value("--inject")?),
             "--campaign" => args.campaign = Some(parsed("--campaign", value("--campaign")?)?),
             "--fuzz" => args.fuzz = Some(parsed("--fuzz", value("--fuzz")?)?),
+            "--batch" => args.batch = Some(parsed("--batch", value("--batch")?)?),
             "--jobs" => args.jobs = parsed("--jobs", value("--jobs")?)?,
             "--retries" => args.retries = parsed("--retries", value("--retries")?)?,
             "--corpus-dir" => args.corpus_dir = Some(value("--corpus-dir")?),
@@ -387,6 +400,42 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
     }
     if args.jobs == 0 {
         return Err(CliError::usage("--jobs must be at least 1"));
+    }
+    if args.batch.is_some() {
+        if args.backend != "cuttlesim" {
+            return Err(CliError::usage(format!(
+                "--batch requires the cuttlesim backend (got {:?})",
+                args.backend
+            )));
+        }
+        if args.replay.is_some() {
+            return Err(CliError::usage("--batch cannot be combined with --replay"));
+        }
+        // The batched engine has no per-lane VCD/trace/profile/snapshot
+        // machinery; in a normal (non-campaign) run those flags would
+        // silently observe nothing, so they are rejected outright.
+        if args.campaign.is_none() {
+            let incompatible: Vec<&str> = [
+                args.emit.as_ref().map(|_| "--emit"),
+                args.vcd.as_ref().map(|_| "--vcd"),
+                args.trace.map(|_| "--trace"),
+                args.profile.then_some("--profile"),
+                args.inject.as_ref().map(|_| "--inject"),
+                args.restore.as_ref().map(|_| "--restore"),
+                args.snapshot_every.map(|_| "--snapshot-every"),
+                (!args.watch.is_empty()).then_some("--watch"),
+                args.perfetto.as_ref().map(|_| "--perfetto"),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            if !incompatible.is_empty() {
+                return Err(CliError::usage(format!(
+                    "--batch cannot be combined with {}",
+                    incompatible.join(", ")
+                )));
+            }
+        }
     }
     if args.inject.is_some() && (args.campaign.is_some() || args.replay.is_some()) {
         return Err(CliError::usage(
@@ -601,8 +650,31 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
     };
     let mut metrics = args.metrics_json.as_ref().map(|_| Metrics::for_design(td));
     let mut progress = report_progress("campaign", metrics.as_mut());
-    let (report, stats) = run_campaign_parallel(&env, &cfg, &opts, Some(&mut progress))
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let (report, stats) = match args.batch {
+        // Batched mode: each worker job drives one SoA batch whose lanes
+        // are consecutive campaign members. The report is byte-identical
+        // to the scalar path (validate() pinned the cuttlesim backend).
+        Some(width) => {
+            let level = plan.level;
+            let td4 = td.clone();
+            let make_batch = move |lanes: usize| {
+                BatchSim::compile_with(
+                    &td4,
+                    &CompileOptions {
+                        level,
+                        ..CompileOptions::default()
+                    },
+                    lanes,
+                )
+                .map(|s| Box::new(s) as Box<dyn BatchBackend>)
+                .map_err(|e| e.to_string())
+            };
+            run_campaign_batched(&env, &make_batch, width, &cfg, &opts, Some(&mut progress))
+                .map_err(|e| CliError::runtime(e.to_string()))?
+        }
+        None => run_campaign_parallel(&env, &cfg, &opts, Some(&mut progress))
+            .map_err(|e| CliError::runtime(e.to_string()))?,
+    };
     drop(progress);
     print_runner_stats("campaign", &stats);
     print!("{}", report.summary());
@@ -632,6 +704,7 @@ fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
         cycles: args.cycles.unwrap_or(96),
         runner: args.runner_config(),
         wall_budget: args.max_wall_ms.map(Duration::from_millis),
+        batch: args.batch.unwrap_or(0),
     };
     let mut metrics = args
         .metrics_json
@@ -758,7 +831,119 @@ fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, Cli
     Ok(ExitCode::SUCCESS)
 }
 
+/// A plain (non-campaign) run of `width` identical instances through the
+/// batched lock-step engine: same design, same devices, same workload per
+/// lane, with throughput reported in instance-cycles per second.
+fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<ExitCode, CliError> {
+    let td = &plan.td;
+    let mut batch = BatchSim::compile_with(
+        td,
+        &CompileOptions {
+            level: plan.level,
+            ..CompileOptions::default()
+        },
+        width,
+    )
+    .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+    let mut lane_devices: Vec<Vec<Box<dyn Device>>> =
+        (0..width).map(|_| build_devices(td, &plan.program)).collect();
+
+    let watchdog = Watchdog {
+        max_cycles: args.max_cycles,
+        stall_cycles: args.stall_cycles,
+        wall_budget: args.max_wall_ms.map(Duration::from_millis),
+    };
+    let mut armed = watchdog.arm();
+    let mut trip: Option<WatchdogTrip> = None;
+    let start = std::time::Instant::now();
+    for _ in 0..args.run_cycles() {
+        let cycle = batch.cycle_count();
+        for (l, devices) in lane_devices.iter_mut().enumerate() {
+            let mut access = LaneAccess::new(&mut batch, l);
+            for d in devices.iter_mut() {
+                d.tick(cycle, &mut access);
+            }
+        }
+        batch
+            .cycle()
+            .map_err(|e| CliError::runtime(format!("batched engine error: {e}")))?;
+        let commits: u64 = (0..width).map(|l| batch.lane_commits(l).len() as u64).sum();
+        if let Some(t) = armed.observe(batch.cycle_count(), commits) {
+            trip = Some(t);
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let cycles_run = batch.cycle_count();
+    let fired: u64 = (0..width).map(|l| batch.lane_fired(l)).sum();
+
+    println!(
+        "{}: {} cycles x {} lanes on {} in {:.3}s ({:.0} instance-cycles/s), {} rule commits",
+        td.name,
+        cycles_run,
+        width,
+        args.backend,
+        elapsed,
+        (cycles_run * width as u64) as f64 / elapsed.max(1e-9),
+        fired,
+    );
+    println!(
+        "  batch: {} lock-step rule steps, {} divergence fallbacks",
+        batch.lockstep_rules(),
+        batch.fallback_rules(),
+    );
+    if args.design.starts_with("rv32") {
+        let retired = batch.lane_get64(0, td.reg_id("retired"));
+        println!(
+            "  lane 0 retired {} instructions (IPC {:.3}), pc = {:#x}",
+            retired,
+            retired as f64 / cycles_run.max(1) as f64,
+            batch.lane_get64(0, td.reg_id("pc"))
+        );
+    }
+
+    if let Some(path) = &args.metrics_json {
+        // Aggregate the always-on per-lane counters, then attach the
+        // batch section.
+        let mut fired_per_rule = vec![0u64; td.rules.len()];
+        let mut fails_per_rule = vec![0u64; td.rules.len()];
+        for l in 0..width {
+            for (i, v) in batch.lane_fired_per_rule(l).into_iter().enumerate() {
+                fired_per_rule[i] += v;
+            }
+            for (i, v) in batch.lane_fails_per_rule(l).into_iter().enumerate() {
+                fails_per_rule[i] += v;
+            }
+        }
+        let mut m = Metrics::for_design(td);
+        m.set_counts(&fired_per_rule, &fails_per_rule, cycles_run);
+        m.set_batch(
+            width as u64,
+            batch.lockstep_rules(),
+            batch.fallback_rules(),
+        );
+        write_file(path, m.to_json(false).as_bytes())?;
+        println!("wrote metrics snapshot to {path}");
+    }
+
+    if let Some(t) = trip {
+        eprintln!("{t}");
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run(args: &Args) -> Result<ExitCode, CliError> {
+    // --batch 0 is rejected up front: it applies to every mode, including
+    // the design-free ones dispatched below.
+    if args.batch == Some(0) {
+        return Err(CliError::usage("--batch must be at least 1"));
+    }
+    if args.batch.is_some() && args.replay_corpus.is_some() {
+        return Err(CliError::usage(
+            "--batch cannot be combined with --replay-corpus (corpus replay is scalar)",
+        ));
+    }
     // Design-free modes dispatch before design validation. Their flag
     // conflicts are checked here; everything design-bound stays in
     // `validate`.
@@ -826,6 +1011,9 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     }
     if let Some(path) = &args.replay {
         return run_replay_mode(args, &plan, path);
+    }
+    if let Some(width) = args.batch {
+        return run_batched_normal_mode(args, &plan, width);
     }
 
     // Normal run (possibly with injections, snapshots, and a watchdog).

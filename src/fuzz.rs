@@ -36,9 +36,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use cuttlesim::{CompileOptions, OptLevel, Sim};
+use cuttlesim::{BatchSim, CompileOptions, OptLevel, Sim};
 use koika::check::check;
-use koika::device::SimBackend;
+use koika::device::{RegAccess, SimBackend};
 use koika::runner::{self, contain, JobError, JobUpdate, RunnerConfig, RunnerStats};
 use koika::testgen::{random_design, shape_fingerprint, SplitMix64};
 use koika::tir::{RegId, TDesign};
@@ -62,6 +62,14 @@ pub struct FuzzConfig {
     /// classification machine-independent; when set, a case that exceeds
     /// it is retried and, if it keeps tripping, triaged as a hang.
     pub wall_budget: Option<Duration>,
+    /// Batched-engine lanes for the six VM levels: `0` runs them as
+    /// scalar [`Sim`]s (the historical path), `n >= 1` runs each level as
+    /// one [`BatchSim`] whose lane 0 uses the declared initial values
+    /// (so its findings are labeled identically to the scalar path) and
+    /// whose lanes `1..n` use seed-derived perturbed initial register
+    /// values, each compared against its own reference-interpreter run —
+    /// deliberately forcing control-flow divergence inside the batch.
+    pub batch: usize,
 }
 
 impl Default for FuzzConfig {
@@ -72,6 +80,7 @@ impl Default for FuzzConfig {
             cycles: 96,
             runner: RunnerConfig::default(),
             wall_budget: None,
+            batch: 0,
         }
     }
 }
@@ -327,32 +336,13 @@ fn state_trace(td: &TDesign, sim: &mut dyn SimBackend, cycles: u64) -> Vec<u64> 
 pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
     let mut findings = Vec::new();
 
-    let td = match contain(|| check(&random_design(seed)).map_err(|e| e.to_string())) {
-        Ok(Ok(td)) => td,
-        Ok(Err(e)) => {
-            findings.push(Finding {
-                backend: "check".to_string(),
-                kind: FindingKind::Build { message: e },
-            });
-            return CaseResult {
-                seed,
-                shape: 0,
-                findings,
-            };
-        }
-        Err(msg) => {
-            findings.push(Finding {
-                backend: "testgen".to_string(),
-                kind: FindingKind::Panic { message: msg },
-            });
-            return CaseResult {
-                seed,
-                shape: 0,
-                findings,
-            };
-        }
+    let Some((td, shape)) = case_design(seed, &mut findings) else {
+        return CaseResult {
+            seed,
+            shape: 0,
+            findings,
+        };
     };
-    let shape = shape_fingerprint(&td);
 
     let reference = match contain(|| {
         let mut sim = koika::Interp::new(&td);
@@ -410,13 +400,223 @@ pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
     }
 }
 
+/// Generates and type-checks the design for one case, recording a finding
+/// and returning `None` when generation or checking itself fails.
+fn case_design(seed: u64, findings: &mut Vec<Finding>) -> Option<(TDesign, u64)> {
+    match contain(|| check(&random_design(seed)).map_err(|e| e.to_string())) {
+        Ok(Ok(td)) => {
+            let shape = shape_fingerprint(&td);
+            Some((td, shape))
+        }
+        Ok(Err(e)) => {
+            findings.push(Finding {
+                backend: "check".to_string(),
+                kind: FindingKind::Build { message: e },
+            });
+            None
+        }
+        Err(msg) => {
+            findings.push(Finding {
+                backend: "testgen".to_string(),
+                kind: FindingKind::Panic { message: msg },
+            });
+            None
+        }
+    }
+}
+
+/// Overwrites every register of lane `lane` with a seed-derived random
+/// value (lane 0 keeps the declared reset values). The same derivation
+/// seeds both the batched lanes and their reference-interpreter runs, so
+/// the two always start from identical state.
+fn perturb_regs(td: &TDesign, seed: u64, lane: usize, set: &mut dyn FnMut(RegId, u64)) {
+    if lane == 0 {
+        return;
+    }
+    let mut rng = SplitMix64::new(seed ^ (lane as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    for r in 0..td.regs.len() {
+        set(RegId(r as u32), rng.next_u64());
+    }
+}
+
+/// Backend label for a batched-lane finding: lane 0 keeps the scalar
+/// label so `batch == 1` reports are byte-identical to scalar reports;
+/// perturbed lanes get a `/laneN` suffix (no `@`, which would collide
+/// with the bucket-key shape separator).
+fn lane_label(level: OptLevel, lane: usize) -> String {
+    if lane == 0 {
+        level.short_name().to_string()
+    } else {
+        format!("{}/lane{lane}", level.short_name())
+    }
+}
+
+/// Compiles one VM level as a batched engine and returns one state-digest
+/// trace per lane. `Err((true, _))` is a compile refusal, `Err((false, _))`
+/// a runtime engine error (miscompiled bytecode trap).
+fn batched_traces(
+    td: &TDesign,
+    level: OptLevel,
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+) -> Result<Vec<Vec<u64>>, (bool, String)> {
+    let mut sim = BatchSim::compile_with(
+        td,
+        &CompileOptions {
+            level,
+            ..CompileOptions::default()
+        },
+        lanes,
+    )
+    .map_err(|e| (true, e.to_string()))?;
+    for l in 1..lanes {
+        perturb_regs(td, seed, l, &mut |r, v| sim.lane_set64(l, r, v));
+    }
+    let mut traces = vec![Vec::with_capacity(cycles as usize); lanes];
+    for _ in 0..cycles {
+        sim.cycle().map_err(|e| (false, e.to_string()))?;
+        for (l, t) in traces.iter_mut().enumerate() {
+            let mut h = FNV_OFFSET;
+            for r in 0..td.regs.len() {
+                h = (h ^ sim.lane_get64(l, RegId(r as u32))).wrapping_mul(FNV_PRIME);
+            }
+            t.push(h);
+        }
+    }
+    Ok(traces)
+}
+
+/// Runs one case with the six VM levels executed as *batched* lock-step
+/// engines over `lanes` instances (see [`FuzzConfig::batch`]): lane 0
+/// replays the scalar comparison against the declared reset state, lanes
+/// `1..` start from perturbed register values, and every lane is compared
+/// cycle-by-cycle against its own reference-interpreter run. The RTL
+/// backends have no batched engine and run exactly as in [`run_case`].
+pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
+    let lanes = lanes.max(1);
+    let mut findings = Vec::new();
+
+    let Some((td, shape)) = case_design(seed, &mut findings) else {
+        return CaseResult {
+            seed,
+            shape: 0,
+            findings,
+        };
+    };
+
+    let refs = match contain(|| {
+        (0..lanes)
+            .map(|l| {
+                let mut sim = koika::Interp::new(&td);
+                perturb_regs(&td, seed, l, &mut |r, v| sim.set64(r, v));
+                state_trace(&td, &mut sim, cycles)
+            })
+            .collect::<Vec<_>>()
+    }) {
+        Ok(r) => r,
+        Err(msg) => {
+            findings.push(Finding {
+                backend: "interp".to_string(),
+                kind: FindingKind::Panic { message: msg },
+            });
+            return CaseResult {
+                seed,
+                shape,
+                findings,
+            };
+        }
+    };
+
+    for backend in BackendId::all() {
+        let level = match backend {
+            BackendId::Vm(level) => level,
+            BackendId::Rtl(_) => {
+                // Scalar path, identical to `run_case`.
+                let run = contain(|| {
+                    backend
+                        .build(&td)
+                        .map(|mut sim| state_trace(&td, sim.as_mut(), cycles))
+                });
+                match run {
+                    Ok(Ok(trace)) => {
+                        if backend.compares_traces() {
+                            if let Some(cycle) =
+                                refs[0].iter().zip(&trace).position(|(a, b)| a != b)
+                            {
+                                findings.push(Finding {
+                                    backend: backend.label().to_string(),
+                                    kind: FindingKind::Mismatch {
+                                        cycle: cycle as u64,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                    Ok(Err(message)) => findings.push(Finding {
+                        backend: backend.label().to_string(),
+                        kind: FindingKind::Build { message },
+                    }),
+                    Err(message) => findings.push(Finding {
+                        backend: backend.label().to_string(),
+                        kind: FindingKind::Panic { message },
+                    }),
+                }
+                continue;
+            }
+        };
+        match contain(|| batched_traces(&td, level, seed, cycles, lanes)) {
+            Ok(Ok(traces)) => {
+                for (l, trace) in traces.iter().enumerate() {
+                    if let Some(cycle) = refs[l].iter().zip(trace).position(|(a, b)| a != b) {
+                        findings.push(Finding {
+                            backend: lane_label(level, l),
+                            kind: FindingKind::Mismatch {
+                                cycle: cycle as u64,
+                            },
+                        });
+                    }
+                }
+            }
+            Ok(Err((is_build, message))) => findings.push(Finding {
+                backend: backend.label().to_string(),
+                kind: if is_build {
+                    FindingKind::Build { message }
+                } else {
+                    FindingKind::Panic { message }
+                },
+            }),
+            Err(message) => findings.push(Finding {
+                backend: backend.label().to_string(),
+                kind: FindingKind::Panic { message },
+            }),
+        }
+    }
+
+    CaseResult {
+        seed,
+        shape,
+        findings,
+    }
+}
+
+/// Runs one case with the engine the configuration selects: the scalar
+/// path when `batch == 0`, the batched VM levels otherwise.
+pub fn run_case_with(seed: u64, cycles: u64, batch: usize) -> CaseResult {
+    if batch == 0 {
+        run_case(seed, cycles)
+    } else {
+        run_case_batched(seed, cycles, batch)
+    }
+}
+
 /// Shrinks a reproducer: the smallest cycle budget in `[1, cycles]` at
 /// which `run_case(seed, n)` still yields a finding with the same key.
 /// Findings are monotone in the cycle budget (traces are prefixes of each
 /// other and panics happen at a fixed cycle), so binary search applies.
-fn shrink_cycles(seed: u64, cycles: u64, key: &str) -> u64 {
+fn shrink_cycles(seed: u64, cycles: u64, key: &str, batch: usize) -> u64 {
     let reproduces =
-        |n: u64| -> bool { run_case(seed, n).findings.iter().any(|f| f.key() == key) };
+        |n: u64| -> bool { run_case_with(seed, n, batch).findings.iter().any(|f| f.key() == key) };
     // Compile-time findings reproduce with zero cycles.
     if reproduces(0) {
         return 0;
@@ -446,7 +646,7 @@ pub fn run_fuzz(
         |i| {
             let seed = case_seed(cfg.seed, i);
             let started = Instant::now();
-            let result = run_case(seed, cfg.cycles);
+            let result = run_case_with(seed, cfg.cycles, cfg.batch);
             if let Some(budget) = cfg.wall_budget {
                 let spent = started.elapsed();
                 if spent > budget {
@@ -517,7 +717,8 @@ pub fn run_fuzz(
                 .rsplit_once('@')
                 .map(|(k, _)| k.to_string())
                 .unwrap_or_else(|| bucket.key.clone());
-            bucket.repro_cycles = shrink_cycles(bucket.repro_seed, cfg.cycles, &finding_key);
+            bucket.repro_cycles =
+                shrink_cycles(bucket.repro_seed, cfg.cycles, &finding_key, cfg.batch);
         }
     }
 
@@ -745,10 +946,49 @@ mod tests {
             cycles: 24,
             runner: RunnerConfig::with_jobs(jobs),
             wall_budget: None,
+            batch: 0,
         };
         let (seq, _) = run_fuzz(&mk(1), None);
         let (par, _) = run_fuzz(&mk(4), None);
         assert_eq!(seq.summary(), par.summary());
+    }
+
+    #[test]
+    fn batched_case_with_one_lane_matches_scalar() {
+        for i in 0..3 {
+            let seed = case_seed(0xF00D, i);
+            let scalar = run_case(seed, 32);
+            let batched = run_case_batched(seed, 32, 1);
+            assert_eq!(scalar.shape, batched.shape, "case {i}");
+            assert_eq!(scalar.findings, batched.findings, "case {i}");
+        }
+    }
+
+    #[test]
+    fn batched_lanes_with_perturbed_inits_stay_clean() {
+        // Every lane — including the perturbed ones that force divergence
+        // fallback inside the batch — must agree with its own
+        // reference-interpreter run at every VM level.
+        for i in 0..2 {
+            let case = run_case_batched(case_seed(0xF00D, i), 32, 4);
+            let keys: Vec<String> = case.findings.iter().map(|f| f.key()).collect();
+            assert!(keys.is_empty(), "case {i}: unexpected findings {keys:?}");
+        }
+    }
+
+    #[test]
+    fn batched_fuzz_report_matches_scalar_at_one_lane() {
+        let mk = |batch| FuzzConfig {
+            seed: 0xF00D,
+            cases: 4,
+            cycles: 24,
+            runner: RunnerConfig::default(),
+            wall_budget: None,
+            batch,
+        };
+        let (scalar, _) = run_fuzz(&mk(0), None);
+        let (batched, _) = run_fuzz(&mk(1), None);
+        assert_eq!(scalar.summary(), batched.summary());
     }
 
     #[test]

@@ -503,6 +503,43 @@ fn cli_restore_rejects_wrong_design_snapshot() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn cli_batched_campaign_is_byte_identical_to_sequential_on_rv32() {
+    // The batched-engine conformance bar: a fixed-seed 8-lane batched
+    // campaign over the rv32i core must produce a member report that is
+    // byte-for-byte the sequential report — same classifications, same
+    // divergence cycles, same summary. Lanes are bit-identical to scalar
+    // members, so nothing downstream can tell the engines apart.
+    let base = [
+        "rv32i", "--cycles", "600", "--campaign", "24", "--seed", "7",
+        "--stall-cycles", "64",
+    ];
+    let sequential = koika_sim().args(base).output().unwrap();
+    assert!(
+        sequential.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&sequential.stderr)
+    );
+    let batched = koika_sim().args(base).args(["--batch", "8"]).output().unwrap();
+    assert!(
+        batched.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&batched.stderr)
+    );
+    assert_eq!(
+        sequential.stdout, batched.stdout,
+        "8-lane batched campaign must be byte-identical to the sequential run"
+    );
+    // And batching composes with the parallel runner without changing a byte.
+    let parallel = koika_sim()
+        .args(base)
+        .args(["--batch", "8", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(parallel.status.success());
+    assert_eq!(sequential.stdout, parallel.stdout);
+}
+
 // ---------------------------------------------------------------------------
 // rv32: injected workloads behave, memory devices stay deterministic.
 

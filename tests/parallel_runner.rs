@@ -291,6 +291,92 @@ fn cli_fuzz_smoke_is_clean_and_deterministic() {
 }
 
 #[test]
+fn cli_batch_one_is_byte_identical_to_scalar_everywhere() {
+    // `--batch 1` routes through the batched engine but must be
+    // undetectable from the outside: same campaign report, same fuzz
+    // report, byte for byte.
+    let campaign = ["collatz", "--campaign", "20", "--cycles", "64", "--stall-cycles", "32"];
+    let scalar = koika_sim().args(campaign).output().unwrap();
+    let batch1 = koika_sim().args(campaign).args(["--batch", "1"]).output().unwrap();
+    assert!(scalar.status.success());
+    assert!(
+        batch1.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&batch1.stderr)
+    );
+    assert_eq!(scalar.stdout, batch1.stdout, "campaign stdout changed under --batch 1");
+
+    let fuzz = ["--fuzz", "6", "--seed", "11", "--cycles", "24"];
+    let scalar = koika_sim().args(fuzz).output().unwrap();
+    let batch1 = koika_sim().args(fuzz).args(["--batch", "1"]).output().unwrap();
+    assert!(scalar.status.success());
+    assert!(batch1.status.success());
+    assert_eq!(scalar.stdout, batch1.stdout, "fuzz stdout changed under --batch 1");
+}
+
+#[test]
+fn cli_batch_composes_with_campaign_fuzz_and_jobs() {
+    let campaign = ["collatz", "--campaign", "20", "--cycles", "64", "--stall-cycles", "32"];
+    let sequential = koika_sim().args(campaign).output().unwrap();
+    assert!(sequential.status.success());
+    let wide = koika_sim()
+        .args(campaign)
+        .args(["--batch", "4", "--jobs", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        wide.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&wide.stderr)
+    );
+    assert_eq!(
+        sequential.stdout, wide.stdout,
+        "campaign stdout must not depend on --batch or --jobs"
+    );
+
+    let fuzz = ["--fuzz", "6", "--seed", "11", "--cycles", "24"];
+    let batched = koika_sim()
+        .args(fuzz)
+        .args(["--batch", "3", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        batched.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&batched.stderr)
+    );
+    let out = String::from_utf8_lossy(&batched.stdout);
+    assert!(out.contains("buckets      0"), "perturbed lanes found spurious bugs: {out}");
+}
+
+#[test]
+fn cli_rejects_bad_batch_invocations() {
+    // Zero lanes, non-cuttlesim backends, and per-instance observability
+    // flags are all usage errors (exit 2), never panics.
+    let cases: &[&[&str]] = &[
+        &["collatz", "--batch", "0"],
+        &["collatz", "--batch", "4", "--backend", "interp"],
+        &["collatz", "--batch", "4", "--backend", "rtl"],
+        &["collatz", "--batch", "4", "--vcd", "out.vcd"],
+        &["collatz", "--batch", "4", "--trace", "8"],
+        &["collatz", "--batch", "4", "--profile"],
+        &["collatz", "--batch", "4", "--inject", "1:x:0"],
+        &["collatz", "--batch", "4", "--replay", "x.log"],
+    ];
+    for case in cases {
+        let out = koika_sim().args(*case).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{case:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.is_empty() && !err.contains("panicked"), "{case:?}: {err}");
+    }
+}
+
+#[test]
 fn cli_rejects_fuzz_with_a_design_and_zero_jobs() {
     let with_design = koika_sim().args(["collatz", "--fuzz", "4"]).output().unwrap();
     assert_eq!(with_design.status.code(), Some(2));
