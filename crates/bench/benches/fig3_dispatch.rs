@@ -20,7 +20,7 @@ fn bench_fig3(c: &mut Criterion) {
             .warm_up_time(Duration::from_millis(500))
             .measurement_time(Duration::from_secs(2))
             .throughput(Throughput::Elements(CYCLES_PER_ITER));
-        for dispatch in [Dispatch::Match, Dispatch::Closure] {
+        for dispatch in [Dispatch::Match, Dispatch::Closure, Dispatch::Tac] {
             let kind = BackendKind::Vm(OptLevel::max(), dispatch);
             let td = check(&(bench.design)()).unwrap();
             let mut devices = (bench.devices)(&td);

@@ -1,0 +1,143 @@
+//! Measures the three VM dispatch engines against each other and writes a
+//! machine-readable baseline to `BENCH_PR5.json`.
+//!
+//! For each of `collatz`, `fir`, and `rv32i-primes` at the top
+//! optimization level, the bytecode `match` dispatcher is timed first,
+//! then the pre-bound `closure` dispatcher, then the register-form
+//! micro-op (`tac`) engine. The speedup column is relative to `match` on
+//! the same design — the tac engine's stack elimination and
+//! superinstruction fusion are the PR-5 tentpole, so that ratio is the
+//! number the baseline tracks.
+//!
+//! ```text
+//! Usage: dispatch_bench [--quick] [--out FILE]
+//!   --quick    tiny cycle budgets (CI smoke: validates the JSON shape,
+//!              asserts nothing about performance)
+//!   --out FILE where to write the JSON baseline (default BENCH_PR5.json)
+//! ```
+//!
+//! Cycle budgets also honor `CUTTLE_BENCH_SCALE`.
+
+use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim_bench::{all_benches, run_bench, scaled, BackendKind, RunStats};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// The designs this baseline tracks.
+const DESIGNS: [&str; 3] = ["collatz", "fir", "rv32i-primes"];
+
+struct Row {
+    design: &'static str,
+    dispatch: Dispatch,
+    stats: RunStats,
+    /// Speedup over the `match` dispatcher on the same design.
+    speedup: f64,
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR5.json".to_string();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match argv.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("missing value for --out");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other} (dispatch_bench takes --quick and --out FILE)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let level = OptLevel::max();
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "{:<14} {:>9} {:>12} {:>10} {:>14} {:>8}",
+        "design", "dispatch", "cycles", "wall ms", "cycles/s", "speedup"
+    );
+    for bench in all_benches() {
+        if !DESIGNS.contains(&bench.name) {
+            continue;
+        }
+        let cycles = if quick {
+            5_000
+        } else {
+            scaled(bench.default_cycles)
+        };
+        let mut match_cps = 0.0;
+        for dispatch in Dispatch::ALL {
+            let stats = run_bench(&bench, BackendKind::Vm(level, dispatch), cycles);
+            if dispatch == Dispatch::Match {
+                match_cps = stats.cps();
+            }
+            let speedup = stats.cps() / match_cps;
+            println!(
+                "{:<14} {:>9} {:>12} {:>10.1} {:>14.0} {:>7.2}x",
+                bench.name,
+                dispatch.short_name(),
+                stats.cycles,
+                stats.secs * 1e3,
+                stats.cps(),
+                speedup,
+            );
+            rows.push(Row {
+                design: bench.name,
+                dispatch,
+                stats,
+                speedup,
+            });
+        }
+    }
+
+    let json = render_json(&rows, quick);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"dispatch_bench\",");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(s, "  \"level\": \"{}\",", OptLevel::max().short_name());
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"design\": \"{}\", \"dispatch\": \"{}\", \"cycles\": {}, \
+             \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"speedup_vs_match\": {:.3}}}{}",
+            r.design,
+            r.dispatch.short_name(),
+            r.stats.cycles,
+            r.stats.secs * 1e3,
+            r.stats.cps(),
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

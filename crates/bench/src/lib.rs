@@ -50,6 +50,9 @@ impl BackendKind {
             BackendKind::Vm(level, Dispatch::Closure) => {
                 format!("cuttlesim-{}-closure", level.short_name())
             }
+            BackendKind::Vm(level, Dispatch::Tac) => {
+                format!("cuttlesim-{}-tac", level.short_name())
+            }
             BackendKind::Rtl(Scheme::Dynamic) => "rtl-koika".to_string(),
             BackendKind::Rtl(Scheme::Static) => "rtl-bluespec-style".to_string(),
         }

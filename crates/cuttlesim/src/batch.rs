@@ -57,7 +57,8 @@
 
 use crate::compile::{compile, CompileError, CompileOptions, CopyPlan, Program};
 use crate::insn::Insn;
-use crate::vm::{step_rule_impl, FailInfo, State, VmError};
+use crate::tac::{TacRule, Uop};
+use crate::vm::{fused, step_rule_impl, Dispatch, FailInfo, State, VmError};
 use koika::bits::word;
 use koika::device::{BatchBackend, RegAccess};
 use koika::tir::{RegId, TDesign};
@@ -182,6 +183,13 @@ pub struct BatchSim {
     // Lock-step effectiveness counters.
     lockstep_rules: u64,
     fallback_rules: u64,
+    // Dispatch selection (mirrors the scalar VM's).
+    dispatch: Dispatch,
+    /// Micro-op programs for `Dispatch::Tac` (built by `set_dispatch`).
+    tac: Option<crate::tac::TacProgram>,
+    /// Per-rule SoA slot files, slot-major (`slot * lanes + lane`), with
+    /// constant slots pre-broadcast across all lanes.
+    tac_slots: Vec<Vec<u64>>,
 }
 
 impl BatchSim {
@@ -269,8 +277,45 @@ impl BatchSim {
             snap_cov: vec![0; ncov * lanes],
             lockstep_rules: 0,
             fallback_rules: 0,
+            dispatch: Dispatch::default(),
+            tac: None,
+            tac_slots: Vec::new(),
             prog,
         }
+    }
+
+    /// Selects the instruction-dispatch strategy for the lock-step engine.
+    ///
+    /// [`Dispatch::Tac`] runs rules through their register-form micro-op
+    /// programs, decoding each micro-op once per cycle for all lanes.
+    /// [`Dispatch::Closure`] has no batched analogue (closures are built
+    /// around the scalar state), so it selects the same lock-step bytecode
+    /// interpreter as [`Dispatch::Match`]. The divergence fallback always
+    /// re-runs lanes through the exact scalar bytecode executor, which is
+    /// bit-identical to every dispatcher by construction.
+    pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        self.dispatch = dispatch;
+        if dispatch == Dispatch::Tac && self.tac.is_none() {
+            let tac = crate::tac::TacProgram::lower(&self.prog);
+            let lanes = self.lanes;
+            self.tac_slots = tac
+                .rules
+                .iter()
+                .map(|r| {
+                    let mut soa = vec![0u64; r.slot_init.len() * lanes];
+                    for (s, &v) in r.slot_init.iter().enumerate() {
+                        soa[s * lanes..(s + 1) * lanes].fill(v);
+                    }
+                    soa
+                })
+                .collect();
+            self.tac = Some(tac);
+        }
+    }
+
+    /// The currently selected dispatch strategy.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// Number of lanes in the batch.
@@ -454,23 +499,32 @@ impl BatchSim {
             self.snap_cov[s..s + lanes].copy_from_slice(&self.cov[s..s + lanes]);
         }
 
-        // Lock-step execution.
-        let mut pc = 0usize;
-        let mut sp = 0usize;
-        let outcome = loop {
-            let insn = self.prog.rules[rule_idx].code[pc];
-            match self.exec_batch_insn(insn, &mut sp, rule_idx, pc) {
-                BatchFlow::Next => pc += 1,
-                BatchFlow::Jump(t) => pc = t as usize,
-                BatchFlow::FailAll { clean } => break Some(Err(clean)),
-                BatchFlow::Done => break Some(Ok(())),
-                BatchFlow::Diverge => break None,
-                BatchFlow::Trap(what) => {
-                    return Err(VmError::CompilerBug {
-                        rule: rule_idx,
-                        pc,
-                        what,
-                    })
+        // Lock-step execution: bytecode or micro-op form, per dispatch.
+        let outcome = if self.dispatch == Dispatch::Tac {
+            let tac = self.tac.take().expect("set_dispatch prepared the micro-op programs");
+            let mut slots = std::mem::take(&mut self.tac_slots[rule_idx]);
+            let out = self.run_uops_batch(&tac.rules[rule_idx], &mut slots, rule_idx);
+            self.tac_slots[rule_idx] = slots;
+            self.tac = Some(tac);
+            out?
+        } else {
+            let mut pc = 0usize;
+            let mut sp = 0usize;
+            loop {
+                let insn = self.prog.rules[rule_idx].code[pc];
+                match self.exec_batch_insn(insn, &mut sp, rule_idx, pc) {
+                    BatchFlow::Next => pc += 1,
+                    BatchFlow::Jump(t) => pc = t as usize,
+                    BatchFlow::FailAll { clean } => break Some(Err(clean)),
+                    BatchFlow::Done => break Some(Ok(())),
+                    BatchFlow::Diverge => break None,
+                    BatchFlow::Trap(what) => {
+                        return Err(VmError::CompilerBug {
+                            rule: rule_idx,
+                            pc,
+                            what,
+                        })
+                    }
                 }
             }
         };
@@ -831,7 +885,9 @@ impl BatchSim {
             Insn::Ule => vbin!(|a, b| (a <= b) as u64),
             Insn::Slt { width } => vbin!(|a, b| word::slt(width, a, b)),
             Insn::Sle { width } => vbin!(|a, b| 1 - word::slt(width, b, a)),
-            Insn::ConcatShift { low_width } => vbin!(|a, b| (a << low_width) | b),
+            Insn::ConcatShift { low_width, mask } => {
+                vbin!(|a, b| word::concat(low_width, a, b) & mask)
+            }
             Insn::Not { mask } => vun!(|a| !a & mask),
             Insn::Neg { mask } => vun!(|a| a.wrapping_neg() & mask),
             Insn::Mask { mask } => vun!(|a| a & mask),
@@ -1317,6 +1373,525 @@ impl BatchSim {
             Insn::End => BatchFlow::Done,
         }
     }
+
+    /// Lock-step executor for the register-form micro-op program: each
+    /// micro-op is decoded once and applied across every lane, with the
+    /// same all-pass / all-fail / diverge protocol as the bytecode loop.
+    ///
+    /// Returns `Ok(Some(Ok(())))` on a batched commit, `Ok(Some(Err(clean)))`
+    /// on a batched failure, and `Ok(None)` on divergence (the caller
+    /// restores the rule-entry snapshot and falls back to the scalar
+    /// bytecode executor, which is bit-identical to the micro-op form).
+    #[allow(clippy::too_many_lines)]
+    fn run_uops_batch(
+        &mut self,
+        tac: &TacRule,
+        slots: &mut [u64],
+        rule_idx: usize,
+    ) -> Result<Option<Result<(), bool>>, VmError> {
+        let cfg = self.prog.cfg;
+        let cycle = self.cycles;
+        let BatchSim {
+            lanes,
+            stack,
+            boc,
+            cyc_rw,
+            log_rw,
+            cyc_d0,
+            log_d0,
+            log_d1,
+            cov,
+            last_fail,
+            ..
+        } = self;
+        let lanes = *lanes;
+        // One scratch stripe for superinstruction intermediates.
+        if stack.len() < lanes {
+            stack.resize(lanes, 0);
+        }
+        let uops = &tac.uops;
+        let mut pc = 0usize;
+
+        macro_rules! sl {
+            ($s:expr, $l:expr) => {
+                slots[$s as usize * lanes + $l]
+            };
+        }
+        // All-lanes conflict failure on one register.
+        macro_rules! fail_all {
+            ($reg:expr, $clean:expr, $src_pc:expr) => {{
+                for lf in last_fail.iter_mut() {
+                    *lf = Some(FailInfo {
+                        rule: rule_idx,
+                        pc: $src_pc as usize,
+                        reg: $reg,
+                        cycle,
+                    });
+                }
+                return Ok(Some(Err($clean)));
+            }};
+        }
+        // Checked-access gates: count passing lanes, then fail-all /
+        // diverge / proceed — identical to the bytecode arms.
+        macro_rules! rd0_gate {
+            ($r:expr, $clean:expr) => {{
+                let r = $r;
+                let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    if chk[r * lanes + l] & (W0 | W1) == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                }
+                if npass < lanes {
+                    return Ok(None);
+                }
+            }};
+        }
+        macro_rules! rd1_gate {
+            ($r:expr, $clean:expr) => {{
+                let r = $r;
+                let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    if chk[r * lanes + l] & W1 == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                }
+                if npass < lanes {
+                    return Ok(None);
+                }
+            }};
+        }
+        macro_rules! wr0_gate {
+            ($r:expr, $clean:expr, $src_pc:expr) => {{
+                let r = $r;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & (R1 | W0 | W1) == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    fail_all!(Some(RegId(r as u32)), $clean, $src_pc);
+                }
+                if npass < lanes {
+                    return Ok(None);
+                }
+            }};
+        }
+        macro_rules! wr1_gate {
+            ($r:expr, $clean:expr) => {{
+                let r = $r;
+                let mut npass = 0usize;
+                for l in 0..lanes {
+                    let i = r * lanes + l;
+                    let check = if cfg.acc_logs {
+                        log_rw[i]
+                    } else {
+                        log_rw[i] | cyc_rw[i]
+                    };
+                    if check & W1 == 0 {
+                        npass += 1;
+                    }
+                }
+                if npass == 0 {
+                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                }
+                if npass < lanes {
+                    return Ok(None);
+                }
+            }};
+        }
+        // Post-gate read applications (record + fetch), per the bytecode
+        // semantics of Rd0/Rd1.
+        macro_rules! rd0_val {
+            ($i:expr) => {{
+                let i = $i;
+                if !cfg.design_specific {
+                    log_rw[i] |= R0;
+                }
+                if cfg.no_boc {
+                    log_d0[i]
+                } else {
+                    boc[i]
+                }
+            }};
+        }
+        macro_rules! rd1_val {
+            ($i:expr) => {{
+                let i = $i;
+                log_rw[i] |= R1;
+                if cfg.no_boc || log_rw[i] & W0 != 0 {
+                    log_d0[i]
+                } else if !cfg.acc_logs && cyc_rw[i] & W0 != 0 {
+                    cyc_d0[i]
+                } else {
+                    boc[i]
+                }
+            }};
+        }
+
+        loop {
+            match uops[pc] {
+                Uop::Bin { op, dst, a, b, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = fused(op, sl!(a, l), sl!(b, l), mask);
+                    }
+                }
+                Uop::Not { dst, src, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = !sl!(src, l) & mask;
+                    }
+                }
+                Uop::Neg { dst, src, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = sl!(src, l).wrapping_neg() & mask;
+                    }
+                }
+                Uop::Mask { dst, src, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = sl!(src, l) & mask;
+                    }
+                }
+                Uop::Sext { dst, src, from, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = word::sext(from, sl!(src, l)) & mask;
+                    }
+                }
+                Uop::Slice { dst, src, lo, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = (sl!(src, l) >> lo) & mask;
+                    }
+                }
+                Uop::SliceSext { dst, src, lo, from, mask } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) =
+                            word::sext(from, (sl!(src, l) >> lo) & word::mask(from)) & mask;
+                    }
+                }
+                Uop::Select { dst, c, t, f } => {
+                    for l in 0..lanes {
+                        sl!(dst, l) = if sl!(c, l) != 0 { sl!(t, l) } else { sl!(f, l) };
+                    }
+                }
+                Uop::Const { dst, imm } => {
+                    let d = dst as usize * lanes;
+                    slots[d..d + lanes].fill(imm);
+                }
+                Uop::Mov { dst, src } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    slots.copy_within(s..s + lanes, d);
+                }
+                Uop::Rd0 { dst, reg, clean } => {
+                    let r = reg as usize;
+                    rd0_gate!(r, clean);
+                    for l in 0..lanes {
+                        sl!(dst, l) = rd0_val!(r * lanes + l);
+                    }
+                }
+                Uop::Rd1 { dst, reg, clean } => {
+                    let r = reg as usize;
+                    rd1_gate!(r, clean);
+                    for l in 0..lanes {
+                        sl!(dst, l) = rd1_val!(r * lanes + l);
+                    }
+                }
+                Uop::Wr0 { src, reg, clean } => {
+                    let r = reg as usize;
+                    wr0_gate!(r, clean, tac.pcs[pc]);
+                    for l in 0..lanes {
+                        let i = r * lanes + l;
+                        log_rw[i] |= W0;
+                        log_d0[i] = sl!(src, l);
+                    }
+                }
+                Uop::Wr1 { src, reg, clean } => {
+                    let r = reg as usize;
+                    wr1_gate!(r, clean);
+                    for l in 0..lanes {
+                        let i = r * lanes + l;
+                        log_rw[i] |= W1;
+                        if cfg.merged_data {
+                            log_d0[i] = sl!(src, l);
+                        } else {
+                            log_d1[i] = sl!(src, l);
+                        }
+                    }
+                }
+                Uop::RdFast { dst, reg } => {
+                    let (s, d) = (reg as usize * lanes, dst as usize * lanes);
+                    slots[d..d + lanes].copy_from_slice(&log_d0[s..s + lanes]);
+                }
+                Uop::WrFast { src, reg } => {
+                    let (s, d) = (src as usize * lanes, reg as usize * lanes);
+                    log_d0[d..d + lanes].copy_from_slice(&slots[s..s + lanes]);
+                }
+                Uop::Rd0Arr { dst, idx, base, amask, clean } => {
+                    let mut npass = 0usize;
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                        if chk[r * lanes + l] & (W0 | W1) == 0 {
+                            npass += 1;
+                        }
+                    }
+                    if npass == 0 {
+                        for (l, lf) in last_fail.iter_mut().enumerate() {
+                            let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                            *lf = Some(FailInfo {
+                                rule: rule_idx,
+                                pc: tac.pcs[pc] as usize,
+                                reg: Some(RegId(r as u32)),
+                                cycle,
+                            });
+                        }
+                        return Ok(Some(Err(clean)));
+                    }
+                    if npass < lanes {
+                        return Ok(None);
+                    }
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        sl!(dst, l) = rd0_val!(r * lanes + l);
+                    }
+                }
+                Uop::Rd1Arr { dst, idx, base, amask, clean } => {
+                    let mut npass = 0usize;
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
+                        if chk[r * lanes + l] & W1 == 0 {
+                            npass += 1;
+                        }
+                    }
+                    if npass == 0 {
+                        for (l, lf) in last_fail.iter_mut().enumerate() {
+                            let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                            *lf = Some(FailInfo {
+                                rule: rule_idx,
+                                pc: tac.pcs[pc] as usize,
+                                reg: Some(RegId(r as u32)),
+                                cycle,
+                            });
+                        }
+                        return Ok(Some(Err(clean)));
+                    }
+                    if npass < lanes {
+                        return Ok(None);
+                    }
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        sl!(dst, l) = rd1_val!(r * lanes + l);
+                    }
+                }
+                Uop::Wr0Arr { src, idx, base, amask, clean } => {
+                    let mut npass = 0usize;
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let i = r * lanes + l;
+                        let check = if cfg.acc_logs {
+                            log_rw[i]
+                        } else {
+                            log_rw[i] | cyc_rw[i]
+                        };
+                        if check & (R1 | W0 | W1) == 0 {
+                            npass += 1;
+                        }
+                    }
+                    if npass == 0 {
+                        for (l, lf) in last_fail.iter_mut().enumerate() {
+                            let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                            *lf = Some(FailInfo {
+                                rule: rule_idx,
+                                pc: tac.pcs[pc] as usize,
+                                reg: Some(RegId(r as u32)),
+                                cycle,
+                            });
+                        }
+                        return Ok(Some(Err(clean)));
+                    }
+                    if npass < lanes {
+                        return Ok(None);
+                    }
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let i = r * lanes + l;
+                        log_rw[i] |= W0;
+                        log_d0[i] = sl!(src, l);
+                    }
+                }
+                Uop::Wr1Arr { src, idx, base, amask, clean } => {
+                    let mut npass = 0usize;
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let i = r * lanes + l;
+                        let check = if cfg.acc_logs {
+                            log_rw[i]
+                        } else {
+                            log_rw[i] | cyc_rw[i]
+                        };
+                        if check & W1 == 0 {
+                            npass += 1;
+                        }
+                    }
+                    if npass == 0 {
+                        for (l, lf) in last_fail.iter_mut().enumerate() {
+                            let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                            *lf = Some(FailInfo {
+                                rule: rule_idx,
+                                pc: tac.pcs[pc] as usize,
+                                reg: Some(RegId(r as u32)),
+                                cycle,
+                            });
+                        }
+                        return Ok(Some(Err(clean)));
+                    }
+                    if npass < lanes {
+                        return Ok(None);
+                    }
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        let i = r * lanes + l;
+                        log_rw[i] |= W1;
+                        if cfg.merged_data {
+                            log_d0[i] = sl!(src, l);
+                        } else {
+                            log_d1[i] = sl!(src, l);
+                        }
+                    }
+                }
+                Uop::RdArrFast { dst, idx, base, amask } => {
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        sl!(dst, l) = log_d0[r * lanes + l];
+                    }
+                }
+                Uop::WrArrFast { src, idx, base, amask } => {
+                    for l in 0..lanes {
+                        let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
+                        log_d0[r * lanes + l] = sl!(src, l);
+                    }
+                }
+                Uop::Jmp(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Uop::Jz { cond, target } => {
+                    let mut nz = 0usize;
+                    for l in 0..lanes {
+                        if sl!(cond, l) == 0 {
+                            nz += 1;
+                        }
+                    }
+                    if nz == lanes {
+                        pc = target as usize;
+                        continue;
+                    }
+                    if nz != 0 {
+                        return Ok(None);
+                    }
+                }
+                Uop::Abort { clean } => {
+                    fail_all!(None, clean, tac.pcs[pc]);
+                }
+                Uop::Cov(id) => {
+                    let base = id as usize * lanes;
+                    for c in &mut cov[base..base + lanes] {
+                        *c += 1;
+                    }
+                }
+                Uop::End => return Ok(Some(Ok(()))),
+                Uop::Trap(what) => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc: tac.pcs[pc] as usize,
+                        what,
+                    })
+                }
+                Uop::RdBin { op, dst, reg, b, mask, clean } => {
+                    let r = reg as usize;
+                    rd0_gate!(r, clean);
+                    for l in 0..lanes {
+                        let v = rd0_val!(r * lanes + l);
+                        sl!(dst, l) = fused(op, v, sl!(b, l), mask);
+                    }
+                }
+                Uop::BinWr { op, a, b, mask, reg, clean } => {
+                    let r = reg as usize;
+                    wr0_gate!(r, clean, tac.pcs[pc]);
+                    for l in 0..lanes {
+                        let i = r * lanes + l;
+                        log_rw[i] |= W0;
+                        log_d0[i] = fused(op, sl!(a, l), sl!(b, l), mask);
+                    }
+                }
+                Uop::RdBinWr { op, rreg, b, mask, wreg, rclean, wclean } => {
+                    let r = rreg as usize;
+                    rd0_gate!(r, rclean);
+                    // The read's effects (recording, value fetch) land
+                    // before the write gate, exactly like the unfused pair.
+                    for (l, slot) in stack.iter_mut().enumerate().take(lanes) {
+                        let v = rd0_val!(r * lanes + l);
+                        *slot = fused(op, v, sl!(b, l), mask);
+                    }
+                    let w = wreg as usize;
+                    wr0_gate!(w, wclean, tac.pcs2[pc]);
+                    for (l, slot) in stack.iter().enumerate().take(lanes) {
+                        let i = w * lanes + l;
+                        log_rw[i] |= W0;
+                        log_d0[i] = *slot;
+                    }
+                }
+                Uop::BinJz { op, a, b, mask, target } => {
+                    let mut nz = 0usize;
+                    for l in 0..lanes {
+                        if fused(op, sl!(a, l), sl!(b, l), mask) == 0 {
+                            nz += 1;
+                        }
+                    }
+                    if nz == lanes {
+                        pc = target as usize;
+                        continue;
+                    }
+                    if nz != 0 {
+                        return Ok(None);
+                    }
+                }
+                Uop::RdBinFast { op, dst, reg, b, mask } => {
+                    let r = reg as usize * lanes;
+                    for l in 0..lanes {
+                        sl!(dst, l) = fused(op, log_d0[r + l], sl!(b, l), mask);
+                    }
+                }
+                Uop::BinWrFast { op, a, b, mask, reg } => {
+                    let r = reg as usize * lanes;
+                    for l in 0..lanes {
+                        log_d0[r + l] = fused(op, sl!(a, l), sl!(b, l), mask);
+                    }
+                }
+                Uop::RdBinWrFast { op, rreg, b, mask, wreg } => {
+                    let (r, w) = (rreg as usize * lanes, wreg as usize * lanes);
+                    for l in 0..lanes {
+                        log_d0[w + l] = fused(op, log_d0[r + l], sl!(b, l), mask);
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
 }
 
 impl BatchBackend for BatchSim {
@@ -1463,6 +2038,71 @@ mod tests {
                 batch.fallback_rules() > 0,
                 "{level}: divergent seeds must exercise the fallback"
             );
+        }
+    }
+
+    #[test]
+    fn tac_dispatch_matches_scalar_sims() {
+        let td = collatz();
+        let x = td.reg_id("x");
+        for level in OptLevel::ALL {
+            let opts = CompileOptions {
+                level,
+                ..CompileOptions::default()
+            };
+            let mut batch = BatchSim::compile_with(&td, &opts, 4).unwrap();
+            batch.set_dispatch(Dispatch::Tac);
+            let mut scalars: Vec<Sim> =
+                (0..4).map(|_| Sim::compile_with(&td, &opts).unwrap()).collect();
+            // Divergent seeds: the micro-op engine must take the same
+            // fall-back decisions and the fallback (scalar bytecode) must
+            // agree with the micro-op lanes bit-for-bit.
+            for (l, seed) in [7u64, 6, 27, 1].into_iter().enumerate() {
+                batch.lane_set64(l, x, seed);
+                scalars[l].set64(x, seed);
+            }
+            for cyc in 0..128 {
+                batch.cycle().unwrap();
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    s.cycle();
+                    assert_eq!(
+                        batch.lane_reg_values(l),
+                        s.reg_values(),
+                        "{level} lane {l} cycle {cyc}"
+                    );
+                    assert_eq!(batch.lane_fired(l), s.rules_fired(), "{level} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concat_shift_boundary_is_guarded_in_lanes() {
+        // Regression: a zero-width high half (`low_width == 64`) used to
+        // overflow the batched `(a << low_width) | b` lowering; the result
+        // must also be masked.
+        let mut b = DesignBuilder::new("c");
+        b.reg("n", 8, 0u64);
+        b.rule("inc", vec![wr0("n", rd0("n").add(k(8, 1)))]);
+        let td = check(&b.build()).unwrap();
+        let mut prog = compile(&td, &CompileOptions::default()).unwrap();
+        prog.rules[0].code = vec![
+            Insn::Const(0xdead),
+            Insn::Const(5),
+            Insn::ConcatShift {
+                low_width: 64,
+                mask: u64::MAX,
+            },
+            Insn::Wr0 {
+                reg: 0,
+                clean: false,
+            },
+            Insn::End,
+        ];
+        let mut batch = BatchSim::new(prog, 3);
+        batch.cycle().unwrap();
+        for l in 0..3 {
+            assert_eq!(batch.lane_get64(l, RegId(0)), 5, "lane {l}");
         }
     }
 

@@ -434,6 +434,7 @@ impl RuleCompiler<'_> {
                     BinOp::Sle => Insn::Sle { width: a.width() },
                     BinOp::Concat => Insn::ConcatShift {
                         low_width: b.width(),
+                        mask,
                     },
                 };
                 self.code.push(insn);
@@ -678,8 +679,10 @@ pub fn compile(design: &TDesign, opts: &CompileOptions) -> Result<Program, Compi
     })
 }
 
-/// Maps a stack binop instruction to its fused form, if it has one.
-fn fusable(insn: Insn) -> Option<(FusedBin, u64)> {
+/// Maps a stack binop instruction to its fused form, if it has one. Also
+/// used by the register-form lowering ([`crate::tac`]), which routes every
+/// stack binop through the shared [`crate::vm::fused`] evaluator.
+pub(crate) fn fusable(insn: Insn) -> Option<(FusedBin, u64)> {
     Some(match insn {
         Insn::Add { mask } => (FusedBin::Add, mask),
         Insn::Sub { mask } => (FusedBin::Sub, mask),
@@ -696,7 +699,14 @@ fn fusable(insn: Insn) -> Option<(FusedBin, u64)> {
         Insn::Ule => (FusedBin::Ule, u64::MAX),
         Insn::Slt { width } => (FusedBin::Slt, word::mask(width)),
         Insn::Sle { width } => (FusedBin::Sle, word::mask(width)),
-        Insn::ConcatShift { low_width } => (FusedBin::Concat, low_width as u64),
+        Insn::ConcatShift { low_width, mask } => (
+            // Low widths of 64 and up all behave as "zero-width high half";
+            // clamp so the width always fits the u8 payload.
+            FusedBin::Concat {
+                low: low_width.min(64) as u8,
+            },
+            mask,
+        ),
         _ => return None,
     })
 }

@@ -7,6 +7,10 @@
 //! branch mispredictions, scoreboard stalls — "without adding a single piece
 //! of counting hardware".
 //!
+//! Counts are **dispatch-invariant**: the `tac` engine keeps every
+//! coverage-bump point as its own micro-op (they are fusion barriers), so
+//! the annotated listing reads identically under all three dispatchers.
+//!
 //! [`CompileOptions::coverage`]: crate::CompileOptions::coverage
 
 use crate::compile::CovPoint;

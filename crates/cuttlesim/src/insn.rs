@@ -44,9 +44,14 @@ pub enum FusedBin {
     Slt,
     /// Signed less-or-equal at width `mask.count_ones()`.
     Sle,
-    /// Concatenation: `(a << mask) | b` — for this operator alone, the
-    /// `mask` field carries the low operand's width, not a bit mask.
-    Concat,
+    /// Concatenation: `a` shifted above the `low`-bit value `b`, masked.
+    /// The low width is carried here (not in the `mask` field, which is the
+    /// result mask like for every other operator) so a zero-width high half
+    /// (`low == 64`) can be guarded instead of overflowing the shift.
+    Concat {
+        /// Width of the low operand; values `>= 64` all mean "result is `b`".
+        low: u8,
+    },
 }
 
 /// A single VM instruction. Kept `Copy` and small — the interpreter loop
@@ -97,9 +102,13 @@ pub enum Insn {
     /// Pop `b`, `a`; push signed `a <= b` at `width` bits.
     Sle { /// Operand width.
         width: u32 },
-    /// Pop `b`, `a`; push `(a << b_width) | b` (concatenation).
+    /// Pop `b`, `a`; push the concatenation `{a, b}` masked to the combined
+    /// width: `((a << low_width) | b) & mask`, with `low_width >= 64`
+    /// (zero-width high half) yielding `b & mask` instead of an overflowing
+    /// shift.
     ConcatShift { /// Width of the low operand.
-        low_width: u32 },
+        low_width: u32, /// Result mask (combined width).
+        mask: u64 },
 
     /// Pop `a`; push `!a & mask`.
     Not { /// Result mask.

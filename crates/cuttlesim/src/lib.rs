@@ -49,6 +49,7 @@ pub mod insn;
 pub mod level;
 pub mod pretty;
 pub mod profile;
+pub mod tac;
 pub mod trace;
 pub mod vm;
 

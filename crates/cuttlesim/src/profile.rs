@@ -6,6 +6,11 @@
 //! commits, and failures. Because a failing rule stops at its first
 //! failing check, the instruction counts directly expose how much of each
 //! rule's body actually runs — the early-exit behavior §2.3 is about.
+//!
+//! The counts are **dispatch-invariant**: the `tac` engine executes fused
+//! micro-ops, but each micro-op carries the weight of the bytecode span it
+//! replaced, so a profile reads identically under `match`, `closure`, and
+//! `tac` dispatch (asserted by `tac::tests`).
 
 use crate::vm::Sim;
 use koika::obs::Metrics;

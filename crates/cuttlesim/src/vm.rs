@@ -157,12 +157,45 @@ pub struct SimSnapshot {
 /// "GCC vs Clang" compiler-sensitivity axis (see DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dispatch {
-    /// A tight `match`-based interpreter loop (think: the faster compiler).
+    /// A tight `match`-based interpreter loop over the stack bytecode
+    /// (think: the faster compiler).
     #[default]
     Match,
     /// Pre-built closures called through fat pointers (think: the other
     /// compiler's codegen).
     Closure,
+    /// Register-form (three-address) micro-ops: the stack bytecode is
+    /// lowered once, at selection time, into a flat pre-decoded array of
+    /// micro-ops over a per-rule slot file, with constants folded and
+    /// `rd/binop/wr` chains fused into superinstructions (see
+    /// [`crate::tac`]). The hot loop does no operand-stack traffic and no
+    /// re-decoding.
+    Tac,
+}
+
+impl Dispatch {
+    /// Every dispatch backend, in a stable order (used by differential
+    /// test matrices).
+    pub const ALL: [Dispatch; 3] = [Dispatch::Match, Dispatch::Closure, Dispatch::Tac];
+
+    /// The CLI spelling (`--dispatch match|closure|tac`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dispatch::Match => "match",
+            Dispatch::Closure => "closure",
+            Dispatch::Tac => "tac",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn from_name(s: &str) -> Option<Dispatch> {
+        match s {
+            "match" => Some(Dispatch::Match),
+            "closure" => Some(Dispatch::Closure),
+            "tac" => Some(Dispatch::Tac),
+            _ => None,
+        }
+    }
 }
 
 /// A Cuttlesim simulator instance.
@@ -191,6 +224,9 @@ pub struct Sim {
     st: State,
     dispatch: Dispatch,
     closures: Vec<Vec<RuleClosure>>,
+    /// The lowered micro-op program for [`Dispatch::Tac`], built on first
+    /// selection.
+    tac: Option<crate::tac::TacProgram>,
     history: Option<History>,
     mid_cycle: bool,
     /// Per-rule executed-instruction counters (gprof-style profiling),
@@ -238,6 +274,7 @@ impl Sim {
             st,
             dispatch: Dispatch::Match,
             closures: Vec::new(),
+            tac: None,
             history: None,
             mid_cycle: false,
             profile: None,
@@ -261,24 +298,48 @@ impl Sim {
     }
 
     /// Selects the instruction-dispatch backend (default: [`Dispatch::Match`]).
+    ///
+    /// Selection eagerly prepares whatever the backend needs (the closure
+    /// table, the lowered micro-op program); if that preparation is ever
+    /// missing at execution time it is rebuilt there — the selected backend
+    /// is always the one that runs, never a silent fallback.
     pub fn set_dispatch(&mut self, dispatch: Dispatch) {
         self.dispatch = dispatch;
-        if dispatch == Dispatch::Closure && self.closures.is_empty() {
-            self.closures = self
-                .prog
-                .rules
-                .iter()
-                .map(|r| {
-                    r.code
-                        .iter()
-                        .map(|&insn| {
-                            let f: RuleClosure =
-                                Box::new(move |st, cfg| exec_insn(st, cfg, insn));
-                            f
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .collect();
+        match dispatch {
+            Dispatch::Match => {}
+            Dispatch::Closure => self.build_closures(),
+            Dispatch::Tac => self.build_tac(),
+        }
+    }
+
+    /// The currently selected dispatch backend.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
+    }
+
+    fn build_closures(&mut self) {
+        if !self.closures.is_empty() {
+            return;
+        }
+        self.closures = self
+            .prog
+            .rules
+            .iter()
+            .map(|r| {
+                r.code
+                    .iter()
+                    .map(|&insn| {
+                        let f: RuleClosure = Box::new(move |st, cfg| exec_insn(st, cfg, insn));
+                        f
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+    }
+
+    fn build_tac(&mut self) {
+        if self.tac.is_none() {
+            self.tac = Some(crate::tac::TacProgram::lower(&self.prog));
         }
     }
 
@@ -397,19 +458,48 @@ impl Sim {
     pub fn step_rule(&mut self, rule_idx: usize) -> bool {
         let mut executed = 0u64;
         let counting = self.profile.is_some();
-        let closures = if self.dispatch == Dispatch::Match || self.closures.is_empty() {
-            None
-        } else {
-            Some(self.closures[rule_idx].as_slice())
+        // Explicit backend selection: the dispatch the user picked is the
+        // dispatch that runs. If its prepared form is missing (it never is
+        // through the public API) it is rebuilt here rather than silently
+        // falling back to Match.
+        let outcome = match self.dispatch {
+            Dispatch::Match => step_rule_impl(
+                &self.prog,
+                &mut self.st,
+                rule_idx,
+                None,
+                &mut executed,
+                counting,
+            ),
+            Dispatch::Closure => {
+                if self.closures.is_empty() {
+                    self.build_closures();
+                }
+                step_rule_impl(
+                    &self.prog,
+                    &mut self.st,
+                    rule_idx,
+                    Some(self.closures[rule_idx].as_slice()),
+                    &mut executed,
+                    counting,
+                )
+            }
+            Dispatch::Tac => {
+                if self.tac.is_none() {
+                    self.build_tac();
+                }
+                let tac = self.tac.as_mut().expect("just built");
+                crate::tac::step_rule_tac(
+                    &self.prog,
+                    &tac.rules[rule_idx],
+                    &mut tac.slots[rule_idx],
+                    &mut self.st,
+                    rule_idx,
+                    &mut executed,
+                    counting,
+                )
+            }
         };
-        let outcome = step_rule_impl(
-            &self.prog,
-            &mut self.st,
-            rule_idx,
-            closures,
-            &mut executed,
-            counting,
-        );
         if let Some(profile) = &mut self.profile {
             profile[rule_idx] += executed;
         }
@@ -527,20 +617,7 @@ pub(crate) fn step_rule_impl(
     let rule = &prog.rules[rule_idx];
     let n = prog.init.len();
 
-    // Rule prologue.
-    if !cfg.acc_logs {
-        // The log is a plain rule log: clear its read-write sets.
-        for b in &mut st.log_rw {
-            *b = 0;
-        }
-    } else if !cfg.reset_on_fail {
-        // Accumulated log, reset on entry: copy the full cycle log.
-        st.log_rw.copy_from_slice(&st.cyc_rw);
-        st.log_d0.copy_from_slice(&st.cyc_d0);
-        if !cfg.merged_data {
-            st.log_d1.copy_from_slice(&st.cyc_d1);
-        }
-    }
+    rule_prologue(cfg, st);
     st.stack.clear();
 
     let code = &rule.code;
@@ -587,91 +664,133 @@ pub(crate) fn step_rule_impl(
 
     match outcome {
         Ok(()) => {
-            // Commit.
-            if !cfg.acc_logs {
-                // Naive merge: or the read-write sets, copy write data.
-                for i in 0..n {
-                    let rl = st.log_rw[i];
-                    if rl != 0 {
-                        st.cyc_rw[i] |= rl;
-                        if rl & W0 != 0 {
-                            st.cyc_d0[i] = st.log_d0[i];
-                        }
-                        if rl & W1 != 0 {
-                            if cfg.merged_data {
-                                st.cyc_d0[i] = st.log_d0[i];
-                            } else {
-                                st.cyc_d1[i] = st.log_d1[i];
-                            }
-                        }
-                    }
-                }
-            } else {
-                match &rule.commit {
-                    CopyPlan::Full => {
-                        st.cyc_rw.copy_from_slice(&st.log_rw);
-                        st.cyc_d0.copy_from_slice(&st.log_d0);
-                        if !cfg.merged_data {
-                            st.cyc_d1.copy_from_slice(&st.log_d1);
-                        }
-                    }
-                    CopyPlan::Footprint { rw, data } => {
-                        for &i in rw {
-                            st.cyc_rw[i as usize] = st.log_rw[i as usize];
-                        }
-                        for &i in data {
-                            st.cyc_d0[i as usize] = st.log_d0[i as usize];
-                            if !cfg.merged_data {
-                                st.cyc_d1[i as usize] = st.log_d1[i as usize];
-                            }
-                        }
-                    }
-                }
-            }
-            st.fired += 1;
-            st.fired_per_rule[rule_idx] += 1;
+            rule_commit(cfg, st, rule, rule_idx, n);
             Ok(true)
         }
         Err(clean) => {
-            st.fail_per_rule[rule_idx] += 1;
-            // exec_insn recorded the failing register (if any); fill in
-            // the location.
-            if let Some(f) = &mut st.last_fail {
-                f.rule = rule_idx;
-                f.pc = pc;
-                f.cycle = st.cycles;
-            }
-            // Rollback (reset-on-failure levels only; earlier levels
-            // reset on entry instead).
-            if cfg.reset_on_fail && !clean {
-                match &rule.rollback {
-                    CopyPlan::Full => {
-                        st.log_rw.copy_from_slice(&st.cyc_rw);
-                        st.log_d0.copy_from_slice(&st.cyc_d0);
-                        if !cfg.merged_data {
-                            st.log_d1.copy_from_slice(&st.cyc_d1);
-                        }
-                    }
-                    CopyPlan::Footprint { rw, data } => {
-                        for &i in rw {
-                            st.log_rw[i as usize] = st.cyc_rw[i as usize];
-                        }
-                        for &i in data {
-                            st.log_d0[i as usize] = st.cyc_d0[i as usize];
-                            if !cfg.merged_data {
-                                st.log_d1[i as usize] = st.cyc_d1[i as usize];
-                            }
-                        }
-                    }
-                }
-            }
+            rule_failure(cfg, st, rule, rule_idx, pc, clean);
             Ok(false)
         }
     }
 }
 
+/// The rule prologue: prepares the rule log for a fresh transaction
+/// (level-dependent — plain logs are cleared, accumulated reset-on-entry
+/// logs copy the cycle log, reset-on-failure logs are left as-is).
+pub(crate) fn rule_prologue(cfg: LevelCfg, st: &mut State) {
+    if !cfg.acc_logs {
+        // The log is a plain rule log: clear its read-write sets.
+        for b in &mut st.log_rw {
+            *b = 0;
+        }
+    } else if !cfg.reset_on_fail {
+        // Accumulated log, reset on entry: copy the full cycle log.
+        st.log_rw.copy_from_slice(&st.cyc_rw);
+        st.log_d0.copy_from_slice(&st.cyc_d0);
+        if !cfg.merged_data {
+            st.log_d1.copy_from_slice(&st.cyc_d1);
+        }
+    }
+}
+
+/// Commits a successfully completed rule into the cycle log and bumps the
+/// fired counters. `n` is the flat register count.
+pub(crate) fn rule_commit(
+    cfg: LevelCfg,
+    st: &mut State,
+    rule: &crate::compile::RuleCode,
+    rule_idx: usize,
+    n: usize,
+) {
+    if !cfg.acc_logs {
+        // Naive merge: or the read-write sets, copy write data.
+        for i in 0..n {
+            let rl = st.log_rw[i];
+            if rl != 0 {
+                st.cyc_rw[i] |= rl;
+                if rl & W0 != 0 {
+                    st.cyc_d0[i] = st.log_d0[i];
+                }
+                if rl & W1 != 0 {
+                    if cfg.merged_data {
+                        st.cyc_d0[i] = st.log_d0[i];
+                    } else {
+                        st.cyc_d1[i] = st.log_d1[i];
+                    }
+                }
+            }
+        }
+    } else {
+        match &rule.commit {
+            CopyPlan::Full => {
+                st.cyc_rw.copy_from_slice(&st.log_rw);
+                st.cyc_d0.copy_from_slice(&st.log_d0);
+                if !cfg.merged_data {
+                    st.cyc_d1.copy_from_slice(&st.log_d1);
+                }
+            }
+            CopyPlan::Footprint { rw, data } => {
+                for &i in rw {
+                    st.cyc_rw[i as usize] = st.log_rw[i as usize];
+                }
+                for &i in data {
+                    st.cyc_d0[i as usize] = st.log_d0[i as usize];
+                    if !cfg.merged_data {
+                        st.cyc_d1[i as usize] = st.log_d1[i as usize];
+                    }
+                }
+            }
+        }
+    }
+    st.fired += 1;
+    st.fired_per_rule[rule_idx] += 1;
+}
+
+/// Records a rule failure at bytecode location `pc` and rolls the log back
+/// where the level demands it. The executor already recorded the failing
+/// register (if any) in `last_fail`; this fills in the location.
+pub(crate) fn rule_failure(
+    cfg: LevelCfg,
+    st: &mut State,
+    rule: &crate::compile::RuleCode,
+    rule_idx: usize,
+    pc: usize,
+    clean: bool,
+) {
+    st.fail_per_rule[rule_idx] += 1;
+    if let Some(f) = &mut st.last_fail {
+        f.rule = rule_idx;
+        f.pc = pc;
+        f.cycle = st.cycles;
+    }
+    // Rollback (reset-on-failure levels only; earlier levels reset on
+    // entry instead).
+    if cfg.reset_on_fail && !clean {
+        match &rule.rollback {
+            CopyPlan::Full => {
+                st.log_rw.copy_from_slice(&st.cyc_rw);
+                st.log_d0.copy_from_slice(&st.cyc_d0);
+                if !cfg.merged_data {
+                    st.log_d1.copy_from_slice(&st.cyc_d1);
+                }
+            }
+            CopyPlan::Footprint { rw, data } => {
+                for &i in rw {
+                    st.log_rw[i as usize] = st.cyc_rw[i as usize];
+                }
+                for &i in data {
+                    st.log_d0[i as usize] = st.cyc_d0[i as usize];
+                    if !cfg.merged_data {
+                        st.log_d1[i as usize] = st.cyc_d1[i as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[inline(always)]
-fn fail_conflict(st: &mut State, reg: u32, clean: bool) -> Flow {
+pub(crate) fn fail_conflict(st: &mut State, reg: u32, clean: bool) -> Flow {
     st.last_fail = Some(FailInfo {
         rule: usize::MAX,
         pc: usize::MAX,
@@ -682,7 +801,7 @@ fn fail_conflict(st: &mut State, reg: u32, clean: bool) -> Flow {
 }
 
 #[inline(always)]
-fn rd0_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
+pub(crate) fn rd0_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
     let check = if cfg.acc_logs {
         st.log_rw[i]
     } else {
@@ -698,7 +817,7 @@ fn rd0_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, F
 }
 
 #[inline(always)]
-fn rd1_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
+pub(crate) fn rd1_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, Flow> {
     let check = if cfg.acc_logs {
         st.log_rw[i]
     } else {
@@ -725,7 +844,7 @@ fn rd1_at(st: &mut State, cfg: LevelCfg, i: usize, clean: bool) -> Result<u64, F
 }
 
 #[inline(always)]
-fn wr0_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
+pub(crate) fn wr0_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
     let check = if cfg.acc_logs {
         st.log_rw[i]
     } else {
@@ -740,7 +859,7 @@ fn wr0_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Resul
 }
 
 #[inline(always)]
-fn wr1_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
+pub(crate) fn wr1_at(st: &mut State, cfg: LevelCfg, i: usize, v: u64, clean: bool) -> Result<(), Flow> {
     let check = if cfg.acc_logs {
         st.log_rw[i]
     } else {
@@ -788,7 +907,7 @@ pub(crate) fn fused(op: FusedBin, a: u64, b: u64, mask: u64) -> u64 {
         FusedBin::Ule => (a <= b) as u64,
         FusedBin::Slt => word::slt(mask.count_ones(), a, b),
         FusedBin::Sle => 1 - word::slt(mask.count_ones(), b, a),
-        FusedBin::Concat => (a << mask) | b,
+        FusedBin::Concat { low } => word::concat(low as u32, a, b) & mask,
     }
 }
 
@@ -851,7 +970,9 @@ fn exec_insn(st: &mut State, cfg: LevelCfg, insn: Insn) -> Flow {
         Insn::Ule => binop!(|a, b| (a <= b) as u64),
         Insn::Slt { width } => binop!(|a, b| word::slt(width, a, b)),
         Insn::Sle { width } => binop!(|a, b| 1 - word::slt(width, b, a)),
-        Insn::ConcatShift { low_width } => binop!(|a, b| (a << low_width) | b),
+        Insn::ConcatShift { low_width, mask } => {
+            binop!(|a, b| word::concat(low_width, a, b) & mask)
+        }
         Insn::Not { mask } => {
             let a = pop!();
             push!(!a & mask);
@@ -1203,6 +1324,112 @@ mod tests {
             Some(VmError::CompilerBug { rule: 0, .. })
         ));
         assert_eq!(sim.take_trap(), None, "trap is cleared once taken");
+    }
+
+    #[test]
+    fn concat_shift_zero_width_high_half_is_guarded() {
+        // Regression: `low_width == 64` (a zero-width high half) used to
+        // evaluate `a << 64`, a debug-mode panic and a release-mode wrong
+        // answer. The guarded lowering returns the low half.
+        let mut prog = counter_prog();
+        prog.rules[0].code = vec![
+            Insn::Const(0xdead),
+            Insn::Const(5),
+            Insn::ConcatShift {
+                low_width: 64,
+                mask: u64::MAX,
+            },
+            Insn::Wr0 {
+                reg: 0,
+                clean: false,
+            },
+            Insn::End,
+        ];
+        let mut sim = Sim::new(prog);
+        sim.try_cycle().unwrap();
+        assert_eq!(sim.get64(RegId(0)), 5);
+    }
+
+    #[test]
+    fn concat_shift_applies_the_result_mask() {
+        // Regression: the concat result was never masked, so high-half bits
+        // beyond the combined width leaked into the register.
+        let mut prog = counter_prog();
+        prog.rules[0].code = vec![
+            Insn::Const(0xab),
+            Insn::Const(0x5),
+            Insn::ConcatShift {
+                low_width: 4,
+                mask: 0xff,
+            },
+            Insn::Wr0 {
+                reg: 0,
+                clean: false,
+            },
+            Insn::End,
+        ];
+        let mut sim = Sim::new(prog);
+        sim.try_cycle().unwrap();
+        assert_eq!(sim.get64(RegId(0)), 0xb5, "(0xab << 4 | 5) & 0xff");
+    }
+
+    #[test]
+    fn fused_concat_is_guarded_and_masked() {
+        // The same two regressions through the peephole-fused form, which
+        // routes through `fused()` rather than the ConcatShift arm.
+        assert_eq!(fused(FusedBin::Concat { low: 64 }, 0xdead, 5, u64::MAX), 5);
+        assert_eq!(fused(FusedBin::Concat { low: 4 }, 0xab, 0x5, 0xff), 0xb5);
+        let mut prog = counter_prog();
+        prog.rules[0].code = vec![
+            Insn::Const(0xab),
+            Insn::BinRC {
+                op: FusedBin::Concat { low: 4 },
+                rhs: 0x5,
+                mask: 0xff,
+            },
+            Insn::Wr0 {
+                reg: 0,
+                clean: false,
+            },
+            Insn::End,
+        ];
+        let mut sim = Sim::new(prog);
+        sim.try_cycle().unwrap();
+        assert_eq!(sim.get64(RegId(0)), 0xb5);
+    }
+
+    #[test]
+    fn closure_dispatch_is_never_silently_bypassed() {
+        // Regression: with `Dispatch::Closure` selected but the closure
+        // table empty, `step_rule` silently fell back to Match dispatch.
+        // Selection must rebuild the table and run through it.
+        let mut sim = Sim::new(counter_prog());
+        sim.set_dispatch(Dispatch::Closure);
+        sim.closures.clear();
+        sim.cycle();
+        assert!(
+            !sim.closures.is_empty(),
+            "closure dispatch must rebuild its table, not fall back to Match"
+        );
+        assert_eq!(sim.get64(RegId(0)), 1);
+    }
+
+    #[test]
+    fn dispatch_survives_snapshot_restore() {
+        for dispatch in Dispatch::ALL {
+            let mut sim = Sim::new(counter_prog());
+            sim.set_dispatch(dispatch);
+            let snap = sim.save_state();
+            sim.cycle();
+            sim.restore_state(&snap);
+            assert_eq!(
+                sim.dispatch(),
+                dispatch,
+                "restore rewinds architectural state, not backend selection"
+            );
+            sim.cycle();
+            assert_eq!(sim.get64(RegId(0)), 1, "{dispatch:?} runs after restore");
+        }
     }
 
     #[test]

@@ -75,21 +75,48 @@ pub mod word {
     }
 
     /// Arithmetic right shift on a `width`-bit value.
+    ///
+    /// A width of 0 yields 0 (a zero-width value has no bits to shift); this
+    /// edge is unreachable from checked designs but reachable through fused
+    /// VM ops carrying a zero mask, so it must not underflow.
     #[inline(always)]
     pub fn sra(width: u32, a: u64, sh: u64) -> u64 {
+        if width == 0 {
+            return 0;
+        }
         let sh = sh.min(width as u64 - 1) as u32;
         let signed = sext(width, a) as i64;
         ((signed >> sh) as u64) & mask(width)
     }
 
     /// Sign-extend a `width`-bit value to the full 64-bit word.
+    ///
+    /// Widths of 0 (no sign bit to extend) and of 64 or more (nothing left
+    /// to extend into) both leave the value as-is modulo masking: 0 for
+    /// width 0, `a` unchanged otherwise.
     #[inline(always)]
     pub fn sext(width: u32, a: u64) -> u64 {
-        if width == 64 {
+        if width == 0 {
+            0
+        } else if width >= 64 {
             a
         } else {
             let shift = 64 - width;
             (((a << shift) as i64) >> shift) as u64
+        }
+    }
+
+    /// Concatenation `{a, b}` where `b` is the `low_width`-bit low half:
+    /// `a` shifted above `b`. A `low_width` of 64 or more means the high
+    /// half is zero-width, so the result is just `b` — shifting by the full
+    /// word width would overflow. Callers mask the result to the combined
+    /// width.
+    #[inline(always)]
+    pub fn concat(low_width: u32, a: u64, b: u64) -> u64 {
+        if low_width >= 64 {
+            b
+        } else {
+            (a << low_width) | b
         }
     }
 
@@ -713,6 +740,54 @@ mod tests {
     fn display_formats() {
         assert_eq!(format!("{}", Bits::new(8, 0xabu64)), "8'hab");
         assert_eq!(format!("{:b}", Bits::new(4, 0b1010u64)), "1010");
+    }
+
+    /// Regression: `word::sra` used to compute `width as u64 - 1`, which
+    /// underflows (debug panic) at width 0 — reachable through fused VM ops
+    /// with a zero mask. `sext`'s `64 - width` shift had the same edge.
+    #[test]
+    fn word_helpers_tolerate_width_zero() {
+        for sh in [0u64, 1, 3, 63, 64, 100] {
+            assert_eq!(word::sra(0, 0, sh), 0, "sra width 0 sh {sh}");
+        }
+        assert_eq!(word::sext(0, 0), 0);
+        assert_eq!(word::sext(0, u64::MAX), 0);
+        // slt reaches sext with the same width; both operands of a
+        // zero-width value are 0, so the comparison is always false.
+        assert_eq!(word::slt(0, 0, 0), 0);
+    }
+
+    /// Pins every `word::` helper at the width-64 boundary, where the
+    /// `64 - width` / `1 << width` idioms are most fragile.
+    #[test]
+    fn word_helpers_at_width_64() {
+        assert_eq!(word::mask(64), u64::MAX);
+        assert_eq!(word::add(64, u64::MAX, 1), 0);
+        assert_eq!(word::sub(64, 0, 1), u64::MAX);
+        assert_eq!(word::mul(64, u64::MAX, 2), u64::MAX - 1);
+        assert_eq!(word::shl(64, 1, 63), 1 << 63);
+        assert_eq!(word::shl(64, 1, 64), 0);
+        assert_eq!(word::shr(64, u64::MAX, 63), 1);
+        assert_eq!(word::shr(64, u64::MAX, 64), 0);
+        assert_eq!(word::sra(64, 1 << 63, 63), u64::MAX);
+        assert_eq!(word::sra(64, 1 << 63, 200), u64::MAX, "shift clamps to width-1");
+        assert_eq!(word::sext(64, u64::MAX), u64::MAX);
+        assert_eq!(word::sext(100, 7), 7, "widths above 64 leave the word alone");
+        assert_eq!(word::slt(64, u64::MAX, 0), 1);
+        assert_eq!(word::slice(u64::MAX, 63, 1), 1);
+        assert_eq!(word::slice(u64::MAX, 64, 1), 0);
+    }
+
+    /// Regression: the concat lowerings used to compute `(a << low_width) | b`
+    /// unconditionally, panicking in debug at `low_width == 64` (a
+    /// zero-width high half).
+    #[test]
+    fn word_concat_boundaries() {
+        assert_eq!(word::concat(4, 0xa, 0x5), 0xa5);
+        assert_eq!(word::concat(0, 0xa, 0), 0xa, "zero-width low half");
+        assert_eq!(word::concat(63, 1, 5), (1 << 63) | 5);
+        assert_eq!(word::concat(64, 0xdead, 5), 5, "zero-width high half");
+        assert_eq!(word::concat(100, 0xdead, 5), 5);
     }
 
     #[test]

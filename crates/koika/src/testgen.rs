@@ -198,7 +198,7 @@ pub fn random_expr(rng: &mut SplitMix64, vars: &[(String, u32)], width: u32, dep
             k(width, rng.next_u64() & word::mask(width))
         };
     }
-    match rng.below(8) {
+    match rng.below(9) {
         0 => random_expr(rng, vars, width, depth - 1).add(random_expr(rng, vars, width, depth - 1)),
         1 => random_expr(rng, vars, width, depth - 1).sub(random_expr(rng, vars, width, depth - 1)),
         2 => random_expr(rng, vars, width, depth - 1).xor(random_expr(rng, vars, width, depth - 1)),
@@ -216,6 +216,20 @@ pub fn random_expr(rng: &mut SplitMix64, vars: &[(String, u32)], width: u32, dep
         6 => {
             let sh = rng.below(width.min(8) as u64);
             random_expr(rng, vars, width, depth - 1).shl(k(8, sh))
+        }
+        // Concatenation, biased toward width-boundary splits (1 / w-1 and
+        // w-1 / 1). Extreme low-half widths drive the lowered ConcatShift
+        // shift counts to the edges of the 64-bit word, where masking and
+        // shift-overflow bugs hide; an unbiased split almost never lands
+        // there for the wide register widths.
+        7 if width >= 2 => {
+            let lw = match rng.below(4) {
+                0 => 1,
+                1 => width - 1,
+                _ => rng.range(1, (width - 1) as u64) as u32,
+            };
+            let hw = width - lw;
+            random_expr(rng, vars, hw, depth - 1).concat(random_expr(rng, vars, lw, depth - 1))
         }
         _ => select(
             random_expr(rng, &[], 1, 0),

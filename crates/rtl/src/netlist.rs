@@ -238,8 +238,12 @@ impl Netlist {
             };
             return self.constant(w, v);
         }
-        // no-op masks
-        if matches!(op, NlUn::Mask) && w >= aw {
+        // A mask to the operand's own width is a true no-op (node values
+        // are invariantly masked to their declared width). A *widening*
+        // mask — the lowering of zext — preserves the value but not the
+        // width, and Concat/Sext/Sra consumers read the operand's declared
+        // width, so it must stay a real node.
+        if matches!(op, NlUn::Mask) && w == aw {
             return a;
         }
         self.intern(Node::Un { w, op, a })

@@ -117,6 +117,44 @@ fn explicit_aborts_discard_everything() {
     assert_rtl_matches_interp(&b.build(), 32);
 }
 
+/// Regression: the netlist constructor used to elide *widening* `Mask`
+/// nodes (the lowering of zext) as no-ops. Node values are invariantly
+/// masked to their declared width, so the value survived — but `Concat`,
+/// `Sext`, and `Sra` read their operand's *declared* width, so eliding
+/// the node made a zext'd concat low half too narrow (the high half
+/// shifted by the un-extended width) and made sext/sra pick their sign
+/// bit from the un-extended position. Found by the width-boundary-biased
+/// fuzz generator (seed 0xefae2613fd76d464).
+#[test]
+fn zext_width_survives_into_concat_sext_and_sra() {
+    let mut b = DesignBuilder::new("zextw");
+    b.reg("acc", 32, 0xd9fc_c8bbu64);
+    b.reg("cat", 32, 0u64);
+    b.reg("sx", 8, 0u64);
+    b.reg("sr", 8, 0u64);
+    b.rule(
+        "mix",
+        vec![
+            let_("flag", rd0("acc").ult(k(32, 0xa54f_b278))),
+            // zext'd value as a concat low half: the high half must
+            // shift by the *extended* width (5), not the 1-bit source.
+            wr0("cat", rd0("acc").slice(0, 27).concat(var("flag").zext(5))),
+            // sext after zext must sign-extend from the zero bit the
+            // zext introduced, never from the original sign position.
+            wr0("sx", var("flag").zext(3).sext(8)),
+            // sra after zext: the sign bit is bit 7 of the widened
+            // value (always 0), not bit 3 of the nibble.
+            wr0("sr", rd0("acc").slice(0, 4).zext(8).sra(k(8, 2))),
+        ],
+    );
+    b.rule(
+        "churn",
+        vec![wr0("acc", rd0("acc").mul(k(32, 0x9e37_79b1)).add(k(32, 1)))],
+    );
+    b.schedule(["mix", "churn"]);
+    assert_rtl_matches_interp(&b.build(), 64);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
     #[test]

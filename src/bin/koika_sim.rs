@@ -15,6 +15,7 @@
 //! Options:
 //!   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
 //!   --level <1..6>      Cuttlesim optimization level  (default 6)
+//!   --dispatch <match|closure|tac>  Cuttlesim dispatch engine (default match)
 //!   --cycles <N>        cycles to run        (default 10000; 96 under --fuzz)
 //!   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
 //!   --vcd <FILE>        record all registers to a VCD file
@@ -50,7 +51,7 @@
 //! machine-parseable report, which is byte-identical for a given seed
 //! regardless of `--jobs`.
 
-use cuttlesim::{codegen_cpp, BatchSim, CompileOptions, OptLevel, ProfileReport, RuleTrace, Sim};
+use cuttlesim::{codegen_cpp, BatchSim, CompileOptions, Dispatch, OptLevel, ProfileReport, RuleTrace, Sim};
 use koika::check::check;
 use koika::design::Design;
 use koika::device::{BatchBackend, Device, LaneAccess, SimBackend};
@@ -76,6 +77,7 @@ struct Args {
     design: String,
     backend: String,
     level: u32,
+    dispatch: Option<String>,
     cycles: Option<u64>,
     program: String,
     vcd: Option<String>,
@@ -134,6 +136,9 @@ Designs:
 Options:
   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
   --level <1..6>      Cuttlesim optimization level  (default 6)
+  --dispatch <match|closure|tac>  Cuttlesim instruction dispatch: direct
+                      bytecode match, pre-bound closures, or the
+                      register-form micro-op engine  (default match)
   --cycles <N>        cycles to run       (default 10000; 96 under --fuzz)
   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
   --vcd <FILE>        record all registers to a VCD file
@@ -226,6 +231,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         design,
         backend: "cuttlesim".into(),
         level: 6,
+        dispatch: None,
         cycles: None,
         program: "primes:100".into(),
         vcd: None,
@@ -266,6 +272,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         match flag.as_str() {
             "--backend" => args.backend = value("--backend")?,
             "--level" => args.level = parsed("--level", value("--level")?)?,
+            "--dispatch" => args.dispatch = Some(value("--dispatch")?),
             "--cycles" => args.cycles = Some(parsed("--cycles", value("--cycles")?)?),
             "--program" => args.program = value("--program")?,
             "--vcd" => args.vcd = Some(value("--vcd")?),
@@ -350,6 +357,7 @@ fn workload(spec: &str) -> Option<Vec<u32>> {
 struct Plan {
     td: TDesign,
     level: OptLevel,
+    dispatch: Dispatch,
     program: Option<Vec<u32>>,
     injections: Vec<Injection>,
     watch: Vec<(koika::RegId, String)>,
@@ -371,6 +379,21 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
     }
     let level = OptLevel::from_number(args.level)
         .ok_or_else(|| CliError::usage(format!("bad --level {}: expected 1..6", args.level)))?;
+    let dispatch = match args.dispatch.as_deref() {
+        None => Dispatch::Match,
+        Some(name) => Dispatch::from_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "bad --dispatch {name:?}: expected match, closure, or tac"
+            ))
+        })?,
+    };
+    if dispatch != Dispatch::Match && args.backend != "cuttlesim" {
+        return Err(CliError::usage(format!(
+            "--dispatch {} requires the cuttlesim backend (got {:?})",
+            dispatch.short_name(),
+            args.backend
+        )));
+    }
     if let Some(what) = &args.emit {
         if !matches!(what.as_str(), "cpp" | "cpp-header" | "verilog") {
             return Err(CliError::usage(format!(
@@ -521,6 +544,7 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
     Ok(Plan {
         td,
         level,
+        dispatch,
         program,
         injections,
         watch,
@@ -533,6 +557,7 @@ fn build_sim(
     td: &TDesign,
     backend: &str,
     level: OptLevel,
+    dispatch: Dispatch,
     profile: bool,
 ) -> Result<Box<dyn SimBackend>, CliError> {
     Ok(match backend {
@@ -546,6 +571,7 @@ fn build_sim(
                 },
             )
             .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+            sim.set_dispatch(dispatch);
             if profile {
                 sim.enable_profiling();
             }
@@ -629,8 +655,9 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
     };
     let backend = args.backend.clone();
     let level = plan.level;
+    let dispatch = plan.dispatch;
     let make_sim = move |td: &TDesign| {
-        build_sim(td, &backend, level, false).map_err(|e| match e {
+        build_sim(td, &backend, level, dispatch, false).map_err(|e| match e {
             CliError::Usage(m) | CliError::Runtime(m) => m,
         })
     };
@@ -656,6 +683,7 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
         // to the scalar path (validate() pinned the cuttlesim backend).
         Some(width) => {
             let level = plan.level;
+            let dispatch = plan.dispatch;
             let td4 = td.clone();
             let make_batch = move |lanes: usize| {
                 BatchSim::compile_with(
@@ -666,7 +694,10 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
                     },
                     lanes,
                 )
-                .map(|s| Box::new(s) as Box<dyn BatchBackend>)
+                .map(|mut s| {
+                    s.set_dispatch(dispatch);
+                    Box::new(s) as Box<dyn BatchBackend>
+                })
                 .map_err(|e| e.to_string())
             };
             run_campaign_batched(&env, &make_batch, width, &cfg, &opts, Some(&mut progress))
@@ -698,6 +729,16 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
 
 fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
     let cases = args.fuzz.unwrap_or(0);
+    // No --dispatch under --fuzz means the full matrix (all three
+    // dispatchers per VM level), not the scalar default of Match.
+    let dispatch = match args.dispatch.as_deref() {
+        None => None,
+        Some(name) => Some(Dispatch::from_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "bad --dispatch {name:?}: expected match, closure, or tac"
+            ))
+        })?),
+    };
     let cfg = cuttlesim_repro::fuzz::FuzzConfig {
         seed: args.seed,
         cases,
@@ -705,6 +746,7 @@ fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
         runner: args.runner_config(),
         wall_budget: args.max_wall_ms.map(Duration::from_millis),
         batch: args.batch.unwrap_or(0),
+        dispatch,
     };
     let mut metrics = args
         .metrics_json
@@ -784,9 +826,10 @@ fn run_replay_mode(args: &Args, plan: &Plan, path: &str) -> Result<ExitCode, Cli
     };
     let td = &plan.td;
     let backend = log.backend.clone();
+    let dispatch = plan.dispatch;
     let td2 = td.clone();
     let mut make_sim = move || {
-        build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
+        build_sim(&td2, &backend, level, dispatch, false).unwrap_or_else(|e| {
             match e {
                 CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
             }
@@ -845,6 +888,7 @@ fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<Exi
         width,
     )
     .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+    batch.set_dispatch(plan.dispatch);
     let mut lane_devices: Vec<Vec<Box<dyn Device>>> =
         (0..width).map(|_| build_devices(td, &plan.program)).collect();
 
@@ -1019,7 +1063,7 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     // Normal run (possibly with injections, snapshots, and a watchdog).
     let mut devices = build_devices(td, &plan.program);
     let mut vcd = args.vcd.as_ref().map(|_| VcdRecorder::all_registers(td));
-    let mut sim = build_sim(td, &args.backend, plan.level, args.profile)?;
+    let mut sim = build_sim(td, &args.backend, plan.level, plan.dispatch, args.profile)?;
 
     if let Some(path) = &args.restore {
         let bytes = std::fs::read(path)
@@ -1147,9 +1191,10 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     if let Some(fp) = &fingerprint {
         let backend = args.backend.clone();
         let level = plan.level;
+        let dispatch = plan.dispatch;
         let td2 = td.clone();
         let mut make_sim = move || {
-            build_sim(&td2, &backend, level, false).unwrap_or_else(|e| {
+            build_sim(&td2, &backend, level, dispatch, false).unwrap_or_else(|e| {
                 match e {
                     CliError::Usage(m) | CliError::Runtime(m) => eprintln!("{m}"),
                 }
@@ -1190,6 +1235,7 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
             },
         )
         .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+        traced.set_dispatch(plan.dispatch);
         let mut devices2 = build_devices(td, &plan.program);
         for cycle in 0..main_cycles {
             for d in devices2.iter_mut() {
@@ -1218,6 +1264,7 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
             },
         )
         .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+        profiled.set_dispatch(plan.dispatch);
         profiled.enable_profiling();
         let mut devices3 = build_devices(td, &plan.program);
         for cycle in 0..main_cycles {

@@ -36,7 +36,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use cuttlesim::{BatchSim, CompileOptions, OptLevel, Sim};
+use cuttlesim::{BatchSim, CompileOptions, Dispatch, OptLevel, Sim};
 use koika::check::check;
 use koika::device::{RegAccess, SimBackend};
 use koika::runner::{self, contain, JobError, JobUpdate, RunnerConfig, RunnerStats};
@@ -70,6 +70,12 @@ pub struct FuzzConfig {
     /// values, each compared against its own reference-interpreter run —
     /// deliberately forcing control-flow divergence inside the batch.
     pub batch: usize,
+    /// Which VM dispatch engines to include in the matrix: `None` (the
+    /// default) compares every level under *all* dispatchers — direct
+    /// bytecode match, pre-bound closures, and the register-form micro-op
+    /// engine — while `Some(d)` restricts the VM axis to dispatcher `d`
+    /// (labels stay distinct, so buckets never alias across dispatchers).
+    pub dispatch: Option<Dispatch>,
 }
 
 impl Default for FuzzConfig {
@@ -81,6 +87,7 @@ impl Default for FuzzConfig {
             runner: RunnerConfig::default(),
             wall_budget: None,
             batch: 0,
+            dispatch: None,
         }
     }
 }
@@ -265,23 +272,38 @@ impl FuzzReport {
 /// Every backend a case is compared on, beyond the reference interpreter.
 #[derive(Debug, Clone, Copy)]
 enum BackendId {
-    Vm(OptLevel),
+    Vm(OptLevel, Dispatch),
     Rtl(Scheme),
 }
 
 impl BackendId {
-    fn all() -> Vec<BackendId> {
-        let mut v: Vec<BackendId> = OptLevel::ALL.iter().copied().map(BackendId::Vm).collect();
+    /// The comparison matrix: every VM level under the requested
+    /// dispatchers (`None` = all three), then both RTL schemes. Match
+    /// comes first per level so bucket labels of pre-existing corpus
+    /// entries (`O1`..`O6`) are produced before the suffixed variants.
+    fn all(dispatch: Option<Dispatch>) -> Vec<BackendId> {
+        let mut v = Vec::new();
+        for &level in OptLevel::ALL.iter() {
+            for &d in Dispatch::ALL.iter() {
+                if dispatch.is_none() || dispatch == Some(d) {
+                    v.push(BackendId::Vm(level, d));
+                }
+            }
+        }
         v.push(BackendId::Rtl(Scheme::Dynamic));
         v.push(BackendId::Rtl(Scheme::Static));
         v
     }
 
-    fn label(self) -> &'static str {
+    /// Bucket label. Match keeps the bare level name (`O4`) so labels —
+    /// and therefore checked-in corpus keys — are unchanged from before
+    /// the dispatch axis existed; the other dispatchers get a suffix.
+    fn label(self) -> String {
         match self {
-            BackendId::Vm(level) => level.short_name(),
-            BackendId::Rtl(Scheme::Dynamic) => "rtl",
-            BackendId::Rtl(Scheme::Static) => "rtl-static",
+            BackendId::Vm(level, Dispatch::Match) => level.short_name().to_string(),
+            BackendId::Vm(level, d) => format!("{}-{}", level.short_name(), d.short_name()),
+            BackendId::Rtl(Scheme::Dynamic) => "rtl".to_string(),
+            BackendId::Rtl(Scheme::Static) => "rtl-static".to_string(),
         }
     }
 
@@ -296,14 +318,17 @@ impl BackendId {
 
     fn build(self, td: &TDesign) -> Result<Box<dyn SimBackend>, String> {
         match self {
-            BackendId::Vm(level) => Sim::compile_with(
+            BackendId::Vm(level, dispatch) => Sim::compile_with(
                 td,
                 &CompileOptions {
                     level,
                     ..CompileOptions::default()
                 },
             )
-            .map(|s| Box::new(s) as Box<dyn SimBackend>)
+            .map(|mut s| {
+                s.set_dispatch(dispatch);
+                Box::new(s) as Box<dyn SimBackend>
+            })
             .map_err(|e| e.to_string()),
             BackendId::Rtl(scheme) => rtl_compile(td, scheme)
                 .map(|m| Box::new(RtlSim::new(m)) as Box<dyn SimBackend>)
@@ -334,6 +359,12 @@ fn state_trace(td: &TDesign, sim: &mut dyn SimBackend, cycles: u64) -> Vec<u64> 
 /// that makes one backend panic mid-cycle produces a [`Finding`], not an
 /// abort.
 pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
+    run_case_dispatch(seed, cycles, None)
+}
+
+/// [`run_case`] with the VM axis restricted to one dispatcher
+/// (`None` = all three; see [`FuzzConfig::dispatch`]).
+pub fn run_case_dispatch(seed: u64, cycles: u64, dispatch: Option<Dispatch>) -> CaseResult {
     let mut findings = Vec::new();
 
     let Some((td, shape)) = case_design(seed, &mut findings) else {
@@ -362,7 +393,7 @@ pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
         }
     };
 
-    for backend in BackendId::all() {
+    for backend in BackendId::all(dispatch) {
         let run = contain(|| {
             backend
                 .build(&td)
@@ -375,7 +406,7 @@ pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
                 }
                 if let Some(cycle) = reference.iter().zip(&trace).position(|(a, b)| a != b) {
                     findings.push(Finding {
-                        backend: backend.label().to_string(),
+                        backend: backend.label(),
                         kind: FindingKind::Mismatch {
                             cycle: cycle as u64,
                         },
@@ -383,11 +414,11 @@ pub fn run_case(seed: u64, cycles: u64) -> CaseResult {
                 }
             }
             Ok(Err(message)) => findings.push(Finding {
-                backend: backend.label().to_string(),
+                backend: backend.label(),
                 kind: FindingKind::Build { message },
             }),
             Err(message) => findings.push(Finding {
-                backend: backend.label().to_string(),
+                backend: backend.label(),
                 kind: FindingKind::Panic { message },
             }),
         }
@@ -443,11 +474,11 @@ fn perturb_regs(td: &TDesign, seed: u64, lane: usize, set: &mut dyn FnMut(RegId,
 /// label so `batch == 1` reports are byte-identical to scalar reports;
 /// perturbed lanes get a `/laneN` suffix (no `@`, which would collide
 /// with the bucket-key shape separator).
-fn lane_label(level: OptLevel, lane: usize) -> String {
+fn lane_label(backend: BackendId, lane: usize) -> String {
     if lane == 0 {
-        level.short_name().to_string()
+        backend.label()
     } else {
-        format!("{}/lane{lane}", level.short_name())
+        format!("{}/lane{lane}", backend.label())
     }
 }
 
@@ -457,6 +488,7 @@ fn lane_label(level: OptLevel, lane: usize) -> String {
 fn batched_traces(
     td: &TDesign,
     level: OptLevel,
+    dispatch: Dispatch,
     seed: u64,
     cycles: u64,
     lanes: usize,
@@ -470,6 +502,7 @@ fn batched_traces(
         lanes,
     )
     .map_err(|e| (true, e.to_string()))?;
+    sim.set_dispatch(dispatch);
     for l in 1..lanes {
         perturb_regs(td, seed, l, &mut |r, v| sim.lane_set64(l, r, v));
     }
@@ -493,7 +526,12 @@ fn batched_traces(
 /// `1..` start from perturbed register values, and every lane is compared
 /// cycle-by-cycle against its own reference-interpreter run. The RTL
 /// backends have no batched engine and run exactly as in [`run_case`].
-pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
+pub fn run_case_batched(
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+    dispatch: Option<Dispatch>,
+) -> CaseResult {
     let lanes = lanes.max(1);
     let mut findings = Vec::new();
 
@@ -528,9 +566,9 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
         }
     };
 
-    for backend in BackendId::all() {
-        let level = match backend {
-            BackendId::Vm(level) => level,
+    for backend in BackendId::all(dispatch) {
+        let (level, vm_dispatch) = match backend {
+            BackendId::Vm(level, d) => (level, d),
             BackendId::Rtl(_) => {
                 // Scalar path, identical to `run_case`.
                 let run = contain(|| {
@@ -545,7 +583,7 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
                                 refs[0].iter().zip(&trace).position(|(a, b)| a != b)
                             {
                                 findings.push(Finding {
-                                    backend: backend.label().to_string(),
+                                    backend: backend.label(),
                                     kind: FindingKind::Mismatch {
                                         cycle: cycle as u64,
                                     },
@@ -554,23 +592,23 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
                         }
                     }
                     Ok(Err(message)) => findings.push(Finding {
-                        backend: backend.label().to_string(),
+                        backend: backend.label(),
                         kind: FindingKind::Build { message },
                     }),
                     Err(message) => findings.push(Finding {
-                        backend: backend.label().to_string(),
+                        backend: backend.label(),
                         kind: FindingKind::Panic { message },
                     }),
                 }
                 continue;
             }
         };
-        match contain(|| batched_traces(&td, level, seed, cycles, lanes)) {
+        match contain(|| batched_traces(&td, level, vm_dispatch, seed, cycles, lanes)) {
             Ok(Ok(traces)) => {
                 for (l, trace) in traces.iter().enumerate() {
                     if let Some(cycle) = refs[l].iter().zip(trace).position(|(a, b)| a != b) {
                         findings.push(Finding {
-                            backend: lane_label(level, l),
+                            backend: lane_label(backend, l),
                             kind: FindingKind::Mismatch {
                                 cycle: cycle as u64,
                             },
@@ -579,7 +617,7 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
                 }
             }
             Ok(Err((is_build, message))) => findings.push(Finding {
-                backend: backend.label().to_string(),
+                backend: backend.label(),
                 kind: if is_build {
                     FindingKind::Build { message }
                 } else {
@@ -587,7 +625,7 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
                 },
             }),
             Err(message) => findings.push(Finding {
-                backend: backend.label().to_string(),
+                backend: backend.label(),
                 kind: FindingKind::Panic { message },
             }),
         }
@@ -602,11 +640,16 @@ pub fn run_case_batched(seed: u64, cycles: u64, lanes: usize) -> CaseResult {
 
 /// Runs one case with the engine the configuration selects: the scalar
 /// path when `batch == 0`, the batched VM levels otherwise.
-pub fn run_case_with(seed: u64, cycles: u64, batch: usize) -> CaseResult {
+pub fn run_case_with(
+    seed: u64,
+    cycles: u64,
+    batch: usize,
+    dispatch: Option<Dispatch>,
+) -> CaseResult {
     if batch == 0 {
-        run_case(seed, cycles)
+        run_case_dispatch(seed, cycles, dispatch)
     } else {
-        run_case_batched(seed, cycles, batch)
+        run_case_batched(seed, cycles, batch, dispatch)
     }
 }
 
@@ -614,9 +657,13 @@ pub fn run_case_with(seed: u64, cycles: u64, batch: usize) -> CaseResult {
 /// which `run_case(seed, n)` still yields a finding with the same key.
 /// Findings are monotone in the cycle budget (traces are prefixes of each
 /// other and panics happen at a fixed cycle), so binary search applies.
-fn shrink_cycles(seed: u64, cycles: u64, key: &str, batch: usize) -> u64 {
-    let reproduces =
-        |n: u64| -> bool { run_case_with(seed, n, batch).findings.iter().any(|f| f.key() == key) };
+fn shrink_cycles(seed: u64, cycles: u64, key: &str, batch: usize, dispatch: Option<Dispatch>) -> u64 {
+    let reproduces = |n: u64| -> bool {
+        run_case_with(seed, n, batch, dispatch)
+            .findings
+            .iter()
+            .any(|f| f.key() == key)
+    };
     // Compile-time findings reproduce with zero cycles.
     if reproduces(0) {
         return 0;
@@ -646,7 +693,7 @@ pub fn run_fuzz(
         |i| {
             let seed = case_seed(cfg.seed, i);
             let started = Instant::now();
-            let result = run_case_with(seed, cfg.cycles, cfg.batch);
+            let result = run_case_with(seed, cfg.cycles, cfg.batch, cfg.dispatch);
             if let Some(budget) = cfg.wall_budget {
                 let spent = started.elapsed();
                 if spent > budget {
@@ -718,7 +765,7 @@ pub fn run_fuzz(
                 .map(|(k, _)| k.to_string())
                 .unwrap_or_else(|| bucket.key.clone());
             bucket.repro_cycles =
-                shrink_cycles(bucket.repro_seed, cfg.cycles, &finding_key, cfg.batch);
+                shrink_cycles(bucket.repro_seed, cfg.cycles, &finding_key, cfg.batch, cfg.dispatch);
         }
     }
 
@@ -947,6 +994,7 @@ mod tests {
             runner: RunnerConfig::with_jobs(jobs),
             wall_budget: None,
             batch: 0,
+            dispatch: None,
         };
         let (seq, _) = run_fuzz(&mk(1), None);
         let (par, _) = run_fuzz(&mk(4), None);
@@ -958,7 +1006,7 @@ mod tests {
         for i in 0..3 {
             let seed = case_seed(0xF00D, i);
             let scalar = run_case(seed, 32);
-            let batched = run_case_batched(seed, 32, 1);
+            let batched = run_case_batched(seed, 32, 1, None);
             assert_eq!(scalar.shape, batched.shape, "case {i}");
             assert_eq!(scalar.findings, batched.findings, "case {i}");
         }
@@ -970,7 +1018,7 @@ mod tests {
         // fallback inside the batch — must agree with its own
         // reference-interpreter run at every VM level.
         for i in 0..2 {
-            let case = run_case_batched(case_seed(0xF00D, i), 32, 4);
+            let case = run_case_batched(case_seed(0xF00D, i), 32, 4, None);
             let keys: Vec<String> = case.findings.iter().map(|f| f.key()).collect();
             assert!(keys.is_empty(), "case {i}: unexpected findings {keys:?}");
         }
@@ -985,6 +1033,7 @@ mod tests {
             runner: RunnerConfig::default(),
             wall_budget: None,
             batch,
+            dispatch: None,
         };
         let (scalar, _) = run_fuzz(&mk(0), None);
         let (batched, _) = run_fuzz(&mk(1), None);
