@@ -125,6 +125,31 @@ impl MagicMemory {
 }
 
 impl Device for MagicMemory {
+    // Stores mutate `mem`, so the debugger must checkpoint it alongside
+    // the architectural registers; the port bindings are immutable config
+    // and stay out of the blob.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.mem.len() * 4);
+        for w in &self.mem {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        Some(out)
+    }
+
+    fn load_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != self.mem.len() * 4 {
+            return Err(format!(
+                "memory state is {} bytes, expected {}",
+                state.len(),
+                self.mem.len() * 4
+            ));
+        }
+        for (w, chunk) in self.mem.iter_mut().zip(state.chunks_exact(4)) {
+            *w = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
     fn tick(&mut self, _cycle: u64, regs: &mut dyn RegAccess) {
         for p in &self.ports {
             if regs.get64(p.req_valid) == 0 {

@@ -1,0 +1,1609 @@
+//! Interactive, backend-invariant time-travel debugger.
+//!
+//! The source paper's headline debugging workflow is attaching an ordinary
+//! software debugger (GDB, rr) to a compiled Cuttlesim simulator:
+//! breakpoints on rules, watchpoints on registers, reverse execution back
+//! to the cycle where state went wrong. This module reproduces that
+//! workflow *above* the execution engines, so one debugger drives every
+//! backend in the workspace — the reference interpreter, the Cuttlesim VM
+//! at every optimization level and dispatch strategy (including the
+//! batched SoA engine, one focused lane at a time), and the levelized RTL
+//! simulator — and a scripted session produces byte-identical transcripts
+//! on all of them.
+//!
+//! # Architecture
+//!
+//! * **Observer pause seam.** The debugger never reaches into an engine.
+//!   It owns the cycle loop and drives a [`DebugTarget`] one cycle at a
+//!   time through [`crate::device::SimBackend::cycle_obs`], capturing rule
+//!   events and boundary register writes with a [`CycleCapture`] observer.
+//!   When no debugger is attached nothing changes: the unobserved `cycle`
+//!   hot paths are untouched.
+//!
+//! * **Cycle granularity.** The RTL simulator evaluates a whole cycle as
+//!   one levelized combinational pass, so no backend-invariant debugger
+//!   can pause *inside* a cycle. `step-rule` is therefore a presentation
+//!   over the captured event stream: the first `step-rule` of a cycle
+//!   executes the full cycle and reveals its first rule event; subsequent
+//!   `step-rule`s reveal the remaining events one at a time. Register
+//!   state shown at the prompt is always the post-cycle state.
+//!
+//! * **Checkpoint ring + deterministic re-execution.** Reverse execution
+//!   needs no engine-level undo. The session keeps a bounded ring of full
+//!   state checkpoints (registers via [`Snapshot`], device state via
+//!   [`Device::save_state`]) taken every K cycles, K adaptive to state
+//!   size. `reverse-step` restores the nearest checkpoint at or before
+//!   the target cycle and re-executes forward — simulation is
+//!   deterministic, so the replay reproduces the original timeline
+//!   exactly, including the event ring and per-rule counters (both are
+//!   checkpointed alongside the state). `dump-vcd` is the same trick:
+//!   replay from the genesis checkpoint with a [`VcdRecorder`] attached.
+//!
+//! * **Watchdog integration.** A paused debugger freezes the wall clock
+//!   of any armed watchdog ([`ArmedWatchdog::pause`]) and never feeds it
+//!   replay cycles, so thinking at the prompt or time-traveling cannot be
+//!   misclassified as a hang; only user-driven forward execution is
+//!   observed.
+
+use crate::device::{BatchBackend, Device, LaneAccess, SimBackend};
+use crate::fault::ArmedWatchdog;
+use crate::obs::{FailureReason, Observer};
+use crate::snapshot::Snapshot;
+use crate::tir::{RegId, TDesign};
+use crate::vcd::VcdRecorder;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+
+/// How many checkpoints the ring holds (the genesis checkpoint is kept
+/// outside the ring and is never evicted).
+const CHECKPOINT_SLOTS: usize = 64;
+
+/// How many rule events the recent-event ring holds.
+const EVENT_RING: usize = 64;
+
+/// How many ring entries `last` prints by default.
+const LAST_DEFAULT: usize = 8;
+
+/// What happened to one scheduled rule during a captured cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The rule committed.
+    Commit,
+    /// The rule did not commit (guard abort, conflict, or unclassified).
+    Fail(FailureReason),
+}
+
+/// An [`Observer`] that records one cycle's rule events and boundary
+/// register writes for the debugger to present.
+#[derive(Debug, Default, Clone)]
+pub struct CycleCapture {
+    /// Rule events in schedule order (declaration-order rule indices).
+    pub events: Vec<(usize, EventKind)>,
+    /// Boundary register writes `(reg, old, new)` (low 64 bits).
+    pub writes: Vec<(RegId, u64, u64)>,
+}
+
+impl Observer for CycleCapture {
+    fn rule_commit(&mut self, rule: usize) {
+        self.events.push((rule, EventKind::Commit));
+    }
+    fn rule_fail(&mut self, rule: usize, reason: FailureReason) {
+        self.events.push((rule, EventKind::Fail(reason)));
+    }
+    fn reg_write(&mut self, reg: RegId, old: u64, new: u64) {
+        self.writes.push((reg, old, new));
+    }
+}
+
+/// Complete restorable state of a [`DebugTarget`]: one [`Snapshot`] per
+/// lane plus every device's serialized state (`devices[lane][device]`).
+#[derive(Debug, Clone)]
+pub struct TargetState {
+    lanes: Vec<Snapshot>,
+    devices: Vec<Vec<Vec<u8>>>,
+}
+
+impl TargetState {
+    /// Approximate per-lane state size in bytes (register words plus
+    /// device blobs); drives the adaptive checkpoint interval. Depends
+    /// only on the design and devices, never on the backend, so every
+    /// backend picks the same interval.
+    fn lane_bytes(&self) -> usize {
+        let regs: usize = self.lanes[0].regs.iter().map(|r| r.words().len() * 8).sum();
+        let devs: usize = self
+            .devices
+            .first()
+            .map(|ds| ds.iter().map(Vec::len).sum())
+            .unwrap_or(0);
+        regs + devs
+    }
+}
+
+/// One debuggable simulation: an engine plus its devices, steppable one
+/// cycle at a time with full state capture/restore.
+///
+/// The two provided implementations — [`ScalarTarget`] for any
+/// [`SimBackend`] and [`BatchTarget`] for a [`BatchBackend`] — cover
+/// every engine in the workspace.
+pub trait DebugTarget {
+    /// Executes one cycle at logical cycle number `cycle`: ticks devices,
+    /// then runs the engine, reporting events into `cap`.
+    fn step(&mut self, cycle: u64, cap: &mut CycleCapture) -> Result<(), String>;
+
+    /// Like [`DebugTarget::step`], but samples `vcd` after the device
+    /// ticks and before the engine runs (the CLI's `--vcd` ordering)
+    /// instead of capturing events.
+    fn step_vcd(&mut self, cycle: u64, vcd: &mut VcdRecorder) -> Result<(), String>;
+
+    /// Reads a register (low 64 bits) of the focused lane.
+    fn reg_get(&self, reg: RegId) -> u64;
+
+    /// Captures complete restorable state, labeling it with the given
+    /// logical cycle number.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a device does not support state save ([`Device::save_state`]
+    /// returned `None`) — time travel is then unavailable.
+    fn checkpoint(&self, cycle: u64) -> Result<TargetState, String>;
+
+    /// Restores state captured by [`DebugTarget::checkpoint`].
+    fn restore(&mut self, st: &TargetState) -> Result<(), String>;
+
+    /// Number of lanes (1 for scalar backends).
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    /// The focused lane.
+    fn focus(&self) -> usize {
+        0
+    }
+
+    /// Switches the focused lane.
+    fn set_focus(&mut self, _lane: usize) -> Result<(), String> {
+        Err("not a batched backend".into())
+    }
+
+    /// A portable [`Snapshot`] of the focused lane at the given logical
+    /// cycle, for `snapshot <file>`.
+    fn snapshot(&self, cycle: u64) -> Result<Snapshot, String>;
+
+    /// The cycle boundary the target sits at when the session attaches
+    /// (non-zero after `--restore`).
+    fn start_cycle(&self) -> u64 {
+        0
+    }
+}
+
+/// [`DebugTarget`] over any scalar [`SimBackend`] plus its devices.
+pub struct ScalarTarget<'a> {
+    sim: Box<dyn SimBackend + 'a>,
+    devices: Vec<Box<dyn Device + 'a>>,
+}
+
+impl<'a> ScalarTarget<'a> {
+    /// Wraps an engine and its devices for debugging.
+    pub fn new(sim: Box<dyn SimBackend + 'a>, devices: Vec<Box<dyn Device + 'a>>) -> Self {
+        ScalarTarget { sim, devices }
+    }
+}
+
+impl DebugTarget for ScalarTarget<'_> {
+    fn step(&mut self, cycle: u64, cap: &mut CycleCapture) -> Result<(), String> {
+        for d in self.devices.iter_mut() {
+            d.tick(cycle, self.sim.as_reg_access());
+        }
+        self.sim.cycle_obs(cap);
+        Ok(())
+    }
+
+    fn step_vcd(&mut self, cycle: u64, vcd: &mut VcdRecorder) -> Result<(), String> {
+        for d in self.devices.iter_mut() {
+            d.tick(cycle, self.sim.as_reg_access());
+        }
+        vcd.sample(cycle, self.sim.as_reg_access());
+        self.sim.cycle();
+        Ok(())
+    }
+
+    fn reg_get(&self, reg: RegId) -> u64 {
+        self.sim.get64(reg)
+    }
+
+    fn checkpoint(&self, cycle: u64) -> Result<TargetState, String> {
+        let mut snap = self.sim.snapshot();
+        snap.cycles = cycle;
+        let mut blobs = Vec::with_capacity(self.devices.len());
+        for (i, d) in self.devices.iter().enumerate() {
+            blobs.push(d.save_state().ok_or_else(|| {
+                format!("device {i} does not support state save/restore")
+            })?);
+        }
+        Ok(TargetState {
+            lanes: vec![snap],
+            devices: vec![blobs],
+        })
+    }
+
+    fn restore(&mut self, st: &TargetState) -> Result<(), String> {
+        self.sim.restore(&st.lanes[0]).map_err(|e| e.to_string())?;
+        for (d, blob) in self.devices.iter_mut().zip(&st.devices[0]) {
+            d.load_state(blob)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, cycle: u64) -> Result<Snapshot, String> {
+        let mut snap = self.sim.snapshot();
+        snap.cycles = cycle;
+        Ok(snap)
+    }
+
+    fn start_cycle(&self) -> u64 {
+        self.sim.cycle_count()
+    }
+}
+
+/// [`DebugTarget`] over a [`BatchBackend`]: all lanes advance in
+/// lock-step, and the debugger observes one focused lane at a time
+/// (switchable with `focus-lane`).
+pub struct BatchTarget<'a> {
+    td: &'a TDesign,
+    batch: Box<dyn BatchBackend + 'a>,
+    lane_devices: Vec<Vec<Box<dyn Device + 'a>>>,
+    focus: usize,
+    fired: Vec<u64>,
+}
+
+impl<'a> BatchTarget<'a> {
+    /// Wraps a batched engine; `lane_devices[lane]` are that lane's
+    /// devices (may be empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the design has registers wider than 64 bits (batched
+    /// engines require `fits_u64`) or the device list does not match the
+    /// lane count.
+    pub fn new(
+        td: &'a TDesign,
+        batch: Box<dyn BatchBackend + 'a>,
+        lane_devices: Vec<Vec<Box<dyn Device + 'a>>>,
+    ) -> Result<Self, String> {
+        if !td.fits_u64() {
+            return Err("batched debugging requires all registers ≤ 64 bits".into());
+        }
+        if lane_devices.len() != batch.lanes() {
+            return Err(format!(
+                "{} device lists for {} lanes",
+                lane_devices.len(),
+                batch.lanes()
+            ));
+        }
+        let lanes = batch.lanes();
+        Ok(BatchTarget {
+            td,
+            batch,
+            lane_devices,
+            focus: 0,
+            fired: vec![0; lanes],
+        })
+    }
+
+    fn lane_snapshot(&self, lane: usize, cycle: u64) -> Snapshot {
+        let regs = (0..self.td.num_regs())
+            .map(|i| {
+                let w = self.td.regs[i].width;
+                crate::bits::Bits::new(w, self.batch.lane_get64(lane, RegId(i as u32)))
+            })
+            .collect();
+        Snapshot {
+            design: self.td.name.clone(),
+            cycles: cycle,
+            fired: self.fired[lane],
+            fired_per_rule: Vec::new(),
+            regs,
+        }
+    }
+
+    fn tick_devices(&mut self, cycle: u64) {
+        for (lane, devs) in self.lane_devices.iter_mut().enumerate() {
+            let mut la = LaneAccess::new(self.batch.as_mut(), lane);
+            for d in devs.iter_mut() {
+                d.tick(cycle, &mut la);
+            }
+        }
+    }
+
+    fn count_fired(&mut self) {
+        for lane in 0..self.batch.lanes() {
+            self.fired[lane] += self.batch.lane_commits(lane).len() as u64;
+        }
+    }
+}
+
+impl DebugTarget for BatchTarget<'_> {
+    fn step(&mut self, cycle: u64, cap: &mut CycleCapture) -> Result<(), String> {
+        self.tick_devices(cycle);
+        let prev: Vec<u64> = (0..self.td.num_regs())
+            .map(|i| self.batch.lane_get64(self.focus, RegId(i as u32)))
+            .collect();
+        self.batch.cycle()?;
+        self.count_fired();
+        // Synthesize the focused lane's event stream from its commit
+        // list (declaration-order indices in schedule order). The batch
+        // engine cannot classify failures, so they surface as
+        // Unspecified — exactly like the RTL backend.
+        let commits = self.batch.lane_commits(self.focus);
+        let mut ci = 0;
+        for &ri in &self.td.schedule {
+            if ci < commits.len() && commits[ci] as usize == ri {
+                cap.events.push((ri, EventKind::Commit));
+                ci += 1;
+            } else {
+                cap.events.push((ri, EventKind::Fail(FailureReason::Unspecified)));
+            }
+        }
+        for (i, &p) in prev.iter().enumerate() {
+            let now = self.batch.lane_get64(self.focus, RegId(i as u32));
+            if now != p {
+                cap.writes.push((RegId(i as u32), p, now));
+            }
+        }
+        Ok(())
+    }
+
+    fn step_vcd(&mut self, cycle: u64, vcd: &mut VcdRecorder) -> Result<(), String> {
+        self.tick_devices(cycle);
+        {
+            let la = LaneAccess::new(self.batch.as_mut(), self.focus);
+            vcd.sample(cycle, &la);
+        }
+        self.batch.cycle()?;
+        self.count_fired();
+        Ok(())
+    }
+
+    fn reg_get(&self, reg: RegId) -> u64 {
+        self.batch.lane_get64(self.focus, reg)
+    }
+
+    fn checkpoint(&self, cycle: u64) -> Result<TargetState, String> {
+        let lanes: Vec<Snapshot> = (0..self.batch.lanes())
+            .map(|l| self.lane_snapshot(l, cycle))
+            .collect();
+        let mut devices = Vec::with_capacity(self.lane_devices.len());
+        for devs in &self.lane_devices {
+            let mut blobs = Vec::with_capacity(devs.len());
+            for (i, d) in devs.iter().enumerate() {
+                blobs.push(d.save_state().ok_or_else(|| {
+                    format!("device {i} does not support state save/restore")
+                })?);
+            }
+            devices.push(blobs);
+        }
+        Ok(TargetState { lanes, devices })
+    }
+
+    fn restore(&mut self, st: &TargetState) -> Result<(), String> {
+        if st.lanes.len() != self.batch.lanes() {
+            return Err(format!(
+                "checkpoint has {} lanes, batch has {}",
+                st.lanes.len(),
+                self.batch.lanes()
+            ));
+        }
+        for (lane, snap) in st.lanes.iter().enumerate() {
+            for (i, bits) in snap.regs.iter().enumerate() {
+                self.batch.lane_set64(lane, RegId(i as u32), bits.low_u64());
+            }
+            self.fired[lane] = snap.fired;
+        }
+        for (devs, blobs) in self.lane_devices.iter_mut().zip(&st.devices) {
+            for (d, blob) in devs.iter_mut().zip(blobs) {
+                d.load_state(blob)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn lanes(&self) -> usize {
+        self.batch.lanes()
+    }
+
+    fn focus(&self) -> usize {
+        self.focus
+    }
+
+    fn set_focus(&mut self, lane: usize) -> Result<(), String> {
+        if lane >= self.batch.lanes() {
+            return Err(format!(
+                "lane {lane} out of range (batch has {} lanes)",
+                self.batch.lanes()
+            ));
+        }
+        self.focus = lane;
+        Ok(())
+    }
+
+    fn snapshot(&self, cycle: u64) -> Result<Snapshot, String> {
+        Ok(self.lane_snapshot(self.focus, cycle))
+    }
+}
+
+/// Session-level knobs for [`run_session`].
+#[derive(Debug, Clone)]
+pub struct DebugOptions {
+    /// Cycle boundary at which the program ends (the CLI's `--cycles`
+    /// budget); `continue` with no hits runs to here.
+    pub limit: u64,
+    /// Echo each command as `(kdb) <cmd>` (script mode — makes the
+    /// output a complete, byte-comparable transcript).
+    pub echo: bool,
+    /// Print an interactive `(kdb) ` prompt before reading each command.
+    pub prompt: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RuleBreakKind {
+    Any,
+    Commit,
+    Abort,
+}
+
+#[derive(Debug, Clone)]
+enum BreakSpec {
+    Rule { rule: usize, kind: RuleBreakKind },
+    Cycle(u64),
+    Watch { reg: RegId, cond: Option<u64> },
+}
+
+#[derive(Debug, Clone)]
+struct BreakPt {
+    id: u32,
+    spec: BreakSpec,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EventRec {
+    cycle: u64,
+    rule: usize,
+    commit: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleCounter {
+    attempts: u64,
+    commits: u64,
+    aborts: u64,
+    conflicts: u64,
+    other: u64,
+    conflict_regs: BTreeMap<u32, u64>,
+}
+
+#[derive(Clone)]
+struct DebugCheckpoint {
+    cycle: u64,
+    state: TargetState,
+    ring: VecDeque<EventRec>,
+    counters: Vec<RuleCounter>,
+    last_writes: Vec<(RegId, u64, u64)>,
+}
+
+struct Session<'a, 'w, 'c> {
+    td: &'a TDesign,
+    target: &'a mut dyn DebugTarget,
+    out: &'a mut dyn Write,
+    watchdog: Option<&'w mut ArmedWatchdog<'c>>,
+    limit: u64,
+    /// Cycles executed (the session is paused at this boundary).
+    pos: u64,
+    ring: VecDeque<EventRec>,
+    counters: Vec<RuleCounter>,
+    last_writes: Vec<(RegId, u64, u64)>,
+    breaks: Vec<BreakPt>,
+    next_id: u32,
+    /// Genesis checkpoint (never evicted); `None` when a device cannot
+    /// save state, which disables time travel.
+    genesis: Option<DebugCheckpoint>,
+    checkpoints: VecDeque<DebugCheckpoint>,
+    interval: u64,
+    max_ckpt: u64,
+    /// Buffered rule events of a cycle mid-`step-rule` reveal.
+    pending: VecDeque<(usize, bool)>,
+    pending_cycle: u64,
+    pending_commits: usize,
+    tt_err: Option<String>,
+    done: bool,
+}
+
+type CmdResult = std::io::Result<()>;
+
+impl Session<'_, '_, '_> {
+    fn reg_name(&self, reg: RegId) -> &str {
+        &self.td.regs[reg.0 as usize].name
+    }
+
+    fn find_reg(&self, name: &str) -> Option<RegId> {
+        self.td
+            .regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
+    }
+
+    fn wd_pause(&mut self) {
+        if let Some(wd) = self.watchdog.as_deref_mut() {
+            wd.pause();
+        }
+    }
+
+    fn wd_resume(&mut self) {
+        if let Some(wd) = self.watchdog.as_deref_mut() {
+            wd.resume();
+        }
+    }
+
+    /// Executes one cycle at `pos`, updating the ring, counters, diff,
+    /// and checkpoint ring. `observe_wd` is true only for user-driven
+    /// forward execution — replays never feed the watchdog.
+    fn exec_one(
+        &mut self,
+        observe_wd: bool,
+    ) -> Result<(CycleCapture, Option<crate::fault::WatchdogTrip>), String> {
+        let mut cap = CycleCapture::default();
+        self.target.step(self.pos, &mut cap)?;
+        let cycle = self.pos;
+        self.pos += 1;
+        let mut commits = 0u64;
+        for &(rule, kind) in &cap.events {
+            let commit = matches!(kind, EventKind::Commit);
+            if commit {
+                commits += 1;
+            }
+            if self.ring.len() == EVENT_RING {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(EventRec { cycle, rule, commit });
+            let c = &mut self.counters[rule];
+            c.attempts += 1;
+            match kind {
+                EventKind::Commit => c.commits += 1,
+                EventKind::Fail(FailureReason::Abort) => c.aborts += 1,
+                EventKind::Fail(FailureReason::Conflict(reg)) => {
+                    c.conflicts += 1;
+                    *c.conflict_regs.entry(reg.0).or_insert(0) += 1;
+                }
+                EventKind::Fail(FailureReason::Unspecified) => c.other += 1,
+            }
+        }
+        self.last_writes = cap.writes.clone();
+        if self.genesis.is_some() && self.pos.is_multiple_of(self.interval) && self.pos > self.max_ckpt {
+            match self.make_checkpoint() {
+                Ok(ck) => {
+                    if self.checkpoints.len() == CHECKPOINT_SLOTS {
+                        self.checkpoints.pop_front();
+                    }
+                    self.max_ckpt = ck.cycle;
+                    self.checkpoints.push_back(ck);
+                }
+                Err(e) => {
+                    // A device stopped cooperating mid-run; disable time
+                    // travel from here on rather than aborting the session.
+                    self.tt_err = Some(e);
+                    self.genesis = None;
+                    self.checkpoints.clear();
+                }
+            }
+        }
+        let trip = if observe_wd {
+            self.watchdog
+                .as_deref_mut()
+                .and_then(|wd| wd.observe(self.pos, commits))
+        } else {
+            None
+        };
+        Ok((cap, trip))
+    }
+
+    fn make_checkpoint(&self) -> Result<DebugCheckpoint, String> {
+        Ok(DebugCheckpoint {
+            cycle: self.pos,
+            state: self.target.checkpoint(self.pos)?,
+            ring: self.ring.clone(),
+            counters: self.counters.clone(),
+            last_writes: self.last_writes.clone(),
+        })
+    }
+
+    fn time_travel_err(&self) -> String {
+        self.tt_err
+            .clone()
+            .unwrap_or_else(|| "no checkpoints available".into())
+    }
+
+    /// Moves the session to cycle boundary `c ≤ pos` by restoring the
+    /// nearest checkpoint and re-executing forward.
+    fn travel_to(&mut self, c: u64) -> Result<(), String> {
+        let ck = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|k| k.cycle <= c)
+            .or(self.genesis.as_ref())
+            .cloned()
+            .ok_or_else(|| self.time_travel_err())?;
+        if ck.cycle > c {
+            return Err(format!("cannot travel before cycle {}", ck.cycle));
+        }
+        self.target.restore(&ck.state)?;
+        self.pos = ck.cycle;
+        self.ring = ck.ring;
+        self.counters = ck.counters;
+        self.last_writes = ck.last_writes;
+        while self.pos < c {
+            self.exec_one(false)?;
+        }
+        Ok(())
+    }
+
+    /// Breakpoint/watchpoint hits produced by the cycle that just
+    /// executed (events of cycle `pos - 1`, boundary now at `pos`).
+    fn eval_breaks(&self, cap: &CycleCapture) -> Vec<String> {
+        let cycle = self.pos - 1;
+        let mut hits = Vec::new();
+        for bp in &self.breaks {
+            match &bp.spec {
+                BreakSpec::Rule { rule, kind } => {
+                    for &(r, k) in &cap.events {
+                        if r != *rule {
+                            continue;
+                        }
+                        let commit = matches!(k, EventKind::Commit);
+                        let matched = match kind {
+                            RuleBreakKind::Any => true,
+                            RuleBreakKind::Commit => commit,
+                            RuleBreakKind::Abort => !commit,
+                        };
+                        if matched {
+                            hits.push(format!(
+                                "breakpoint {}: rule '{}' {} at cycle {cycle}",
+                                bp.id,
+                                self.td.rules[r].name,
+                                if commit { "commit" } else { "abort" },
+                            ));
+                            break;
+                        }
+                    }
+                }
+                BreakSpec::Cycle(c) => {
+                    if *c == self.pos {
+                        hits.push(format!("breakpoint {}: cycle {c}", bp.id));
+                    }
+                }
+                BreakSpec::Watch { reg, cond } => {
+                    for &(r, old, new) in &cap.writes {
+                        if r != *reg {
+                            continue;
+                        }
+                        let matched = match cond {
+                            None => true,
+                            Some(v) => old != *v && new == *v,
+                        };
+                        if matched {
+                            hits.push(format!(
+                                "watchpoint {}: reg '{}' 0x{old:x} -> 0x{new:x} at cycle {cycle}",
+                                bp.id,
+                                self.reg_name(*reg),
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    fn print_ring(&mut self, n: usize) -> CmdResult {
+        writeln!(self.out, "recent events:")?;
+        if self.ring.is_empty() {
+            writeln!(self.out, "  (none)")?;
+            return Ok(());
+        }
+        let start = self.ring.len().saturating_sub(n);
+        for i in start..self.ring.len() {
+            let e = self.ring[i];
+            writeln!(
+                self.out,
+                "  cycle {}: rule '{}' {}",
+                e.cycle,
+                self.td.rules[e.rule].name,
+                if e.commit { "commit" } else { "abort" },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn print_diff(&mut self) -> CmdResult {
+        writeln!(self.out, "register changes:")?;
+        if self.last_writes.is_empty() {
+            writeln!(self.out, "  (none)")?;
+            return Ok(());
+        }
+        for &(reg, old, new) in &self.last_writes.clone() {
+            let name = self.reg_name(reg).to_string();
+            writeln!(self.out, "  {name}: 0x{old:x} -> 0x{new:x}")?;
+        }
+        Ok(())
+    }
+
+    fn print_stopped(&mut self) -> CmdResult {
+        writeln!(self.out, "stopped at cycle {}", self.pos)
+    }
+
+    fn print_hit_context(&mut self, hits: &[String]) -> CmdResult {
+        for h in hits {
+            writeln!(self.out, "{h}")?;
+        }
+        self.print_ring(LAST_DEFAULT)?;
+        self.print_diff()?;
+        self.print_stopped()
+    }
+
+    fn print_trip(&mut self, trip: &crate::fault::WatchdogTrip) -> CmdResult {
+        writeln!(self.out, "watchdog: {} at cycle {}", trip.reason, trip.cycle)?;
+        self.print_stopped()
+    }
+
+    /// Drops any half-revealed `step-rule` cycle.
+    fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    fn finished_line(&mut self) -> CmdResult {
+        writeln!(self.out, "program finished at cycle {}", self.pos)
+    }
+
+    // ---- commands ----------------------------------------------------
+
+    fn cmd_step(&mut self, n: u64) -> CmdResult {
+        if self.pos >= self.limit {
+            return writeln!(self.out, "already at end of program (cycle {})", self.pos);
+        }
+        self.wd_resume();
+        let mut tripped = false;
+        for _ in 0..n {
+            if self.pos >= self.limit {
+                break;
+            }
+            match self.exec_one(true) {
+                Ok((_, Some(trip))) => {
+                    self.wd_pause();
+                    self.print_trip(&trip)?;
+                    tripped = true;
+                    break;
+                }
+                Ok((_, None)) => {}
+                Err(e) => {
+                    self.wd_pause();
+                    return writeln!(self.out, "error: {e}");
+                }
+            }
+        }
+        self.wd_pause();
+        if tripped {
+            return Ok(());
+        }
+        if self.pos >= self.limit {
+            self.finished_line()
+        } else {
+            self.print_stopped()
+        }
+    }
+
+    fn cmd_step_rule(&mut self) -> CmdResult {
+        if self.pending.is_empty() {
+            if self.pos >= self.limit {
+                return writeln!(self.out, "already at end of program (cycle {})", self.pos);
+            }
+            self.wd_resume();
+            let r = self.exec_one(true);
+            self.wd_pause();
+            match r {
+                Ok((cap, trip)) => {
+                    self.pending_cycle = self.pos - 1;
+                    self.pending_commits = cap
+                        .events
+                        .iter()
+                        .filter(|(_, k)| matches!(k, EventKind::Commit))
+                        .count();
+                    self.pending = cap
+                        .events
+                        .iter()
+                        .map(|&(r, k)| (r, matches!(k, EventKind::Commit)))
+                        .collect();
+                    if let Some(trip) = trip {
+                        self.print_trip(&trip)?;
+                    }
+                }
+                Err(e) => return writeln!(self.out, "error: {e}"),
+            }
+        }
+        match self.pending.pop_front() {
+            Some((rule, commit)) => {
+                writeln!(
+                    self.out,
+                    "cycle {}: rule '{}' {}",
+                    self.pending_cycle,
+                    self.td.rules[rule].name,
+                    if commit { "commit" } else { "abort" },
+                )?;
+                if self.pending.is_empty() {
+                    writeln!(
+                        self.out,
+                        "cycle {}: done ({} commit{})",
+                        self.pending_cycle,
+                        self.pending_commits,
+                        if self.pending_commits == 1 { "" } else { "s" },
+                    )?;
+                }
+            }
+            None => {
+                // An empty schedule: the cycle ran but had no rule events.
+                writeln!(
+                    self.out,
+                    "cycle {}: done (0 commits)",
+                    self.pending_cycle
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn cmd_continue(&mut self, until: Option<u64>) -> CmdResult {
+        let stop_at = until.unwrap_or(self.limit).min(self.limit);
+        if self.pos >= stop_at {
+            if until.is_some() {
+                return writeln!(
+                    self.out,
+                    "run-to: cycle {stop_at} is not ahead of cycle {} (use reverse-step)",
+                    self.pos
+                );
+            }
+            return writeln!(self.out, "already at end of program (cycle {})", self.pos);
+        }
+        self.wd_resume();
+        loop {
+            if self.pos >= stop_at {
+                self.wd_pause();
+                if stop_at < self.limit {
+                    return self.print_stopped();
+                }
+                return self.finished_line();
+            }
+            match self.exec_one(true) {
+                Ok((cap, trip)) => {
+                    if let Some(trip) = trip {
+                        self.wd_pause();
+                        return self.print_trip(&trip);
+                    }
+                    let hits = self.eval_breaks(&cap);
+                    if !hits.is_empty() {
+                        self.wd_pause();
+                        return self.print_hit_context(&hits);
+                    }
+                }
+                Err(e) => {
+                    self.wd_pause();
+                    return writeln!(self.out, "error: {e}");
+                }
+            }
+        }
+    }
+
+    fn cmd_reverse_step(&mut self, n: u64) -> CmdResult {
+        if self.genesis.is_none() {
+            let e = self.time_travel_err();
+            return writeln!(self.out, "time travel unavailable: {e}");
+        }
+        let floor = self.genesis.as_ref().map(|g| g.cycle).unwrap_or(0);
+        if self.pos <= floor {
+            return writeln!(self.out, "already at cycle {floor}");
+        }
+        let target = self.pos.saturating_sub(n).max(floor);
+        match self.travel_to(target) {
+            Ok(()) => self.print_stopped(),
+            Err(e) => writeln!(self.out, "error: {e}"),
+        }
+    }
+
+    fn cmd_reverse_continue(&mut self) -> CmdResult {
+        if self.genesis.is_none() {
+            let e = self.time_travel_err();
+            return writeln!(self.out, "time travel unavailable: {e}");
+        }
+        if self.breaks.is_empty() {
+            return writeln!(self.out, "no breakpoints or watchpoints set");
+        }
+        let cur = self.pos;
+        let floor = self.genesis.as_ref().map(|g| g.cycle).unwrap_or(0);
+        if cur <= floor {
+            return writeln!(self.out, "already at cycle {floor}");
+        }
+        // Replay the whole timeline from genesis, remembering the last
+        // hit strictly before the current position, then travel there.
+        if let Err(e) = self.travel_to(floor) {
+            return writeln!(self.out, "error: {e}");
+        }
+        let mut last_hit: Option<(u64, Vec<String>)> = None;
+        while self.pos < cur {
+            match self.exec_one(false) {
+                Ok((cap, _)) => {
+                    let hits = self.eval_breaks(&cap);
+                    if !hits.is_empty() && self.pos < cur {
+                        last_hit = Some((self.pos, hits));
+                    }
+                }
+                Err(e) => return writeln!(self.out, "error: {e}"),
+            }
+        }
+        match last_hit {
+            Some((at, hits)) => {
+                if let Err(e) = self.travel_to(at) {
+                    return writeln!(self.out, "error: {e}");
+                }
+                self.print_hit_context(&hits)
+            }
+            None => {
+                writeln!(self.out, "reverse-continue: no earlier hit")?;
+                self.print_stopped()
+            }
+        }
+    }
+
+    fn cmd_focus_lane(&mut self, lane: usize) -> CmdResult {
+        match self.target.set_focus(lane) {
+            Ok(()) => {
+                // Event history, counters, and checkpointed presentation
+                // state all described the old lane; start fresh.
+                self.ring.clear();
+                self.counters = vec![RuleCounter::default(); self.td.rules.len()];
+                self.last_writes.clear();
+                for ck in self
+                    .checkpoints
+                    .iter_mut()
+                    .chain(self.genesis.iter_mut())
+                {
+                    ck.ring.clear();
+                    ck.counters = vec![RuleCounter::default(); self.td.rules.len()];
+                    ck.last_writes.clear();
+                }
+                writeln!(
+                    self.out,
+                    "focused on lane {lane} of {} (event history cleared)",
+                    self.target.lanes()
+                )
+            }
+            Err(e) => writeln!(self.out, "focus-lane: {e}"),
+        }
+    }
+
+    fn cmd_print(&mut self, name: &str) -> CmdResult {
+        match self.find_reg(name) {
+            Some(reg) => {
+                if self.td.regs[reg.0 as usize].width > 64 {
+                    return writeln!(
+                        self.out,
+                        "{name} is wider than 64 bits (use 'snapshot' for full values)"
+                    );
+                }
+                let v = self.target.reg_get(reg);
+                writeln!(self.out, "{name} = 0x{v:x}")
+            }
+            None => writeln!(self.out, "no register named '{name}'"),
+        }
+    }
+
+    fn cmd_info(&mut self, what: &str) -> CmdResult {
+        match what {
+            "breaks" => {
+                if self.breaks.is_empty() {
+                    return writeln!(self.out, "no breakpoints or watchpoints");
+                }
+                writeln!(self.out, "breakpoints:")?;
+                for bp in &self.breaks.clone() {
+                    match &bp.spec {
+                        BreakSpec::Rule { rule, kind } => {
+                            let suffix = match kind {
+                                RuleBreakKind::Any => "",
+                                RuleBreakKind::Commit => " commit",
+                                RuleBreakKind::Abort => " abort",
+                            };
+                            writeln!(
+                                self.out,
+                                "  {}: rule '{}'{suffix}",
+                                bp.id, self.td.rules[*rule].name
+                            )?;
+                        }
+                        BreakSpec::Cycle(c) => writeln!(self.out, "  {}: cycle {c}", bp.id)?,
+                        BreakSpec::Watch { reg, cond } => {
+                            let name = self.reg_name(*reg).to_string();
+                            match cond {
+                                Some(v) => writeln!(
+                                    self.out,
+                                    "  {}: watch '{name}' == 0x{v:x}",
+                                    bp.id
+                                )?,
+                                None => writeln!(self.out, "  {}: watch '{name}'", bp.id)?,
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            "rules" => {
+                writeln!(self.out, "rules:")?;
+                for (i, c) in self.counters.clone().iter().enumerate() {
+                    let mut line = format!(
+                        "  {}: attempts {}, commits {}, aborts {}, conflicts {}",
+                        self.td.rules[i].name, c.attempts, c.commits, c.aborts, c.conflicts
+                    );
+                    if !c.conflict_regs.is_empty() {
+                        let parts: Vec<String> = c
+                            .conflict_regs
+                            .iter()
+                            .map(|(r, n)| {
+                                format!("{}: {n}", self.td.regs[*r as usize].name)
+                            })
+                            .collect();
+                        line.push_str(&format!(" ({})", parts.join(", ")));
+                    }
+                    if c.other > 0 {
+                        line.push_str(&format!(", unclassified {}", c.other));
+                    }
+                    writeln!(self.out, "{line}")?;
+                }
+                Ok(())
+            }
+            "regs" => {
+                writeln!(self.out, "registers:")?;
+                for i in 0..self.td.num_regs() {
+                    let info = &self.td.regs[i];
+                    let name = info.name.clone();
+                    let width = info.width;
+                    if width > 64 {
+                        writeln!(self.out, "  {name} = ({width} bits, not shown)")?;
+                    } else {
+                        let v = self.target.reg_get(RegId(i as u32));
+                        writeln!(
+                            self.out,
+                            "  {name} = 0x{v:x} ({width} bit{})",
+                            if width == 1 { "" } else { "s" }
+                        )?;
+                    }
+                }
+                Ok(())
+            }
+            "checkpoints" => {
+                if self.genesis.is_none() {
+                    let e = self.time_travel_err();
+                    return writeln!(self.out, "time travel unavailable: {e}");
+                }
+                let mut cycles: Vec<u64> =
+                    self.genesis.iter().map(|g| g.cycle).collect();
+                cycles.extend(self.checkpoints.iter().map(|c| c.cycle));
+                let list: Vec<String> = cycles.iter().map(u64::to_string).collect();
+                writeln!(
+                    self.out,
+                    "checkpoints at cycles: {} (interval {})",
+                    list.join(" "),
+                    self.interval
+                )
+            }
+            other => writeln!(
+                self.out,
+                "unknown info topic '{other}' (try breaks, rules, regs, checkpoints)"
+            ),
+        }
+    }
+
+    fn cmd_dump_vcd(&mut self, path: &str) -> CmdResult {
+        let genesis = match &self.genesis {
+            Some(g) => g.clone(),
+            None => {
+                let e = self.time_travel_err();
+                return writeln!(self.out, "time travel unavailable: {e}");
+            }
+        };
+        let cur = self.pos;
+        let mut vcd = VcdRecorder::all_registers(self.td);
+        if let Err(e) = self.target.restore(&genesis.state) {
+            return writeln!(self.out, "error: {e}");
+        }
+        self.pos = genesis.cycle;
+        while self.pos < cur {
+            if let Err(e) = self.target.step_vcd(self.pos, &mut vcd) {
+                return writeln!(self.out, "error: {e}");
+            }
+            self.pos += 1;
+        }
+        // The replay left the engine exactly where the session was
+        // paused; only the presentation state was untouched, and it
+        // still describes cycle `cur`.
+        match std::fs::write(path, vcd.finish(cur)) {
+            Ok(()) => writeln!(
+                self.out,
+                "vcd written to {path} ({} cycle{})",
+                cur - genesis.cycle,
+                if cur - genesis.cycle == 1 { "" } else { "s" }
+            ),
+            Err(e) => writeln!(self.out, "error: cannot write '{path}': {e}"),
+        }
+    }
+
+    fn cmd_snapshot(&mut self, path: &str) -> CmdResult {
+        match self.target.snapshot(self.pos) {
+            Ok(snap) => match std::fs::write(path, snap.to_bytes()) {
+                Ok(()) => writeln!(
+                    self.out,
+                    "snapshot written to {path} (cycle {})",
+                    self.pos
+                ),
+                Err(e) => writeln!(self.out, "error: cannot write '{path}': {e}"),
+            },
+            Err(e) => writeln!(self.out, "error: {e}"),
+        }
+    }
+
+    fn cmd_help(&mut self) -> CmdResult {
+        self.out.write_all(HELP.as_bytes())
+    }
+
+    fn add_break(&mut self, spec: BreakSpec) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.breaks.push(BreakPt { id, spec });
+        id
+    }
+
+    /// Parses and runs one command line. Returns false when the session
+    /// should end.
+    fn dispatch(&mut self, line: &str) -> std::io::Result<bool> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.is_empty() {
+            return Ok(true);
+        }
+        if words[0] != "step-rule" {
+            self.clear_pending();
+        }
+        match words[0] {
+            "help" => self.cmd_help()?,
+            "quit" | "exit" => {
+                self.done = true;
+                return Ok(false);
+            }
+            "break" => match words.get(1) {
+                Some(&"rule") => match words.get(2) {
+                    Some(name) => {
+                        let kind = match words.get(3) {
+                            None => Some(RuleBreakKind::Any),
+                            Some(&"commit") => Some(RuleBreakKind::Commit),
+                            Some(&"abort") => Some(RuleBreakKind::Abort),
+                            Some(_) => None,
+                        };
+                        let rule = self.td.rules.iter().position(|r| &r.name == name);
+                        match (rule, kind) {
+                            (Some(rule), Some(kind)) => {
+                                let id = self.add_break(BreakSpec::Rule { rule, kind });
+                                let suffix = match kind {
+                                    RuleBreakKind::Any => String::new(),
+                                    RuleBreakKind::Commit => " commit".into(),
+                                    RuleBreakKind::Abort => " abort".into(),
+                                };
+                                writeln!(self.out, "breakpoint {id}: rule '{name}'{suffix}")?;
+                            }
+                            (None, _) => writeln!(self.out, "no rule named '{name}'")?,
+                            (_, None) => writeln!(
+                                self.out,
+                                "usage: break rule <name> [commit|abort]"
+                            )?,
+                        }
+                    }
+                    None => writeln!(self.out, "usage: break rule <name> [commit|abort]")?,
+                },
+                Some(&"cycle") => match words.get(2).and_then(|w| parse_u64(w)) {
+                    Some(c) => {
+                        let id = self.add_break(BreakSpec::Cycle(c));
+                        writeln!(self.out, "breakpoint {id}: cycle {c}")?;
+                    }
+                    None => writeln!(self.out, "usage: break cycle <n>")?,
+                },
+                _ => writeln!(self.out, "usage: break rule <name> [commit|abort] | break cycle <n>")?,
+            },
+            "watch" => match words.get(1) {
+                Some(name) => match self.find_reg(name) {
+                    Some(reg) => {
+                        if self.td.regs[reg.0 as usize].width > 64 {
+                            writeln!(
+                                self.out,
+                                "register '{name}' is wider than 64 bits (unsupported)"
+                            )?;
+                        } else {
+                            let cond = match (words.get(2), words.get(3)) {
+                                (None, _) => Some(None),
+                                (Some(&"=="), Some(v)) => parse_u64(v).map(Some),
+                                _ => None,
+                            };
+                            match cond {
+                                Some(cond) => {
+                                    let id = self.add_break(BreakSpec::Watch { reg, cond });
+                                    match cond {
+                                        Some(v) => writeln!(
+                                            self.out,
+                                            "watchpoint {id}: reg '{name}' == 0x{v:x}"
+                                        )?,
+                                        None => writeln!(
+                                            self.out,
+                                            "watchpoint {id}: reg '{name}'"
+                                        )?,
+                                    }
+                                }
+                                None => writeln!(
+                                    self.out,
+                                    "usage: watch <reg> [== <value>]"
+                                )?,
+                            }
+                        }
+                    }
+                    None => writeln!(self.out, "no register named '{name}'")?,
+                },
+                None => writeln!(self.out, "usage: watch <reg> [== <value>]")?,
+            },
+            "delete" => match words.get(1).and_then(|w| parse_u64(w)) {
+                Some(id) => {
+                    let id = id as u32;
+                    let before = self.breaks.len();
+                    self.breaks.retain(|b| b.id != id);
+                    if self.breaks.len() < before {
+                        writeln!(self.out, "deleted {id}")?;
+                    } else {
+                        writeln!(self.out, "no breakpoint {id}")?;
+                    }
+                }
+                None => writeln!(self.out, "usage: delete <id>")?,
+            },
+            "info" => {
+                let topic = words.get(1).copied().unwrap_or("");
+                self.cmd_info(topic)?;
+            }
+            "print" => match words.get(1) {
+                Some(name) => self.cmd_print(name)?,
+                None => writeln!(self.out, "usage: print <reg>")?,
+            },
+            "step" => {
+                let n = words.get(1).and_then(|w| parse_u64(w)).unwrap_or(1).max(1);
+                self.cmd_step(n)?;
+            }
+            "step-rule" => self.cmd_step_rule()?,
+            "continue" => self.cmd_continue(None)?,
+            "run-to" => match words.get(1).and_then(|w| parse_u64(w)) {
+                Some(c) => self.cmd_continue(Some(c))?,
+                None => writeln!(self.out, "usage: run-to <cycle>")?,
+            },
+            "reverse-step" => {
+                let n = words.get(1).and_then(|w| parse_u64(w)).unwrap_or(1).max(1);
+                self.cmd_reverse_step(n)?;
+            }
+            "reverse-continue" => self.cmd_reverse_continue()?,
+            "focus-lane" => match words.get(1).and_then(|w| parse_u64(w)) {
+                Some(l) => self.cmd_focus_lane(l as usize)?,
+                None => writeln!(self.out, "usage: focus-lane <n>")?,
+            },
+            "last" => {
+                let n = words
+                    .get(1)
+                    .and_then(|w| parse_u64(w))
+                    .map(|n| n as usize)
+                    .unwrap_or(LAST_DEFAULT)
+                    .max(1);
+                self.print_ring(n)?;
+            }
+            "diff" => self.print_diff()?,
+            "dump-vcd" => match words.get(1) {
+                Some(path) => self.cmd_dump_vcd(path)?,
+                None => writeln!(self.out, "usage: dump-vcd <file>")?,
+            },
+            "snapshot" => match words.get(1) {
+                Some(path) => self.cmd_snapshot(path)?,
+                None => writeln!(self.out, "usage: snapshot <file>")?,
+            },
+            other => writeln!(self.out, "unknown command: '{other}' (try 'help')")?,
+        }
+        Ok(true)
+    }
+}
+
+const HELP: &str = "\
+commands:
+  break rule <name> [commit|abort]  breakpoint on a rule event
+  break cycle <n>                   breakpoint on reaching cycle <n>
+  watch <reg> [== <value>]          watchpoint on a register
+  delete <id>                       delete a breakpoint/watchpoint
+  info breaks|rules|regs|checkpoints
+  print <reg>                       print one register
+  step [n]                          execute n cycles (default 1)
+  step-rule                         reveal the next rule event of a cycle
+  continue                          run until a breakpoint/watchpoint hits
+  run-to <cycle>                    run until the given cycle boundary
+  reverse-step [n]                  go back n cycles (default 1)
+  reverse-continue                  go back to the previous hit
+  focus-lane <n>                    switch the observed batch lane
+  last [n]                          print the recent rule-event ring
+  diff                              register changes of the last cycle
+  dump-vcd <file>                   write a VCD trace of the run so far
+  snapshot <file>                   write a .ksnap of the current state
+  quit                              leave the debugger
+";
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Picks the checkpoint interval: denser for small designs (cheap
+/// checkpoints, snappy reverse-step), sparser for big ones.
+fn checkpoint_interval(lane_bytes: usize) -> u64 {
+    ((lane_bytes / 256) as u64).clamp(8, 1024)
+}
+
+/// Runs a debug session over `target`, reading commands from `input` and
+/// writing the transcript to `out`.
+///
+/// With [`DebugOptions::echo`] set (script mode) each command is echoed
+/// as `(kdb) <cmd>`, making the output a complete transcript suitable
+/// for byte-comparison across backends. Lines that are empty or start
+/// with `#` are skipped.
+///
+/// When a watchdog is supplied, its wall clock is paused for the whole
+/// session except user-driven forward execution, and trips are reported
+/// in-band instead of aborting the process.
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`out` are returned; simulation and command
+/// errors are reported in the transcript.
+pub fn run_session(
+    td: &TDesign,
+    target: &mut dyn DebugTarget,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    watchdog: Option<&mut ArmedWatchdog<'_>>,
+    opts: &DebugOptions,
+) -> std::io::Result<()> {
+    let pos = target.start_cycle();
+    let mut sess = Session {
+        td,
+        target,
+        out,
+        watchdog,
+        limit: opts.limit,
+        pos,
+        ring: VecDeque::new(),
+        counters: vec![RuleCounter::default(); td.rules.len()],
+        last_writes: Vec::new(),
+        breaks: Vec::new(),
+        next_id: 1,
+        genesis: None,
+        checkpoints: VecDeque::new(),
+        interval: 8,
+        max_ckpt: pos,
+        pending: VecDeque::new(),
+        pending_cycle: 0,
+        pending_commits: 0,
+        tt_err: None,
+        done: false,
+    };
+    sess.wd_pause();
+    writeln!(
+        sess.out,
+        "kdb: attached to '{}' ({} regs, {} rules), cycle limit {}",
+        td.name,
+        td.num_regs(),
+        td.rules.len(),
+        sess.limit
+    )?;
+    match sess.make_checkpoint() {
+        Ok(g) => {
+            sess.interval = checkpoint_interval(g.state.lane_bytes());
+            writeln!(
+                sess.out,
+                "kdb: checkpoint interval {} cycles ({} slots)",
+                sess.interval, CHECKPOINT_SLOTS
+            )?;
+            sess.genesis = Some(g);
+        }
+        Err(e) => {
+            writeln!(sess.out, "kdb: time travel disabled: {e}")?;
+            sess.tt_err = Some(e);
+        }
+    }
+    sess.print_stopped()?;
+    let mut line = String::new();
+    loop {
+        if opts.prompt {
+            write!(sess.out, "(kdb) ")?;
+            sess.out.flush()?;
+        }
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() || cmd.starts_with('#') {
+            continue;
+        }
+        if opts.echo {
+            writeln!(sess.out, "(kdb) {cmd}")?;
+        }
+        if !sess.dispatch(cmd)? {
+            break;
+        }
+    }
+    sess.wd_resume();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::check::check;
+    use crate::design::DesignBuilder;
+    use crate::interp::Interp;
+    use std::io::Cursor;
+
+    /// A counter that ping-pongs a state bit and increments `n` every
+    /// other cycle — small, deterministic, and rich enough to break on.
+    fn two_rule_design() -> TDesign {
+        let mut b = DesignBuilder::new("stm");
+        b.reg("st", 1, 0u64);
+        b.reg("n", 8, 0u64);
+        b.rule(
+            "rlA",
+            vec![
+                guard(rd0("st").eq(k(1, 0))),
+                wr0("st", k(1, 1)),
+                wr0("n", rd0("n").add(k(8, 1))),
+            ],
+        );
+        b.rule("rlB", vec![guard(rd0("st").eq(k(1, 1))), wr0("st", k(1, 0))]);
+        b.schedule(["rlA", "rlB"]);
+        check(&b.build()).unwrap()
+    }
+
+    fn run_script(td: &TDesign, script: &str, limit: u64) -> String {
+        let mut target = ScalarTarget::new(Box::new(Interp::new(td)), Vec::new());
+        let mut out = Vec::new();
+        let mut input = Cursor::new(script.as_bytes().to_vec());
+        run_session(
+            td,
+            &mut target,
+            &mut input,
+            &mut out,
+            None,
+            &DebugOptions {
+                limit,
+                echo: true,
+                prompt: false,
+            },
+        )
+        .unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn breakpoints_and_watchpoints_stop_the_run() {
+        let td = two_rule_design();
+        let t = run_script(
+            &td,
+            "break rule rlB commit\ncontinue\ndelete 1\nwatch n == 0x3\ncontinue\nquit\n",
+            100,
+        );
+        // rlB first commits during cycle 1 (st was set during cycle 0).
+        assert!(
+            t.contains("breakpoint 1: rule 'rlB' commit at cycle 1"),
+            "transcript:\n{t}"
+        );
+        assert!(t.contains("stopped at cycle 2"), "transcript:\n{t}");
+        // n reaches 3 during cycle 4 (increments on cycles 0, 2, 4).
+        assert!(
+            t.contains("watchpoint 2: reg 'n' 0x2 -> 0x3 at cycle 4"),
+            "transcript:\n{t}"
+        );
+        assert!(t.contains("recent events:"), "transcript:\n{t}");
+        assert!(t.contains("register changes:"), "transcript:\n{t}");
+    }
+
+    #[test]
+    fn reverse_step_crosses_checkpoint_boundaries_and_rejoins_the_timeline() {
+        let td = two_rule_design();
+        // Interval is the 8-cycle floor for this tiny design; going
+        // 20 → 7 crosses the cycle-16 and cycle-8 checkpoints.
+        let t = run_script(
+            &td,
+            "run-to 20\nprint n\nreverse-step 13\nprint n\nrun-to 20\nprint n\nquit\n",
+            100,
+        );
+        assert!(t.contains("kdb: checkpoint interval 8 cycles"), "transcript:\n{t}");
+        assert!(t.contains("stopped at cycle 7"), "transcript:\n{t}");
+        // n after 20 cycles = 10; after 7 cycles = 4.
+        let after20 = t.matches("n = 0xa").count();
+        assert_eq!(after20, 2, "value must be identical before and after time travel:\n{t}");
+        assert!(t.contains("n = 0x4"), "transcript:\n{t}");
+    }
+
+    #[test]
+    fn step_rule_reveals_one_event_at_a_time() {
+        let td = two_rule_design();
+        let t = run_script(&td, "step-rule\nstep-rule\nstep-rule\nquit\n", 100);
+        assert!(t.contains("cycle 0: rule 'rlA' commit"), "transcript:\n{t}");
+        assert!(t.contains("cycle 0: rule 'rlB' abort"), "transcript:\n{t}");
+        assert!(t.contains("cycle 0: done (1 commit)"), "transcript:\n{t}");
+        assert!(t.contains("cycle 1: rule 'rlA' abort"), "transcript:\n{t}");
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let td = two_rule_design();
+        let script = "break rule rlA\ncontinue\nstep 3\nreverse-step 2\nlast 4\ndiff\ninfo rules\ncontinue\nquit\n";
+        let a = run_script(&td, script, 50);
+        let b = run_script(&td, script, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reverse_continue_returns_to_the_previous_hit() {
+        let td = two_rule_design();
+        let t = run_script(
+            &td,
+            "watch n == 0x2\ncontinue\nrun-to 10\nreverse-continue\nquit\n",
+            100,
+        );
+        // n becomes 2 during cycle 2; the watchpoint fires there both
+        // forward and in reverse.
+        let hits = t
+            .matches("watchpoint 1: reg 'n' 0x1 -> 0x2 at cycle 2")
+            .count();
+        assert_eq!(hits, 2, "transcript:\n{t}");
+        assert!(t.contains("stopped at cycle 3"), "transcript:\n{t}");
+    }
+
+    #[test]
+    fn info_rules_reports_abort_breakdown() {
+        let mut b = DesignBuilder::new("cfl");
+        b.reg("x", 8, 0u64);
+        b.rule("w1", vec![wr0("x", k(8, 1))]);
+        b.rule("w2", vec![wr0("x", k(8, 2))]);
+        b.schedule(["w1", "w2"]);
+        let td = check(&b.build()).unwrap();
+        let t = run_script(&td, "step 4\ninfo rules\nquit\n", 100);
+        assert!(
+            t.contains("w2: attempts 4, commits 0, aborts 0, conflicts 4 (x: 4)"),
+            "transcript:\n{t}"
+        );
+    }
+
+    #[test]
+    fn run_past_end_reports_finish_and_reverse_still_works() {
+        let td = two_rule_design();
+        let t = run_script(&td, "continue\nstep\nreverse-step\nprint n\nquit\n", 12);
+        assert!(t.contains("program finished at cycle 12"), "transcript:\n{t}");
+        assert!(t.contains("already at end of program (cycle 12)"), "transcript:\n{t}");
+        assert!(t.contains("stopped at cycle 11"), "transcript:\n{t}");
+        assert!(t.contains("n = 0x6"), "transcript:\n{t}");
+    }
+}

@@ -44,6 +44,19 @@ pub trait RegAccess {
 pub trait Device {
     /// Steps the device before the given cycle.
     fn tick(&mut self, cycle: u64, regs: &mut dyn RegAccess);
+
+    /// Serializes the device's internal state, if it has any that evolves
+    /// over time. Devices that return `None` cannot participate in
+    /// time-travel debugging (the debugger refuses to checkpoint past
+    /// them rather than silently replaying from stale device state).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by [`Device::save_state`].
+    fn load_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("device does not support state save/restore".into())
+    }
 }
 
 /// A cycle-accurate simulation backend.

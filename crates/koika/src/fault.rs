@@ -233,6 +233,7 @@ impl Watchdog {
             cfg: self,
             start: Instant::now(),
             stalled: 0,
+            paused_at: None,
         }
     }
 }
@@ -283,9 +284,38 @@ pub struct ArmedWatchdog<'a> {
     cfg: &'a Watchdog,
     start: Instant,
     stalled: u64,
+    paused_at: Option<Instant>,
 }
 
 impl ArmedWatchdog<'_> {
+    /// Stops the wall clock, e.g. while an interactive debugger is sitting
+    /// at its prompt or replaying history. Time spent paused never counts
+    /// toward the wall budget, so a long pause cannot be misclassified as a
+    /// hang. Stall and cycle budgets are unaffected (they count simulated
+    /// cycles, which do not advance while paused). Idempotent.
+    pub fn pause(&mut self) {
+        if self.paused_at.is_none() {
+            self.paused_at = Some(Instant::now());
+        }
+    }
+
+    /// Restarts the wall clock after [`ArmedWatchdog::pause`], shifting the
+    /// arm time forward by the paused duration. Idempotent.
+    pub fn resume(&mut self) {
+        if let Some(p) = self.paused_at.take() {
+            self.start += p.elapsed();
+        }
+    }
+
+    /// Wall-clock time elapsed since arming, excluding paused intervals.
+    fn wall_elapsed(&self) -> Duration {
+        match self.paused_at {
+            // While paused, the clock is frozen at the pause instant.
+            Some(p) => p.duration_since(self.start),
+            None => self.start.elapsed(),
+        }
+    }
+
     /// Reports one completed cycle (with the number of rule commits it
     /// made); returns a trip if any budget is now exhausted.
     pub fn observe(&mut self, cycles_done: u64, commits: u64) -> Option<WatchdogTrip> {
@@ -313,7 +343,7 @@ impl ArmedWatchdog<'_> {
             }
         }
         if let Some(budget) = self.cfg.wall_budget {
-            if self.start.elapsed() > budget {
+            if self.wall_elapsed() > budget {
                 return Some(WatchdogTrip {
                     cycle: cycles_done,
                     kind: TripKind::Wall,
@@ -1494,6 +1524,37 @@ mod tests {
             });
             assert!(matches!(err, Err(FaultError::GoldenHang(_))));
         });
+    }
+
+    #[test]
+    fn watchdog_pause_excludes_debugger_time_from_wall_budget() {
+        // Regression for the debugger integration: wall-clock time spent
+        // paused (sitting at a debugger prompt, replaying history for
+        // reverse execution) must never trip the wall budget, or a paused
+        // session would be classified as a hang.
+        let wd = Watchdog {
+            wall_budget: Some(Duration::from_millis(50)),
+            ..Watchdog::default()
+        };
+        let mut armed = wd.arm();
+        armed.pause();
+        std::thread::sleep(Duration::from_millis(80));
+        armed.resume();
+        assert!(
+            armed.observe(1, 1).is_none(),
+            "time spent paused must not count toward the wall budget"
+        );
+        // While paused, the frozen clock cannot trip either.
+        armed.pause();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(armed.observe(2, 1).is_none(), "paused clock must be frozen");
+        armed.resume();
+
+        // Sanity: the budget still trips on genuine (unpaused) overrun.
+        let mut unpaused = wd.arm();
+        std::thread::sleep(Duration::from_millis(80));
+        let trip = unpaused.observe(1, 1).expect("unpaused overrun must trip");
+        assert_eq!(trip.kind, TripKind::Wall);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod analysis;
 pub mod ast;
 pub mod bits;
 pub mod check;
+pub mod debug;
 pub mod design;
 pub mod device;
 pub mod fault;

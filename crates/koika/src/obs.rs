@@ -26,6 +26,7 @@
 //! - [`Fanout`] — broadcasts one event stream to several observers.
 
 use crate::tir::{RegId, TDesign};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -174,6 +175,11 @@ pub struct RuleStats {
     pub failed_conflict: u64,
     /// Failures the backend could not classify.
     pub failed_other: u64,
+    /// Conflict failures broken down by the register whose read/write
+    /// check failed (flattened register index → count). The values sum to
+    /// `failed_conflict` on backends that classify failures; backends that
+    /// cannot (the RTL simulator) leave this empty.
+    pub conflict_regs: BTreeMap<u32, u64>,
 }
 
 impl RuleStats {
@@ -418,16 +424,40 @@ impl Metrics {
         );
         s.push_str("  \"rules\": [\n");
         for (i, r) in self.rules.iter().enumerate() {
+            // The per-register conflict breakdown appears only when a
+            // conflict was classified, so conflict-free rules (and whole
+            // runs driven by unclassifying backends) keep their
+            // historical, golden-snapshotted shape.
+            let mut conflicts = String::new();
+            if !r.conflict_regs.is_empty() {
+                conflicts.push_str(", \"conflict_regs\": {");
+                for (k, (reg, n)) in r.conflict_regs.iter().enumerate() {
+                    let name = self
+                        .reg_names
+                        .get(*reg as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("reg{reg}"));
+                    let _ = write!(
+                        conflicts,
+                        "{}\"{}\": {}",
+                        if k == 0 { "" } else { ", " },
+                        json_escape(&name),
+                        n
+                    );
+                }
+                conflicts.push('}');
+            }
             let _ = writeln!(
                 s,
                 "    {{\"name\": \"{}\", \"attempts\": {}, \"fired\": {}, \"failed\": {}, \
-                 \"failed_abort\": {}, \"failed_conflict\": {}}}{}",
+                 \"failed_abort\": {}, \"failed_conflict\": {}{}}}{}",
                 json_escape(&r.name),
                 r.attempts,
                 r.fired,
                 r.failed(),
                 r.failed_abort,
                 r.failed_conflict,
+                conflicts,
                 if i + 1 == self.rules.len() { "" } else { "," },
             );
         }
@@ -518,6 +548,35 @@ impl Metrics {
             let _ = writeln!(
                 s,
                 "koika_rule_failures_total{{design=\"{d}\",rule=\"{name}\",reason=\"other\"}} {}",
+                r.failed_other
+            );
+        }
+        s.push_str(
+            "# HELP koika_rule_abort_reason_total Rule failures broken down by reason; conflict failures carry the blamed register.\n# TYPE koika_rule_abort_reason_total counter\n",
+        );
+        for r in &self.rules {
+            let name = json_escape(&r.name);
+            let _ = writeln!(
+                s,
+                "koika_rule_abort_reason_total{{design=\"{d}\",rule=\"{name}\",reason=\"abort\"}} {}",
+                r.failed_abort
+            );
+            for (reg, n) in &r.conflict_regs {
+                let rn = self
+                    .reg_names
+                    .get(*reg as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("reg{reg}"));
+                let _ = writeln!(
+                    s,
+                    "koika_rule_abort_reason_total{{design=\"{d}\",rule=\"{name}\",reason=\"conflict\",reg=\"{}\"}} {}",
+                    json_escape(&rn),
+                    n
+                );
+            }
+            let _ = writeln!(
+                s,
+                "koika_rule_abort_reason_total{{design=\"{d}\",rule=\"{name}\",reason=\"other\"}} {}",
                 r.failed_other
             );
         }
@@ -634,7 +693,10 @@ impl Observer for Metrics {
         let r = self.rule_mut(rule);
         match reason {
             FailureReason::Abort => r.failed_abort += 1,
-            FailureReason::Conflict(_) => r.failed_conflict += 1,
+            FailureReason::Conflict(reg) => {
+                r.failed_conflict += 1;
+                *r.conflict_regs.entry(reg.0).or_insert(0) += 1;
+            }
             FailureReason::Unspecified => r.failed_other += 1,
         }
         self.cur_aborts += 1;
@@ -914,6 +976,37 @@ mod tests {
         // `st` toggles every cycle, `n` changes on rlA cycles only.
         assert_eq!(m.reg_writes()[td.reg_id("st").0 as usize], 10);
         assert_eq!(m.reg_writes()[td.reg_id("n").0 as usize], 5);
+    }
+
+    #[test]
+    fn metrics_break_down_conflicts_by_register() {
+        let mut b = DesignBuilder::new("cfl");
+        b.reg("x", 8, 0u64);
+        b.reg("y", 8, 0u64);
+        b.rule("w1", vec![wr0("x", k(8, 1)), wr0("y", k(8, 1))]);
+        b.rule("w2", vec![wr0("x", k(8, 2))]);
+        b.schedule(["w1", "w2"]);
+        let td = check(&b.build()).unwrap();
+        let mut sim = Interp::new(&td);
+        let mut m = Metrics::for_design(&td);
+        for _ in 0..3 {
+            sim.cycle_obs(&mut m);
+        }
+        let x = td.reg_id("x").0;
+        assert_eq!(m.rules()[1].failed_conflict, 3);
+        assert_eq!(m.rules()[1].conflict_regs.get(&x), Some(&3));
+        assert!(m.rules()[0].conflict_regs.is_empty());
+        let json = m.to_json(false);
+        assert!(json.contains("\"conflict_regs\": {\"x\": 3}"), "json: {json}");
+        // Conflict-free rules keep the historical JSON shape.
+        assert!(json.contains("\"name\": \"w1\", \"attempts\": 3, \"fired\": 3, \"failed\": 0, \"failed_abort\": 0, \"failed_conflict\": 0}"));
+        let prom = m.to_prometheus();
+        assert!(prom.contains(
+            "koika_rule_abort_reason_total{design=\"cfl\",rule=\"w2\",reason=\"conflict\",reg=\"x\"} 3"
+        ));
+        assert!(prom.contains(
+            "koika_rule_abort_reason_total{design=\"cfl\",rule=\"w1\",reason=\"abort\"} 0"
+        ));
     }
 
     #[test]

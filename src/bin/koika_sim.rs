@@ -1,7 +1,8 @@
 //! `koika-sim`: command-line driver for the bundled designs — simulate on
 //! any backend, dump waveforms, profile, trace, emit C++/Verilog, run
 //! fault-injection campaigns (optionally in parallel), differentially fuzz
-//! all backends against each other, or snapshot/restore simulator state.
+//! all backends against each other, snapshot/restore simulator state, or
+//! debug interactively with time travel (`--debug`).
 //!
 //! ```text
 //! Usage: koika-sim <design> [options]
@@ -44,6 +45,11 @@
 //!   --max-cycles <N>    watchdog: abort after N total cycles (exit 3)
 //!   --stall-cycles <N>  watchdog: abort after N commit-free cycles (exit 3)
 //!   --max-wall-ms <N>   watchdog: abort after N ms of wall-clock (exit 3)
+//!   --debug             attach the interactive time-travel debugger (kdb)
+//!   --debug-script <FILE>  run a kdb command script, print the transcript
+//!   --debug-on-divergence  with --fuzz/--replay-corpus: attach kdb at the
+//!                       first divergent cycle of the first diverging case
+//!   --vcd-lane <N>      with --batch + --vcd: lane to record (default 0)
 //!   --help              print this help and exit
 //! ```
 //!
@@ -52,7 +58,9 @@
 //! regardless of `--jobs`.
 
 use cuttlesim::{codegen_cpp, BatchSim, CompileOptions, Dispatch, OptLevel, ProfileReport, RuleTrace, Sim};
+use cuttlesim_repro::fuzz;
 use koika::check::check;
+use koika::debug::{BatchTarget, DebugOptions, ScalarTarget};
 use koika::design::Design;
 use koika::device::{BatchBackend, Device, LaneAccess, SimBackend};
 use koika::fault::{
@@ -70,6 +78,7 @@ use koika_designs::memdev::MagicMemory;
 use koika_designs::{msi, rv32, small};
 use koika_riscv::programs;
 use koika_rtl::{compile as rtl_compile, verilog, RtlSim, Scheme};
+use std::io::{BufRead, Read};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -105,6 +114,10 @@ struct Args {
     max_cycles: Option<u64>,
     stall_cycles: Option<u64>,
     max_wall_ms: Option<u64>,
+    debug: bool,
+    debug_script: Option<String>,
+    debug_on_divergence: bool,
+    vcd_lane: Option<usize>,
 }
 
 impl Args {
@@ -112,6 +125,12 @@ impl Args {
     /// smaller default — see `run_fuzz_mode`).
     fn run_cycles(&self) -> u64 {
         self.cycles.unwrap_or(10_000)
+    }
+
+    /// Whether either debugger entry point (`--debug` / `--debug-script`)
+    /// was requested.
+    fn debug_requested(&self) -> bool {
+        self.debug || self.debug_script.is_some()
     }
 
     /// Worker-pool shape shared by `--campaign` and `--fuzz`.
@@ -150,6 +169,24 @@ Options:
   --perfetto <FILE>   write a Chrome-trace/Perfetto timeline (one track per
                       rule; open in chrome://tracing or ui.perfetto.dev)
   --watch <REG>       print a line whenever REG changes (repeatable)
+
+Time-travel debugging:
+  --debug             attach the interactive debugger (kdb): breakpoints on
+                      rule commit/abort and cycle numbers, watchpoints on
+                      register change or value, step / continue / run-to,
+                      reverse-step / reverse-continue (checkpoints plus
+                      deterministic re-execution), dump-vcd and snapshot at
+                      the paused cycle; identical on every backend,
+                      including --batch (see focus-lane)
+  --debug-script <FILE>  run a kdb command script non-interactively and
+                      print the echoed transcript (byte-identical across
+                      backends for the same design and script)
+  --debug-on-divergence  with --fuzz or --replay-corpus: re-run the first
+                      diverging case, print both register files side by
+                      side, and attach kdb to the diverging backend at the
+                      first cycle whose post-state differs from the
+                      reference interpreter
+  --vcd-lane <N>      with --batch + --vcd: record lane N (default 0)
 
 Fault injection, snapshots & replay:
   --inject <spec|seed>  single-run injection: a cycle:reg:bit spec (e.g.
@@ -259,6 +296,10 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         max_cycles: None,
         stall_cycles: None,
         max_wall_ms: None,
+        debug: false,
+        debug_script: None,
+        debug_on_divergence: false,
+        vcd_lane: None,
     };
     fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, Result<ExitCode, CliError>> {
         v.parse()
@@ -315,6 +356,10 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--max-wall-ms" => {
                 args.max_wall_ms = Some(parsed("--max-wall-ms", value("--max-wall-ms")?)?);
             }
+            "--debug" => args.debug = true,
+            "--debug-script" => args.debug_script = Some(value("--debug-script")?),
+            "--debug-on-divergence" => args.debug_on_divergence = true,
+            "--vcd-lane" => args.vcd_lane = Some(parsed("--vcd-lane", value("--vcd-lane")?)?),
             "--help" | "-h" => {
                 print!("{HELP}");
                 return Err(Ok(ExitCode::SUCCESS));
@@ -434,13 +479,13 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
         if args.replay.is_some() {
             return Err(CliError::usage("--batch cannot be combined with --replay"));
         }
-        // The batched engine has no per-lane VCD/trace/profile/snapshot
+        // The batched engine has no per-lane trace/profile/snapshot
         // machinery; in a normal (non-campaign) run those flags would
         // silently observe nothing, so they are rejected outright.
+        // (`--vcd` *is* supported: it records the `--vcd-lane` lane.)
         if args.campaign.is_none() {
             let incompatible: Vec<&str> = [
                 args.emit.as_ref().map(|_| "--emit"),
-                args.vcd.as_ref().map(|_| "--vcd"),
                 args.trace.map(|_| "--trace"),
                 args.profile.then_some("--profile"),
                 args.inject.as_ref().map(|_| "--inject"),
@@ -458,6 +503,54 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
                     incompatible.join(", ")
                 )));
             }
+        }
+    }
+    if let Some(lane) = args.vcd_lane {
+        let width = match args.batch {
+            None => return Err(CliError::usage("--vcd-lane requires --batch")),
+            Some(w) => w,
+        };
+        if args.vcd.is_none() {
+            return Err(CliError::usage("--vcd-lane requires --vcd"));
+        }
+        if lane >= width {
+            return Err(CliError::usage(format!(
+                "--vcd-lane {lane} is out of range for --batch {width}"
+            )));
+        }
+    }
+    if args.debug_requested() {
+        if args.debug && args.debug_script.is_some() {
+            return Err(CliError::usage(
+                "--debug and --debug-script cannot be combined",
+            ));
+        }
+        // The debugger owns the run loop: observability sinks, injections,
+        // and the snapshot/waveform writers of a normal run would either
+        // see nothing or fight the time-travel replays. The debugger's own
+        // `dump-vcd` / `snapshot` / `info rules` commands replace them.
+        let conflicts: Vec<&str> = [
+            args.emit.as_ref().map(|_| "--emit"),
+            args.campaign.map(|_| "--campaign"),
+            args.replay.as_ref().map(|_| "--replay"),
+            args.inject.as_ref().map(|_| "--inject"),
+            args.trace.map(|_| "--trace"),
+            args.profile.then_some("--profile"),
+            args.vcd.as_ref().map(|_| "--vcd"),
+            args.snapshot_every.map(|_| "--snapshot-every"),
+            args.metrics_json.as_ref().map(|_| "--metrics-json"),
+            args.perfetto.as_ref().map(|_| "--perfetto"),
+            (!args.watch.is_empty()).then_some("--watch"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !conflicts.is_empty() {
+            return Err(CliError::usage(format!(
+                "--debug cannot be combined with {} (use the debugger's own \
+                 commands instead)",
+                conflicts.join(", ")
+            )));
         }
     }
     if args.inject.is_some() && (args.campaign.is_some() || args.replay.is_some()) {
@@ -727,6 +820,153 @@ fn run_campaign_mode(args: &Args, plan: &Plan, members: usize) -> Result<ExitCod
     Ok(ExitCode::SUCCESS)
 }
 
+/// The debugger's command stream: an optional synthetic preamble, then
+/// the `--debug-script` file (script mode) or stdin (interactive).
+fn open_debug_input(args: &Args, preamble: Option<String>) -> Result<Box<dyn BufRead>, CliError> {
+    let inner: Box<dyn BufRead> = match &args.debug_script {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| {
+                CliError::runtime(format!("failed to open --debug-script {path}: {e}"))
+            })?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    Ok(match preamble {
+        Some(text) => Box::new(std::io::Cursor::new(text.into_bytes()).chain(inner)),
+        None => inner,
+    })
+}
+
+/// `--debug` / `--debug-script`: build the requested engine (scalar or
+/// batched), attach the time-travel debugger, and hand it the run loop.
+/// Watchdog trips are reported in-band at the paused prompt instead of
+/// exiting 3 — a run paused under a debugger is not a hang.
+fn run_debug_mode(args: &Args, plan: &Plan) -> Result<ExitCode, CliError> {
+    let td = &plan.td;
+    let opts = DebugOptions {
+        limit: args.run_cycles(),
+        echo: args.debug_script.is_some(),
+        prompt: args.debug_script.is_none(),
+    };
+    let watchdog = Watchdog {
+        max_cycles: args.max_cycles,
+        stall_cycles: args.stall_cycles,
+        wall_budget: args.max_wall_ms.map(Duration::from_millis),
+    };
+    let wd_wanted =
+        args.max_cycles.is_some() || args.stall_cycles.is_some() || args.max_wall_ms.is_some();
+    let mut armed = watchdog.arm();
+    let mut input = open_debug_input(args, None)?;
+    let mut out = std::io::stdout().lock();
+    match args.batch {
+        Some(width) => {
+            let mut batch = BatchSim::compile_with(
+                td,
+                &CompileOptions {
+                    level: plan.level,
+                    ..CompileOptions::default()
+                },
+                width,
+            )
+            .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
+            batch.set_dispatch(plan.dispatch);
+            let lane_devices: Vec<Vec<Box<dyn Device>>> =
+                (0..width).map(|_| build_devices(td, &plan.program)).collect();
+            let mut target = BatchTarget::new(td, Box::new(batch), lane_devices)
+                .map_err(CliError::runtime)?;
+            koika::debug::run_session(
+                td,
+                &mut target,
+                &mut *input,
+                &mut out,
+                wd_wanted.then_some(&mut armed),
+                &opts,
+            )
+        }
+        None => {
+            let mut sim = build_sim(td, &args.backend, plan.level, plan.dispatch, false)?;
+            if let Some(path) = &args.restore {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
+                let snap = Snapshot::from_bytes(&bytes)
+                    .map_err(|e| CliError::runtime(format!("bad snapshot {path}: {e}")))?;
+                sim.restore(&snap)
+                    .map_err(|e| CliError::runtime(format!("cannot restore {path}: {e}")))?;
+                println!("restored {} at cycle {} from {path}", snap.design, snap.cycles);
+            }
+            let devices = build_devices(td, &plan.program);
+            let mut target = ScalarTarget::new(sim, devices);
+            koika::debug::run_session(
+                td,
+                &mut target,
+                &mut *input,
+                &mut out,
+                wd_wanted.then_some(&mut armed),
+                &opts,
+            )
+        }
+    }
+    .map_err(|e| CliError::runtime(format!("debugger I/O error: {e}")))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `--debug-on-divergence`, shared tail: print both register files side by
+/// side, then attach the debugger to the diverging backend with an
+/// automatic `run-to` at the first divergent cycle boundary.
+fn debug_divergence(args: &Args, div: &fuzz::Divergence, cycles: u64) -> Result<(), CliError> {
+    let td = &div.td;
+    println!(
+        "divergence: seed {:#x}, backend {} first differs from interp after cycle {}",
+        div.seed, div.backend, div.cycle
+    );
+    println!("  {:<16} {:>18} {:>18}", "reg", "interp", div.backend);
+    for (i, r) in td.regs.iter().enumerate() {
+        let a = div.interp_regs[i];
+        let b = div.backend_regs[i];
+        let marker = if a == b { "" } else { "  <-- differs" };
+        println!(
+            "  {:<16} {:>18} {:>18}{marker}",
+            r.name,
+            format!("{a:#x}"),
+            format!("{b:#x}")
+        );
+    }
+    let sim = fuzz::build_backend_by_label(td, &div.backend).map_err(CliError::runtime)?;
+    let mut target = ScalarTarget::new(sim, Vec::new());
+    let mut input = open_debug_input(args, Some(format!("run-to {}\n", div.cycle + 1)))?;
+    let mut out = std::io::stdout().lock();
+    let opts = DebugOptions {
+        limit: cycles,
+        echo: args.debug_script.is_some(),
+        prompt: args.debug_script.is_none(),
+    };
+    koika::debug::run_session(td, &mut target, &mut *input, &mut out, None, &opts)
+        .map_err(|e| CliError::runtime(format!("debugger I/O error: {e}")))
+}
+
+/// `--debug-on-divergence` for `--fuzz`: scan the report's (shrunk) bucket
+/// reproducers first, then fall back to the raw per-case seeds — the
+/// fallback catches `rtl-static` divergences, which the fuzz matrix
+/// deliberately never trace-compares.
+fn debug_first_fuzz_divergence(args: &Args, report: &fuzz::FuzzReport) -> Result<(), CliError> {
+    for b in report.buckets.iter().filter(|b| b.class == "mismatch") {
+        if let Some(div) =
+            fuzz::scan_divergence(b.repro_seed, b.repro_cycles).map_err(CliError::runtime)?
+        {
+            return debug_divergence(args, &div, b.repro_cycles);
+        }
+    }
+    let cycles = args.cycles.unwrap_or(96);
+    for i in 0..args.fuzz.unwrap_or(0) {
+        let seed = fuzz::case_seed(args.seed, i);
+        if let Some(div) = fuzz::scan_divergence(seed, cycles).map_err(CliError::runtime)? {
+            return debug_divergence(args, &div, cycles);
+        }
+    }
+    eprintln!("debug-on-divergence: no register-state divergence found");
+    Ok(())
+}
+
 fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
     let cases = args.fuzz.unwrap_or(0);
     // No --dispatch under --fuzz means the full matrix (all three
@@ -772,6 +1012,9 @@ fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
         write_file(path, m.to_json(true).as_bytes())?;
         eprintln!("wrote metrics snapshot to {path}");
     }
+    if args.debug_on_divergence {
+        debug_first_fuzz_divergence(args, &report)?;
+    }
     if report.buckets.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -779,7 +1022,7 @@ fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
     }
 }
 
-fn run_replay_corpus_mode(dir: &str) -> Result<ExitCode, CliError> {
+fn run_replay_corpus_mode(args: &Args, dir: &str) -> Result<ExitCode, CliError> {
     let results = cuttlesim_repro::fuzz::replay_corpus_dir(std::path::Path::new(dir))
         .map_err(|e| CliError::runtime(format!("cannot read corpus dir {dir}: {e}")))?;
     if results.is_empty() {
@@ -796,6 +1039,31 @@ fn run_replay_corpus_mode(dir: &str) -> Result<ExitCode, CliError> {
         }
     }
     println!("corpus replay: {}/{} ok", results.len() - failed, results.len());
+    if args.debug_on_divergence {
+        // Re-scan the entries in path order with the *full* comparison
+        // matrix (including rtl-static, which replay never trace-compares)
+        // and attach the debugger at the first divergence found.
+        let mut attached = false;
+        for (path, _) in &results {
+            let Ok(text) = std::fs::read_to_string(path) else {
+                continue;
+            };
+            let Ok(entry) = fuzz::CorpusEntry::from_text(&text) else {
+                continue;
+            };
+            if let Some(div) =
+                fuzz::scan_divergence(entry.seed, entry.cycles).map_err(CliError::runtime)?
+            {
+                println!("divergence in {}:", path.display());
+                debug_divergence(args, &div, entry.cycles)?;
+                attached = true;
+                break;
+            }
+        }
+        if !attached {
+            eprintln!("debug-on-divergence: no register-state divergence found in {dir}");
+        }
+    }
     if failed == 0 {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -891,6 +1159,10 @@ fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<Exi
     batch.set_dispatch(plan.dispatch);
     let mut lane_devices: Vec<Vec<Box<dyn Device>>> =
         (0..width).map(|_| build_devices(td, &plan.program)).collect();
+    // VCD records one lane (--vcd-lane, default 0) with the same
+    // device-tick/sample/cycle ordering as the scalar run loop.
+    let vcd_lane = args.vcd_lane.unwrap_or(0);
+    let mut vcd = args.vcd.as_ref().map(|_| VcdRecorder::all_registers(td));
 
     let watchdog = Watchdog {
         max_cycles: args.max_cycles,
@@ -907,6 +1179,10 @@ fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<Exi
             for d in devices.iter_mut() {
                 d.tick(cycle, &mut access);
             }
+        }
+        if let Some(v) = &mut vcd {
+            let mut access = LaneAccess::new(&mut batch, vcd_lane);
+            v.tick(cycle, &mut access);
         }
         batch
             .cycle()
@@ -970,6 +1246,12 @@ fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<Exi
         println!("wrote metrics snapshot to {path}");
     }
 
+    if let (Some(path), Some(v)) = (&args.vcd, &vcd) {
+        let dump = v.finish(cycles_run);
+        write_file(path, dump.as_bytes())?;
+        println!("wrote {} bytes of VCD to {path}", dump.len());
+    }
+
     if let Some(t) = trip {
         eprintln!("{t}");
         return Ok(ExitCode::from(3));
@@ -986,6 +1268,11 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     if args.batch.is_some() && args.replay_corpus.is_some() {
         return Err(CliError::usage(
             "--batch cannot be combined with --replay-corpus (corpus replay is scalar)",
+        ));
+    }
+    if args.debug_on_divergence && args.fuzz.is_none() && args.replay_corpus.is_none() {
+        return Err(CliError::usage(
+            "--debug-on-divergence requires --fuzz or --replay-corpus",
         ));
     }
     // Design-free modes dispatch before design validation. Their flag
@@ -1018,11 +1305,23 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
         if args.jobs == 0 {
             return Err(CliError::usage("--jobs must be at least 1"));
         }
+        if args.debug {
+            return Err(CliError::usage(
+                "--debug requires a <design>; with --fuzz/--replay-corpus use \
+                 --debug-on-divergence",
+            ));
+        }
+        if args.debug_script.is_some() && !args.debug_on_divergence {
+            return Err(CliError::usage(
+                "--debug-script with --fuzz/--replay-corpus requires \
+                 --debug-on-divergence",
+            ));
+        }
         if args.fuzz.is_some() {
             return run_fuzz_mode(args);
         }
         if let Some(dir) = &args.replay_corpus {
-            return run_replay_corpus_mode(dir);
+            return run_replay_corpus_mode(args, dir);
         }
     }
     if args.design.is_empty() {
@@ -1055,6 +1354,9 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     }
     if let Some(path) = &args.replay {
         return run_replay_mode(args, &plan, path);
+    }
+    if args.debug_requested() {
+        return run_debug_mode(args, &plan);
     }
     if let Some(width) = args.batch {
         return run_batched_normal_mode(args, &plan, width);

@@ -653,6 +653,93 @@ pub fn run_case_with(
     }
 }
 
+/// A concrete first point of disagreement between the reference
+/// interpreter and one backend on a fuzz case — the raw material for
+/// `--debug-on-divergence`, which drops a debugger exactly here.
+pub struct Divergence {
+    /// The case seed.
+    pub seed: u64,
+    /// Label of the diverging backend (`O4-tac`, `rtl-static`, ...).
+    pub backend: String,
+    /// 0-based index of the first cycle whose post-cycle register state
+    /// differs (the state at cycle boundary `cycle + 1`).
+    pub cycle: u64,
+    /// The interpreter's full register file after that cycle.
+    pub interp_regs: Vec<u64>,
+    /// The diverging backend's full register file after that cycle.
+    pub backend_regs: Vec<u64>,
+    /// The generated design, so callers can attach a debugger without
+    /// re-deriving it from the seed.
+    pub td: TDesign,
+}
+
+/// Builds the backend a fuzz bucket label names, for re-running a
+/// reproducer under the debugger. Accepts `interp`, `O1`..`O6` with an
+/// optional `-closure`/`-tac` suffix, `rtl`, and `rtl-static`.
+///
+/// # Errors
+///
+/// Unknown labels and backend compile errors.
+pub fn build_backend_by_label(
+    td: &TDesign,
+    label: &str,
+) -> Result<Box<dyn SimBackend>, String> {
+    if label == "interp" {
+        return Ok(Box::new(koika::Interp::new(td)));
+    }
+    for id in BackendId::all(None) {
+        if id.label() == label {
+            return id.build(td);
+        }
+    }
+    Err(format!("unknown backend label '{label}'"))
+}
+
+/// Re-runs the case for `seed`, comparing every backend's full register
+/// file against the reference interpreter cycle by cycle — including
+/// `rtl-static`, whose conservative static-conflict scheduling the
+/// normal fuzz loop deliberately exempts from trace comparison. Returns
+/// the first divergence of the first diverging backend (backends in
+/// [`BackendId::all`] order), or `None` when every backend agrees for
+/// the whole budget.
+///
+/// # Errors
+///
+/// Design generation/type-check failures and backend compile errors.
+pub fn scan_divergence(seed: u64, cycles: u64) -> Result<Option<Divergence>, String> {
+    let td = check(&random_design(seed)).map_err(|e| e.to_string())?;
+    let nregs = td.regs.len();
+    let regs_of = |sim: &mut dyn SimBackend| -> Vec<u64> {
+        (0..nregs)
+            .map(|i| sim.as_reg_access().get64(RegId(i as u32)))
+            .collect()
+    };
+    let mut interp = koika::Interp::new(&td);
+    let mut reference = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        interp.cycle();
+        reference.push(regs_of(&mut interp));
+    }
+    for id in BackendId::all(None) {
+        let mut sim = id.build(&td)?;
+        for (c, want) in reference.iter().enumerate() {
+            sim.cycle();
+            let got = regs_of(sim.as_mut());
+            if &got != want {
+                return Ok(Some(Divergence {
+                    seed,
+                    backend: id.label(),
+                    cycle: c as u64,
+                    interp_regs: want.clone(),
+                    backend_regs: got,
+                    td,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Shrinks a reproducer: the smallest cycle budget in `[1, cycles]` at
 /// which `run_case(seed, n)` still yields a finding with the same key.
 /// Findings are monotone in the cycle budget (traces are prefixes of each

@@ -357,7 +357,8 @@ fn cli_rejects_bad_batch_invocations() {
         &["collatz", "--batch", "0"],
         &["collatz", "--batch", "4", "--backend", "interp"],
         &["collatz", "--batch", "4", "--backend", "rtl"],
-        &["collatz", "--batch", "4", "--vcd", "out.vcd"],
+        &["collatz", "--batch", "4", "--vcd", "out.vcd", "--vcd-lane", "4"],
+        &["collatz", "--vcd", "out.vcd", "--vcd-lane", "0"],
         &["collatz", "--batch", "4", "--trace", "8"],
         &["collatz", "--batch", "4", "--profile"],
         &["collatz", "--batch", "4", "--inject", "1:x:0"],
