@@ -1,0 +1,358 @@
+//! Load driver for the multi-tenant simulation session server: spawns an
+//! in-process server and floods it with sessions over real TCP
+//! connections, exercising the whole lifecycle — create, step, inject,
+//! snapshot, evict, transparent rehydration, close — then writes a
+//! machine-readable record to `BENCH_PR7.json`.
+//!
+//! ```text
+//! Usage: server_bench [--quick] [--out FILE] [--smoke FILE]
+//!                     [--sessions N] [--conns N] [--jobs J]
+//!   --quick        small session count (CI smoke: validates the JSON
+//!                  shape, asserts nothing about performance)
+//!   --out FILE     where to write the JSON record (default BENCH_PR7.json)
+//!   --smoke FILE   deterministic mode: one connection drives a fixed
+//!                  200-session script and every reply line is written to
+//!                  FILE verbatim; two runs against two fresh servers must
+//!                  produce byte-identical files (CI diffs them). No JSON
+//!                  record is written.
+//!   --sessions N   session count for the load mode (default 10000)
+//!   --conns N      client connections for the load mode (default 32)
+//!   --jobs J       server worker threads (default 4)
+//! ```
+//!
+//! The load mode's traffic mix is drawn from a fixed-seed xorshift PRNG,
+//! so the *request* stream is reproducible; the JSON record carries both
+//! wall-clock throughput and the server's own (deterministic) counters.
+
+use koika_server::json::Json;
+use koika_server::{spawn, DesignProvider, ServerConfig, ServerHandle};
+use koika::check::check;
+use koika::device::Device;
+use koika::tir::TDesign;
+use koika_designs::small;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serves the small combinational designs — the bench measures session
+/// multiplexing, not core throughput, so cheap designs keep the signal
+/// on the server.
+struct BenchProvider {
+    designs: Mutex<HashMap<String, Arc<TDesign>>>,
+}
+
+impl BenchProvider {
+    fn new() -> BenchProvider {
+        BenchProvider {
+            designs: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl DesignProvider for BenchProvider {
+    fn design(&self, name: &str) -> Option<Arc<TDesign>> {
+        let mut cache = self.designs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(td) = cache.get(name) {
+            return Some(Arc::clone(td));
+        }
+        let design = match name {
+            "collatz" => small::collatz(),
+            "fir" => small::fir(),
+            _ => return None,
+        };
+        let td = Arc::new(check(&design).ok()?);
+        cache.insert(name.to_string(), Arc::clone(&td));
+        Some(td)
+    }
+
+    fn devices(&self, _name: &str, _td: &TDesign) -> Vec<Box<dyn Device + Send>> {
+        Vec::new()
+    }
+}
+
+/// xorshift64* — fixed-seed traffic mix, no external PRNG needed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        // Without this, Nagle + delayed ACK turns each ping-pong request
+        // into a ~40 ms stall and the bench measures the kernel, not the
+        // server.
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+}
+
+fn session_of(reply: &str) -> Option<u64> {
+    Json::parse(reply).ok()?.get("session")?.as_u64()
+}
+
+fn is_ok(reply: &str) -> bool {
+    Json::parse(reply)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        == Some(true)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn server_config(jobs: usize) -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    cfg.runner.jobs = jobs;
+    cfg.spool_dir = std::env::temp_dir().join(format!("koika-server-bench-{}", std::process::id()));
+    cfg
+}
+
+/// The deterministic 200-session smoke script: every reply is appended to
+/// `out`, and the full transcript must be byte-identical run after run.
+fn run_smoke(path: &str) -> ExitCode {
+    let cfg = server_config(2);
+    let spool = cfg.spool_dir.clone();
+    let handle = spawn(cfg, Arc::new(BenchProvider::new()), "127.0.0.1:0").expect("bind");
+    let mut c = Client::connect(&handle);
+    let mut out = String::new();
+    let mut log = |reply: String| {
+        out.push_str(&reply);
+        out.push('\n');
+    };
+
+    for i in 0u64..200 {
+        let design = if i % 3 == 0 { "fir" } else { "collatz" };
+        let tenant = format!("t{}", i % 4);
+        let create = c.send(&format!(
+            r#"{{"op":"create","design":"{design}","tenant":"{tenant}"}}"#
+        ));
+        let id = session_of(&create).expect("create must admit");
+        log(create);
+        log(c.send(&format!(r#"{{"op":"step","session":{id},"n":{}}}"#, 10 + i % 5)));
+        if i % 3 == 1 {
+            log(c.send(&format!(
+                r#"{{"op":"inject","session":{id},"cycle":{},"reg":"x","bit":{}}}"#,
+                20 + i % 7,
+                i % 8
+            )));
+            log(c.send(&format!(r#"{{"op":"step","session":{id},"n":15}}"#)));
+        }
+        if i % 2 == 0 {
+            log(c.send(&format!(r#"{{"op":"snapshot","session":{id}}}"#)));
+        }
+        if i % 4 == 0 {
+            log(c.send(&format!(r#"{{"op":"evict","session":{id}}}"#)));
+            log(c.send(&format!(r#"{{"op":"step","session":{id},"n":2}}"#)));
+        }
+        if i % 10 == 9 {
+            log(c.send(&format!(r#"{{"op":"close","session":{id}}}"#)));
+        }
+    }
+    log(c.send(r#"{"op":"query-regs","session":2}"#));
+    log(c.send(r#"{"op":"metrics"}"#));
+    log(c.send(r#"{"op":"shutdown"}"#));
+    handle.wait();
+    std::fs::remove_dir_all(&spool).ok();
+
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("smoke transcript: 200 sessions, {} reply lines -> {path}", out.lines().count());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_PR7.json".to_string();
+    let mut smoke: Option<String> = None;
+    let mut sessions: u64 = 10_000;
+    let mut conns: u64 = 32;
+    let mut jobs: usize = 4;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = value("--out"),
+            "--smoke" => smoke = Some(value("--smoke")),
+            "--sessions" => sessions = value("--sessions").parse().expect("--sessions"),
+            "--conns" => conns = value("--conns").parse().expect("--conns"),
+            "--jobs" => jobs = value("--jobs").parse().expect("--jobs"),
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = smoke {
+        return run_smoke(&path);
+    }
+    if quick {
+        sessions = sessions.min(500);
+        conns = conns.min(8);
+    }
+
+    let cfg = server_config(jobs);
+    let spool = cfg.spool_dir.clone();
+    let handle = spawn(cfg, Arc::new(BenchProvider::new()), "127.0.0.1:0").expect("bind");
+    let started = Instant::now();
+
+    // Each connection owns `sessions / conns` sessions and walks them
+    // through a seeded mix of steps, injections, evictions, and closes.
+    let per_conn = sessions / conns;
+    let ops_total: u64 = std::thread::scope(|s| {
+        let handle = &handle;
+        let workers: Vec<_> = (0..conns)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut c = Client::connect(handle);
+                    let mut rng = Rng(0x5EED_0000 + w + 1);
+                    let mut ops = 0u64;
+                    let mut ids = Vec::with_capacity(per_conn as usize);
+                    for i in 0..per_conn {
+                        let design = if i % 2 == 0 { "collatz" } else { "fir" };
+                        let r = c.send(&format!(
+                            r#"{{"op":"create","design":"{design}","tenant":"w{w}"}}"#
+                        ));
+                        ops += 1;
+                        if let Some(id) = session_of(&r) {
+                            ids.push(id);
+                        }
+                        // Touch a random earlier session between creates so
+                        // the table churns instead of filling linearly.
+                        if !ids.is_empty() {
+                            let id = ids[rng.below(ids.len() as u64) as usize];
+                            let reply = match rng.below(10) {
+                                0 => c.send(&format!(r#"{{"op":"evict","session":{id}}}"#)),
+                                // Register by flat index — valid for any
+                                // design in the mix.
+                                1 => c.send(&format!(
+                                    r#"{{"op":"inject","session":{id},"cycle":1000000,"reg":"0","bit":0}}"#
+                                )),
+                                2 => c.send(&format!(r#"{{"op":"snapshot","session":{id}}}"#)),
+                                _ => c.send(&format!(
+                                    r#"{{"op":"step","session":{id},"n":{}}}"#,
+                                    1 + rng.below(32)
+                                )),
+                            };
+                            ops += 1;
+                            assert!(is_ok(&reply), "bench traffic must succeed: {reply}");
+                        }
+                    }
+                    // Final sweep: step every session once more, then close
+                    // a third of them.
+                    for (i, id) in ids.iter().enumerate() {
+                        ops += 1;
+                        let r = c.send(&format!(r#"{{"op":"step","session":{id},"n":5}}"#));
+                        assert!(is_ok(&r), "{r}");
+                        if i % 3 == 0 {
+                            ops += 1;
+                            c.send(&format!(r#"{{"op":"close","session":{id}}}"#));
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("worker")).sum()
+    });
+
+    let mut c = Client::connect(&handle);
+    let metrics_reply = c.send(r#"{"op":"metrics"}"#);
+    let wall = started.elapsed();
+    let metrics = Json::parse(&metrics_reply).expect("metrics reply");
+    let m = metrics.get("metrics").expect("metrics body");
+    let sum = |key: &str| -> u64 {
+        match m.get("tenants") {
+            Some(Json::Obj(tenants)) => tenants
+                .iter()
+                .filter_map(|(_, t)| t.get(key).and_then(Json::as_u64))
+                .sum(),
+            _ => 0,
+        }
+    };
+    let cycles = sum("cycles");
+    let stats = handle.join();
+    std::fs::remove_dir_all(&spool).ok();
+
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let ops_per_sec = ops_total as f64 / wall.as_secs_f64();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"server_bench\",\n  \"git_rev\": \"{}\",\n  \"quick\": {quick},\n  \
+         \"sessions\": {sessions},\n  \"connections\": {conns},\n  \"jobs\": {jobs},\n  \
+         \"ops\": {ops_total},\n  \"cycles\": {cycles},\n  \"wall_ms\": {wall_ms:.3},\n  \
+         \"ops_per_sec\": {ops_per_sec:.1},\n  \"steps\": {},\n  \"evictions\": {},\n  \
+         \"rehydrations\": {},\n  \"injections\": {},\n  \"busy_rejections\": {},\n  \
+         \"packed_steps\": {},\n  \"panics_contained\": {},\n  \"sessions_spilled\": {},\n  \
+         \"protocol_errors\": {}\n}}\n",
+        git_rev(),
+        sum("steps"),
+        sum("evictions"),
+        sum("rehydrations"),
+        sum("injections"),
+        sum("busy_rejections"),
+        sum("packed_steps"),
+        stats.panics_contained,
+        stats.sessions_spilled,
+        stats.protocol_errors,
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{sessions} sessions over {conns} connections: {ops_total} ops in {wall_ms:.0} ms \
+         ({ops_per_sec:.0} ops/s, {cycles} cycles) -> {out}"
+    );
+    if stats.panics_contained > 0 || stats.protocol_errors > 0 {
+        eprintln!("bench traffic must be clean; server reported errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

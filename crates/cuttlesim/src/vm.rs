@@ -47,7 +47,7 @@ pub(crate) enum Flow {
 
 /// A pre-bound instruction thunk, one per instruction, for the
 /// closure-dispatch backend ([`Dispatch::Closure`]).
-pub(crate) type RuleClosure = Box<dyn Fn(&mut State, LevelCfg) -> Flow>;
+pub(crate) type RuleClosure = Box<dyn Fn(&mut State, LevelCfg) -> Flow + Send>;
 
 /// A fatal error raised by the VM itself (as opposed to a rule failure,
 /// which is normal Kôika semantics).
@@ -1236,6 +1236,7 @@ impl SimBackend for Sim {
             design: self.prog.design.name.clone(),
             cycles: self.st.cycles,
             fired: self.st.fired,
+            fingerprint: self.prog.design.fingerprint(),
             fired_per_rule: self.st.fired_per_rule.clone(),
             regs: (0..self.prog.init.len())
                 .map(|i| Bits::new(self.prog.widths[i], self.read_reg(i)))
@@ -1247,7 +1248,11 @@ impl SimBackend for Sim {
         if self.mid_cycle {
             return Err(SnapshotError::MidCycle);
         }
-        snap.check_shape(&self.prog.design.name, &self.prog.widths)?;
+        snap.check_shape(
+            &self.prog.design.name,
+            &self.prog.widths,
+            self.prog.design.fingerprint(),
+        )?;
         for (i, v) in snap.regs.iter().enumerate() {
             self.set64(RegId(i as u32), v.low_u64());
         }

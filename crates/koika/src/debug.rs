@@ -301,6 +301,7 @@ impl<'a> BatchTarget<'a> {
             design: self.td.name.clone(),
             cycles: cycle,
             fired: self.fired[lane],
+            fingerprint: self.td.fingerprint(),
             fired_per_rule: Vec::new(),
             regs,
         }
@@ -490,11 +491,11 @@ struct DebugCheckpoint {
     last_writes: Vec<(RegId, u64, u64)>,
 }
 
-struct Session<'a, 'w, 'c> {
+struct Session<'a, 'w> {
     td: &'a TDesign,
     target: &'a mut dyn DebugTarget,
     out: &'a mut dyn Write,
-    watchdog: Option<&'w mut ArmedWatchdog<'c>>,
+    watchdog: Option<&'w mut ArmedWatchdog>,
     limit: u64,
     /// Cycles executed (the session is paused at this boundary).
     pos: u64,
@@ -519,7 +520,7 @@ struct Session<'a, 'w, 'c> {
 
 type CmdResult = std::io::Result<()>;
 
-impl Session<'_, '_, '_> {
+impl Session<'_, '_> {
     fn reg_name(&self, reg: RegId) -> &str {
         &self.td.regs[reg.0 as usize].name
     }
@@ -1381,7 +1382,7 @@ pub fn run_session(
     target: &mut dyn DebugTarget,
     input: &mut dyn BufRead,
     out: &mut dyn Write,
-    watchdog: Option<&mut ArmedWatchdog<'_>>,
+    watchdog: Option<&mut ArmedWatchdog>,
     opts: &DebugOptions,
 ) -> std::io::Result<()> {
     let pos = target.start_cycle();

@@ -227,10 +227,12 @@ impl Watchdog {
         }
     }
 
-    /// Arms the watchdog for one run.
-    pub fn arm(&self) -> ArmedWatchdog<'_> {
+    /// Arms the watchdog for one run. The armed watchdog owns a copy of the
+    /// budget configuration so long-lived holders (e.g. server session
+    /// tables) need no borrow of the original.
+    pub fn arm(&self) -> ArmedWatchdog {
         ArmedWatchdog {
-            cfg: self,
+            cfg: self.clone(),
             start: Instant::now(),
             stalled: 0,
             paused_at: None,
@@ -280,14 +282,14 @@ impl fmt::Display for WatchdogTrip {
 
 /// A [`Watchdog`] armed for one run; see [`ArmedWatchdog::observe`].
 #[derive(Debug)]
-pub struct ArmedWatchdog<'a> {
-    cfg: &'a Watchdog,
+pub struct ArmedWatchdog {
+    cfg: Watchdog,
     start: Instant,
     stalled: u64,
     paused_at: Option<Instant>,
 }
 
-impl ArmedWatchdog<'_> {
+impl ArmedWatchdog {
     /// Stops the wall clock, e.g. while an interactive debugger is sitting
     /// at its prompt or replaying history. Time spent paused never counts
     /// toward the wall budget, so a long pause cannot be misclassified as a
@@ -308,12 +310,27 @@ impl ArmedWatchdog<'_> {
     }
 
     /// Wall-clock time elapsed since arming, excluding paused intervals.
-    fn wall_elapsed(&self) -> Duration {
+    pub fn wall_elapsed(&self) -> Duration {
         match self.paused_at {
             // While paused, the clock is frozen at the pause instant.
             Some(p) => p.duration_since(self.start),
             None => self.start.elapsed(),
         }
+    }
+
+    /// Rewinds the wall clock so [`ArmedWatchdog::wall_elapsed`] reads
+    /// `mark` again. Used when a machine-dependent wall trip is retried:
+    /// the retry should restart from the budget position recorded before
+    /// the failed attempt rather than instantly re-tripping. Marks in the
+    /// future of the current reading are ignored (the clock never moves
+    /// forward under a rewind).
+    pub fn wall_rewind_to(&mut self, mark: Duration) {
+        let now_mark = self.wall_elapsed();
+        if mark >= now_mark {
+            return;
+        }
+        // Shift the arm time forward by the amount being forgiven.
+        self.start += now_mark - mark;
     }
 
     /// Reports one completed cycle (with the number of rule commits it
@@ -1555,6 +1572,32 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         let trip = unpaused.observe(1, 1).expect("unpaused overrun must trip");
         assert_eq!(trip.kind, TripKind::Wall);
+    }
+
+    #[test]
+    fn watchdog_wall_rewind_restores_budget_position() {
+        // Wall trips are retried (machine-dependent); the retry must restart
+        // from the budget position recorded before the failed attempt, not
+        // instantly re-trip on the already-exhausted clock.
+        let wd = Watchdog {
+            wall_budget: Some(Duration::from_millis(50)),
+            ..Watchdog::default()
+        };
+        let mut armed = wd.arm();
+        let mark = armed.wall_elapsed();
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(armed.observe(1, 1).map(|t| t.kind), Some(TripKind::Wall));
+        armed.wall_rewind_to(mark);
+        assert!(
+            armed.wall_elapsed() < Duration::from_millis(50),
+            "rewind must restore headroom"
+        );
+        assert!(armed.observe(2, 1).is_none(), "retry must not re-trip instantly");
+        // Rewinding to a future mark is a no-op: the clock never advances
+        // under a rewind.
+        let before = armed.wall_elapsed();
+        armed.wall_rewind_to(Duration::from_secs(100));
+        assert!(armed.wall_elapsed() >= before.saturating_sub(Duration::from_millis(1)));
     }
 
     #[test]

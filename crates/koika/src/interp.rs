@@ -406,6 +406,7 @@ impl SimBackend for Interp {
             design: self.design.name.clone(),
             cycles: self.cycles,
             fired: self.fired,
+            fingerprint: self.design.fingerprint(),
             fired_per_rule: self.fired_per_rule.clone(),
             regs: self.regs.clone(),
         }
@@ -416,7 +417,7 @@ impl SimBackend for Interp {
             return Err(SnapshotError::MidCycle);
         }
         let widths: Vec<u32> = self.design.regs.iter().map(|r| r.width).collect();
-        snap.check_shape(&self.design.name, &widths)?;
+        snap.check_shape(&self.design.name, &widths, self.design.fingerprint())?;
         self.regs = snap.regs.clone();
         self.cycles = snap.cycles;
         self.fired = snap.fired;

@@ -141,6 +141,32 @@ impl Observer for Fanout<'_> {
     }
 }
 
+/// Writes a Prometheus metric family header (`# HELP` + `# TYPE`).
+///
+/// Shared by [`Metrics::to_prometheus`] and external exporters (the
+/// simulation server's per-tenant `koika_server_*` counters) so every
+/// exposition in the workspace formats identically.
+pub fn prom_family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one Prometheus sample line with escaped label values.
+pub fn prom_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", json_escape(v));
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
 /// Escapes a string for inclusion in a JSON document.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

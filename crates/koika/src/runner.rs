@@ -44,8 +44,17 @@ pub struct RunnerConfig {
     pub jobs: usize,
     /// Retries granted to a job failing with [`JobError::Transient`].
     pub max_retries: u32,
-    /// Backoff before retry `k` is `backoff * 2^(k-1)`, capped at 2 s.
+    /// Backoff before retry `k` is `backoff * 2^(k-1)`, capped at 2 s,
+    /// jittered deterministically by `seed` and the job index (see
+    /// [`RunnerConfig::seed`]).
     pub backoff: Duration,
+    /// Seed for retry-backoff jitter. Many jobs tripping a wall budget at
+    /// once (e.g. server sessions on a briefly-overloaded machine) would
+    /// otherwise sleep identical delays and retry in lock-step; jitter
+    /// spreads them out. The jitter is a pure function of
+    /// `(seed, job index, attempt)`, so a fixed seed keeps runs
+    /// byte-identical.
+    pub seed: u64,
 }
 
 impl Default for RunnerConfig {
@@ -54,6 +63,7 @@ impl Default for RunnerConfig {
             jobs: 1,
             max_retries: 2,
             backoff: Duration::from_millis(25),
+            seed: 0,
         }
     }
 }
@@ -204,9 +214,31 @@ pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     caught.map_err(|payload| panic_message(&*payload))
 }
 
-fn backoff_delay(base: Duration, failed_attempt: u32) -> Duration {
+/// SplitMix64 step: a cheap, well-mixed hash used to derive jitter from
+/// `(seed, index, attempt)` without any shared RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn backoff_delay(base: Duration, failed_attempt: u32, seed: u64, index: usize) -> Duration {
     let exp = base.saturating_mul(1u32 << failed_attempt.saturating_sub(1).min(6));
-    exp.min(Duration::from_secs(2))
+    let exp = exp.min(Duration::from_secs(2));
+    // Jitter into [exp/2, exp): deterministic per (seed, index, attempt) so
+    // simultaneous retries de-synchronize but a fixed seed stays
+    // reproducible.
+    let h = splitmix64(
+        seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ ((failed_attempt as u64) << 32),
+    );
+    let half = exp / 2;
+    let span = exp.saturating_sub(half).as_nanos() as u64;
+    if span == 0 {
+        return exp;
+    }
+    half + Duration::from_nanos(h % span)
 }
 
 /// Runs one job to its final verdict: containment around every attempt,
@@ -227,7 +259,7 @@ fn run_one<T>(
         match result {
             Err(JobError::Transient(reason)) if attempts <= cfg.max_retries => {
                 on_retry(attempts, &reason);
-                std::thread::sleep(backoff_delay(cfg.backoff, attempts));
+                std::thread::sleep(backoff_delay(cfg.backoff, attempts, cfg.seed, index));
             }
             result => {
                 return JobReport {
@@ -431,6 +463,7 @@ mod tests {
             jobs: 2,
             max_retries: 2,
             backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
         };
         let attempts = [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)];
         let (reports, stats) = run_jobs(
@@ -489,5 +522,36 @@ mod tests {
             run_jobs(0, &RunnerConfig::default(), Ok::<usize, JobError>, None);
         assert!(reports.is_empty());
         assert_eq!(stats.total, 0);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed_and_bounded() {
+        let base = Duration::from_millis(25);
+        for attempt in 1..=4u32 {
+            let exp = base
+                .saturating_mul(1u32 << attempt.saturating_sub(1).min(6))
+                .min(Duration::from_secs(2));
+            for index in 0..8usize {
+                let a = backoff_delay(base, attempt, 42, index);
+                let b = backoff_delay(base, attempt, 42, index);
+                assert_eq!(a, b, "same (seed, index, attempt) must give same delay");
+                assert!(a >= exp / 2 && a <= exp, "delay {a:?} outside [{:?}, {exp:?}]", exp / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_desynchronizes_indices() {
+        let base = Duration::from_millis(25);
+        let delays: Vec<Duration> =
+            (0..16usize).map(|i| backoff_delay(base, 1, 7, i)).collect();
+        let distinct: std::collections::HashSet<Duration> = delays.iter().copied().collect();
+        assert!(
+            distinct.len() > 8,
+            "expected jitter to spread retries across indices, got {delays:?}"
+        );
+        let other: Vec<Duration> =
+            (0..16usize).map(|i| backoff_delay(base, 1, 8, i)).collect();
+        assert_ne!(delays, other, "different seeds must jitter differently");
     }
 }

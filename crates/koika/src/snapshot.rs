@@ -33,8 +33,40 @@ use std::fmt::Write as _;
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"KSNP";
 
 /// Current binary snapshot format version. Bump on any layout change; old
-/// versions are rejected, never reinterpreted.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// versions are rejected, never reinterpreted. Version 2 added the design
+/// fingerprint guard.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Folds a design's identity — its name plus every register's name and
+/// declared width, in declaration order — into a 64-bit FNV-1a fingerprint.
+///
+/// Every backend stamps this into the snapshots it takes and checks it on
+/// restore, so a snapshot can never be restored into a *different* design
+/// that happens to share a name and register shape (e.g. a register got
+/// renamed between builds): the restore fails with a typed
+/// [`SnapshotError::FingerprintMismatch`] instead of silently diverging.
+pub fn design_fingerprint<'a, I>(design: &str, regs: I) -> u64
+where
+    I: IntoIterator<Item = (&'a str, u32)>,
+{
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(design.as_bytes());
+    eat(&[0]);
+    for (name, width) in regs {
+        eat(name.as_bytes());
+        eat(&[0]);
+        eat(&width.to_le_bytes());
+    }
+    h
+}
 
 /// A saved copy of a simulator's architectural state at a cycle boundary.
 ///
@@ -48,6 +80,8 @@ pub struct Snapshot {
     pub cycles: u64,
     /// Total rule commits when the snapshot was taken.
     pub fired: u64,
+    /// [`design_fingerprint`] of the design the snapshot was taken from.
+    pub fingerprint: u64,
     /// Per-rule commit counts in **declaration order** (empty if the
     /// backend does not track them).
     pub fired_per_rule: Vec<u64>,
@@ -76,6 +110,15 @@ pub enum SnapshotError {
     },
     /// Register count or a register width differs from the target design.
     ShapeMismatch(String),
+    /// The design fingerprint (name + register names + widths) differs: the
+    /// snapshot came from a structurally different design, even though the
+    /// coarse shape checks passed.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the snapshot.
+        snapshot: u64,
+        /// Fingerprint of the design being restored into.
+        simulator: u64,
+    },
     /// The simulator is mid-cycle; snapshots only apply at cycle boundaries.
     MidCycle,
 }
@@ -94,6 +137,12 @@ impl fmt::Display for SnapshotError {
                 "snapshot is of design {snapshot:?} but the simulator runs {simulator:?}"
             ),
             SnapshotError::ShapeMismatch(why) => write!(f, "snapshot shape mismatch: {why}"),
+            SnapshotError::FingerprintMismatch { snapshot, simulator } => write!(
+                f,
+                "snapshot design fingerprint {snapshot:#018x} does not match the \
+                 simulator's design fingerprint {simulator:#018x} (same name and \
+                 shape, different design)"
+            ),
             SnapshotError::MidCycle => {
                 write!(f, "cannot snapshot/restore mid-cycle; finish the cycle first")
             }
@@ -129,7 +178,7 @@ impl Snapshot {
     ///
     /// ```text
     /// "KSNP"  version:u32  name_len:u32 name_bytes
-    /// cycles:u64  fired:u64
+    /// cycles:u64  fired:u64  fingerprint:u64
     /// nrules:u32  fired_per_rule:u64 × nrules
     /// nregs:u32   (width:u32 nwords:u32 words:u64 × nwords) × nregs
     /// ```
@@ -141,6 +190,7 @@ impl Snapshot {
         out.extend_from_slice(self.design.as_bytes());
         out.extend_from_slice(&self.cycles.to_le_bytes());
         out.extend_from_slice(&self.fired.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
         out.extend_from_slice(&(self.fired_per_rule.len() as u32).to_le_bytes());
         for &n in &self.fired_per_rule {
             out.extend_from_slice(&n.to_le_bytes());
@@ -177,6 +227,7 @@ impl Snapshot {
             .map_err(|_| SnapshotError::Corrupt("design name is not UTF-8"))?;
         let cycles = read_u64(&mut buf)?;
         let fired = read_u64(&mut buf)?;
+        let fingerprint = read_u64(&mut buf)?;
         let nrules = read_u32(&mut buf)? as usize;
         if nrules > bytes.len() {
             return Err(SnapshotError::Corrupt("rule count exceeds stream size"));
@@ -206,18 +257,25 @@ impl Snapshot {
             design,
             cycles,
             fired,
+            fingerprint,
             fired_per_rule,
             regs,
         })
     }
 
-    /// Checks that this snapshot fits a simulator of the given design name
-    /// and register widths.
+    /// Checks that this snapshot fits a simulator of the given design name,
+    /// register widths, and [`design_fingerprint`].
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::DesignMismatch`] or [`SnapshotError::ShapeMismatch`].
-    pub fn check_shape(&self, design: &str, widths: &[u32]) -> Result<(), SnapshotError> {
+    /// [`SnapshotError::DesignMismatch`], [`SnapshotError::ShapeMismatch`],
+    /// or [`SnapshotError::FingerprintMismatch`].
+    pub fn check_shape(
+        &self,
+        design: &str,
+        widths: &[u32],
+        fingerprint: u64,
+    ) -> Result<(), SnapshotError> {
         if self.design != design {
             return Err(SnapshotError::DesignMismatch {
                 snapshot: self.design.clone(),
@@ -239,6 +297,12 @@ impl Snapshot {
                 )));
             }
         }
+        if self.fingerprint != fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                snapshot: self.fingerprint,
+                simulator: fingerprint,
+            });
+        }
         Ok(())
     }
 
@@ -249,10 +313,12 @@ impl Snapshot {
         let _ = write!(
             s,
             "{{\n  \"format\": \"ksnp\",\n  \"version\": {SNAPSHOT_VERSION},\n  \
-             \"design\": \"{}\",\n  \"cycles\": {},\n  \"fired\": {},\n",
+             \"design\": \"{}\",\n  \"cycles\": {},\n  \"fired\": {},\n  \
+             \"fingerprint\": \"{:#018x}\",\n",
             self.design.escape_default(),
             self.cycles,
-            self.fired
+            self.fired,
+            self.fingerprint
         );
         let _ = write!(s, "  \"fired_per_rule\": {:?},\n  \"regs\": [\n", self.fired_per_rule);
         for (i, r) in self.regs.iter().enumerate() {
@@ -283,11 +349,16 @@ impl Snapshot {
 mod tests {
     use super::*;
 
+    fn sample_fp() -> u64 {
+        design_fingerprint("demo", [("a", 8u32), ("b", 96u32)])
+    }
+
     fn sample() -> Snapshot {
         Snapshot {
             design: "demo".into(),
             cycles: 42,
             fired: 77,
+            fingerprint: sample_fp(),
             fired_per_rule: vec![40, 37],
             regs: vec![Bits::new(8, 0xabu64), Bits::new(96, 0x1_0000_0000_0000_0000u128)],
         }
@@ -327,19 +398,43 @@ mod tests {
     #[test]
     fn shape_check_catches_mismatches() {
         let s = sample();
-        assert!(s.check_shape("demo", &[8, 96]).is_ok());
+        let fp = sample_fp();
+        assert!(s.check_shape("demo", &[8, 96], fp).is_ok());
         assert!(matches!(
-            s.check_shape("other", &[8, 96]),
+            s.check_shape("other", &[8, 96], fp),
             Err(SnapshotError::DesignMismatch { .. })
         ));
         assert!(matches!(
-            s.check_shape("demo", &[8]),
+            s.check_shape("demo", &[8], fp),
             Err(SnapshotError::ShapeMismatch(_))
         ));
         assert!(matches!(
-            s.check_shape("demo", &[8, 64]),
+            s.check_shape("demo", &[8, 64], fp),
             Err(SnapshotError::ShapeMismatch(_))
         ));
+    }
+
+    #[test]
+    fn fingerprint_guards_same_shape_different_design() {
+        // Same design name, same register count and widths, but one
+        // register was renamed: the coarse shape checks pass and only the
+        // fingerprint catches the mismatch.
+        let s = sample();
+        let renamed = design_fingerprint("demo", [("a", 8u32), ("b2", 96u32)]);
+        assert_ne!(renamed, sample_fp());
+        assert!(matches!(
+            s.check_shape("demo", &[8, 96], renamed),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_width_sensitive() {
+        let base = design_fingerprint("d", [("x", 8u32), ("y", 16u32)]);
+        assert_ne!(base, design_fingerprint("d", [("y", 16u32), ("x", 8u32)]));
+        assert_ne!(base, design_fingerprint("d", [("x", 9u32), ("y", 16u32)]));
+        assert_ne!(base, design_fingerprint("e", [("x", 8u32), ("y", 16u32)]));
+        assert_eq!(base, design_fingerprint("d", vec![("x", 8u32), ("y", 16u32)]));
     }
 
     #[test]

@@ -286,4 +286,14 @@ impl TDesign {
     pub fn fits_u64(&self) -> bool {
         self.regs.iter().all(|r| r.width <= 64)
     }
+
+    /// The design's [`crate::snapshot::design_fingerprint`]: a 64-bit hash
+    /// of the design name plus every register's name and width, stamped
+    /// into snapshots and checked on restore.
+    pub fn fingerprint(&self) -> u64 {
+        crate::snapshot::design_fingerprint(
+            &self.name,
+            self.regs.iter().map(|r| (r.name.as_str(), r.width)),
+        )
+    }
 }

@@ -58,6 +58,14 @@ impl RtlSim {
         &self.model
     }
 
+    /// The design fingerprint stamped into (and checked against) snapshots.
+    fn fingerprint(&self) -> u64 {
+        koika::snapshot::design_fingerprint(
+            &self.model.name,
+            self.model.netlist.regs.iter().map(|r| (r.name.as_str(), r.width)),
+        )
+    }
+
     /// Per-scheduled-rule commit counts (schedule order; see
     /// [`RtlModel::fire_names`]).
     pub fn fired_per_rule(&self) -> &[u64] {
@@ -234,6 +242,7 @@ impl SimBackend for RtlSim {
             design: self.model.name.clone(),
             cycles: self.cycles,
             fired: self.fired,
+            fingerprint: self.fingerprint(),
             fired_per_rule: decl,
             regs: self
                 .model
@@ -248,7 +257,7 @@ impl SimBackend for RtlSim {
 
     fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
         let widths: Vec<u32> = self.model.netlist.regs.iter().map(|r| r.width).collect();
-        snap.check_shape(&self.model.name, &widths)?;
+        snap.check_shape(&self.model.name, &widths, self.fingerprint())?;
         for (i, v) in snap.regs.iter().enumerate() {
             self.regs[i] = v.low_u64();
         }

@@ -1,0 +1,47 @@
+//! Simulation-as-a-service: a multi-tenant TCP session server over the
+//! Kôika simulation backends.
+//!
+//! The paper's thesis is that compiling a hardware design to software makes
+//! simulation behave like any other program — cheap to start, easy to
+//! instrument. This crate takes the next step the ROADMAP asks for: if a
+//! simulation is just a program, it can also be *served* like one. The
+//! server multiplexes thousands of concurrent simulation sessions onto one
+//! process, with robustness as the headline feature:
+//!
+//! * **Admission control** — the session table is bounded
+//!   ([`ServerConfig::max_sessions`]) and the step queue is bounded
+//!   ([`ServerConfig::queue_depth`]); both shed load with explicit `busy`
+//!   replies instead of queueing without limit.
+//! * **Per-session fault isolation** — every step executes under the
+//!   [`koika::runner`] panic containment. A poisoned design (a device or
+//!   backend that panics) kills exactly one session: the client gets a
+//!   clean `error` reply, the session is torn down, and every other
+//!   session — and the server itself — is unaffected.
+//! * **Snapshot-backed eviction** — idle sessions spill their register
+//!   file and device state to a `.ksnap`-based spool file and are
+//!   transparently rehydrated on the next request. Sessions are *data*
+//!   (a [`koika::snapshot::Snapshot`] plus device blobs), not live
+//!   threads, so eviction is cheap and exact.
+//! * **Watchdog budgets** — each session owns an armed
+//!   [`koika::fault::Watchdog`] (cycle / stall / wall budgets). The wall
+//!   clock is paused whenever the session is idle or evicted, so a slow
+//!   client or a long eviction never counts against the budget.
+//! * **Batch-lane packing** — concurrent `step` requests for the same
+//!   design are packed into one [`cuttlesim::batch::BatchSim`] lock-step
+//!   engine; per-lane results are bit-identical to scalar execution, so
+//!   packing is purely a throughput optimization.
+//! * **Graceful drain** — a `shutdown` request finishes in-flight steps,
+//!   spills every remaining live session to the spool directory, closes
+//!   the listener, and returns final statistics.
+//!
+//! The wire protocol is line-oriented JSON — one request object per line,
+//! one reply object per line — documented in [`server`].
+
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod session;
+
+pub use metrics::ServerMetrics;
+pub use server::{spawn, ServerConfig, ServerHandle, ServerStats};
+pub use session::{BackendKind, DesignProvider};

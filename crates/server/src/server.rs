@@ -1,0 +1,1575 @@
+//! The TCP front end: wire protocol, admission control, the step
+//! dispatcher with batch-lane packing, and graceful drain.
+//!
+//! # Wire protocol
+//!
+//! Line-oriented JSON over TCP: the client sends one request object per
+//! line, the server answers with exactly one reply object per line, in
+//! order. Every reply carries `"ok":true` or `"ok":false` plus an
+//! `"error"` kind and human-readable `"detail"`. Requests:
+//!
+//! | op             | fields                                         | reply extras |
+//! |----------------|------------------------------------------------|--------------|
+//! | `create`       | `design`, opt `tenant`/`backend`/`watchdog`    | `session`, `backend`, `cycles` |
+//! | `step`         | `session`, opt `n` (default 1)                 | `cycles`, `fired` |
+//! | `stream-trace` | `session`, opt `n`                             | `cycles`, `fired`, `events`, `truncated` |
+//! | `inject`       | `session`, `cycle`, `reg`, `bit`               | `pending` |
+//! | `snapshot`     | `session`                                      | `cycles`, `ksnap` (hex) |
+//! | `restore`      | `session`, `ksnap` (hex)                       | `cycles` |
+//! | `query-regs`   | `session`, opt `regs` (names)                  | `cycles`, `regs` |
+//! | `evict`        | `session`                                      | `evicted` |
+//! | `close`        | `session`                                      | `closed` |
+//! | `metrics`      | opt `format` (`json`/`prometheus`)             | `metrics` or `prometheus` |
+//! | `ping`         |                                                | `pong` |
+//! | `shutdown`     |                                                | `draining` |
+//!
+//! `watchdog` on `create` is `{"max_cycles":N,"stall_cycles":N,
+//! "wall_ms":N}`, all optional. Error kinds: `protocol`, `unknown-op`,
+//! `unknown-design`, `unknown-session`, `session-busy`, `busy`,
+//! `backend`, `watchdog` (with `kind` and `cycle`), `panic`, `snapshot`,
+//! `internal`.
+//!
+//! Replies contain no wall-clock data, so a scripted client driving a
+//! fresh server produces byte-identical transcripts run after run — the
+//! CI smoke test relies on this.
+
+use crate::json::{self, Json};
+use crate::metrics::ServerMetrics;
+use crate::session::{
+    spill, unspill, BackendKind, DesignProvider, EnginePool, EvictedStub, SessionBody,
+    SessionSlot, SessionTable,
+};
+use koika::bits::Bits;
+use koika::device::{Device, LaneAccess, RegAccess};
+use koika::fault::{ArmedWatchdog, Injection, TripKind, Watchdog, WatchdogTrip};
+use koika::obs::Observer;
+use koika::runner::{contain, run_jobs, JobError, RunnerConfig};
+use koika::snapshot::Snapshot;
+use koika::tir::TDesign;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance. `Default` is sized for the
+/// `server_bench` load profile (tens of thousands of sessions).
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Admission bound: `create` beyond this many resident sessions is
+    /// shed with a `busy` reply.
+    pub max_sessions: usize,
+    /// Bound on queued step requests; `step` beyond it is shed with
+    /// `busy`.
+    pub queue_depth: usize,
+    /// Worker pool configuration for step execution (also supplies the
+    /// deterministic retry-backoff jitter seed).
+    pub runner: RunnerConfig,
+    /// Budgets applied to sessions that do not request their own.
+    pub default_watchdog: Watchdog,
+    /// Directory for eviction spool files.
+    pub spool_dir: PathBuf,
+    /// Evict sessions idle longer than this (checked by the accept
+    /// loop). `None` disables automatic eviction; explicit `evict`
+    /// requests always work.
+    pub idle_evict: Option<Duration>,
+    /// Minimum same-design step requests in one dispatch round before
+    /// they are packed into a batch engine.
+    pub batch_min: usize,
+    /// How long the dispatcher waits for more requests before executing
+    /// a round. Zero (the default) adds no latency: packing then happens
+    /// only when requests are already queued.
+    pub batch_window: Duration,
+    /// Largest `n` accepted by a single `step`.
+    pub max_step: u64,
+    /// Cap on events returned by one `stream-trace`.
+    pub max_trace: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let jobs = thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+        ServerConfig {
+            max_sessions: 16384,
+            queue_depth: 1024,
+            runner: RunnerConfig {
+                jobs,
+                ..RunnerConfig::default()
+            },
+            default_watchdog: Watchdog::default(),
+            spool_dir: std::env::temp_dir()
+                .join(format!("koika-server-spool-{}", std::process::id())),
+            idle_evict: None,
+            batch_min: 2,
+            batch_window: Duration::ZERO,
+            max_step: 1_000_000,
+            max_trace: 4096,
+        }
+    }
+}
+
+/// Final statistics returned by [`ServerHandle::join`] after drain.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Total request lines received.
+    pub requests: u64,
+    /// Lines that failed to parse or named an unknown op.
+    pub protocol_errors: u64,
+    /// Live sessions spilled to the spool directory during drain.
+    pub sessions_spilled: u64,
+    /// Panics contained over the server's lifetime (sum over tenants).
+    pub panics_contained: u64,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] / [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: thread::JoinHandle<ServerStats>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain, as if a client had sent `shutdown`.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Shuts down (if not already draining) and waits for the drain to
+    /// finish.
+    pub fn join(self) -> ServerStats {
+        self.shutdown();
+        self.thread.join().unwrap_or_default()
+    }
+
+    /// Waits for the server to drain without requesting a shutdown —
+    /// the drain comes from a client `shutdown` op or a concurrent
+    /// [`ServerHandle::shutdown`]. This is what `koika-sim --serve`
+    /// blocks on.
+    pub fn wait(self) -> ServerStats {
+        self.thread.join().unwrap_or_default()
+    }
+}
+
+/// Binds `addr` and serves on background threads until `shutdown`.
+///
+/// # Errors
+///
+/// Socket bind / spool directory creation failures.
+pub fn spawn(
+    cfg: ServerConfig,
+    provider: Arc<dyn DesignProvider>,
+    addr: &str,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    std::fs::create_dir_all(&cfg.spool_dir)?;
+    let local = listener.local_addr()?;
+    let (tx, rx) = mpsc::sync_channel::<StepTask>(cfg.queue_depth.max(1));
+    let shared = Arc::new(Shared {
+        cfg,
+        provider,
+        table: Mutex::new(SessionTable::default()),
+        pool: Mutex::new(EnginePool::default()),
+        metrics: Mutex::new(ServerMetrics::default()),
+        shutdown: AtomicBool::new(false),
+        next_id: AtomicU64::new(1),
+    });
+    let orchestrator = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("koika-server".into())
+            .spawn(move || orchestrate(shared, listener, tx, rx))?
+    };
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        thread: orchestrator,
+    })
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cfg: ServerConfig,
+    provider: Arc<dyn DesignProvider>,
+    table: Mutex<SessionTable>,
+    pool: Mutex<EnginePool>,
+    metrics: Mutex<ServerMetrics>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn spool_path(&self, id: u64) -> PathBuf {
+        self.cfg.spool_dir.join(format!("session-{id}.kses"))
+    }
+}
+
+/// Mutex lock that shrugs off poisoning: a contained panic must never
+/// take the whole server down with a poisoned lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Step tasks and verdicts
+// ---------------------------------------------------------------------------
+
+/// A checked-out `step` / `stream-trace` request travelling through the
+/// dispatcher. The session body rides along; its slot in the table says
+/// `Running` until the task is checked back in.
+struct StepTask {
+    id: u64,
+    n: u64,
+    trace: bool,
+    body: Box<SessionBody>,
+    start_cycles: u64,
+    reply: Sender<String>,
+    verdict: Option<StepVerdict>,
+    last_trip: Option<WatchdogTrip>,
+}
+
+/// What a step did, decided by the worker, committed by the dispatcher.
+enum StepVerdict {
+    /// The step ran to completion and the session state was committed.
+    Done {
+        cycles: u64,
+        fired: u64,
+        packed: bool,
+        events: Vec<(u64, usize)>,
+        truncated: bool,
+    },
+    /// A watchdog budget tripped; progress up to the trip boundary was
+    /// committed (deterministic trips) or rolled back (wall trips after
+    /// exhausted retries). The session stays usable.
+    Trip { trip: WatchdogTrip },
+    /// A deterministic failure (compile error, corrupt device blob). The
+    /// session is kept with its pre-step state.
+    Fatal { msg: String },
+    /// The step panicked; the session is torn down.
+    Panic { msg: String },
+}
+
+/// One unit of work for the runner: a lone step, or a packed group that
+/// shares a batch engine.
+enum Job {
+    Single(usize),
+    Packed(Vec<usize>),
+}
+
+/// Splits a dispatch round into jobs. Tasks are packable when the
+/// planner gave them a pack key (same design, same `n`); groups smaller
+/// than `batch_min` degrade to singles. Order within the round is
+/// preserved for singles and first-seen for groups, so planning is
+/// deterministic given the task order.
+fn plan_jobs(keys: &[Option<(String, u64)>], batch_min: usize) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut groups: Vec<((String, u64), Vec<usize>)> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match key {
+            None => jobs.push(Job::Single(i)),
+            Some(k) => match groups.iter_mut().find(|(gk, _)| gk == k) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((k.clone(), vec![i])),
+            },
+        }
+    }
+    for (_, members) in groups {
+        if members.len() >= batch_min.max(2) {
+            jobs.push(Job::Packed(members));
+        } else {
+            jobs.extend(members.into_iter().map(Job::Single));
+        }
+    }
+    jobs
+}
+
+fn trip_kind_label(kind: TripKind) -> &'static str {
+    match kind {
+        TripKind::Stall => "stall",
+        TripKind::CycleBudget => "cycle-budget",
+        TripKind::Wall => "wall",
+    }
+}
+
+fn err_reply(kind: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{kind}\",\"detail\":\"{}\"}}",
+        json::escape(detail)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Step execution
+// ---------------------------------------------------------------------------
+
+/// Collects committed rules per cycle for `stream-trace`.
+struct TraceObs {
+    cur: u64,
+    cap: usize,
+    events: Vec<(u64, usize)>,
+    truncated: bool,
+}
+
+impl Observer for TraceObs {
+    fn cycle_start(&mut self, cycle: u64) {
+        self.cur = cycle;
+    }
+    fn rule_commit(&mut self, rule: usize) {
+        if self.events.len() < self.cap {
+            self.events.push((self.cur, rule));
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+/// Runs one task on a scalar engine, mirroring the canonical
+/// [`koika::fault::run_watchdogged`] loop: devices tick at the absolute
+/// cycle, then due injections flip bits, then the cycle executes, then
+/// the watchdog observes.
+///
+/// Commit discipline: the session body is only mutated after the run
+/// finishes (or at a deterministic trip boundary), so a panic or a
+/// retried wall trip always leaves the pre-step state intact.
+///
+/// A wall trip returns [`JobError::Transient`] when `allow_retry`, after
+/// rewinding the wall budget to the step's starting mark — the failed
+/// attempt consumes no budget, and the runner's seeded backoff retries
+/// it.
+fn run_single(task: &mut StepTask, shared: &Shared, allow_retry: bool) -> Result<(), JobError> {
+    let body = &mut task.body;
+    let mut engine = match lock(&shared.pool).checkout_scalar(&body.design_name, &body.td, body.backend)
+    {
+        Ok(e) => e,
+        Err(msg) => {
+            task.verdict = Some(StepVerdict::Fatal { msg });
+            return Ok(());
+        }
+    };
+    if let Err(e) = engine.restore(&body.snap) {
+        task.verdict = Some(StepVerdict::Fatal {
+            msg: format!("restoring session state: {e}"),
+        });
+        return Ok(());
+    }
+    // Devices are rebuilt from their blobs each step; a provider or
+    // device that panics here is contained by the runner and tears down
+    // only this session (the checked-out engine unwinds with us and is
+    // simply recompiled next time).
+    let mut devices = shared.provider.devices(&body.design_name, &body.td);
+    for (d, blob) in devices.iter_mut().zip(&body.dev_blobs) {
+        if let Some(bytes) = blob {
+            if let Err(e) = d.load_state(bytes) {
+                task.verdict = Some(StepVerdict::Fatal {
+                    msg: format!("restoring device state: {e}"),
+                });
+                return Ok(());
+            }
+        }
+    }
+    let mark = body.watchdog.as_mut().map(|wd| {
+        wd.resume();
+        wd.wall_elapsed()
+    });
+    let mut tracer = TraceObs {
+        cur: body.snap.cycles,
+        cap: shared.cfg.max_trace,
+        events: Vec::new(),
+        truncated: false,
+    };
+    let mut tripped = None;
+    for _ in 0..task.n {
+        let cycle = engine.cycle_count();
+        for d in devices.iter_mut() {
+            d.tick(cycle, engine.as_reg_access());
+        }
+        for inj in body.pending.iter().filter(|i| i.cycle == cycle) {
+            let regs = engine.as_reg_access();
+            let old = regs.get64(inj.reg);
+            regs.set64(inj.reg, old ^ (1u64 << inj.bit));
+        }
+        let before = engine.rules_fired();
+        if task.trace {
+            engine.cycle_obs(&mut tracer);
+        } else {
+            engine.cycle();
+        }
+        let commits = engine.rules_fired().wrapping_sub(before);
+        if let Some(wd) = body.watchdog.as_mut() {
+            if let Some(trip) = wd.observe(engine.cycle_count(), commits) {
+                if trip.kind == TripKind::Wall && allow_retry {
+                    // Machine-dependent: forgive the wall time this
+                    // attempt burned and let the runner retry it.
+                    wd.wall_rewind_to(mark.unwrap_or_default());
+                    wd.pause();
+                    let msg = trip.to_string();
+                    task.last_trip = Some(trip);
+                    lock(&shared.pool).checkin_scalar(&body.design_name, body.backend, engine);
+                    return Err(JobError::Transient(msg));
+                }
+                tripped = Some(trip);
+                break;
+            }
+        }
+    }
+    if let Some(wd) = body.watchdog.as_mut() {
+        wd.pause();
+    }
+    // Commit: deterministic trips keep the progress made up to the trip
+    // boundary; full runs keep everything.
+    body.snap = engine.snapshot();
+    body.dev_blobs = devices.iter().map(|d| d.save_state()).collect();
+    let done = body.snap.cycles;
+    body.pending.retain(|i| i.cycle >= done);
+    lock(&shared.pool).checkin_scalar(&body.design_name, body.backend, engine);
+    task.verdict = Some(match tripped {
+        Some(trip) => StepVerdict::Trip { trip },
+        None => StepVerdict::Done {
+            cycles: body.snap.cycles,
+            fired: body.snap.fired,
+            packed: false,
+            events: tracer.events,
+            truncated: tracer.truncated,
+        },
+    });
+    Ok(())
+}
+
+/// Runs a packed group of same-design, same-`n` steps on one
+/// [`cuttlesim::batch::BatchSim`], one session per lane. Per-lane
+/// observables are bit-identical to scalar execution, so packing is
+/// invisible to clients.
+///
+/// The whole batch attempt runs inside [`contain`]; a panicking lane (or
+/// a batch `VmError`) falls the *unfinished* members back to individually
+/// contained scalar runs, so one poisoned session still takes down only
+/// itself. Watchdog trips finalize a lane at its trip boundary (wall
+/// trips included — packed steps never retry) and the lane is simply
+/// ignored for the rest of the batch.
+fn run_packed(tasks: &mut [&mut StepTask], shared: &Shared) {
+    let n = tasks[0].n;
+    let design_name = tasks[0].body.design_name.clone();
+    let td = Arc::clone(&tasks[0].body.td);
+    let lanes = tasks.len();
+    let attempt = contain(|| run_packed_attempt(tasks, shared, &design_name, &td, lanes, n));
+    match attempt {
+        Ok(Ok(())) => {}
+        Ok(Err(_)) | Err(_) => {
+            // Batch engine failed mid-flight. Finalized lanes already
+            // committed; rerun the rest on scalar engines, each attempt
+            // contained on its own.
+            for task in tasks.iter_mut() {
+                if task.verdict.is_some() {
+                    continue;
+                }
+                if let Some(wd) = task.body.watchdog.as_mut() {
+                    wd.pause();
+                }
+                let res = contain(|| run_single(task, shared, false));
+                if let Err(msg) = res {
+                    task.verdict = Some(StepVerdict::Panic { msg });
+                }
+            }
+        }
+    }
+    for task in tasks.iter_mut() {
+        if task.verdict.is_none() {
+            task.verdict = Some(StepVerdict::Fatal {
+                msg: "packed step produced no verdict".into(),
+            });
+        }
+    }
+}
+
+/// The contained body of [`run_packed`]: everything that may touch a
+/// poisoned design.
+fn run_packed_attempt(
+    tasks: &mut [&mut StepTask],
+    shared: &Shared,
+    design_name: &str,
+    td: &Arc<TDesign>,
+    lanes: usize,
+    n: u64,
+) -> Result<(), String> {
+    let nregs = td.num_regs();
+    let nrules = td.rules.len();
+    let mut engine = lock(&shared.pool).checkout_batch(design_name, td, lanes)?;
+    // Restore every lane from its session snapshot. Packing requires
+    // `fits_u64`, so `low_u64` is exact.
+    let mut base = vec![0u64; lanes];
+    let mut fired0 = vec![0u64; lanes];
+    let mut fpr0: Vec<Vec<u64>> = Vec::with_capacity(lanes);
+    let mut devices: Vec<Vec<Box<dyn Device + Send>>> = Vec::with_capacity(lanes);
+    for (lane, task) in tasks.iter_mut().enumerate() {
+        let body = &mut task.body;
+        for r in 0..nregs {
+            engine.lane_set64(lane, koika::tir::RegId(r as u32), body.snap.regs[r].low_u64());
+        }
+        base[lane] = body.snap.cycles;
+        fired0[lane] = engine.lane_fired(lane);
+        fpr0.push(engine.lane_fired_per_rule(lane));
+        let mut devs = shared.provider.devices(&body.design_name, &body.td);
+        for (d, blob) in devs.iter_mut().zip(&body.dev_blobs) {
+            if let Some(bytes) = blob {
+                d.load_state(bytes)
+                    .map_err(|e| format!("restoring device state: {e}"))?;
+            }
+        }
+        devices.push(devs);
+        if let Some(wd) = body.watchdog.as_mut() {
+            wd.resume();
+        }
+    }
+    let mut active = vec![true; lanes];
+    let mut live = lanes;
+    for k in 0..n {
+        for lane in 0..lanes {
+            if !active[lane] {
+                continue;
+            }
+            let cycle = base[lane] + k;
+            let mut la = LaneAccess::new(&mut engine, lane);
+            for d in devices[lane].iter_mut() {
+                d.tick(cycle, &mut la);
+            }
+            for inj in tasks[lane].body.pending.iter().filter(|i| i.cycle == cycle) {
+                let old = la.get64(inj.reg);
+                la.set64(inj.reg, old ^ (1u64 << inj.bit));
+            }
+        }
+        let prev: Vec<u64> = (0..lanes).map(|l| engine.lane_fired(l)).collect();
+        engine.cycle().map_err(|e| format!("batch cycle error: {e}"))?;
+        for lane in 0..lanes {
+            if !active[lane] {
+                continue;
+            }
+            let commits = engine.lane_fired(lane).wrapping_sub(prev[lane]);
+            let trip = match tasks[lane].body.watchdog.as_mut() {
+                Some(wd) => wd.observe(base[lane] + k + 1, commits),
+                None => None,
+            };
+            if let Some(trip) = trip {
+                finalize_lane(&mut *tasks[lane], &engine, lane, k + 1, &fired0, &fpr0, &devices[lane], nrules);
+                tasks[lane].verdict = Some(StepVerdict::Trip { trip });
+                active[lane] = false;
+                live -= 1;
+            }
+        }
+        if live == 0 {
+            break;
+        }
+    }
+    for lane in 0..lanes {
+        if !active[lane] {
+            continue;
+        }
+        finalize_lane(&mut *tasks[lane], &engine, lane, n, &fired0, &fpr0, &devices[lane], nrules);
+        tasks[lane].verdict = Some(StepVerdict::Done {
+            cycles: tasks[lane].body.snap.cycles,
+            fired: tasks[lane].body.snap.fired,
+            packed: true,
+            events: Vec::new(),
+            truncated: false,
+        });
+    }
+    lock(&shared.pool).checkin_batch(design_name, lanes, engine);
+    Ok(())
+}
+
+/// Commits one lane's state back into its session body: a snapshot
+/// rebuilt from the lane registers plus counter deltas accumulated on
+/// top of the pre-step snapshot.
+#[allow(clippy::too_many_arguments)]
+fn finalize_lane(
+    task: &mut StepTask,
+    engine: &cuttlesim::batch::BatchSim,
+    lane: usize,
+    cycles_run: u64,
+    fired0: &[u64],
+    fpr0: &[Vec<u64>],
+    devices: &[Box<dyn Device + Send>],
+    nrules: usize,
+) {
+    let body = &mut task.body;
+    if let Some(wd) = body.watchdog.as_mut() {
+        wd.pause();
+    }
+    let td = &body.td;
+    let regs: Vec<Bits> = (0..td.num_regs())
+        .map(|r| {
+            Bits::new(
+                td.regs[r].width,
+                engine.lane_get64(lane, koika::tir::RegId(r as u32)),
+            )
+        })
+        .collect();
+    let mut fpr = if body.snap.fired_per_rule.len() == nrules {
+        body.snap.fired_per_rule.clone()
+    } else {
+        vec![0; nrules]
+    };
+    let now_fpr = engine.lane_fired_per_rule(lane);
+    for (r, slot) in fpr.iter_mut().enumerate() {
+        *slot += now_fpr[r].wrapping_sub(fpr0[lane][r]);
+    }
+    body.snap = Snapshot {
+        design: td.name.clone(),
+        cycles: body.snap.cycles + cycles_run,
+        fired: body.snap.fired + engine.lane_fired(lane).wrapping_sub(fired0[lane]),
+        fingerprint: td.fingerprint(),
+        fired_per_rule: fpr,
+        regs,
+    };
+    body.dev_blobs = devices.iter().map(|d| d.save_state()).collect();
+    let done = body.snap.cycles;
+    body.pending.retain(|i| i.cycle >= done);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+fn dispatcher(shared: Arc<Shared>, rx: Receiver<StepTask>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(t) => t,
+            Err(_) => break,
+        };
+        let mut tasks = vec![first];
+        while let Ok(t) = rx.try_recv() {
+            tasks.push(t);
+        }
+        if shared.cfg.batch_window > Duration::ZERO {
+            let deadline = Instant::now() + shared.cfg.batch_window;
+            while let Some(left) = deadline.checked_duration_since(Instant::now()) {
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(t) => tasks.push(t),
+                    Err(_) => break,
+                }
+            }
+        }
+        execute_round(&shared, tasks);
+    }
+}
+
+fn execute_round(shared: &Shared, tasks: Vec<StepTask>) {
+    let keys: Vec<Option<(String, u64)>> = tasks
+        .iter()
+        .map(|t| {
+            let packable = !t.trace
+                && t.n > 0
+                && t.body.backend == BackendKind::Cuttlesim
+                && t.body.td.fits_u64();
+            packable.then(|| (t.body.design_name.clone(), t.n))
+        })
+        .collect();
+    let jobs = plan_jobs(&keys, shared.cfg.batch_min);
+    let slots: Vec<Mutex<StepTask>> = tasks.into_iter().map(Mutex::new).collect();
+    let (reports, _) = run_jobs(
+        jobs.len(),
+        &shared.cfg.runner,
+        |ji| match &jobs[ji] {
+            Job::Single(i) => run_single(&mut lock(&slots[*i]), shared, true),
+            Job::Packed(is) => {
+                let mut guards: Vec<_> = is.iter().map(|&i| lock(&slots[i])).collect();
+                let mut refs: Vec<&mut StepTask> =
+                    guards.iter_mut().map(|g| &mut **g).collect();
+                run_packed(&mut refs, shared);
+                Ok(())
+            }
+        },
+        None,
+    );
+    let mut tasks: Vec<Option<StepTask>> = slots
+        .into_iter()
+        .map(|m| Some(m.into_inner().unwrap_or_else(PoisonError::into_inner)))
+        .collect();
+    for report in reports {
+        let job_err = report.result.err();
+        match &jobs[report.index] {
+            Job::Single(i) => {
+                let task = tasks[*i].take().expect("each task finishes once");
+                finish_task(shared, task, job_err);
+            }
+            Job::Packed(is) => {
+                for &i in is {
+                    let task = tasks[i].take().expect("each task finishes once");
+                    finish_task(shared, task, None);
+                }
+            }
+        }
+    }
+}
+
+/// Checks a finished step back into the table (or tears the session
+/// down), updates metrics, and sends the reply line.
+fn finish_task(shared: &Shared, mut task: StepTask, job_err: Option<JobError>) {
+    let verdict = match job_err {
+        Some(JobError::Panic(msg)) => StepVerdict::Panic { msg },
+        Some(JobError::Transient(msg)) => match task.last_trip.take() {
+            Some(trip) => StepVerdict::Trip { trip },
+            None => StepVerdict::Fatal { msg },
+        },
+        Some(JobError::Fatal(msg)) => StepVerdict::Fatal { msg },
+        None => task.verdict.take().unwrap_or(StepVerdict::Fatal {
+            msg: "step produced no verdict".into(),
+        }),
+    };
+    let id = task.id;
+    let tenant = task.body.tenant.clone();
+    let cycles_run = task.body.snap.cycles.saturating_sub(task.start_cycles);
+    let teardown = matches!(verdict, StepVerdict::Panic { .. });
+    let reply = match &verdict {
+        StepVerdict::Done {
+            cycles,
+            fired,
+            packed,
+            events,
+            truncated,
+        } => {
+            {
+                let mut m = lock(&shared.metrics);
+                let t = m.tenant(&tenant);
+                t.steps += 1;
+                t.cycles += cycles_run;
+                if *packed {
+                    t.packed_steps += 1;
+                }
+            }
+            let mut reply =
+                format!("{{\"ok\":true,\"session\":{id},\"cycles\":{cycles},\"fired\":{fired}");
+            if task.trace {
+                reply.push_str(",\"events\":[");
+                for (i, (cycle, rule)) in events.iter().enumerate() {
+                    if i > 0 {
+                        reply.push(',');
+                    }
+                    let name = task
+                        .body
+                        .td
+                        .rules
+                        .get(*rule)
+                        .map(|r| r.name.as_str())
+                        .unwrap_or("?");
+                    reply.push_str(&format!(
+                        "{{\"cycle\":{cycle},\"rule\":\"{}\"}}",
+                        json::escape(name)
+                    ));
+                }
+                reply.push_str(&format!("],\"truncated\":{truncated}"));
+            }
+            reply.push('}');
+            reply
+        }
+        StepVerdict::Trip { trip } => {
+            {
+                let mut m = lock(&shared.metrics);
+                let t = m.tenant(&tenant);
+                t.steps += 1;
+                t.cycles += cycles_run;
+                t.watchdog_trips += 1;
+            }
+            format!(
+                "{{\"ok\":false,\"error\":\"watchdog\",\"kind\":\"{}\",\"cycle\":{},\"detail\":\"{}\"}}",
+                trip_kind_label(trip.kind),
+                trip.cycle,
+                json::escape(&trip.reason)
+            )
+        }
+        StepVerdict::Fatal { msg } => {
+            lock(&shared.metrics).tenant(&tenant).steps += 1;
+            err_reply("internal", msg)
+        }
+        StepVerdict::Panic { msg } => {
+            {
+                let mut m = lock(&shared.metrics);
+                let t = m.tenant(&tenant);
+                t.steps += 1;
+                t.panics_contained += 1;
+                t.sessions_closed += 1;
+            }
+            err_reply("panic", &format!("session torn down: {msg}"))
+        }
+    };
+    {
+        let mut table = lock(&shared.table);
+        if teardown {
+            table.remove(id);
+        } else {
+            task.body.last_touch = Instant::now();
+            table.put(id, SessionSlot::Live(task.body));
+        }
+    }
+    let _ = task.reply.send(reply);
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling and inline ops
+// ---------------------------------------------------------------------------
+
+fn orchestrate(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    tx: SyncSender<StepTask>,
+    rx: Receiver<StepTask>,
+) -> ServerStats {
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("koika-dispatch".into())
+            .spawn(move || dispatcher(shared, rx))
+            .expect("spawn dispatcher")
+    };
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut last_sweep = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                if let Ok(h) = thread::Builder::new()
+                    .name("koika-conn".into())
+                    .spawn(move || handle_conn(shared, stream, tx))
+                {
+                    conns.push(h);
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                if let Some(idle) = shared.cfg.idle_evict {
+                    if last_sweep.elapsed() >= Duration::from_millis(100) {
+                        last_sweep = Instant::now();
+                        sweep_idle(&shared, idle);
+                    }
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    for h in conns {
+        let _ = h.join();
+    }
+    let _ = dispatcher.join();
+    drain(&shared)
+}
+
+/// Evicts every live session idle past the threshold.
+fn sweep_idle(shared: &Shared, idle: Duration) {
+    let ids = lock(&shared.table).idle_candidates(Instant::now(), idle);
+    for id in ids {
+        let _ = evict_session(shared, id);
+    }
+}
+
+/// Spills remaining live sessions and collects final statistics.
+fn drain(shared: &Shared) -> ServerStats {
+    let mut spilled = 0;
+    {
+        let mut table = lock(&shared.table);
+        for id in table.ids() {
+            if let Some(SessionSlot::Live(body)) = table.remove(id) {
+                if spill(&body, &shared.spool_path(id)).is_ok() {
+                    spilled += 1;
+                }
+            }
+        }
+    }
+    let m = lock(&shared.metrics);
+    ServerStats {
+        requests: m.requests,
+        protocol_errors: m.protocol_errors,
+        sessions_spilled: spilled,
+        panics_contained: m.tenants().map(|(_, t)| t.panics_contained).sum(),
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream, tx: SyncSender<StepTask>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(k) => {
+                buf.extend_from_slice(&chunk[..k]);
+                while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=nl).collect();
+                    let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let reply = handle_line(&shared, &tx, line);
+                    if stream
+                        .write_all(format!("{reply}\n").as_bytes())
+                        .and_then(|()| stream.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                if buf.len() > (1 << 20) {
+                    let _ = stream.write_all(
+                        format!("{}\n", err_reply("protocol", "request line exceeds 1 MiB")).as_bytes(),
+                    );
+                    return;
+                }
+            }
+            Err(ref e)
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses and executes one request line, returning the reply line.
+fn handle_line(shared: &Shared, tx: &SyncSender<StepTask>, line: &str) -> String {
+    lock(&shared.metrics).requests += 1;
+    let v = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            lock(&shared.metrics).protocol_errors += 1;
+            return err_reply("protocol", &e);
+        }
+    };
+    let Some(op) = v.get("op").and_then(Json::as_str) else {
+        lock(&shared.metrics).protocol_errors += 1;
+        return err_reply("protocol", "missing \"op\" field");
+    };
+    match op {
+        "create" => op_create(shared, &v),
+        "step" => op_step(shared, tx, &v, false),
+        "stream-trace" => op_step(shared, tx, &v, true),
+        "inject" => op_inject(shared, &v),
+        "snapshot" => op_snapshot(shared, &v),
+        "restore" => op_restore(shared, &v),
+        "query-regs" => op_query_regs(shared, &v),
+        "evict" => op_evict(shared, &v),
+        "close" => op_close(shared, &v),
+        "metrics" => op_metrics(shared, &v),
+        "ping" => "{\"ok\":true,\"pong\":true}".into(),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            "{\"ok\":true,\"draining\":true}".into()
+        }
+        other => {
+            lock(&shared.metrics).protocol_errors += 1;
+            err_reply("unknown-op", &format!("unknown op {other:?}"))
+        }
+    }
+}
+
+fn tenant_of(v: &Json) -> String {
+    v.get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("default")
+        .to_string()
+}
+
+fn parse_watchdog(v: &Json) -> Option<Watchdog> {
+    let w = v.get("watchdog")?;
+    Some(Watchdog {
+        max_cycles: w.get("max_cycles").and_then(Json::as_u64),
+        stall_cycles: w.get("stall_cycles").and_then(Json::as_u64),
+        wall_budget: w
+            .get("wall_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis),
+    })
+}
+
+/// Arms a watchdog (paused) if any budget is configured.
+fn arm_paused(cfg: &Watchdog) -> Option<ArmedWatchdog> {
+    if cfg.max_cycles.is_none() && cfg.stall_cycles.is_none() && cfg.wall_budget.is_none() {
+        return None;
+    }
+    let mut armed = cfg.arm();
+    armed.pause();
+    Some(armed)
+}
+
+fn op_create(shared: &Shared, v: &Json) -> String {
+    let Some(design) = v.get("design").and_then(Json::as_str) else {
+        return err_reply("protocol", "create requires \"design\"");
+    };
+    let tenant = tenant_of(v);
+    let Some(td) = shared.provider.design(design) else {
+        return err_reply("unknown-design", &format!("unknown design {design:?}"));
+    };
+    let backend = match v.get("backend").and_then(Json::as_str) {
+        Some(s) => match BackendKind::parse(s) {
+            Some(b) => b,
+            None => return err_reply("protocol", &format!("unknown backend {s:?}")),
+        },
+        None => {
+            if td.fits_u64() {
+                BackendKind::Cuttlesim
+            } else {
+                BackendKind::Interp
+            }
+        }
+    };
+    if backend == BackendKind::Cuttlesim && !td.fits_u64() {
+        return err_reply(
+            "backend",
+            "the cuttlesim backend requires all registers \u{2264} 64 bits; use \"interp\"",
+        );
+    }
+    let wd_cfg = parse_watchdog(v).unwrap_or_else(|| shared.cfg.default_watchdog.clone());
+    // Building devices runs embedder code; contain it so a provider that
+    // panics at construction poisons nothing.
+    let built = contain(|| {
+        let devices = shared.provider.devices(design, &td);
+        devices.iter().map(|d| d.save_state()).collect::<Vec<_>>()
+    });
+    let dev_blobs = match built {
+        Ok(blobs) => blobs,
+        Err(msg) => {
+            let mut m = lock(&shared.metrics);
+            m.tenant(&tenant).panics_contained += 1;
+            return err_reply("panic", &format!("device construction panicked: {msg}"));
+        }
+    };
+    let snap = Snapshot {
+        design: td.name.clone(),
+        cycles: 0,
+        fired: 0,
+        fingerprint: td.fingerprint(),
+        fired_per_rule: vec![0; td.rules.len()],
+        regs: td.initial_values(),
+    };
+    let body = Box::new(SessionBody {
+        design_name: design.to_string(),
+        td,
+        backend,
+        snap,
+        dev_blobs,
+        watchdog: arm_paused(&wd_cfg),
+        pending: Vec::new(),
+        tenant: tenant.clone(),
+        last_touch: Instant::now(),
+    });
+    let id = {
+        let mut table = lock(&shared.table);
+        if table.len() >= shared.cfg.max_sessions {
+            drop(table);
+            let mut m = lock(&shared.metrics);
+            m.tenant(&tenant).busy_rejections += 1;
+            return err_reply("busy", "session table full");
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+        table.insert(id, body);
+        id
+    };
+    lock(&shared.metrics).tenant(&tenant).sessions_created += 1;
+    format!(
+        "{{\"ok\":true,\"session\":{id},\"design\":\"{}\",\"backend\":\"{}\",\"cycles\":0}}",
+        json::escape(design),
+        backend.name()
+    )
+}
+
+fn session_id(v: &Json) -> Result<u64, String> {
+    v.get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err_reply("protocol", "missing or invalid \"session\" id"))
+}
+
+/// Rehydrates an evicted session in place. The caller holds the table
+/// lock; on success the slot is `Live`.
+fn rehydrate_locked(shared: &Shared, table: &mut SessionTable, id: u64) -> Result<(), String> {
+    let is_evicted = matches!(table.get_mut(id), Some(SessionSlot::Evicted(_)));
+    if !is_evicted {
+        return Ok(());
+    }
+    let Some(SessionSlot::Evicted(stub)) = table.remove(id) else {
+        unreachable!("checked above");
+    };
+    match unspill(&stub.path) {
+        Ok((snap, dev_blobs)) => {
+            let tenant = stub.tenant.clone();
+            table.put(
+                id,
+                SessionSlot::Live(Box::new(SessionBody {
+                    design_name: stub.design_name,
+                    td: stub.td,
+                    backend: stub.backend,
+                    snap,
+                    dev_blobs,
+                    watchdog: stub.watchdog,
+                    pending: stub.pending,
+                    tenant: stub.tenant,
+                    last_touch: Instant::now(),
+                })),
+            );
+            lock(&shared.metrics).tenant(&tenant).rehydrations += 1;
+            Ok(())
+        }
+        Err(e) => {
+            // The spool file is gone or corrupt: the session is lost.
+            lock(&shared.metrics).tenant(&stub.tenant).sessions_closed += 1;
+            Err(err_reply("internal", &format!("rehydrating session {id}: {e}")))
+        }
+    }
+}
+
+fn op_step(shared: &Shared, tx: &SyncSender<StepTask>, v: &Json, trace: bool) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    let n = v.get("n").and_then(Json::as_u64).unwrap_or(1);
+    if n > shared.cfg.max_step {
+        return err_reply(
+            "protocol",
+            &format!("n={n} exceeds max_step={}", shared.cfg.max_step),
+        );
+    }
+    // Check the session out: slot becomes Running until the dispatcher
+    // checks it back in.
+    let body = {
+        let mut table = lock(&shared.table);
+        if let Err(reply) = rehydrate_locked(shared, &mut table, id) {
+            return reply;
+        }
+        match table.remove(id) {
+            None => return err_reply("unknown-session", &format!("no session {id}")),
+            Some(SessionSlot::Running { tenant }) => {
+                table.put(id, SessionSlot::Running { tenant: tenant.clone() });
+                let mut m = lock(&shared.metrics);
+                m.tenant(&tenant).busy_rejections += 1;
+                return err_reply("session-busy", "a step for this session is already in flight");
+            }
+            Some(SessionSlot::Evicted(_)) => unreachable!("rehydrated above"),
+            Some(SessionSlot::Live(body)) => {
+                table.put(
+                    id,
+                    SessionSlot::Running {
+                        tenant: body.tenant.clone(),
+                    },
+                );
+                body
+            }
+        }
+    };
+    let tenant = body.tenant.clone();
+    let start_cycles = body.snap.cycles;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let task = StepTask {
+        id,
+        n,
+        trace,
+        body,
+        start_cycles,
+        reply: reply_tx,
+        verdict: None,
+        last_trip: None,
+    };
+    match tx.try_send(task) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => err_reply("internal", "dispatcher exited before replying"),
+        },
+        Err(TrySendError::Full(task)) | Err(TrySendError::Disconnected(task)) => {
+            // Shed: restore the slot and tell the client to back off.
+            let mut table = lock(&shared.table);
+            table.put(id, SessionSlot::Live(task.body));
+            drop(table);
+            let mut m = lock(&shared.metrics);
+            m.tenant(&tenant).busy_rejections += 1;
+            err_reply("busy", "step queue full")
+        }
+    }
+}
+
+fn op_inject(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    let Some(cycle) = v.get("cycle").and_then(Json::as_u64) else {
+        return err_reply("protocol", "inject requires \"cycle\"");
+    };
+    let reg = match v.get("reg") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Int(i)) if *i >= 0 => i.to_string(),
+        _ => return err_reply("protocol", "inject requires \"reg\" (name or index)"),
+    };
+    let Some(bit) = v.get("bit").and_then(Json::as_u64) else {
+        return err_reply("protocol", "inject requires \"bit\"");
+    };
+    let mut table = lock(&shared.table);
+    let (td, cycles_now, pending, tenant) = match table.get_mut(id) {
+        None => return err_reply("unknown-session", &format!("no session {id}")),
+        Some(SessionSlot::Running { .. }) => {
+            return err_reply("session-busy", "a step for this session is in flight")
+        }
+        Some(SessionSlot::Live(b)) => (
+            Arc::clone(&b.td),
+            b.snap.cycles,
+            &mut b.pending,
+            b.tenant.clone(),
+        ),
+        Some(SessionSlot::Evicted(stub)) => (
+            Arc::clone(&stub.td),
+            stub.cycles,
+            &mut stub.pending,
+            stub.tenant.clone(),
+        ),
+    };
+    let spec = format!("{cycle}:{reg}:{bit}");
+    let inj = match Injection::parse(&spec, &td) {
+        Ok(inj) => inj,
+        Err(e) => return err_reply("protocol", &e),
+    };
+    if td.regs[inj.reg.0 as usize].width > 64 {
+        return err_reply("protocol", "cannot inject into a register wider than 64 bits");
+    }
+    if inj.cycle < cycles_now {
+        return err_reply(
+            "protocol",
+            &format!("cycle {cycle} is already in the past (session is at {cycles_now})"),
+        );
+    }
+    pending.push(inj);
+    let count = pending.len();
+    drop(table);
+    lock(&shared.metrics).tenant(&tenant).injections += 1;
+    format!("{{\"ok\":true,\"session\":{id},\"pending\":{count}}}")
+}
+
+/// Runs `f` on the live (rehydrating if needed) body of a session.
+fn with_live_session<R>(
+    shared: &Shared,
+    id: u64,
+    f: impl FnOnce(&mut SessionBody) -> R,
+) -> Result<R, String> {
+    let mut table = lock(&shared.table);
+    rehydrate_locked(shared, &mut table, id)?;
+    match table.get_mut(id) {
+        None => Err(err_reply("unknown-session", &format!("no session {id}"))),
+        Some(SessionSlot::Running { .. }) => Err(err_reply(
+            "session-busy",
+            "a step for this session is in flight",
+        )),
+        Some(SessionSlot::Evicted(_)) => unreachable!("rehydrated above"),
+        Some(SessionSlot::Live(body)) => {
+            body.last_touch = Instant::now();
+            Ok(f(body))
+        }
+    }
+}
+
+fn op_snapshot(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    match with_live_session(shared, id, |body| {
+        (body.snap.cycles, json::hex_encode(&body.snap.to_bytes()))
+    }) {
+        Ok((cycles, hex)) => {
+            format!("{{\"ok\":true,\"session\":{id},\"cycles\":{cycles},\"ksnap\":\"{hex}\"}}")
+        }
+        Err(reply) => reply,
+    }
+}
+
+fn op_restore(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    let Some(hex) = v.get("ksnap").and_then(Json::as_str) else {
+        return err_reply("protocol", "restore requires \"ksnap\" (hex)");
+    };
+    let Some(bytes) = json::hex_decode(hex) else {
+        return err_reply("protocol", "\"ksnap\" is not valid hex");
+    };
+    let snap = match Snapshot::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => return err_reply("snapshot", &e.to_string()),
+    };
+    match with_live_session(shared, id, |body| {
+        let widths: Vec<u32> = body.td.regs.iter().map(|r| r.width).collect();
+        match snap.check_shape(&body.td.name, &widths, body.td.fingerprint()) {
+            Ok(()) => {
+                body.snap = snap.clone();
+                let done = body.snap.cycles;
+                body.pending.retain(|i| i.cycle >= done);
+                Ok(body.snap.cycles)
+            }
+            Err(e) => Err(err_reply("snapshot", &e.to_string())),
+        }
+    }) {
+        Ok(Ok(cycles)) => format!("{{\"ok\":true,\"session\":{id},\"cycles\":{cycles}}}"),
+        Ok(Err(reply)) | Err(reply) => reply,
+    }
+}
+
+fn op_query_regs(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    let wanted: Option<Vec<String>> = match v.get("regs") {
+        None => None,
+        Some(Json::Arr(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for it in items {
+                match it.as_str() {
+                    Some(s) => names.push(s.to_string()),
+                    None => return err_reply("protocol", "\"regs\" must be an array of names"),
+                }
+            }
+            Some(names)
+        }
+        Some(_) => return err_reply("protocol", "\"regs\" must be an array of names"),
+    };
+    match with_live_session(shared, id, |body| {
+        let td = &body.td;
+        let indices: Result<Vec<usize>, String> = match &wanted {
+            None => Ok((0..td.num_regs()).collect()),
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    td.regs
+                        .iter()
+                        .position(|r| &r.name == n)
+                        .ok_or_else(|| format!("unknown register {n:?}"))
+                })
+                .collect(),
+        };
+        indices.map(|idx| {
+            let mut out = format!("{{\"ok\":true,\"session\":{id},\"cycles\":{},\"regs\":{{", body.snap.cycles);
+            for (i, &r) in idx.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let bits = &body.snap.regs[r];
+                if bits.width() <= 64 {
+                    out.push_str(&format!(
+                        "\"{}\":{}",
+                        json::escape(&td.regs[r].name),
+                        bits.low_u64()
+                    ));
+                } else {
+                    let words = bits.words();
+                    let mut hex = String::from("0x");
+                    for w in words.iter().rev() {
+                        hex.push_str(&format!("{w:016x}"));
+                    }
+                    out.push_str(&format!(
+                        "\"{}\":\"{hex}\"",
+                        json::escape(&td.regs[r].name)
+                    ));
+                }
+            }
+            out.push_str("}}");
+            out
+        })
+    }) {
+        Ok(Ok(reply)) => reply,
+        Ok(Err(e)) => err_reply("protocol", &e),
+        Err(reply) => reply,
+    }
+}
+
+/// Spills one live session to its spool file, leaving an evicted stub.
+fn evict_session(shared: &Shared, id: u64) -> Result<bool, String> {
+    let mut table = lock(&shared.table);
+    // Peek the state without keeping a borrow across the remove below.
+    enum State {
+        Missing,
+        Evicted,
+        Running,
+        Live,
+    }
+    let state = match table.get_mut(id) {
+        None => State::Missing,
+        Some(SessionSlot::Evicted(_)) => State::Evicted,
+        Some(SessionSlot::Running { .. }) => State::Running,
+        Some(SessionSlot::Live(_)) => State::Live,
+    };
+    match state {
+        State::Missing => Err(err_reply("unknown-session", &format!("no session {id}"))),
+        State::Evicted => Ok(false),
+        State::Running => Err(err_reply(
+            "session-busy",
+            "a step for this session is in flight",
+        )),
+        State::Live => {
+            let Some(SessionSlot::Live(body)) = table.remove(id) else {
+                unreachable!("checked above");
+            };
+            let path = shared.spool_path(id);
+            match spill(&body, &path) {
+                Ok(()) => {
+                    let tenant = body.tenant.clone();
+                    table.put(
+                        id,
+                        SessionSlot::Evicted(EvictedStub {
+                            design_name: body.design_name,
+                            td: body.td,
+                            backend: body.backend,
+                            tenant: body.tenant,
+                            watchdog: body.watchdog,
+                            pending: body.pending,
+                            cycles: body.snap.cycles,
+                            path,
+                        }),
+                    );
+                    drop(table);
+                    lock(&shared.metrics).tenant(&tenant).evictions += 1;
+                    Ok(true)
+                }
+                Err(e) => {
+                    // Spill failed: keep the session live.
+                    table.put(id, SessionSlot::Live(body));
+                    Err(err_reply("internal", &format!("spilling session {id}: {e}")))
+                }
+            }
+        }
+    }
+}
+
+fn op_evict(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    match evict_session(shared, id) {
+        Ok(evicted) => format!("{{\"ok\":true,\"session\":{id},\"evicted\":{evicted}}}"),
+        Err(reply) => reply,
+    }
+}
+
+fn op_close(shared: &Shared, v: &Json) -> String {
+    let id = match session_id(v) {
+        Ok(id) => id,
+        Err(reply) => return reply,
+    };
+    let mut table = lock(&shared.table);
+    match table.remove(id) {
+        None => err_reply("unknown-session", &format!("no session {id}")),
+        Some(SessionSlot::Running { tenant }) => {
+            // The in-flight step holds the body; refuse rather than
+            // leave it to check into a deleted slot.
+            table.put(id, SessionSlot::Running { tenant });
+            err_reply("session-busy", "a step for this session is in flight")
+        }
+        Some(SessionSlot::Evicted(stub)) => {
+            let _ = std::fs::remove_file(&stub.path);
+            drop(table);
+            lock(&shared.metrics).tenant(&stub.tenant).sessions_closed += 1;
+            format!("{{\"ok\":true,\"session\":{id},\"closed\":true}}")
+        }
+        Some(SessionSlot::Live(body)) => {
+            drop(table);
+            lock(&shared.metrics).tenant(&body.tenant).sessions_closed += 1;
+            format!("{{\"ok\":true,\"session\":{id},\"closed\":true}}")
+        }
+    }
+}
+
+fn op_metrics(shared: &Shared, v: &Json) -> String {
+    let format = v.get("format").and_then(Json::as_str).unwrap_or("json");
+    let active = lock(&shared.table).len() as u64;
+    let m = lock(&shared.metrics);
+    match format {
+        "json" => format!("{{\"ok\":true,\"metrics\":{}}}", m.to_json(active)),
+        "prometheus" => format!(
+            "{{\"ok\":true,\"prometheus\":\"{}\"}}",
+            json::escape(&m.to_prometheus(active))
+        ),
+        other => err_reply("protocol", &format!("unknown metrics format {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(d: &str, n: u64) -> Option<(String, u64)> {
+        Some((d.to_string(), n))
+    }
+
+    #[test]
+    fn planner_packs_same_design_same_n_groups() {
+        let keys = vec![
+            key("a", 10),
+            None,
+            key("a", 10),
+            key("b", 10),
+            key("a", 5),
+            key("a", 10),
+        ];
+        let jobs = plan_jobs(&keys, 2);
+        let mut singles = Vec::new();
+        let mut packed = Vec::new();
+        for j in &jobs {
+            match j {
+                Job::Single(i) => singles.push(*i),
+                Job::Packed(is) => packed.push(is.clone()),
+            }
+        }
+        // The three (a, 10) tasks pack; everything else is single.
+        assert_eq!(packed, vec![vec![0, 2, 5]]);
+        singles.sort_unstable();
+        assert_eq!(singles, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn planner_degrades_small_groups_to_singles() {
+        let keys = vec![key("a", 1), key("b", 1)];
+        let jobs = plan_jobs(&keys, 2);
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs.iter().all(|j| matches!(j, Job::Single(_))));
+    }
+
+    #[test]
+    fn watchdog_parse_reads_all_budgets() {
+        let v = Json::parse(
+            r#"{"watchdog":{"max_cycles":100,"stall_cycles":5,"wall_ms":250}}"#,
+        )
+        .unwrap();
+        let wd = parse_watchdog(&v).unwrap();
+        assert_eq!(wd.max_cycles, Some(100));
+        assert_eq!(wd.stall_cycles, Some(5));
+        assert_eq!(wd.wall_budget, Some(Duration::from_millis(250)));
+        assert!(arm_paused(&wd).is_some());
+        assert!(arm_paused(&Watchdog::default()).is_none());
+    }
+
+    #[test]
+    fn error_replies_are_valid_json() {
+        let r = err_reply("protocol", "a \"quoted\" detail\nwith newline");
+        let v = Json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("protocol"));
+    }
+}

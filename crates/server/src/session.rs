@@ -1,0 +1,403 @@
+//! Sessions as data: the session table, the eviction spool, and the
+//! compiled-engine pools.
+//!
+//! A session is **not** a live simulator. Its canonical state is a
+//! [`Snapshot`] plus one serialized blob per device — pure data. Each
+//! `step` request checks a compiled engine out of a per-design pool,
+//! restores the snapshot into it, rebuilds the devices from their blobs,
+//! runs, and commits a fresh snapshot back. This is what makes the
+//! robustness features cheap:
+//!
+//! * **eviction** just writes the data to a spool file and drops it from
+//!   memory — there is no thread to park or engine to keep warm;
+//! * **panic containment** never leaves a half-mutated session behind —
+//!   the commit happens only after a step fully succeeds, so a contained
+//!   panic (or a retried wall trip) observes the pre-step state intact;
+//! * **batch packing** is free to run a session's step on a completely
+//!   different engine (a [`BatchSim`] lane), because all engines restore
+//!   from and produce the same portable snapshots.
+//!
+//! The armed watchdog stays in memory even while a session is evicted —
+//! it is a few dozen bytes, and keeping it live (paused) is what makes
+//! the wall budget exclude evicted time without any serialization of
+//! [`std::time::Instant`]s.
+
+use cuttlesim::batch::BatchSim;
+use cuttlesim::{CompileOptions, Sim};
+use koika::device::{Device, SimBackend};
+use koika::fault::{ArmedWatchdog, Injection};
+use koika::interp::Interp;
+use koika::snapshot::Snapshot;
+use koika::tir::TDesign;
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Resolves design names for `create` requests and builds their devices.
+///
+/// The server is design-agnostic: the embedder (the CLI with its bundled
+/// designs, a test with a deliberately poisoned device) decides what a
+/// name means. Names are opaque to the server, so a provider is free to
+/// encode a workload in them (the CLI accepts `rv32i+primes:8`).
+pub trait DesignProvider: Send + Sync {
+    /// The typed design a name refers to, or `None` for unknown names.
+    fn design(&self, name: &str) -> Option<Arc<TDesign>>;
+
+    /// Fresh device instances for a new step of a session of this design.
+    ///
+    /// Called once per step (device state is carried between steps as
+    /// [`Device::save_state`] blobs), so this must be cheap and
+    /// deterministic.
+    fn devices(&self, name: &str, td: &TDesign) -> Vec<Box<dyn Device + Send>>;
+}
+
+/// Which scalar engine a session steps on when it is not batch-packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The reference interpreter — always available, any register width.
+    Interp,
+    /// The optimized Cuttlesim VM (requires registers ≤ 64 bits).
+    Cuttlesim,
+}
+
+impl BackendKind {
+    /// Parses the protocol's `backend` field.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "interp" => Some(BackendKind::Interp),
+            "cuttlesim" => Some(BackendKind::Cuttlesim),
+            _ => None,
+        }
+    }
+
+    /// The protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Interp => "interp",
+            BackendKind::Cuttlesim => "cuttlesim",
+        }
+    }
+}
+
+/// The in-memory body of a resident (non-evicted) session.
+pub struct SessionBody {
+    /// Provider key this session was created from (may encode a workload).
+    pub design_name: String,
+    /// The checked design.
+    pub td: Arc<TDesign>,
+    /// Scalar engine choice.
+    pub backend: BackendKind,
+    /// Canonical simulator state at the current cycle boundary.
+    pub snap: Snapshot,
+    /// One serialized state blob per device (`None` for stateless devices).
+    pub dev_blobs: Vec<Option<Vec<u8>>>,
+    /// Armed budgets; paused whenever the session is not actively stepping.
+    pub watchdog: Option<ArmedWatchdog>,
+    /// Injections waiting for their cycle to come up.
+    pub pending: Vec<Injection>,
+    /// Owning tenant, for metrics attribution.
+    pub tenant: String,
+    /// Last time any request touched this session (drives idle eviction).
+    pub last_touch: Instant,
+}
+
+/// The spilled remainder of an evicted session: everything that is cheap
+/// to keep in memory. The heavy state (registers, device blobs) lives in
+/// the spool file at `path`.
+pub struct EvictedStub {
+    /// See [`SessionBody::design_name`].
+    pub design_name: String,
+    /// See [`SessionBody::td`].
+    pub td: Arc<TDesign>,
+    /// See [`SessionBody::backend`].
+    pub backend: BackendKind,
+    /// See [`SessionBody::tenant`].
+    pub tenant: String,
+    /// The paused watchdog — kept live so evicted time never counts
+    /// against the wall budget.
+    pub watchdog: Option<ArmedWatchdog>,
+    /// See [`SessionBody::pending`].
+    pub pending: Vec<Injection>,
+    /// Cycle count at eviction time, so `inject` can validate cycles
+    /// without rehydrating.
+    pub cycles: u64,
+    /// Spool file holding the snapshot and device blobs.
+    pub path: PathBuf,
+}
+
+/// One slot in the session table.
+pub enum SessionSlot {
+    /// Resident in memory.
+    Live(Box<SessionBody>),
+    /// Spilled to the spool; rehydrated on next touch.
+    Evicted(EvictedStub),
+    /// Checked out into the step queue; concurrent requests get a
+    /// `session-busy` reply instead of racing.
+    Running { tenant: String },
+}
+
+/// The bounded session table. All access is behind the server's mutex;
+/// operations here are pure data structure manipulation.
+#[derive(Default)]
+pub struct SessionTable {
+    slots: HashMap<u64, SessionSlot>,
+}
+
+impl SessionTable {
+    /// Number of sessions resident (live, evicted, or running).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Inserts a new session; the caller has already enforced the bound.
+    pub fn insert(&mut self, id: u64, body: Box<SessionBody>) {
+        self.slots.insert(id, SessionSlot::Live(body));
+    }
+
+    /// Removes a session in any state, returning it.
+    pub fn remove(&mut self, id: u64) -> Option<SessionSlot> {
+        self.slots.remove(&id)
+    }
+
+    /// Direct access to a slot.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut SessionSlot> {
+        self.slots.get_mut(&id)
+    }
+
+    /// Replaces a slot wholesale (used to check sessions in and out).
+    pub fn put(&mut self, id: u64, slot: SessionSlot) {
+        self.slots.insert(id, slot);
+    }
+
+    /// Ids of live sessions idle longer than `idle` as of `now`.
+    pub fn idle_candidates(&self, now: Instant, idle: std::time::Duration) -> Vec<u64> {
+        self.slots
+            .iter()
+            .filter_map(|(&id, slot)| match slot {
+                SessionSlot::Live(b) if now.duration_since(b.last_touch) >= idle => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ids of every session, in ascending order (deterministic iteration
+    /// for drain).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// One serialized state blob per device (`None` for stateless devices).
+pub type DeviceBlobs = Vec<Option<Vec<u8>>>;
+
+/// Magic bytes opening a spool file (a `.ksnap` snapshot plus device
+/// blobs).
+pub const SPOOL_MAGIC: [u8; 4] = *b"KSES";
+
+/// Serializes a session's heavy state for the eviction spool.
+///
+/// Layout: `"KSES"` · `ksnap_len:u32` · ksnap bytes · `ndev:u32` · per
+/// device `has:u8` and, when present, `len:u32` + bytes. All integers
+/// little-endian, like the `.ksnap` format it embeds.
+pub fn spool_bytes(snap: &Snapshot, dev_blobs: &[Option<Vec<u8>>]) -> Vec<u8> {
+    let ksnap = snap.to_bytes();
+    let mut out = Vec::with_capacity(ksnap.len() + 64);
+    out.extend_from_slice(&SPOOL_MAGIC);
+    out.extend_from_slice(&(ksnap.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ksnap);
+    out.extend_from_slice(&(dev_blobs.len() as u32).to_le_bytes());
+    for blob in dev_blobs {
+        match blob {
+            Some(bytes) => {
+                out.push(1);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Parses a spool file written by [`spool_bytes`].
+///
+/// # Errors
+///
+/// A human-readable message on truncation or corruption — spool files are
+/// server-written, but a message still beats a panic if the spool
+/// directory is tampered with.
+pub fn parse_spool(bytes: &[u8]) -> Result<(Snapshot, DeviceBlobs), String> {
+    fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+        if buf.len() < n {
+            return Err("spool file truncated".into());
+        }
+        let (head, rest) = buf.split_at(n);
+        *buf = rest;
+        Ok(head)
+    }
+    fn take_u32(buf: &mut &[u8]) -> Result<usize, String> {
+        Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("length checked")) as usize)
+    }
+    let mut buf = bytes;
+    if take(&mut buf, 4)? != SPOOL_MAGIC {
+        return Err("not a session spool file (bad magic)".into());
+    }
+    let ksnap_len = take_u32(&mut buf)?;
+    let snap = Snapshot::from_bytes(take(&mut buf, ksnap_len)?)
+        .map_err(|e| format!("embedded snapshot: {e}"))?;
+    let ndev = take_u32(&mut buf)?;
+    if ndev > bytes.len() {
+        return Err("device count exceeds stream size".into());
+    }
+    let mut blobs = Vec::with_capacity(ndev);
+    for _ in 0..ndev {
+        let has = take(&mut buf, 1)?[0];
+        if has == 1 {
+            let len = take_u32(&mut buf)?;
+            blobs.push(Some(take(&mut buf, len)?.to_vec()));
+        } else {
+            blobs.push(None);
+        }
+    }
+    Ok((snap, blobs))
+}
+
+/// Writes a session's heavy state to its spool file.
+pub fn spill(body: &SessionBody, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&spool_bytes(&body.snap, &body.dev_blobs))
+}
+
+/// Reads a spool file back; the file is removed on success.
+pub fn unspill(path: &Path) -> Result<(Snapshot, DeviceBlobs), String> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("reading spool file {}: {e}", path.display()))?;
+    let parsed = parse_spool(&bytes)?;
+    let _ = std::fs::remove_file(path);
+    Ok(parsed)
+}
+
+/// Pools of compiled engines, keyed by design. Compiling a design is the
+/// expensive part of a step; pooling amortizes it across every session of
+/// that design. Engines carry no session state between checkouts — each
+/// step restores a snapshot before running.
+#[derive(Default)]
+pub struct EnginePool {
+    scalar: HashMap<(String, BackendKind), Vec<Box<dyn SimBackend + Send>>>,
+    batch: HashMap<(String, usize), Vec<BatchSim>>,
+}
+
+impl EnginePool {
+    /// Checks out (or compiles) a scalar engine for a design.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors, e.g. a >64-bit register on the Cuttlesim
+    /// backend.
+    pub fn checkout_scalar(
+        &mut self,
+        name: &str,
+        td: &TDesign,
+        kind: BackendKind,
+    ) -> Result<Box<dyn SimBackend + Send>, String> {
+        if let Some(engine) = self
+            .scalar
+            .get_mut(&(name.to_string(), kind))
+            .and_then(Vec::pop)
+        {
+            return Ok(engine);
+        }
+        Ok(match kind {
+            BackendKind::Interp => Box::new(Interp::new(td)),
+            BackendKind::Cuttlesim => Box::new(
+                Sim::compile_with(td, &CompileOptions::default())
+                    .map_err(|e| format!("cuttlesim compile error: {e}"))?,
+            ),
+        })
+    }
+
+    /// Returns a scalar engine to the pool. Engines that panicked are
+    /// simply dropped by the unwinding step instead of being checked in.
+    pub fn checkin_scalar(&mut self, name: &str, kind: BackendKind, engine: Box<dyn SimBackend + Send>) {
+        self.scalar
+            .entry((name.to_string(), kind))
+            .or_default()
+            .push(engine);
+    }
+
+    /// Checks out (or compiles) a batch engine with the given lane count.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors (see [`EnginePool::checkout_scalar`]).
+    pub fn checkout_batch(
+        &mut self,
+        name: &str,
+        td: &TDesign,
+        lanes: usize,
+    ) -> Result<BatchSim, String> {
+        if let Some(engine) = self
+            .batch
+            .get_mut(&(name.to_string(), lanes))
+            .and_then(Vec::pop)
+        {
+            return Ok(engine);
+        }
+        BatchSim::compile(td, lanes).map_err(|e| format!("batch compile error: {e}"))
+    }
+
+    /// Returns a batch engine to the pool.
+    pub fn checkin_batch(&mut self, name: &str, lanes: usize, engine: BatchSim) {
+        self.batch.entry((name.to_string(), lanes)).or_default().push(engine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koika::bits::Bits;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            design: "d".into(),
+            cycles: 7,
+            fired: 5,
+            fingerprint: 0xfeed,
+            fired_per_rule: vec![3, 2],
+            regs: vec![Bits::new(8, 0x42u64), Bits::new(96, 1u128 << 70)],
+        }
+    }
+
+    #[test]
+    fn spool_round_trips_snapshot_and_blobs() {
+        let blobs = vec![Some(vec![1, 2, 3]), None, Some(Vec::new())];
+        let bytes = spool_bytes(&snap(), &blobs);
+        assert_eq!(&bytes[..4], b"KSES");
+        let (s2, b2) = parse_spool(&bytes).unwrap();
+        assert_eq!(s2, snap());
+        assert_eq!(b2, blobs);
+    }
+
+    #[test]
+    fn spool_rejects_corruption_without_panicking() {
+        let good = spool_bytes(&snap(), &[Some(vec![9])]);
+        assert!(parse_spool(b"XXXX").is_err());
+        for cut in [0, 3, 7, good.len() - 1] {
+            assert!(parse_spool(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Z';
+        assert!(parse_spool(&bad_magic).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! Usage: koika-sim <design> [options]
 //!        koika-sim --fuzz <N> [--seed S] [--jobs J] [--corpus-dir DIR]
 //!        koika-sim --replay-corpus <DIR>
+//!        koika-sim --serve <ADDR> [--jobs J] [--max-sessions N]
 //!
 //! Designs:
 //!   collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
@@ -50,6 +51,8 @@
 //!   --debug-on-divergence  with --fuzz/--replay-corpus: attach kdb at the
 //!                       first divergent cycle of the first diverging case
 //!   --vcd-lane <N>      with --batch + --vcd: lane to record (default 0)
+//!   --serve <ADDR>      run the multi-tenant simulation session server
+//!   --max-sessions <N>  with --serve: admission-control bound (default 16384)
 //!   --help              print this help and exit
 //! ```
 //!
@@ -78,8 +81,10 @@ use koika_designs::memdev::MagicMemory;
 use koika_designs::{msi, rv32, small};
 use koika_riscv::programs;
 use koika_rtl::{compile as rtl_compile, verilog, RtlSim, Scheme};
+use koika_server::{DesignProvider, ServerConfig};
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -118,6 +123,8 @@ struct Args {
     debug_script: Option<String>,
     debug_on_divergence: bool,
     vcd_lane: Option<usize>,
+    serve: Option<String>,
+    max_sessions: Option<usize>,
 }
 
 impl Args {
@@ -138,6 +145,7 @@ impl Args {
         RunnerConfig {
             jobs: self.jobs,
             max_retries: self.retries,
+            seed: self.seed,
             ..RunnerConfig::default()
         }
     }
@@ -147,6 +155,7 @@ const HELP: &str = "\
 Usage: koika-sim <design> [options]
        koika-sim --fuzz <N> [--seed S] [--jobs J] [--corpus-dir DIR]
        koika-sim --replay-corpus <DIR>
+       koika-sim --serve <ADDR> [--jobs J] [--max-sessions N]
 
 Designs:
   collatz | fir | fft | rv32i | rv32e | rv32i-bp | rv32i-bypass |
@@ -231,6 +240,21 @@ Parallel execution & differential fuzzing:
   --stall-cycles <N>  watchdog: abort after N consecutive commit-free
                       cycles with a JSON state dump (exit 3)
   --max-wall-ms <N>   watchdog: abort after N ms of wall-clock (exit 3)
+
+Simulation server:
+  --serve <ADDR>      serve the bundled designs as a multi-tenant session
+                      server on ADDR (use port 0 to pick a free port; the
+                      bound address is printed as \"serving on HOST:PORT\").
+                      Clients speak line-oriented JSON: create / step /
+                      inject / snapshot / restore / query-regs /
+                      stream-trace / evict / close / metrics / ping /
+                      shutdown. Composes with --jobs, --retries, --seed,
+                      --max-sessions, and the watchdog budget flags (which
+                      become the default per-session budgets); one-shot
+                      run flags are rejected
+  --max-sessions <N>  with --serve: admission-control bound on resident
+                      sessions (default 16384); `create` beyond it gets a
+                      busy reply
   --help              print this help and exit
 ";
 
@@ -300,6 +324,8 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         debug_script: None,
         debug_on_divergence: false,
         vcd_lane: None,
+        serve: None,
+        max_sessions: None,
     };
     fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, Result<ExitCode, CliError>> {
         v.parse()
@@ -360,6 +386,10 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--debug-script" => args.debug_script = Some(value("--debug-script")?),
             "--debug-on-divergence" => args.debug_on_divergence = true,
             "--vcd-lane" => args.vcd_lane = Some(parsed("--vcd-lane", value("--vcd-lane")?)?),
+            "--serve" => args.serve = Some(value("--serve")?),
+            "--max-sessions" => {
+                args.max_sessions = Some(parsed("--max-sessions", value("--max-sessions")?)?);
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
                 return Err(Ok(ExitCode::SUCCESS));
@@ -692,6 +722,162 @@ fn build_devices(td: &TDesign, program: &Option<Vec<u32>>) -> Vec<Box<dyn Device
         ))],
         None => Vec::new(),
     }
+}
+
+/// Serves the bundled designs to `--serve` sessions. A session's design
+/// name is either a bare design (`"msi"`, `"rv32i"`) or
+/// `design+workload` (`"rv32i+primes:8"`), where the workload seeds the
+/// magic memories exactly as `--program` does for a one-shot run; a bare
+/// rv32 design gets the CLI's default workload. Typed designs and decoded
+/// workloads are cached because [`DesignProvider::devices`] runs on every
+/// step of every session.
+#[derive(Default)]
+struct BundledDesigns {
+    designs: std::sync::Mutex<std::collections::HashMap<String, Arc<TDesign>>>,
+    programs: std::sync::Mutex<std::collections::HashMap<String, Arc<Vec<u32>>>>,
+}
+
+/// Splits `rv32i+primes:8` into the design and the workload spec.
+fn split_served_name(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('+') {
+        Some((base, spec)) => (base, Some(spec)),
+        None => (name, None),
+    }
+}
+
+impl BundledDesigns {
+    fn program_words(&self, spec: &str) -> Option<Arc<Vec<u32>>> {
+        let mut cache = self
+            .programs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(words) = cache.get(spec) {
+            return Some(Arc::clone(words));
+        }
+        let words = Arc::new(workload(spec)?);
+        cache.insert(spec.to_string(), Arc::clone(&words));
+        Some(words)
+    }
+}
+
+impl DesignProvider for BundledDesigns {
+    fn design(&self, name: &str) -> Option<Arc<TDesign>> {
+        let (base, spec) = split_served_name(name);
+        if let Some(spec) = spec {
+            // Only the rv32 cores take a workload, and it must parse, so
+            // `create` rejects bad names up front instead of a session
+            // stalling on empty memories later.
+            if !base.starts_with("rv32") || self.program_words(spec).is_none() {
+                return None;
+            }
+        }
+        let mut cache = self
+            .designs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(td) = cache.get(base) {
+            return Some(Arc::clone(td));
+        }
+        let td = Arc::new(check(&design_by_name(base)?).ok()?);
+        cache.insert(base.to_string(), Arc::clone(&td));
+        Some(td)
+    }
+
+    fn devices(&self, name: &str, td: &TDesign) -> Vec<Box<dyn Device + Send>> {
+        let (base, spec) = split_served_name(name);
+        if !base.starts_with("rv32") {
+            return Vec::new();
+        }
+        let words = spec
+            .and_then(|s| self.program_words(s))
+            .or_else(|| self.program_words("primes:100"))
+            .unwrap_or_default();
+        vec![Box::new(MagicMemory::new(td, &["imem", "dmem"], &words, MEM_WORDS))]
+    }
+}
+
+/// `--serve`: run the session server until a client sends `shutdown`.
+fn run_serve_mode(args: &Args, addr: &str) -> Result<ExitCode, CliError> {
+    // The server multiplexes many sessions that each pick their own
+    // design, program, backend, and budgets in `create`, so every
+    // one-shot run or sink flag is rejected rather than silently
+    // observing nothing. Only the pool/watchdog tuning flags compose.
+    let conflicts: Vec<&str> = [
+        args.campaign.map(|_| "--campaign"),
+        args.fuzz.map(|_| "--fuzz"),
+        args.replay_corpus.as_ref().map(|_| "--replay-corpus"),
+        args.replay.as_ref().map(|_| "--replay"),
+        args.emit.as_ref().map(|_| "--emit"),
+        args.batch.map(|_| "--batch"),
+        args.debug.then_some("--debug"),
+        args.debug_script.as_ref().map(|_| "--debug-script"),
+        args.debug_on_divergence.then_some("--debug-on-divergence"),
+        args.inject.as_ref().map(|_| "--inject"),
+        args.trace.map(|_| "--trace"),
+        args.profile.then_some("--profile"),
+        args.vcd.as_ref().map(|_| "--vcd"),
+        args.vcd_lane.map(|_| "--vcd-lane"),
+        args.record.as_ref().map(|_| "--record"),
+        args.snapshot_every.map(|_| "--snapshot-every"),
+        args.snapshot_prefix.as_ref().map(|_| "--snapshot-prefix"),
+        args.restore.as_ref().map(|_| "--restore"),
+        args.corpus_dir.as_ref().map(|_| "--corpus-dir"),
+        (!args.watch.is_empty()).then_some("--watch"),
+        args.metrics_json.as_ref().map(|_| "--metrics-json"),
+        args.perfetto.as_ref().map(|_| "--perfetto"),
+        args.cycles.map(|_| "--cycles"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    if !conflicts.is_empty() {
+        return Err(CliError::usage(format!(
+            "--serve cannot be combined with {} (sessions pick their own \
+             designs, programs, and budgets in `create`)",
+            conflicts.join(", ")
+        )));
+    }
+    if !args.design.is_empty() {
+        return Err(CliError::usage(format!(
+            "--serve does not take a <design> argument (got {:?}; clients \
+             name designs in `create`)",
+            args.design
+        )));
+    }
+    if args.jobs == 0 {
+        return Err(CliError::usage("--jobs must be at least 1"));
+    }
+    if args.max_sessions == Some(0) {
+        return Err(CliError::usage("--max-sessions must be at least 1"));
+    }
+    if args.stall_cycles == Some(0) {
+        return Err(CliError::usage("--stall-cycles must be at least 1"));
+    }
+
+    let mut cfg = ServerConfig {
+        runner: args.runner_config(),
+        default_watchdog: Watchdog {
+            max_cycles: args.max_cycles,
+            stall_cycles: args.stall_cycles,
+            wall_budget: args.max_wall_ms.map(Duration::from_millis),
+        },
+        ..ServerConfig::default()
+    };
+    if let Some(n) = args.max_sessions {
+        cfg.max_sessions = n;
+    }
+    let handle = koika_server::spawn(cfg, Arc::new(BundledDesigns::default()), addr)
+        .map_err(|e| CliError::runtime(format!("cannot serve on {addr}: {e}")))?;
+    // Scripts parse this line to learn the bound port (`--serve 127.0.0.1:0`).
+    println!("serving on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = handle.wait();
+    eprintln!(
+        "drained: {} requests, {} protocol errors, {} sessions spilled, {} panics contained",
+        stats.requests, stats.protocol_errors, stats.sessions_spilled, stats.panics_contained
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
@@ -1274,6 +1460,11 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
         return Err(CliError::usage(
             "--debug-on-divergence requires --fuzz or --replay-corpus",
         ));
+    }
+    // The server is its own design-free mode: sessions name designs over
+    // the wire, so it dispatches before design validation like --fuzz.
+    if let Some(addr) = &args.serve {
+        return run_serve_mode(args, addr);
     }
     // Design-free modes dispatch before design validation. Their flag
     // conflicts are checked here; everything design-bound stays in

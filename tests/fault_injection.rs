@@ -466,6 +466,28 @@ fn cli_rejects_bad_flag_combinations_up_front_without_panicking() {
         &["collatz", "--seed"],
         &["rv32i", "--program", "garbage"],
         &["nosuchdesign"],
+        // --serve is a design-free long-running mode: it composes with
+        // pool/watchdog tuning only, and rejects every one-shot flag.
+        &["--serve", "127.0.0.1:0", "--campaign", "5"],
+        &["--serve", "127.0.0.1:0", "--fuzz", "4"],
+        &["--serve", "127.0.0.1:0", "--debug"],
+        &["--serve", "127.0.0.1:0", "--debug-script", "s.kdb"],
+        &["--serve", "127.0.0.1:0", "--batch", "8"],
+        &["--serve", "127.0.0.1:0", "--emit", "cpp"],
+        &["--serve", "127.0.0.1:0", "--inject", "1:x:0"],
+        &["--serve", "127.0.0.1:0", "--trace", "8"],
+        &["--serve", "127.0.0.1:0", "--profile"],
+        &["--serve", "127.0.0.1:0", "--vcd", "out.vcd"],
+        &["--serve", "127.0.0.1:0", "--record", "x.log"],
+        &["--serve", "127.0.0.1:0", "--replay", "x.log"],
+        &["--serve", "127.0.0.1:0", "--replay-corpus", "dir"],
+        &["--serve", "127.0.0.1:0", "--snapshot-every", "16"],
+        &["--serve", "127.0.0.1:0", "--restore", "x.ksnap"],
+        &["--serve", "127.0.0.1:0", "--watch", "pc"],
+        &["--serve", "127.0.0.1:0", "--cycles", "100"],
+        &["collatz", "--serve", "127.0.0.1:0"],
+        &["--serve", "127.0.0.1:0", "--max-sessions", "0"],
+        &["--serve", "127.0.0.1:0", "--jobs", "0"],
     ];
     for case in cases {
         let out = koika_sim().args(*case).output().unwrap();

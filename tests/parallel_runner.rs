@@ -217,6 +217,7 @@ fn wall_only_trips_classify_flaky_after_retries() {
             jobs: 2,
             max_retries: 1,
             backoff: Duration::from_millis(1),
+            ..RunnerConfig::default()
         },
         // A zero wall budget trips on the very first observation, every
         // attempt: a pure wall-clock (machine-speed) failure.
