@@ -333,6 +333,20 @@ impl ArmedWatchdog {
         self.start += now_mark - mark;
     }
 
+    /// Number of consecutive zero-commit cycles observed so far. The stall
+    /// counter is part of a session's durable state: a checkpoint taken
+    /// mid-stall must record it so that deterministic replay after a crash
+    /// trips the stall budget on exactly the same cycle as the original run.
+    pub fn stall_count(&self) -> u64 {
+        self.stalled
+    }
+
+    /// Restores the consecutive-stall counter, e.g. when re-arming a
+    /// watchdog from a recovery checkpoint. See [`ArmedWatchdog::stall_count`].
+    pub fn set_stall_count(&mut self, stalled: u64) {
+        self.stalled = stalled;
+    }
+
     /// Reports one completed cycle (with the number of rule commits it
     /// made); returns a trip if any budget is now exhausted.
     pub fn observe(&mut self, cycles_done: u64, commits: u64) -> Option<WatchdogTrip> {

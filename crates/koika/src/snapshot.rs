@@ -345,6 +345,32 @@ impl Snapshot {
     }
 }
 
+/// Durably writes `bytes` to `path` with crash-atomic semantics: the data
+/// lands in `<path>.tmp` first, is fsynced, and is then renamed over `path`.
+/// A reader (or a recovery pass after `kill -9`) therefore observes either
+/// the complete previous file or the complete new one — never a torn
+/// half-written `.ksnap`. This is the canonical way to persist snapshot and
+/// spool files; stray `<path>.tmp` leftovers from a crash mid-write are safe
+/// to delete.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no orphan if the rename itself failed.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +470,18 @@ mod tests {
         assert!(json.contains("\"design\": \"demo\""));
         assert!(json.contains("\"cycles\": 42"));
         assert!(json.contains("\"reg0\""));
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("ksnap-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.ksnap");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second-longer");
+        assert!(!dir.join("s.ksnap.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

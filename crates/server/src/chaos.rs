@@ -1,0 +1,209 @@
+//! Seeded fault injection for chaos testing the durability stack.
+//!
+//! The chaos harness has two halves. The *server* half lives here: an
+//! [`IoChaos`] hook installed via [`crate::ServerConfig::chaos`] is
+//! consulted by every durable write (journal appends, spool and journal
+//! rewrites, the read-only probe) and deterministically injects the disk
+//! failure modes that matter for a write-ahead log — torn appends, short
+//! atomic writes, and ENOSPC. The *client* half (dropped and duplicated
+//! connections, delayed requests, mid-step panics) is driven by
+//! `server_bench --chaos SEED`, which owns both sockets and the fault
+//! schedule.
+//!
+//! Injected failures are ordinary `io::Error`s whose message starts with
+//! `"chaos:"`; the server treats them exactly like real disk failures
+//! (typed `read-only` degradation, never a panic) and additionally counts
+//! them in the per-tenant `chaos_faults` metric. The invariants under
+//! test: **zero cross-session blast radius** (a fault in one session's
+//! write never corrupts another session) and **recoverability** (after
+//! any injected fault, a restart from the state directory reproduces
+//! exactly the state the clients observed as committed).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The xorshift64* generator used across the repo's benches: tiny, seeded,
+/// and good enough to pick fault kinds and fire points.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeds the generator (a zero seed is nudged to keep the state
+    /// non-degenerate).
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng((seed ^ 0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A disk failure mode injected into one durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// A journal append that writes part of its record before failing;
+    /// the server must truncate the torn bytes back before continuing.
+    TornWrite,
+    /// An atomic (temp + rename) write that leaves a partial `*.tmp`
+    /// behind and never reaches the rename; the destination file must
+    /// stay intact.
+    ShortWrite,
+    /// The write fails up front with nothing on disk (disk full).
+    Enospc,
+}
+
+impl IoFault {
+    /// Stable label used in error messages and fault-count tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoFault::TornWrite => "torn-write",
+            IoFault::ShortWrite => "short-write",
+            IoFault::Enospc => "enospc",
+        }
+    }
+}
+
+/// Deterministic, seeded io fault injector shared by every durable write
+/// site in the server. `None` in [`crate::ServerConfig::chaos`] (the
+/// default) means no instrumentation at all.
+pub struct IoChaos {
+    /// Fire on every `every`-th consulted write; 0 disables injection.
+    every: AtomicU64,
+    /// Writes consulted so far.
+    counter: AtomicU64,
+    /// When set, every consult fires this fault regardless of `every`
+    /// (used by tests to hold the server in read-only mode).
+    forced: Mutex<Option<IoFault>>,
+    rng: Mutex<ChaosRng>,
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl IoChaos {
+    /// A seeded injector firing on every `every`-th durable write.
+    pub fn new(seed: u64, every: u64) -> IoChaos {
+        IoChaos {
+            every: AtomicU64::new(every),
+            counter: AtomicU64::new(0),
+            forced: Mutex::new(None),
+            rng: Mutex::new(ChaosRng::new(seed)),
+            counts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// An injector that fails **every** durable write with `fault` until
+    /// [`IoChaos::clear_forced`]; used to test read-only degradation.
+    pub fn forced(fault: IoFault) -> IoChaos {
+        let c = IoChaos::new(0, 0);
+        *c.forced.lock().unwrap_or_else(|e| e.into_inner()) = Some(fault);
+        c
+    }
+
+    /// Stops the [`IoChaos::forced`] failure mode ("the disk recovered").
+    pub fn clear_forced(&self) {
+        *self.forced.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Re-tunes the fire period (0 disables random injection).
+    pub fn set_every(&self, every: u64) {
+        self.every.store(every, Ordering::SeqCst);
+    }
+
+    /// Called by a durable write site before touching the disk. Returns
+    /// the fault to simulate for this write, if any; firing is counted in
+    /// [`IoChaos::counts`].
+    pub fn next_fault(&self) -> Option<IoFault> {
+        if let Some(f) = *self.forced.lock().unwrap_or_else(|e| e.into_inner()) {
+            self.note(f.label());
+            return Some(f);
+        }
+        let every = self.every.load(Ordering::SeqCst);
+        if every == 0 {
+            return None;
+        }
+        let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        if !n.is_multiple_of(every) {
+            return None;
+        }
+        let pick = self.rng.lock().unwrap_or_else(|e| e.into_inner()).below(3);
+        let fault = match pick {
+            0 => IoFault::TornWrite,
+            1 => IoFault::ShortWrite,
+            _ => IoFault::Enospc,
+        };
+        self.note(fault.label());
+        Some(fault)
+    }
+
+    /// Records one occurrence of a fault kind. Server-side io faults are
+    /// noted by [`IoChaos::next_fault`]; the bench's client-side kinds
+    /// (dropped/duplicated connections, delays, mid-step panics) call this
+    /// directly so one table holds the whole fault mix.
+    pub fn note(&self, label: &'static str) {
+        *self
+            .counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(label)
+            .or_insert(0) += 1;
+    }
+
+    /// Fault counts by kind label, in label order.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = ChaosRng::new(0xC0FFEE);
+        let mut b = ChaosRng::new(0xC0FFEE);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaosRng::new(0xC0FFEF);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fires_every_nth_write_and_counts_by_kind() {
+        let chaos = IoChaos::new(7, 3);
+        let fired: Vec<bool> = (0..12).map(|_| chaos.next_fault().is_some()).collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 4);
+        assert!(fired[2]);
+        assert!(!fired[0]);
+        let total: u64 = chaos.counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn forced_mode_fires_until_cleared() {
+        let chaos = IoChaos::forced(IoFault::Enospc);
+        assert_eq!(chaos.next_fault(), Some(IoFault::Enospc));
+        assert_eq!(chaos.next_fault(), Some(IoFault::Enospc));
+        chaos.clear_forced();
+        assert_eq!(chaos.next_fault(), None);
+        assert_eq!(chaos.counts(), vec![("enospc", 2)]);
+    }
+}

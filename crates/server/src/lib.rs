@@ -33,15 +33,34 @@
 //! * **Graceful drain** — a `shutdown` request finishes in-flight steps,
 //!   spills every remaining live session to the spool directory, closes
 //!   the listener, and returns final statistics.
+//! * **Durable crash recovery** — with [`ServerConfig::state_dir`] set,
+//!   every state-mutating op is appended to a per-session write-ahead
+//!   journal ([`journal`]) before it executes, checkpointed away whenever
+//!   the session spools a `.ksnap`. A restart (even after `kill -9`)
+//!   rebuilds the session table by rehydrating the newest spool and
+//!   deterministically re-executing the journal tail — recovered
+//!   registers and commit fingerprints are byte-identical to an
+//!   uninterrupted run. Clients may tag mutating requests with a
+//!   `req_id` for idempotent at-most-once re-submission, and durable
+//!   write failures degrade the server to a typed `read-only` mode
+//!   instead of panicking.
+//! * **Chaos testing** — a seeded fault injector ([`chaos`]) drives torn
+//!   and short writes, ENOSPC, dropped/duplicated connections, delays,
+//!   and mid-step panics through the whole stack (`server_bench --chaos`)
+//!   while asserting zero cross-session blast radius and recoverability
+//!   after every event.
 //!
 //! The wire protocol is line-oriented JSON — one request object per line,
 //! one reply object per line — documented in [`server`].
 
+pub mod chaos;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod session;
 
+pub use chaos::{ChaosRng, IoChaos, IoFault};
 pub use metrics::ServerMetrics;
 pub use server::{spawn, ServerConfig, ServerHandle, ServerStats};
 pub use session::{BackendKind, DesignProvider};

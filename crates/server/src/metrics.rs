@@ -37,6 +37,14 @@ pub struct TenantCounters {
     /// Steps executed inside a packed batch lane rather than a scalar
     /// engine.
     pub packed_steps: u64,
+    /// Sessions rebuilt from the state directory (journal replay) after a
+    /// server restart.
+    pub recovered_sessions: u64,
+    /// Torn journal tails truncated back to the last durable record
+    /// during recovery.
+    pub journal_truncations: u64,
+    /// Injected chaos faults absorbed by this tenant's durable writes.
+    pub chaos_faults: u64,
 }
 
 /// All server-level counters: a per-tenant map plus process-wide totals.
@@ -78,7 +86,8 @@ impl ServerMetrics {
                 "\"{}\":{{\"sessions_created\":{},\"sessions_closed\":{},\"steps\":{},\
                  \"cycles\":{},\"injections\":{},\"evictions\":{},\"rehydrations\":{},\
                  \"panics_contained\":{},\"watchdog_trips\":{},\"busy_rejections\":{},\
-                 \"packed_steps\":{}}}",
+                 \"packed_steps\":{},\"recovered_sessions\":{},\"journal_truncations\":{},\
+                 \"chaos_faults\":{}}}",
                 crate::json::escape(name),
                 t.sessions_created,
                 t.sessions_closed,
@@ -91,6 +100,9 @@ impl ServerMetrics {
                 t.watchdog_trips,
                 t.busy_rejections,
                 t.packed_steps,
+                t.recovered_sessions,
+                t.journal_truncations,
+                t.chaos_faults,
             );
         }
         s.push_str("}}");
@@ -143,6 +155,17 @@ impl ServerMetrics {
             ("koika_server_packed_steps_total", "Steps executed in packed batch lanes.", |t| {
                 t.packed_steps
             }),
+            ("koika_server_recovered_sessions_total", "Sessions rebuilt by journal replay.", |t| {
+                t.recovered_sessions
+            }),
+            (
+                "koika_server_journal_truncations_total",
+                "Torn journal tails truncated during recovery.",
+                |t| t.journal_truncations,
+            ),
+            ("koika_server_chaos_faults_total", "Injected chaos faults absorbed.", |t| {
+                t.chaos_faults
+            }),
         ];
         for (name, help, read) in families {
             prom_family(&mut s, name, help, "counter");
@@ -183,5 +206,23 @@ mod tests {
         assert!(text.contains("# TYPE koika_server_panics_contained_total counter"));
         assert!(text.contains("koika_server_panics_contained_total{tenant=\"t0\"} 1"));
         assert!(text.contains("koika_server_sessions_active 1"));
+    }
+
+    #[test]
+    fn recovery_counters_export_in_both_formats() {
+        let mut m = ServerMetrics::default();
+        let t = m.tenant("t0");
+        t.recovered_sessions = 4;
+        t.journal_truncations = 2;
+        t.chaos_faults = 9;
+        let json = m.to_json(4);
+        assert!(json.contains("\"recovered_sessions\":4"));
+        assert!(json.contains("\"journal_truncations\":2"));
+        assert!(json.contains("\"chaos_faults\":9"));
+        crate::json::Json::parse(&json).unwrap();
+        let prom = m.to_prometheus(4);
+        assert!(prom.contains("koika_server_recovered_sessions_total{tenant=\"t0\"} 4"));
+        assert!(prom.contains("koika_server_journal_truncations_total{tenant=\"t0\"} 2"));
+        assert!(prom.contains("koika_server_chaos_faults_total{tenant=\"t0\"} 9"));
     }
 }

@@ -26,18 +26,37 @@
 //! `watchdog` on `create` is `{"max_cycles":N,"stall_cycles":N,
 //! "wall_ms":N}`, all optional. Error kinds: `protocol`, `unknown-op`,
 //! `unknown-design`, `unknown-session`, `session-busy`, `busy`,
-//! `backend`, `watchdog` (with `kind` and `cycle`), `panic`, `snapshot`,
-//! `internal`.
+//! `backend`, `watchdog` (with `kind` and `cycle`), `panic`,
+//! `bad-snapshot`, `read-only`, `internal`.
 //!
 //! Replies contain no wall-clock data, so a scripted client driving a
 //! fresh server produces byte-identical transcripts run after run — the
 //! CI smoke test relies on this.
+//!
+//! # Durability (`--state-dir`)
+//!
+//! With [`ServerConfig::state_dir`] set, every state-mutating op
+//! (`create`, `step`, `stream-trace`, `inject`, `restore`) is appended to
+//! the session's write-ahead journal ([`crate::journal`]) **before** it
+//! executes. A restart with the same directory — graceful or `kill -9` —
+//! rebuilds the session table by loading each session's newest checkpoint
+//! spool and deterministically re-executing its journal tail; recovered
+//! registers and commit fingerprints are byte-identical to an
+//! uninterrupted run. The mutating ops additionally accept an optional
+//! client-chosen `req_id` (u64): re-submitting a request with a `req_id`
+//! seen before returns the cached reply instead of applying the op twice
+//! (at-most-once across reconnects and crashes, within a bounded window).
+//! When the state directory becomes unwritable the server degrades to a
+//! typed `read-only` error for mutating ops — reads still work — and
+//! heals automatically once a probe write succeeds.
 
+use crate::chaos::IoChaos;
+use crate::journal::{self, Journal, JournalOp, JournalRecord, WatchdogSpec};
 use crate::json::{self, Json};
 use crate::metrics::ServerMetrics;
 use crate::session::{
-    spill, unspill, BackendKind, DesignProvider, EnginePool, EvictedStub, SessionBody,
-    SessionSlot, SessionTable,
+    req_cached, req_store, req_store_bounded, spill, spool_bytes, unspill, BackendKind,
+    DesignProvider, EnginePool, EvictedStub, ReqWindow, SessionBody, SessionSlot, SessionTable,
 };
 use koika::bits::Bits;
 use koika::device::{Device, LaneAccess, RegAccess};
@@ -45,15 +64,20 @@ use koika::fault::{ArmedWatchdog, Injection, TripKind, Watchdog, WatchdogTrip};
 use koika::obs::Observer;
 use koika::runner::{contain, run_jobs, JobError, RunnerConfig};
 use koika::snapshot::Snapshot;
-use koika::tir::TDesign;
+use koika::tir::{RegId, TDesign};
+use std::collections::HashSet;
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Bound on entries in the server-wide `create` idempotency window (it
+/// serves every tenant, unlike the per-session windows).
+const CREATE_WINDOW: usize = 1024;
 
 /// Tuning knobs for one server instance. `Default` is sized for the
 /// `server_bench` load profile (tens of thousands of sessions).
@@ -87,6 +111,17 @@ pub struct ServerConfig {
     pub max_step: u64,
     /// Cap on events returned by one `stream-trace`.
     pub max_trace: usize,
+    /// Durable state directory. `Some` turns on write-ahead journaling,
+    /// crash recovery on startup, and read-only degradation; it also
+    /// overrides `spool_dir` so journals and checkpoint spools share one
+    /// directory. `None` (the default) keeps the server purely in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Auto-checkpoint a durable session once its journal exceeds this
+    /// many bytes (bounds replay time after a crash).
+    pub journal_checkpoint_bytes: u64,
+    /// Seeded io fault injector consulted by every durable write; `None`
+    /// disables chaos instrumentation entirely.
+    pub chaos: Option<Arc<IoChaos>>,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +142,9 @@ impl Default for ServerConfig {
             batch_window: Duration::ZERO,
             max_step: 1_000_000,
             max_trace: 4096,
+            state_dir: None,
+            journal_checkpoint_bytes: 64 * 1024,
+            chaos: None,
         }
     }
 }
@@ -122,6 +160,8 @@ pub struct ServerStats {
     pub sessions_spilled: u64,
     /// Panics contained over the server's lifetime (sum over tenants).
     pub panics_contained: u64,
+    /// Sessions rebuilt by journal replay at startup (sum over tenants).
+    pub sessions_recovered: u64,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -130,12 +170,25 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     thread: thread::JoinHandle<ServerStats>,
+    recovered: u64,
+    lost: u64,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Sessions recovered from the state directory during startup.
+    pub fn recovered_sessions(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Journals found at startup that were too damaged to recover (each
+    /// one was renamed `*.corrupt` and its session dropped).
+    pub fn lost_sessions(&self) -> u64 {
+        self.lost
     }
 
     /// Requests a graceful drain, as if a client had sent `shutdown`.
@@ -147,6 +200,16 @@ impl ServerHandle {
     /// finish.
     pub fn join(self) -> ServerStats {
         self.shutdown();
+        self.thread.join().unwrap_or_default()
+    }
+
+    /// Stops the server **without** draining: no spilling, no journal
+    /// closes — the in-process analog of `kill -9` for recovery tests and
+    /// the chaos bench. Durable state is whatever the write-ahead
+    /// discipline already put on disk.
+    pub fn abort(self) -> ServerStats {
+        self.shared.abort.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.thread.join().unwrap_or_default()
     }
 
@@ -169,6 +232,11 @@ pub fn spawn(
     provider: Arc<dyn DesignProvider>,
     addr: &str,
 ) -> std::io::Result<ServerHandle> {
+    let mut cfg = cfg;
+    if let Some(dir) = &cfg.state_dir {
+        // Journals and checkpoint spools share the durable directory.
+        cfg.spool_dir = dir.clone();
+    }
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     std::fs::create_dir_all(&cfg.spool_dir)?;
@@ -181,8 +249,14 @@ pub fn spawn(
         pool: Mutex::new(EnginePool::default()),
         metrics: Mutex::new(ServerMetrics::default()),
         shutdown: AtomicBool::new(false),
+        abort: AtomicBool::new(false),
+        degraded: AtomicBool::new(false),
         next_id: AtomicU64::new(1),
+        create_reqs: Mutex::new(ReqWindow::new()),
     });
+    // Recovery runs synchronously before any request can arrive, so
+    // clients reconnecting after a crash always see the recovered table.
+    let (recovered, lost) = recover_state(&shared);
     let orchestrator = {
         let shared = Arc::clone(&shared);
         thread::Builder::new()
@@ -193,6 +267,8 @@ pub fn spawn(
         addr: local,
         shared,
         thread: orchestrator,
+        recovered,
+        lost,
     })
 }
 
@@ -204,13 +280,79 @@ struct Shared {
     pool: Mutex<EnginePool>,
     metrics: Mutex<ServerMetrics>,
     shutdown: AtomicBool,
+    /// Hard-stop flag: skip the drain entirely (see [`ServerHandle::abort`]).
+    abort: AtomicBool,
+    /// Set when a durable write fails; mutating ops answer `read-only`
+    /// until a probe write to the state directory succeeds again.
+    degraded: AtomicBool,
     next_id: AtomicU64,
+    /// Server-wide `create` idempotency window (`create` has no session
+    /// to hang a per-session window off).
+    create_reqs: Mutex<ReqWindow>,
 }
 
 impl Shared {
     fn spool_path(&self, id: u64) -> PathBuf {
         self.cfg.spool_dir.join(format!("session-{id}.kses"))
     }
+
+    /// The durable state directory, when journaling is on.
+    fn durable_dir(&self) -> Option<&Path> {
+        self.cfg.state_dir.as_deref()
+    }
+
+    /// The chaos hook to thread into durable writes.
+    fn chaos(&self) -> Option<&IoChaos> {
+        self.cfg.chaos.as_deref()
+    }
+
+    /// Records a failed durable write: degrade to read-only, and count
+    /// injected faults (error messages starting `"chaos:"`) against the
+    /// tenant whose write absorbed them.
+    fn note_write_failure(&self, tenant: &str, msg: &str) {
+        if msg.starts_with("chaos:") {
+            lock(&self.metrics).tenant(tenant).chaos_faults += 1;
+        }
+        self.degraded.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Gate for mutating ops on a durable server: while degraded, probes the
+/// state directory and keeps answering the typed `read-only` error until
+/// a probe write lands (the disk "recovered"). `None` means proceed.
+fn read_only_guard(shared: &Shared) -> Option<String> {
+    let dir = shared.durable_dir()?;
+    if !shared.degraded.load(Ordering::SeqCst) {
+        return None;
+    }
+    match journal::write_checked(shared.chaos(), &dir.join(".probe"), b"koika-probe") {
+        Ok(()) => {
+            shared.degraded.store(false, Ordering::SeqCst);
+            None
+        }
+        Err(e) => Some(err_reply(
+            "read-only",
+            &format!("state directory unwritable ({e}); mutating ops are rejected until it recovers"),
+        )),
+    }
+}
+
+/// Checkpoints a durable session: spool + journal rewrite (see
+/// [`Journal::checkpoint`]). Returns the new spool path, or `Ok(None)`
+/// for non-durable sessions.
+fn checkpoint_body(
+    shared: &Shared,
+    id: u64,
+    body: &mut SessionBody,
+) -> std::io::Result<Option<PathBuf>> {
+    let bytes = spool_bytes(&body.snap, &body.dev_blobs);
+    let cycles = body.snap.cycles;
+    let stalled = body.watchdog.as_ref().map(ArmedWatchdog::stall_count).unwrap_or(0);
+    let pending = body.pending.clone();
+    let Some(j) = body.journal.as_mut() else {
+        return Ok(None);
+    };
+    j.checkpoint(id, &bytes, cycles, stalled, &pending, shared.chaos()).map(Some)
 }
 
 /// Mutex lock that shrugs off poisoning: a contained panic must never
@@ -235,6 +377,13 @@ struct StepTask {
     reply: Sender<String>,
     verdict: Option<StepVerdict>,
     last_trip: Option<WatchdogTrip>,
+    /// `(seq, pre-append durable length)` of the journaled `step` record
+    /// (durable sessions only); rolled back — or, if even the rollback
+    /// cannot be written, physically truncated — when the step turns out
+    /// to commit nothing.
+    journal_seq: Option<(u64, u64)>,
+    /// Client idempotency token, cached with the reply on commit.
+    req_id: Option<u64>,
 }
 
 /// What a step did, decided by the worker, committed by the dispatcher.
@@ -803,6 +952,68 @@ fn finish_task(shared: &Shared, mut task: StepTask, job_err: Option<JobError>) {
             err_reply("panic", &format!("session torn down: {msg}"))
         }
     };
+    // Durable bookkeeping. The journal already holds a `step n` record;
+    // reconcile it with what actually committed.
+    if teardown {
+        // Torn down: the session's files go with it.
+        if let Some(j) = task.body.journal.take() {
+            j.delete(id, shared.chaos());
+        }
+    } else if let Some((of_seq, pre_len)) = task.journal_seq {
+        let committed = task.body.snap.cycles.saturating_sub(task.start_cycles);
+        let full_commit = matches!(verdict, StepVerdict::Done { .. })
+            || matches!(&verdict, StepVerdict::Trip { trip } if trip.kind.is_deterministic());
+        if full_commit {
+            // Deterministic replay of `step n` reproduces this state
+            // exactly (deterministic trips included). Auto-checkpoint
+            // once the journal has grown past the bound.
+            let over = task
+                .body
+                .journal
+                .as_ref()
+                .is_some_and(|j| j.durable_len() > shared.cfg.journal_checkpoint_bytes);
+            if over {
+                if let Err(e) = checkpoint_body(shared, id, &mut task.body) {
+                    shared.note_write_failure(&tenant, &e.to_string());
+                }
+            }
+        } else {
+            // Wall trip or deterministic failure: the journaled `step n`
+            // did not commit as written. Roll it back, and when a wall
+            // trip committed partial progress (machine-dependent cycle
+            // count), journal the count that actually committed — replay
+            // of `step committed` is deterministic again.
+            let chaos = shared.cfg.chaos.as_deref();
+            if let Some(j) = task.body.journal.as_mut() {
+                // The substitute record inherits the req_id so a
+                // re-submission after a crash still hits the window
+                // instead of stepping twice.
+                let res = j.append(JournalOp::Rollback { of_seq }, None, chaos).and_then(|_| {
+                    if committed > 0 {
+                        j.append(JournalOp::Step { n: committed }, task.req_id, chaos).map(|_| ())
+                    } else {
+                        Ok(())
+                    }
+                });
+                if let Err(e) = res {
+                    // Even the rollback could not be written. Truncating
+                    // back to the pre-step durable prefix needs no disk
+                    // space, so the journal never retains a `step` that
+                    // did not execute as written.
+                    j.truncate_to(pre_len);
+                    shared.note_write_failure(&tenant, &e.to_string());
+                }
+            }
+        }
+    }
+    // Cache the reply for idempotent re-submission — but only for
+    // outcomes the journal represents durably (committed steps and
+    // trips); a Fatal reply is safe for the client to retry.
+    if !teardown && !matches!(verdict, StepVerdict::Fatal { .. }) {
+        if let Some(rid) = task.req_id {
+            req_store(&mut task.body.recent, rid, reply.clone());
+        }
+    }
     {
         let mut table = lock(&shared.table);
         if teardown {
@@ -867,6 +1078,18 @@ fn orchestrate(
         let _ = h.join();
     }
     let _ = dispatcher.join();
+    if shared.abort.load(Ordering::SeqCst) {
+        // Hard stop: leave the table as-is — no spilling, no journal
+        // closes. Recovery must work from the write-ahead state alone.
+        let m = lock(&shared.metrics);
+        return ServerStats {
+            requests: m.requests,
+            protocol_errors: m.protocol_errors,
+            sessions_spilled: 0,
+            panics_contained: m.tenants().map(|(_, t)| t.panics_contained).sum(),
+            sessions_recovered: m.tenants().map(|(_, t)| t.recovered_sessions).sum(),
+        };
+    }
     drain(&shared)
 }
 
@@ -878,14 +1101,21 @@ fn sweep_idle(shared: &Shared, idle: Duration) {
     }
 }
 
-/// Spills remaining live sessions and collects final statistics.
+/// Spills remaining live sessions and collects final statistics. Durable
+/// sessions checkpoint (spool + journal rewrite) so the next startup
+/// recovers them without replaying a tail.
 fn drain(shared: &Shared) -> ServerStats {
     let mut spilled = 0;
     {
         let mut table = lock(&shared.table);
         for id in table.ids() {
-            if let Some(SessionSlot::Live(body)) = table.remove(id) {
-                if spill(&body, &shared.spool_path(id)).is_ok() {
+            if let Some(SessionSlot::Live(mut body)) = table.remove(id) {
+                let ok = if body.journal.is_some() {
+                    checkpoint_body(shared, id, &mut body).is_ok()
+                } else {
+                    spill(&body, &shared.spool_path(id)).is_ok()
+                };
+                if ok {
                     spilled += 1;
                 }
             }
@@ -897,6 +1127,7 @@ fn drain(shared: &Shared) -> ServerStats {
         protocol_errors: m.protocol_errors,
         sessions_spilled: spilled,
         panics_contained: m.tenants().map(|(_, t)| t.panics_contained).sum(),
+        sessions_recovered: m.tenants().map(|(_, t)| t.recovered_sessions).sum(),
     }
 }
 
@@ -1016,6 +1247,15 @@ fn op_create(shared: &Shared, v: &Json) -> String {
     let Some(design) = v.get("design").and_then(Json::as_str) else {
         return err_reply("protocol", "create requires \"design\"");
     };
+    let req_id = v.get("req_id").and_then(Json::as_u64);
+    if let Some(rid) = req_id {
+        if let Some(cached) = req_cached(&lock(&shared.create_reqs), rid) {
+            return cached;
+        }
+    }
+    if let Some(reply) = read_only_guard(shared) {
+        return reply;
+    }
     let tenant = tenant_of(v);
     let Some(td) = shared.provider.design(design) else {
         return err_reply("unknown-design", &format!("unknown design {design:?}"));
@@ -1062,7 +1302,7 @@ fn op_create(shared: &Shared, v: &Json) -> String {
         fired_per_rule: vec![0; td.rules.len()],
         regs: td.initial_values(),
     };
-    let body = Box::new(SessionBody {
+    let mut body = Box::new(SessionBody {
         design_name: design.to_string(),
         td,
         backend,
@@ -1072,6 +1312,8 @@ fn op_create(shared: &Shared, v: &Json) -> String {
         pending: Vec::new(),
         tenant: tenant.clone(),
         last_touch: Instant::now(),
+        journal: None,
+        recent: ReqWindow::new(),
     });
     let id = {
         let mut table = lock(&shared.table);
@@ -1082,15 +1324,45 @@ fn op_create(shared: &Shared, v: &Json) -> String {
             return err_reply("busy", "session table full");
         }
         let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+        if let Some(dir) = shared.durable_dir() {
+            // Write-ahead: the journal (holding the create record) must
+            // be durable before the session exists. Held under the table
+            // lock so admission stays exact.
+            let rec = JournalRecord {
+                seq: 0,
+                req_id,
+                op: JournalOp::Create {
+                    design: design.to_string(),
+                    tenant: tenant.clone(),
+                    backend,
+                    watchdog: WatchdogSpec::from_watchdog(&wd_cfg),
+                },
+            };
+            match Journal::create(dir, id, &rec, shared.chaos()) {
+                Ok(j) => body.journal = Some(j),
+                Err(e) => {
+                    drop(table);
+                    shared.note_write_failure(&tenant, &e.to_string());
+                    return err_reply(
+                        "read-only",
+                        &format!("journaling create: {e}; the session was not created"),
+                    );
+                }
+            }
+        }
         table.insert(id, body);
         id
     };
     lock(&shared.metrics).tenant(&tenant).sessions_created += 1;
-    format!(
+    let reply = format!(
         "{{\"ok\":true,\"session\":{id},\"design\":\"{}\",\"backend\":\"{}\",\"cycles\":0}}",
         json::escape(design),
         backend.name()
-    )
+    );
+    if let Some(rid) = req_id {
+        req_store_bounded(&mut lock(&shared.create_reqs), rid, reply.clone(), CREATE_WINDOW);
+    }
+    reply
 }
 
 fn session_id(v: &Json) -> Result<u64, String> {
@@ -1109,7 +1381,9 @@ fn rehydrate_locked(shared: &Shared, table: &mut SessionTable, id: u64) -> Resul
     let Some(SessionSlot::Evicted(stub)) = table.remove(id) else {
         unreachable!("checked above");
     };
-    match unspill(&stub.path) {
+    // A durable stub's spool is the journal's checkpoint base: it must
+    // survive rehydration (only the next checkpoint supersedes it).
+    match unspill(&stub.path, stub.journal.is_some()) {
         Ok((snap, dev_blobs)) => {
             let tenant = stub.tenant.clone();
             table.put(
@@ -1124,6 +1398,8 @@ fn rehydrate_locked(shared: &Shared, table: &mut SessionTable, id: u64) -> Resul
                     pending: stub.pending,
                     tenant: stub.tenant,
                     last_touch: Instant::now(),
+                    journal: stub.journal,
+                    recent: stub.recent,
                 })),
             );
             lock(&shared.metrics).tenant(&tenant).rehydrations += 1;
@@ -1149,10 +1425,26 @@ fn op_step(shared: &Shared, tx: &SyncSender<StepTask>, v: &Json, trace: bool) ->
             &format!("n={n} exceeds max_step={}", shared.cfg.max_step),
         );
     }
+    let req_id = v.get("req_id").and_then(Json::as_u64);
+    if let Some(reply) = read_only_guard(shared) {
+        return reply;
+    }
     // Check the session out: slot becomes Running until the dispatcher
     // checks it back in.
-    let body = {
+    let mut body = {
         let mut table = lock(&shared.table);
+        // Idempotent re-submission: answer from the window without
+        // touching (or even rehydrating) the session.
+        if let Some(rid) = req_id {
+            let cached = match table.get_mut(id) {
+                Some(SessionSlot::Live(b)) => req_cached(&b.recent, rid),
+                Some(SessionSlot::Evicted(s)) => req_cached(&s.recent, rid),
+                _ => None,
+            };
+            if let Some(reply) = cached {
+                return reply;
+            }
+        }
         if let Err(reply) = rehydrate_locked(shared, &mut table, id) {
             return reply;
         }
@@ -1177,6 +1469,26 @@ fn op_step(shared: &Shared, tx: &SyncSender<StepTask>, v: &Json, trace: bool) ->
         }
     };
     let tenant = body.tenant.clone();
+    // Write-ahead: journal the step before executing it. The slot says
+    // Running, so nothing else touches the body meanwhile.
+    let mut journal_seq = None;
+    let mut journal_err = None;
+    if let Some(j) = body.journal.as_mut() {
+        let chaos = shared.cfg.chaos.as_deref();
+        let pre_len = j.durable_len();
+        match j.append(JournalOp::Step { n }, req_id, chaos) {
+            Ok(seq) => journal_seq = Some((seq, pre_len)),
+            Err(e) => journal_err = Some(e),
+        }
+    }
+    if let Some(e) = journal_err {
+        shared.note_write_failure(&tenant, &e.to_string());
+        lock(&shared.table).put(id, SessionSlot::Live(body));
+        return err_reply(
+            "read-only",
+            &format!("journaling step: {e}; the step was not applied"),
+        );
+    }
     let start_cycles = body.snap.cycles;
     let (reply_tx, reply_rx) = mpsc::channel();
     let task = StepTask {
@@ -1188,6 +1500,8 @@ fn op_step(shared: &Shared, tx: &SyncSender<StepTask>, v: &Json, trace: bool) ->
         reply: reply_tx,
         verdict: None,
         last_trip: None,
+        journal_seq,
+        req_id,
     };
     match tx.try_send(task) {
         Ok(()) => match reply_rx.recv() {
@@ -1196,6 +1510,19 @@ fn op_step(shared: &Shared, tx: &SyncSender<StepTask>, v: &Json, trace: bool) ->
         },
         Err(TrySendError::Full(task)) | Err(TrySendError::Disconnected(task)) => {
             // Shed: restore the slot and tell the client to back off.
+            // The journaled step never ran — roll it back so recovery
+            // does not replay it.
+            let mut task = task;
+            if let (Some((of_seq, pre_len)), Some(j)) =
+                (task.journal_seq, task.body.journal.as_mut())
+            {
+                if let Err(e) =
+                    j.append(JournalOp::Rollback { of_seq }, None, shared.cfg.chaos.as_deref())
+                {
+                    j.truncate_to(pre_len);
+                    shared.note_write_failure(&tenant, &e.to_string());
+                }
+            }
             let mut table = lock(&shared.table);
             table.put(id, SessionSlot::Live(task.body));
             drop(table);
@@ -1222,8 +1549,12 @@ fn op_inject(shared: &Shared, v: &Json) -> String {
     let Some(bit) = v.get("bit").and_then(Json::as_u64) else {
         return err_reply("protocol", "inject requires \"bit\"");
     };
+    let req_id = v.get("req_id").and_then(Json::as_u64);
+    if let Some(reply) = read_only_guard(shared) {
+        return reply;
+    }
     let mut table = lock(&shared.table);
-    let (td, cycles_now, pending, tenant) = match table.get_mut(id) {
+    let (td, cycles_now, pending, journal, recent, tenant) = match table.get_mut(id) {
         None => return err_reply("unknown-session", &format!("no session {id}")),
         Some(SessionSlot::Running { .. }) => {
             return err_reply("session-busy", "a step for this session is in flight")
@@ -1232,15 +1563,24 @@ fn op_inject(shared: &Shared, v: &Json) -> String {
             Arc::clone(&b.td),
             b.snap.cycles,
             &mut b.pending,
+            b.journal.as_mut(),
+            &mut b.recent,
             b.tenant.clone(),
         ),
         Some(SessionSlot::Evicted(stub)) => (
             Arc::clone(&stub.td),
             stub.cycles,
             &mut stub.pending,
+            stub.journal.as_mut(),
+            &mut stub.recent,
             stub.tenant.clone(),
         ),
     };
+    if let Some(rid) = req_id {
+        if let Some(reply) = req_cached(recent, rid) {
+            return reply;
+        }
+    }
     let spec = format!("{cycle}:{reg}:{bit}");
     let inj = match Injection::parse(&spec, &td) {
         Ok(inj) => inj,
@@ -1255,11 +1595,33 @@ fn op_inject(shared: &Shared, v: &Json) -> String {
             &format!("cycle {cycle} is already in the past (session is at {cycles_now})"),
         );
     }
+    // Write-ahead: the injection must be durable before it is pending,
+    // or a crash between the reply and the next checkpoint would lose it.
+    if let Some(j) = journal {
+        let op = JournalOp::Inject {
+            cycle: inj.cycle,
+            reg: inj.reg.0,
+            bit: inj.bit,
+        };
+        if let Err(e) = j.append(op, req_id, shared.cfg.chaos.as_deref()) {
+            // Locking metrics under the table lock follows the
+            // established table -> metrics order.
+            shared.note_write_failure(&tenant, &e.to_string());
+            return err_reply(
+                "read-only",
+                &format!("journaling injection: {e}; the injection was not queued"),
+            );
+        }
+    }
     pending.push(inj);
     let count = pending.len();
+    let reply = format!("{{\"ok\":true,\"session\":{id},\"pending\":{count}}}");
+    if let Some(rid) = req_id {
+        req_store(recent, rid, reply.clone());
+    }
     drop(table);
     lock(&shared.metrics).tenant(&tenant).injections += 1;
-    format!("{{\"ok\":true,\"session\":{id},\"pending\":{count}}}")
+    reply
 }
 
 /// Runs `f` on the live (rehydrating if needed) body of a session.
@@ -1312,23 +1674,59 @@ fn op_restore(shared: &Shared, v: &Json) -> String {
     };
     let snap = match Snapshot::from_bytes(&bytes) {
         Ok(s) => s,
-        Err(e) => return err_reply("snapshot", &e.to_string()),
+        // A corrupt or mismatched snapshot is the client's problem, not
+        // the server's: typed `bad-snapshot`, session state untouched.
+        Err(e) => return err_reply("bad-snapshot", &e.to_string()),
     };
-    match with_live_session(shared, id, |body| {
-        let widths: Vec<u32> = body.td.regs.iter().map(|r| r.width).collect();
-        match snap.check_shape(&body.td.name, &widths, body.td.fingerprint()) {
-            Ok(()) => {
-                body.snap = snap.clone();
-                let done = body.snap.cycles;
-                body.pending.retain(|i| i.cycle >= done);
-                Ok(body.snap.cycles)
-            }
-            Err(e) => Err(err_reply("snapshot", &e.to_string())),
-        }
-    }) {
-        Ok(Ok(cycles)) => format!("{{\"ok\":true,\"session\":{id},\"cycles\":{cycles}}}"),
-        Ok(Err(reply)) | Err(reply) => reply,
+    let req_id = v.get("req_id").and_then(Json::as_u64);
+    if let Some(reply) = read_only_guard(shared) {
+        return reply;
     }
+    let mut table = lock(&shared.table);
+    if let Err(reply) = rehydrate_locked(shared, &mut table, id) {
+        return reply;
+    }
+    let body = match table.get_mut(id) {
+        None => return err_reply("unknown-session", &format!("no session {id}")),
+        Some(SessionSlot::Running { .. }) => {
+            return err_reply("session-busy", "a step for this session is in flight")
+        }
+        Some(SessionSlot::Evicted(_)) => unreachable!("rehydrated above"),
+        Some(SessionSlot::Live(body)) => body,
+    };
+    if let Some(rid) = req_id {
+        if let Some(reply) = req_cached(&body.recent, rid) {
+            return reply;
+        }
+    }
+    let widths: Vec<u32> = body.td.regs.iter().map(|r| r.width).collect();
+    if let Err(e) = snap.check_shape(&body.td.name, &widths, body.td.fingerprint()) {
+        return err_reply("bad-snapshot", &e.to_string());
+    }
+    // Write-ahead: replay applies the same bytes, so the restored state
+    // survives a crash without waiting for a checkpoint.
+    let tenant = body.tenant.clone();
+    if let Some(j) = body.journal.as_mut() {
+        let op = JournalOp::Restore {
+            ksnap: bytes.clone(),
+        };
+        if let Err(e) = j.append(op, req_id, shared.cfg.chaos.as_deref()) {
+            shared.note_write_failure(&tenant, &e.to_string());
+            return err_reply(
+                "read-only",
+                &format!("journaling restore: {e}; the snapshot was not applied"),
+            );
+        }
+    }
+    body.snap = snap;
+    let done = body.snap.cycles;
+    body.pending.retain(|i| i.cycle >= done);
+    body.last_touch = Instant::now();
+    let reply = format!("{{\"ok\":true,\"session\":{id},\"cycles\":{done}}}");
+    if let Some(rid) = req_id {
+        req_store(&mut body.recent, rid, reply.clone());
+    }
+    reply
 }
 
 fn op_query_regs(shared: &Shared, v: &Json) -> String {
@@ -1423,16 +1821,32 @@ fn evict_session(shared: &Shared, id: u64) -> Result<bool, String> {
             "a step for this session is in flight",
         )),
         State::Live => {
-            let Some(SessionSlot::Live(body)) = table.remove(id) else {
+            let Some(SessionSlot::Live(mut body)) = table.remove(id) else {
                 unreachable!("checked above");
             };
-            let path = shared.spool_path(id);
-            match spill(&body, &path) {
-                Ok(()) => {
+            // Durable sessions spool via the checkpoint protocol (spool +
+            // journal rewrite), so the eviction itself is crash-safe and
+            // the journal tail resets. Non-durable sessions spill to the
+            // spool directory as before.
+            let spooled = if body.journal.is_some() {
+                match checkpoint_body(shared, id, &mut body) {
+                    Ok(Some(path)) => Ok(path),
+                    Ok(None) => unreachable!("journal checked above"),
+                    Err(e) => Err((e.to_string(), true)),
+                }
+            } else {
+                let path = shared.spool_path(id);
+                match spill(&body, &path) {
+                    Ok(()) => Ok(path),
+                    Err(e) => Err((e.to_string(), false)),
+                }
+            };
+            match spooled {
+                Ok(path) => {
                     let tenant = body.tenant.clone();
                     table.put(
                         id,
-                        SessionSlot::Evicted(EvictedStub {
+                        SessionSlot::Evicted(Box::new(EvictedStub {
                             design_name: body.design_name,
                             td: body.td,
                             backend: body.backend,
@@ -1441,16 +1855,28 @@ fn evict_session(shared: &Shared, id: u64) -> Result<bool, String> {
                             pending: body.pending,
                             cycles: body.snap.cycles,
                             path,
-                        }),
+                            journal: body.journal,
+                            recent: body.recent,
+                        })),
                     );
                     drop(table);
                     lock(&shared.metrics).tenant(&tenant).evictions += 1;
                     Ok(true)
                 }
-                Err(e) => {
-                    // Spill failed: keep the session live.
+                Err((e, durable)) => {
+                    // Spill failed: keep the session live. A durable
+                    // failure also degrades the server to read-only.
+                    let tenant = body.tenant.clone();
                     table.put(id, SessionSlot::Live(body));
-                    Err(err_reply("internal", &format!("spilling session {id}: {e}")))
+                    if durable {
+                        shared.note_write_failure(&tenant, &e);
+                        Err(err_reply(
+                            "read-only",
+                            &format!("checkpointing session {id}: {e}"),
+                        ))
+                    } else {
+                        Err(err_reply("internal", &format!("spilling session {id}: {e}")))
+                    }
                 }
             }
         }
@@ -1483,12 +1909,21 @@ fn op_close(shared: &Shared, v: &Json) -> String {
             err_reply("session-busy", "a step for this session is in flight")
         }
         Some(SessionSlot::Evicted(stub)) => {
-            let _ = std::fs::remove_file(&stub.path);
+            // A durable close removes the journal and every spool; the
+            // non-durable spool file is just unlinked.
+            if let Some(j) = stub.journal {
+                j.delete(id, shared.chaos());
+            } else {
+                let _ = std::fs::remove_file(&stub.path);
+            }
             drop(table);
             lock(&shared.metrics).tenant(&stub.tenant).sessions_closed += 1;
             format!("{{\"ok\":true,\"session\":{id},\"closed\":true}}")
         }
         Some(SessionSlot::Live(body)) => {
+            if let Some(j) = body.journal {
+                j.delete(id, shared.chaos());
+            }
             drop(table);
             lock(&shared.metrics).tenant(&body.tenant).sessions_closed += 1;
             format!("{{\"ok\":true,\"session\":{id},\"closed\":true}}")
@@ -1507,6 +1942,406 @@ fn op_metrics(shared: &Shared, v: &Json) -> String {
             json::escape(&m.to_prometheus(active))
         ),
         other => err_reply("protocol", &format!("unknown metrics format {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+/// Rebuilds the session table from the state directory: one recovery
+/// attempt per `session-<id>.kjrn` journal, in session-id order. Runs
+/// synchronously inside [`spawn`], before the listener thread exists, so
+/// no locks are contended. Returns `(recovered, lost)` session counts.
+fn recover_state(shared: &Shared) -> (u64, u64) {
+    let Some(dir) = shared.durable_dir().map(Path::to_path_buf) else {
+        return (0, 0);
+    };
+    // Sweep droppings from interrupted atomic writes; they were never
+    // renamed into place, so they are dead weight by construction.
+    let mut journals: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            let id = name
+                .strip_prefix("session-")
+                .and_then(|s| s.strip_suffix(".kjrn"))
+                .and_then(|s| s.parse::<u64>().ok());
+            if let Some(id) = id {
+                journals.push((id, entry.path()));
+            }
+        }
+    }
+    journals.sort_by_key(|(id, _)| *id);
+    let (mut recovered, mut lost, mut max_id) = (0u64, 0u64, 0u64);
+    for (id, path) in journals {
+        max_id = max_id.max(id);
+        match recover_one(shared, &dir, id, &path) {
+            Ok(true) => recovered += 1,
+            Ok(false) => {}
+            Err(e) => {
+                // Quarantine rather than delete: the bytes may still be
+                // useful forensically, but the session is gone.
+                let mut corrupt = path.clone().into_os_string();
+                corrupt.push(".corrupt");
+                let _ = std::fs::rename(&path, &corrupt);
+                journal::remove_spools_except(&dir, id, None);
+                lost += 1;
+                eprintln!("koika-server: session {id} unrecoverable: {e}");
+            }
+        }
+    }
+    // Ids must never be reused across a crash, or a stale client could
+    // talk to a stranger's session.
+    shared.next_id.fetch_max(max_id + 1, Ordering::SeqCst);
+    (recovered, lost)
+}
+
+/// What one journaled `step n` did when re-executed during recovery.
+enum Replay {
+    /// Committed; carries post-step `(cycles, fired)` for reply synthesis.
+    Done(u64, u64),
+    /// Deterministic failure (engine compile, state restore) — the
+    /// session state is unchanged, mirroring a live `Fatal` verdict.
+    Skipped,
+    /// The step panicked; the session must be torn down, mirroring a live
+    /// `Panic` verdict.
+    Panic(String),
+}
+
+/// Recovers one session from its journal (and checkpoint spool, if any).
+///
+/// `Ok(true)` means the session was resurrected into the table;
+/// `Ok(false)` means the journal described a session that no longer
+/// exists (closed, or torn down by a replayed panic) and its files were
+/// cleaned up. `Err` means the journal was unusable — the caller
+/// quarantines it.
+fn recover_one(shared: &Shared, dir: &Path, id: u64, path: &Path) -> Result<bool, String> {
+    let parsed = journal::read_journal(path)?;
+    if parsed.session_id != id {
+        return Err(format!(
+            "journal header names session {}, file names {id}",
+            parsed.session_id
+        ));
+    }
+    // A torn tail (crash mid-append) is expected, not fatal: truncate the
+    // file back to the durable prefix so reattached appends start clean.
+    if parsed.truncated {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("truncating torn tail: {e}"))?;
+        f.set_len(parsed.durable_len)
+            .map_err(|e| format!("truncating torn tail: {e}"))?;
+    }
+    let Some(first) = parsed.records.first() else {
+        return Err("journal holds no records".into());
+    };
+    let JournalOp::Create {
+        design,
+        tenant,
+        backend,
+        watchdog: spec,
+    } = &first.op
+    else {
+        return Err("journal does not begin with a create record".into());
+    };
+    let (backend, create_req) = (*backend, first.req_id);
+    if parsed.records.iter().any(|r| matches!(r.op, JournalOp::Close)) {
+        // Closed sessions stay closed; the close record exists precisely
+        // because deleting the files might have been interrupted.
+        let _ = std::fs::remove_file(path);
+        journal::remove_spools_except(dir, id, None);
+        return Ok(false);
+    }
+    let Some(td) = shared.provider.design(design) else {
+        return Err(format!("unknown design {design:?}"));
+    };
+    if parsed.truncated {
+        lock(&shared.metrics).tenant(tenant).journal_truncations += 1;
+    }
+    // Base state: the newest checkpoint's spool, else a fresh create.
+    let mut base_idx = 0usize;
+    let mut ck: Option<(u64, u64, u64, Vec<Injection>)> = None;
+    for (i, rec) in parsed.records.iter().enumerate() {
+        if let JournalOp::Checkpoint {
+            cycles,
+            stalled,
+            pending,
+        } = &rec.op
+        {
+            base_idx = i;
+            let pend = pending
+                .iter()
+                .map(|&(cycle, reg, bit)| Injection {
+                    cycle,
+                    reg: RegId(reg),
+                    bit,
+                })
+                .collect();
+            ck = Some((rec.seq, *cycles, *stalled, pend));
+        }
+    }
+    let ck_seq = ck.as_ref().map(|(seq, ..)| *seq);
+    let (mut snap, mut dev_blobs, mut pending, stalled0) = match ck {
+        Some((seq, cycles, stalled, pend)) => {
+            let spool = journal::spool_path(dir, id, seq);
+            let (snap, blobs) = unspill(&spool, true)
+                .map_err(|e| format!("loading checkpoint spool {}: {e}", spool.display()))?;
+            if snap.cycles != cycles {
+                return Err(format!(
+                    "checkpoint spool is at cycle {} but the record says {cycles}",
+                    snap.cycles
+                ));
+            }
+            (snap, blobs, pend, stalled)
+        }
+        None => {
+            let blobs = contain(|| {
+                let devices = shared.provider.devices(design, &td);
+                devices.iter().map(|d| d.save_state()).collect::<Vec<_>>()
+            })
+            .map_err(|m| format!("device construction panicked: {m}"))?;
+            let snap = Snapshot {
+                design: td.name.clone(),
+                cycles: 0,
+                fired: 0,
+                fingerprint: td.fingerprint(),
+                fired_per_rule: vec![0; td.rules.len()],
+                regs: td.initial_values(),
+            };
+            (snap, blobs, Vec::new(), 0)
+        }
+    };
+    // Replay runs under the *deterministic* budgets only — wall time
+    // elapsed before the crash is unknowable, and replaying under a wall
+    // budget would make recovery racy. The stall counter is real hidden
+    // state and is carried from the checkpoint.
+    let mut replay_wd = arm_paused(&spec.deterministic_watchdog());
+    if let Some(w) = replay_wd.as_mut() {
+        w.set_stall_count(stalled0);
+    }
+    let rolled: HashSet<u64> = parsed
+        .records
+        .iter()
+        .filter_map(|r| match r.op {
+            JournalOp::Rollback { of_seq } => Some(of_seq),
+            _ => None,
+        })
+        .collect();
+    let mut recent = ReqWindow::new();
+    for rec in &parsed.records[base_idx + 1..] {
+        match &rec.op {
+            JournalOp::Step { n } => {
+                if rolled.contains(&rec.seq) {
+                    continue;
+                }
+                match replay_step(
+                    shared,
+                    design,
+                    &td,
+                    backend,
+                    &mut snap,
+                    &mut dev_blobs,
+                    &mut pending,
+                    &mut replay_wd,
+                    *n,
+                ) {
+                    Replay::Done(cycles, fired) => {
+                        if let Some(rid) = rec.req_id {
+                            // Synthesized from the replayed state — a
+                            // re-submitted req_id after the crash gets a
+                            // plain step-ok (trace events are not
+                            // reconstructed).
+                            req_store(
+                                &mut recent,
+                                rid,
+                                format!(
+                                    "{{\"ok\":true,\"session\":{id},\"cycles\":{cycles},\"fired\":{fired}}}"
+                                ),
+                            );
+                        }
+                    }
+                    Replay::Skipped => {}
+                    Replay::Panic(msg) => {
+                        // Same blast radius as a live panic: exactly this
+                        // session dies; its files go with it.
+                        let _ = std::fs::remove_file(path);
+                        journal::remove_spools_except(dir, id, None);
+                        let mut m = lock(&shared.metrics);
+                        let t = m.tenant(tenant);
+                        t.panics_contained += 1;
+                        t.sessions_closed += 1;
+                        eprintln!(
+                            "koika-server: session {id} torn down during replay: {msg}"
+                        );
+                        return Ok(false);
+                    }
+                }
+            }
+            JournalOp::Inject { cycle, reg, bit } => {
+                pending.push(Injection {
+                    cycle: *cycle,
+                    reg: RegId(*reg),
+                    bit: *bit,
+                });
+                if let Some(rid) = rec.req_id {
+                    let count = pending.len();
+                    req_store(
+                        &mut recent,
+                        rid,
+                        format!("{{\"ok\":true,\"session\":{id},\"pending\":{count}}}"),
+                    );
+                }
+            }
+            JournalOp::Restore { ksnap } => {
+                // Validated before it was journaled; a failure here means
+                // the design itself changed across the restart.
+                let widths: Vec<u32> = td.regs.iter().map(|r| r.width).collect();
+                let ok = Snapshot::from_bytes(ksnap).ok().and_then(|s| {
+                    s.check_shape(&td.name, &widths, td.fingerprint()).ok().map(|()| s)
+                });
+                if let Some(s) = ok {
+                    snap = s;
+                    let done = snap.cycles;
+                    pending.retain(|i| i.cycle >= done);
+                    if let Some(rid) = rec.req_id {
+                        req_store(
+                            &mut recent,
+                            rid,
+                            format!("{{\"ok\":true,\"session\":{id},\"cycles\":{done}}}"),
+                        );
+                    }
+                }
+            }
+            JournalOp::Create { .. }
+            | JournalOp::Checkpoint { .. }
+            | JournalOp::Rollback { .. }
+            | JournalOp::Close => {}
+        }
+    }
+    // The live watchdog re-arms with the full budgets (wall included —
+    // elapsed wall time does not survive a crash) but inherits the stall
+    // counter accumulated across checkpoint and replay.
+    let carried = replay_wd
+        .as_ref()
+        .map(ArmedWatchdog::stall_count)
+        .unwrap_or(stalled0);
+    let mut watchdog = arm_paused(&spec.to_watchdog());
+    if let Some(w) = watchdog.as_mut() {
+        w.set_stall_count(carried);
+    }
+    let body = Box::new(SessionBody {
+        design_name: design.clone(),
+        td,
+        backend,
+        snap,
+        dev_blobs,
+        watchdog,
+        pending,
+        tenant: tenant.clone(),
+        last_touch: Instant::now(),
+        journal: Some(Journal::reattach(dir, &parsed)),
+        recent,
+    });
+    lock(&shared.table).insert(id, body);
+    lock(&shared.metrics).tenant(tenant).recovered_sessions += 1;
+    if let Some(rid) = create_req {
+        // The create itself is idempotent across the crash too.
+        let reply = format!(
+            "{{\"ok\":true,\"session\":{id},\"design\":\"{}\",\"backend\":\"{}\",\"cycles\":0}}",
+            json::escape(design),
+            backend.name()
+        );
+        req_store_bounded(&mut lock(&shared.create_reqs), rid, reply, CREATE_WINDOW);
+    }
+    journal::remove_spools_except(dir, id, ck_seq);
+    Ok(true)
+}
+
+/// Deterministically re-executes one journaled `step n` during recovery.
+///
+/// This mirrors [`run_single`] op for op — device tick order, injection
+/// XOR at the same cycle, watchdog observation after every cycle — so a
+/// replayed step commits byte-identical state. Tracing is irrelevant to
+/// state, so replay always uses the untraced cycle path.
+#[allow(clippy::too_many_arguments)]
+fn replay_step(
+    shared: &Shared,
+    design_name: &str,
+    td: &Arc<TDesign>,
+    backend: BackendKind,
+    snap: &mut Snapshot,
+    dev_blobs: &mut Vec<Option<Vec<u8>>>,
+    pending: &mut Vec<Injection>,
+    wd: &mut Option<ArmedWatchdog>,
+    n: u64,
+) -> Replay {
+    let mut engine = match lock(&shared.pool).checkout_scalar(design_name, td, backend) {
+        Ok(e) => e,
+        Err(_) => return Replay::Skipped,
+    };
+    if engine.restore(snap).is_err() {
+        lock(&shared.pool).checkin_scalar(design_name, backend, engine);
+        return Replay::Skipped;
+    }
+    let run = contain(move || {
+        let mut devices = shared.provider.devices(design_name, td);
+        for (d, blob) in devices.iter_mut().zip(dev_blobs.iter()) {
+            if let Some(bytes) = blob {
+                if d.load_state(bytes).is_err() {
+                    return (engine, None);
+                }
+            }
+        }
+        if let Some(w) = wd.as_mut() {
+            w.resume();
+        }
+        for _ in 0..n {
+            let cycle = engine.cycle_count();
+            for d in devices.iter_mut() {
+                d.tick(cycle, engine.as_reg_access());
+            }
+            for inj in pending.iter().filter(|i| i.cycle == cycle) {
+                let regs = engine.as_reg_access();
+                let old = regs.get64(inj.reg);
+                regs.set64(inj.reg, old ^ (1u64 << inj.bit));
+            }
+            let before = engine.rules_fired();
+            engine.cycle();
+            let commits = engine.rules_fired().wrapping_sub(before);
+            if let Some(w) = wd.as_mut() {
+                if w.observe(engine.cycle_count(), commits).is_some() {
+                    // Deterministic trip: commit progress up to the trip
+                    // boundary, exactly as the live run did.
+                    break;
+                }
+            }
+        }
+        if let Some(w) = wd.as_mut() {
+            w.pause();
+        }
+        *snap = engine.snapshot();
+        *dev_blobs = devices.iter().map(|d| d.save_state()).collect();
+        let done = snap.cycles;
+        pending.retain(|i| i.cycle >= done);
+        let out = Some((snap.cycles, snap.fired));
+        (engine, out)
+    });
+    match run {
+        Ok((engine, outcome)) => {
+            lock(&shared.pool).checkin_scalar(design_name, backend, engine);
+            match outcome {
+                Some((cycles, fired)) => Replay::Done(cycles, fired),
+                None => Replay::Skipped,
+            }
+        }
+        Err(msg) => Replay::Panic(msg),
     }
 }
 

@@ -22,6 +22,7 @@
 //! the wall budget exclude evicted time without any serialization of
 //! [`std::time::Instant`]s.
 
+use crate::journal::Journal;
 use cuttlesim::batch::BatchSim;
 use cuttlesim::{CompileOptions, Sim};
 use koika::device::{Device, SimBackend};
@@ -29,8 +30,8 @@ use koika::fault::{ArmedWatchdog, Injection};
 use koika::interp::Interp;
 use koika::snapshot::Snapshot;
 use koika::tir::TDesign;
-use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,6 +82,38 @@ impl BackendKind {
     }
 }
 
+/// A session's idempotency window: the most recent client-supplied
+/// `req_id`s and the reply each one produced. A client that lost its
+/// connection mid-request re-submits with the same `req_id` and receives
+/// the cached reply instead of applying the op twice (at-most-once).
+pub type ReqWindow = VecDeque<(u64, String)>;
+
+/// Bound on entries kept per session in a [`ReqWindow`].
+pub const REQ_WINDOW: usize = 32;
+
+/// The cached reply for a previously applied `req_id`, if any.
+pub fn req_cached(win: &ReqWindow, req_id: u64) -> Option<String> {
+    win.iter()
+        .find(|(id, _)| *id == req_id)
+        .map(|(_, reply)| reply.clone())
+}
+
+/// Caches a reply under `req_id`, evicting the oldest entry past the
+/// window bound.
+pub fn req_store(win: &mut ReqWindow, req_id: u64, reply: String) {
+    req_store_bounded(win, req_id, reply, REQ_WINDOW);
+}
+
+/// [`req_store`] with an explicit bound (the server-wide `create` window
+/// is larger than a per-session one).
+pub fn req_store_bounded(win: &mut ReqWindow, req_id: u64, reply: String, cap: usize) {
+    win.retain(|(id, _)| *id != req_id);
+    win.push_back((req_id, reply));
+    while win.len() > cap {
+        win.pop_front();
+    }
+}
+
 /// The in-memory body of a resident (non-evicted) session.
 pub struct SessionBody {
     /// Provider key this session was created from (may encode a workload).
@@ -101,6 +134,13 @@ pub struct SessionBody {
     pub tenant: String,
     /// Last time any request touched this session (drives idle eviction).
     pub last_touch: Instant,
+    /// Write-ahead journal when the server runs durably (`--state-dir`);
+    /// `None` otherwise. Travels with the session through eviction,
+    /// step checkout, and rehydration.
+    pub journal: Option<Journal>,
+    /// Recently applied `req_id`s and their replies (idempotent
+    /// re-submission after a disconnect).
+    pub recent: ReqWindow,
 }
 
 /// The spilled remainder of an evicted session: everything that is cheap
@@ -125,6 +165,10 @@ pub struct EvictedStub {
     pub cycles: u64,
     /// Spool file holding the snapshot and device blobs.
     pub path: PathBuf,
+    /// See [`SessionBody::journal`].
+    pub journal: Option<Journal>,
+    /// See [`SessionBody::recent`].
+    pub recent: ReqWindow,
 }
 
 /// One slot in the session table.
@@ -132,7 +176,7 @@ pub enum SessionSlot {
     /// Resident in memory.
     Live(Box<SessionBody>),
     /// Spilled to the spool; rehydrated on next touch.
-    Evicted(EvictedStub),
+    Evicted(Box<EvictedStub>),
     /// Checked out into the step queue; concurrent requests get a
     /// `session-busy` reply instead of racing.
     Running { tenant: String },
@@ -271,20 +315,27 @@ pub fn parse_spool(bytes: &[u8]) -> Result<(Snapshot, DeviceBlobs), String> {
     Ok((snap, blobs))
 }
 
-/// Writes a session's heavy state to its spool file.
+/// Writes a session's heavy state to its spool file, crash-atomically
+/// (temp + fsync + rename): a crash mid-evict leaves either no spool or
+/// the complete previous one, never a torn KSES file that would poison
+/// rehydration.
 pub fn spill(body: &SessionBody, path: &Path) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&spool_bytes(&body.snap, &body.dev_blobs))
+    koika::snapshot::write_atomic(path, &spool_bytes(&body.snap, &body.dev_blobs))
 }
 
-/// Reads a spool file back; the file is removed on success.
-pub fn unspill(path: &Path) -> Result<(Snapshot, DeviceBlobs), String> {
+/// Reads a spool file back. When `keep` is false (a plain eviction
+/// spool) the file is removed on success; durable servers pass `true`
+/// because the file doubles as the journal's checkpoint base and must
+/// survive until the next checkpoint supersedes it.
+pub fn unspill(path: &Path, keep: bool) -> Result<(Snapshot, DeviceBlobs), String> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(|e| format!("reading spool file {}: {e}", path.display()))?;
     let parsed = parse_spool(&bytes)?;
-    let _ = std::fs::remove_file(path);
+    if !keep {
+        let _ = std::fs::remove_file(path);
+    }
     Ok(parsed)
 }
 
@@ -387,6 +438,20 @@ mod tests {
         let (s2, b2) = parse_spool(&bytes).unwrap();
         assert_eq!(s2, snap());
         assert_eq!(b2, blobs);
+    }
+
+    #[test]
+    fn req_window_caches_and_evicts_oldest() {
+        let mut win = ReqWindow::new();
+        req_store(&mut win, 1, "a".into());
+        req_store(&mut win, 1, "a2".into());
+        assert_eq!(req_cached(&win, 1).as_deref(), Some("a2"));
+        for i in 2..=(REQ_WINDOW as u64 + 1) {
+            req_store(&mut win, i, format!("r{i}"));
+        }
+        assert_eq!(win.len(), REQ_WINDOW);
+        assert_eq!(req_cached(&win, 1), None, "oldest entry evicted");
+        assert!(req_cached(&win, REQ_WINDOW as u64 + 1).is_some());
     }
 
     #[test]

@@ -125,6 +125,7 @@ struct Args {
     vcd_lane: Option<usize>,
     serve: Option<String>,
     max_sessions: Option<usize>,
+    state_dir: Option<String>,
 }
 
 impl Args {
@@ -249,12 +250,20 @@ Simulation server:
                       inject / snapshot / restore / query-regs /
                       stream-trace / evict / close / metrics / ping /
                       shutdown. Composes with --jobs, --retries, --seed,
-                      --max-sessions, and the watchdog budget flags (which
+                      --max-sessions, --state-dir, and the watchdog budget
+                      flags (which
                       become the default per-session budgets); one-shot
                       run flags are rejected
   --max-sessions <N>  with --serve: admission-control bound on resident
                       sessions (default 16384); `create` beyond it gets a
                       busy reply
+  --state-dir <DIR>   with --serve: durable crash recovery. Every
+                      state-mutating op is write-ahead journaled into DIR
+                      before it executes; restarting with the same DIR
+                      (even after kill -9) rebuilds the session table
+                      byte-identically by replaying the journals. Clients
+                      may tag mutating ops with \"req_id\" for idempotent
+                      re-submission
   --help              print this help and exit
 ";
 
@@ -326,6 +335,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         vcd_lane: None,
         serve: None,
         max_sessions: None,
+        state_dir: None,
     };
     fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, Result<ExitCode, CliError>> {
         v.parse()
@@ -390,6 +400,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--max-sessions" => {
                 args.max_sessions = Some(parsed("--max-sessions", value("--max-sessions")?)?);
             }
+            "--state-dir" => args.state_dir = Some(value("--state-dir")?),
             "--help" | "-h" => {
                 print!("{HELP}");
                 return Err(Ok(ExitCode::SUCCESS));
@@ -866,8 +877,19 @@ fn run_serve_mode(args: &Args, addr: &str) -> Result<ExitCode, CliError> {
     if let Some(n) = args.max_sessions {
         cfg.max_sessions = n;
     }
+    if let Some(dir) = &args.state_dir {
+        cfg.state_dir = Some(std::path::PathBuf::from(dir));
+    }
     let handle = koika_server::spawn(cfg, Arc::new(BundledDesigns::default()), addr)
         .map_err(|e| CliError::runtime(format!("cannot serve on {addr}: {e}")))?;
+    if args.state_dir.is_some() {
+        // Scripts (and the CI kill -9 soak) parse this line.
+        println!(
+            "recovered {} sessions ({} lost)",
+            handle.recovered_sessions(),
+            handle.lost_sessions()
+        );
+    }
     // Scripts parse this line to learn the bound port (`--serve 127.0.0.1:0`).
     println!("serving on {}", handle.addr());
     use std::io::Write as _;
@@ -1465,6 +1487,12 @@ fn run(args: &Args) -> Result<ExitCode, CliError> {
     // the wire, so it dispatches before design validation like --fuzz.
     if let Some(addr) = &args.serve {
         return run_serve_mode(args, addr);
+    }
+    if args.state_dir.is_some() {
+        return Err(CliError::usage("--state-dir requires --serve"));
+    }
+    if args.max_sessions.is_some() {
+        return Err(CliError::usage("--max-sessions requires --serve"));
     }
     // Design-free modes dispatch before design validation. Their flag
     // conflicts are checked here; everything design-bound stays in

@@ -488,6 +488,9 @@ fn cli_rejects_bad_flag_combinations_up_front_without_panicking() {
         &["collatz", "--serve", "127.0.0.1:0"],
         &["--serve", "127.0.0.1:0", "--max-sessions", "0"],
         &["--serve", "127.0.0.1:0", "--jobs", "0"],
+        // Server-only flags are meaningless in one-shot mode.
+        &["collatz", "--state-dir", "d"],
+        &["collatz", "--max-sessions", "4"],
     ];
     for case in cases {
         let out = koika_sim().args(*case).output().unwrap();

@@ -483,6 +483,48 @@ fn protocol_errors_never_take_the_server_down() {
 }
 
 #[test]
+fn restore_rejects_corrupt_and_mismatched_snapshots_as_bad_snapshot() {
+    let handle = test_server(test_config());
+    let mut c = Client::connect(&handle);
+    let id = u(&c.send(r#"{"op":"create","design":"collatz"}"#), "session");
+    assert!(ok(&c.send(&format!(r#"{{"op":"step","session":{id},"n":10}}"#))));
+    let good = c.send(&format!(r#"{{"op":"snapshot","session":{id}}}"#));
+    let hex = good.get("ksnap").and_then(Json::as_str).unwrap().to_string();
+
+    // Not hex at all: a protocol error, not a snapshot error.
+    let r = c.send(&format!(r#"{{"op":"restore","session":{id},"ksnap":"zz"}}"#));
+    assert_eq!(err_kind(&r), "protocol");
+
+    // Valid hex, garbage bytes: typed bad-snapshot.
+    let r = c.send(&format!(r#"{{"op":"restore","session":{id},"ksnap":"deadbeef"}}"#));
+    assert_eq!(err_kind(&r), "bad-snapshot");
+
+    // A truncated but otherwise genuine snapshot: rejected before any
+    // state is touched.
+    let cut = &hex[..hex.len() - 8];
+    let r = c.send(&format!(r#"{{"op":"restore","session":{id},"ksnap":"{cut}"}}"#));
+    assert_eq!(err_kind(&r), "bad-snapshot", "{r:?}");
+
+    // After all rejections the session still holds its exact pre-restore
+    // state and keeps stepping.
+    let after = c.send(&format!(r#"{{"op":"snapshot","session":{id}}}"#));
+    assert_eq!(
+        after.get("ksnap").and_then(Json::as_str),
+        Some(hex.as_str()),
+        "a rejected restore must not perturb the session"
+    );
+    let r = c.send(&format!(r#"{{"op":"step","session":{id},"n":5}}"#));
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(u(&r, "cycles"), 15);
+
+    // And the good snapshot still restores.
+    let r = c.send(&format!(r#"{{"op":"restore","session":{id},"ksnap":"{hex}"}}"#));
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(u(&r, "cycles"), 10);
+    handle.join();
+}
+
+#[test]
 fn metrics_are_tracked_per_tenant() {
     let handle = test_server(test_config());
     let mut c = Client::connect(&handle);
