@@ -1,19 +1,21 @@
-//! Measures the three VM dispatch engines against each other and writes a
-//! machine-readable baseline to `BENCH_PR5.json`.
+//! Measures the four VM dispatch engines against each other and writes a
+//! machine-readable baseline to `BENCH_PR9.json`.
 //!
 //! For each of `collatz`, `fir`, and `rv32i-primes` at the top
 //! optimization level, the bytecode `match` dispatcher is timed first,
 //! then the pre-bound `closure` dispatcher, then the register-form
-//! micro-op (`tac`) engine. The speedup column is relative to `match` on
-//! the same design — the tac engine's stack elimination and
-//! superinstruction fusion are the PR-5 tentpole, so that ratio is the
-//! number the baseline tracks.
+//! micro-op (`tac`) engine, then the ahead-of-time compiled `native`
+//! engine (rustc-built cdylib; skipped loudly when no toolchain is
+//! present). The speedup column is relative to `match` on the same
+//! design — the native engine's whole-cycle compiled functions are the
+//! PR-9 tentpole, and its ratio over tac on `rv32i-primes` is the number
+//! the baseline tracks.
 //!
 //! ```text
 //! Usage: dispatch_bench [--quick] [--out FILE]
 //!   --quick    tiny cycle budgets (CI smoke: validates the JSON shape,
 //!              asserts nothing about performance)
-//!   --out FILE where to write the JSON baseline (default BENCH_PR5.json)
+//!   --out FILE where to write the JSON baseline (default BENCH_PR9.json)
 //! ```
 //!
 //! Cycle budgets also honor `CUTTLE_BENCH_SCALE`.
@@ -47,7 +49,7 @@ fn git_rev() -> String {
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR9.json".to_string();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -83,6 +85,13 @@ fn main() -> ExitCode {
         };
         let mut match_cps = 0.0;
         for dispatch in Dispatch::ALL {
+            if dispatch == Dispatch::Native && !cuttlesim::toolchain_available() {
+                eprintln!(
+                    "SKIP {}/native: no rustc toolchain (install rustc or set KOIKA_RUSTC)",
+                    bench.name
+                );
+                continue;
+            }
             let stats = run_bench(&bench, BackendKind::Vm(level, dispatch), cycles);
             if dispatch == Dispatch::Match {
                 match_cps = stats.cps();

@@ -53,6 +53,9 @@ impl BackendKind {
             BackendKind::Vm(level, Dispatch::Tac) => {
                 format!("cuttlesim-{}-tac", level.short_name())
             }
+            BackendKind::Vm(level, Dispatch::Native) => {
+                format!("cuttlesim-{}-native", level.short_name())
+            }
             BackendKind::Rtl(Scheme::Dynamic) => "rtl-koika".to_string(),
             BackendKind::Rtl(Scheme::Static) => "rtl-bluespec-style".to_string(),
         }

@@ -190,6 +190,9 @@ pub struct BatchSim {
     /// Per-rule SoA slot files, slot-major (`slot * lanes + lane`), with
     /// constant slots pre-broadcast across all lanes.
     tac_slots: Vec<Vec<u64>>,
+    /// Loaded native engine for `Dispatch::Native` (built by
+    /// `set_dispatch`; shared with scalar sims via the process-wide cache).
+    native: Option<std::sync::Arc<crate::native::NativeEngine>>,
 }
 
 impl BatchSim {
@@ -280,6 +283,7 @@ impl BatchSim {
             dispatch: Dispatch::default(),
             tac: None,
             tac_slots: Vec::new(),
+            native: None,
             prog,
         }
     }
@@ -290,10 +294,35 @@ impl BatchSim {
     /// programs, decoding each micro-op once per cycle for all lanes.
     /// [`Dispatch::Closure`] has no batched analogue (closures are built
     /// around the scalar state), so it selects the same lock-step bytecode
-    /// interpreter as [`Dispatch::Match`]. The divergence fallback always
-    /// re-runs lanes through the exact scalar bytecode executor, which is
-    /// bit-identical to every dispatcher by construction.
+    /// interpreter as [`Dispatch::Match`]. [`Dispatch::Native`] has no
+    /// lock-step analogue either (the generated code is scalar by
+    /// construction), so every rule runs lane-by-lane through the compiled
+    /// functions — still the native engine, never a silent fallback. The
+    /// divergence fallback always re-runs lanes through the exact scalar
+    /// bytecode executor, which is bit-identical to every dispatcher by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Dispatch::Native`] is requested and the engine cannot
+    /// be built; use [`BatchSim::try_set_dispatch`] to handle that.
     pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        if let Err(e) = self.try_set_dispatch(dispatch) {
+            panic!("cannot select {} dispatch: {e}", dispatch.short_name());
+        }
+    }
+
+    /// Fallible form of [`BatchSim::set_dispatch`]; only
+    /// [`Dispatch::Native`] preparation can fail.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NativeError`] when the native engine cannot be emitted,
+    /// built, or loaded. The previous dispatch stays selected.
+    pub fn try_set_dispatch(&mut self, dispatch: Dispatch) -> Result<(), crate::NativeError> {
+        if dispatch == Dispatch::Native && self.native.is_none() {
+            self.native = Some(crate::native::build_engine(&self.prog)?);
+        }
         self.dispatch = dispatch;
         if dispatch == Dispatch::Tac && self.tac.is_none() {
             let tac = crate::tac::TacProgram::lower(&self.prog);
@@ -311,6 +340,7 @@ impl BatchSim {
                 .collect();
             self.tac = Some(tac);
         }
+        Ok(())
     }
 
     /// The currently selected dispatch strategy.
@@ -478,6 +508,33 @@ impl BatchSim {
             if !cfg.merged_data {
                 self.log_d1.copy_from_slice(&self.cyc_d1);
             }
+        }
+
+        // Native dispatch: the generated code is scalar by construction,
+        // so every lane runs through the compiled rule function (the same
+        // gather/scatter path the divergence fallback uses — the prologue
+        // is idempotent at every level, so the scalar re-prologue inside
+        // `step_rule_native` is safe). No snapshot is needed: lanes never
+        // have to be rolled back to rule entry.
+        if self.dispatch == Dispatch::Native {
+            self.fallback_rules += 1;
+            let engine = std::sync::Arc::clone(
+                self.native.as_ref().expect("set_dispatch built the native engine"),
+            );
+            let mut executed = 0u64;
+            for l in 0..lanes {
+                self.gather_lane(l);
+                let committed = crate::native::step_rule_native(
+                    &self.prog,
+                    &engine,
+                    &mut self.scratch,
+                    rule_idx,
+                    &mut executed,
+                    false,
+                )?;
+                self.scatter_lane(l, rule_idx, committed);
+            }
+            return Ok(());
         }
 
         // Rule-entry snapshot (post-prologue; the prologue is idempotent at
@@ -2057,6 +2114,45 @@ mod tests {
             // Divergent seeds: the micro-op engine must take the same
             // fall-back decisions and the fallback (scalar bytecode) must
             // agree with the micro-op lanes bit-for-bit.
+            for (l, seed) in [7u64, 6, 27, 1].into_iter().enumerate() {
+                batch.lane_set64(l, x, seed);
+                scalars[l].set64(x, seed);
+            }
+            for cyc in 0..128 {
+                batch.cycle().unwrap();
+                for (l, s) in scalars.iter_mut().enumerate() {
+                    s.cycle();
+                    assert_eq!(
+                        batch.lane_reg_values(l),
+                        s.reg_values(),
+                        "{level} lane {l} cycle {cyc}"
+                    );
+                    assert_eq!(batch.lane_fired(l), s.rules_fired(), "{level} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_dispatch_matches_scalar_sims() {
+        if !crate::native::toolchain_available() {
+            eprintln!("SKIP native_dispatch_matches_scalar_sims: no rustc toolchain");
+            return;
+        }
+        let td = collatz();
+        let x = td.reg_id("x");
+        for level in OptLevel::ALL {
+            let opts = CompileOptions {
+                level,
+                ..CompileOptions::default()
+            };
+            let mut batch = BatchSim::compile_with(&td, &opts, 4).unwrap();
+            batch.set_dispatch(Dispatch::Native);
+            let mut scalars: Vec<Sim> =
+                (0..4).map(|_| Sim::compile_with(&td, &opts).unwrap()).collect();
+            // Divergent seeds: the per-lane compiled-native path must agree
+            // with the scalar bytecode interpreter bit-for-bit even when
+            // lanes take different control paths.
             for (l, seed) in [7u64, 6, 27, 1].into_iter().enumerate() {
                 batch.lane_set64(l, x, seed);
                 scalars[l].set64(x, seed);

@@ -47,6 +47,7 @@ pub mod compile;
 pub mod coverage;
 pub mod insn;
 pub mod level;
+pub mod native;
 pub mod pretty;
 pub mod profile;
 pub mod tac;
@@ -56,6 +57,7 @@ pub mod vm;
 pub use batch::{BatchLane, BatchSim};
 pub use compile::{compile, CompileError, CompileOptions, Program};
 pub use coverage::CoverageReport;
+pub use native::{cache_dir as native_cache_dir, toolchain_available, NativeError};
 pub use profile::ProfileReport;
 pub use trace::{RuleOutcome, RuleTrace};
 pub use level::OptLevel;

@@ -1,0 +1,1594 @@
+//! Native compiled-Rust dispatch backend ([`crate::Dispatch::Native`]) —
+//! the paper's real endgame, transplanted: Cuttlesim wins by *compiling*
+//! designs to straight-line software instead of interpreting them, and this
+//! module does the same for our VM. Each compiled design's typed
+//! [`crate::tac::Uop`] arrays are lowered once more, into Rust source — one
+//! `#[no_mangle] extern "C"` function per rule (plus a whole-cycle fast
+//! path), rule bodies as straight-line code over the slot file with the
+//! optimization level's log discipline baked in at emit time — then built
+//! with `rustc` into a cdylib cached by design fingerprint and loaded
+//! through a minimal hand-rolled `dlopen` shim.
+//!
+//! Observability is preserved the same way `tac` preserves it: every
+//! emitted failure site carries its *bytecode* pc as an immediate, the
+//! profiling variant of each rule function accumulates the same bytecode
+//! weights, and coverage counters are bumped through a side table pointer,
+//! so [`crate::FailInfo`], [`crate::ProfileReport`] and
+//! [`crate::CoverageReport`] stay byte-identical to the interpreter.
+//!
+//! The generated code communicates with the host through a `#[repr(C)]`
+//! context of raw pointers into [`State`]'s flat arrays (the slot-file
+//! ABI). Return values encode the outcome: `(payload << 8) | code` with
+//! `0` = committed, `1`/`2` = conflict (dirty/clean, payload = bytecode pc,
+//! failing register in `ctx.fail_reg`), `3`/`4` = abort (dirty/clean,
+//! payload = bytecode pc), `5` = VM trap (payload = ordinal into the
+//! host-retained trap table). Commit/rollback for the per-rule entry points
+//! run on the host through the exact [`rule_commit`]/[`rule_failure`]
+//! helpers every other dispatcher uses, so the transactional semantics are
+//! identical at every level by construction.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::compile::{CopyPlan, Program, RuleCode};
+use crate::insn::FusedBin;
+use crate::level::LevelCfg;
+use crate::tac::{TacProgram, TacRule, Uop};
+use crate::vm::{rule_commit, rule_failure, rule_prologue, FailInfo, State, VmError};
+use koika::tir::RegId;
+
+/// Bumped whenever the generated-source ABI (the `Ctx` layout or the
+/// return-code encoding) changes; part of the cache key via the source
+/// header, so stale cached cdylibs can never be loaded.
+const ABI_VERSION: u32 = 1;
+
+/// Why the native backend could not be selected. Unlike rule failures
+/// (normal Kôika semantics) these are environment or lowering problems:
+/// the selected backend never silently falls back, it reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NativeError {
+    /// No working `rustc` was found (checked via `rustc --version`; the
+    /// `KOIKA_RUSTC` environment variable overrides the binary name).
+    NoToolchain(String),
+    /// The lowered micro-op program uses a shape the emitter does not
+    /// support (e.g. a backward jump) or fails bounds validation.
+    Unsupported(String),
+    /// `rustc` was found but the generated crate failed to build.
+    Build(String),
+    /// The built cdylib could not be loaded or a symbol was missing.
+    Load(String),
+}
+
+impl fmt::Display for NativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeError::NoToolchain(what) => {
+                write!(f, "no Rust toolchain for the native backend: {what}")
+            }
+            NativeError::Unsupported(what) => {
+                write!(f, "native backend cannot compile this program: {what}")
+            }
+            NativeError::Build(what) => write!(f, "native backend build failed: {what}"),
+            NativeError::Load(what) => write!(f, "native backend load failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeError {}
+
+fn rustc_cmd() -> String {
+    std::env::var("KOIKA_RUSTC").unwrap_or_else(|_| "rustc".to_string())
+}
+
+fn rustc_version() -> Option<&'static str> {
+    static V: OnceLock<Option<String>> = OnceLock::new();
+    V.get_or_init(|| {
+        std::process::Command::new(rustc_cmd())
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    })
+    .as_deref()
+}
+
+/// True if a working `rustc` is available for the native backend.
+///
+/// Probed once per process (`rustc --version`); the `KOIKA_RUSTC`
+/// environment variable overrides the binary name. Harnesses use this to
+/// *skip loudly* rather than fail when the toolchain is absent.
+pub fn toolchain_available() -> bool {
+    rustc_version().is_some()
+}
+
+/// The directory generated sources and cdylibs are cached under:
+/// `KOIKA_NATIVE_CACHE` if set (the CLI's `--native-cache` flag sets it),
+/// else `<tmp>/koika-native-cache`.
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os("KOIKA_NATIVE_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("koika-native-cache"))
+}
+
+// ---------------------------------------------------------------------------
+// The slot-file ABI: the host side of the generated crate's `Ctx`.
+// ---------------------------------------------------------------------------
+
+/// The `#[repr(C)]` context handed to generated functions — raw pointers
+/// into [`State`]'s flat arrays plus out-params for failure reporting and
+/// profiling. Field order must match the `Ctx` struct the emitter writes
+/// into every generated crate ([`ABI_VERSION`] guards drift).
+#[repr(C)]
+pub(crate) struct NativeCtx {
+    boc: *mut u64,
+    cyc_rw: *mut u8,
+    log_rw: *mut u8,
+    cyc_d0: *mut u64,
+    cyc_d1: *mut u64,
+    log_d0: *mut u64,
+    log_d1: *mut u64,
+    cov: *mut u64,
+    fired: *mut u64,
+    fired_per_rule: *mut u64,
+    fail_per_rule: *mut u64,
+    /// Out: failing register index for per-rule conflict returns.
+    fail_reg: u32,
+    /// Out (whole-cycle): rule index of the most recent failure.
+    last_rule: u32,
+    /// Out (whole-cycle): bytecode pc of the most recent failure.
+    last_pc: u32,
+    /// Out (whole-cycle): failing register of the most recent conflict.
+    last_reg: u32,
+    /// Out (whole-cycle): 0 = no failure, 1 = conflict, 2 = abort.
+    last_kind: u32,
+    pad: u32,
+    /// Out: bytecode-weighted instruction count (profiling variants only).
+    executed: u64,
+}
+
+impl NativeCtx {
+    fn for_state(st: &mut State) -> NativeCtx {
+        NativeCtx {
+            boc: st.boc.as_mut_ptr(),
+            cyc_rw: st.cyc_rw.as_mut_ptr(),
+            log_rw: st.log_rw.as_mut_ptr(),
+            cyc_d0: st.cyc_d0.as_mut_ptr(),
+            cyc_d1: st.cyc_d1.as_mut_ptr(),
+            log_d0: st.log_d0.as_mut_ptr(),
+            log_d1: st.log_d1.as_mut_ptr(),
+            cov: st.cov.as_mut_ptr(),
+            fired: &mut st.fired,
+            fired_per_rule: st.fired_per_rule.as_mut_ptr(),
+            fail_per_rule: st.fail_per_rule.as_mut_ptr(),
+            fail_reg: 0,
+            last_rule: 0,
+            last_pc: 0,
+            last_reg: 0,
+            last_kind: 0,
+            pad: 0,
+            executed: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source emission.
+// ---------------------------------------------------------------------------
+
+struct Emitted {
+    source: String,
+    traps: Vec<(u32, &'static str)>,
+    has_cycle_fn: bool,
+}
+
+fn hex(v: u64) -> String {
+    format!("0x{v:x}u64")
+}
+
+fn bin_expr(op: FusedBin, a: &str, b: &str, mask: u64) -> String {
+    let m = hex(mask);
+    let w = mask.count_ones();
+    match op {
+        FusedBin::Add => format!("({a}.wrapping_add({b}) & {m})"),
+        FusedBin::Sub => format!("({a}.wrapping_sub({b}) & {m})"),
+        FusedBin::Mul => format!("({a}.wrapping_mul({b}) & {m})"),
+        FusedBin::And => format!("({a} & {b})"),
+        FusedBin::Or => format!("({a} | {b})"),
+        FusedBin::Xor => format!("({a} ^ {b})"),
+        FusedBin::Shl => format!("(if {b} >= 64 {{ 0u64 }} else {{ ({a} << {b}) & {m} }})"),
+        FusedBin::Shr => format!("(if {b} >= 64 {{ 0u64 }} else {{ {a} >> {b} }})"),
+        FusedBin::Sra => format!("sra({w}u32, {a}, {b})"),
+        FusedBin::Eq => format!("(({a} == {b}) as u64)"),
+        FusedBin::Ne => format!("(({a} != {b}) as u64)"),
+        FusedBin::Ult => format!("(({a} < {b}) as u64)"),
+        FusedBin::Ule => format!("(({a} <= {b}) as u64)"),
+        FusedBin::Slt => format!("slt({w}u32, {a}, {b})"),
+        FusedBin::Sle => format!("(1u64 - slt({w}u32, {b}, {a}))"),
+        FusedBin::Concat { low } => format!("(concat({low}u32, {a}, {b}) & {m})"),
+    }
+}
+
+/// Where a rule body's terminal statements land: a standalone per-rule
+/// `extern "C"` function (outcome via return value) or inline in the
+/// whole-cycle function (outcome via `break 'r`).
+#[derive(Clone, Copy)]
+enum BodyKind {
+    Rule { prof: bool },
+    Cycle,
+}
+
+struct BodyEmitter<'a> {
+    cfg: LevelCfg,
+    kind: BodyKind,
+    rule_idx: usize,
+    tac: &'a TacRule,
+    trap_ords: &'a HashMap<(usize, usize), usize>,
+    falloff_ord: usize,
+    out: &'a mut String,
+}
+
+impl BodyEmitter<'_> {
+    /// `ctx.executed = w; ` where the profiling counter must be flushed
+    /// before leaving the function.
+    fn flush_w(&self) -> &'static str {
+        match self.kind {
+            BodyKind::Rule { prof: true } => "ctx.executed = w; ",
+            _ => "",
+        }
+    }
+
+    fn fail_conflict_stmt(&self, idx: &str, pc: u32, clean: bool) -> String {
+        match self.kind {
+            BodyKind::Rule { .. } => {
+                let v = ((pc as u64) << 8) | if clean { 2 } else { 1 };
+                format!(
+                    "{{ ctx.fail_reg = ({idx}) as u32; {}return {v}u64; }}",
+                    self.flush_w()
+                )
+            }
+            BodyKind::Cycle => {
+                let c: u64 = if clean { 2 } else { 1 };
+                format!(
+                    "{{ ctx.last_rule = {r}u32; ctx.last_pc = {pc}u32; \
+                     ctx.last_reg = ({idx}) as u32; ctx.last_kind = 1u32; break 'r {c}u64; }}",
+                    r = self.rule_idx
+                )
+            }
+        }
+    }
+
+    fn emit_abort(&mut self, pc: u32, clean: bool) {
+        match self.kind {
+            BodyKind::Rule { .. } => {
+                let v = ((pc as u64) << 8) | if clean { 4 } else { 3 };
+                let _ = write!(self.out, "{}return {v}u64;", self.flush_w());
+            }
+            BodyKind::Cycle => {
+                let c: u64 = if clean { 4 } else { 3 };
+                let _ = write!(
+                    self.out,
+                    "ctx.last_rule = {r}u32; ctx.last_pc = {pc}u32; \
+                     ctx.last_kind = 2u32; break 'r {c}u64;",
+                    r = self.rule_idx
+                );
+            }
+        }
+    }
+
+    fn emit_end(&mut self) {
+        match self.kind {
+            BodyKind::Rule { .. } => {
+                let _ = write!(self.out, "{}return 0u64;", self.flush_w());
+            }
+            BodyKind::Cycle => {
+                let _ = write!(self.out, "break 'r 0u64;");
+            }
+        }
+    }
+
+    fn emit_trap(&mut self, ord: usize) {
+        match self.kind {
+            BodyKind::Rule { .. } => {
+                let v = ((ord as u64) << 8) | 5;
+                let _ = write!(self.out, "{}return {v}u64;", self.flush_w());
+            }
+            // Eligibility for the whole-cycle function excludes trap
+            // bodies; the emitter never routes one here.
+            BodyKind::Cycle => unreachable!("trap body in whole-cycle emission"),
+        }
+    }
+
+    /// The checked port-0 read: mirror of [`crate::vm::rd0_at`] with the
+    /// level configuration baked in.
+    fn emit_rd0(&mut self, idx: &str, clean: bool, pc: u32, assign: &str) {
+        let fail = self.fail_conflict_stmt(idx, pc, clean);
+        let chk = if self.cfg.acc_logs { "log_rw" } else { "cyc_rw" };
+        let _ = write!(self.out, "let _c = {chk}[{idx}]; if _c & 0xc != 0 {fail} ");
+        if !self.cfg.design_specific {
+            let _ = write!(self.out, "log_rw[{idx}] |= 0x1; ");
+        }
+        let src = if self.cfg.no_boc { "log_d0" } else { "boc" };
+        let _ = write!(self.out, "{assign} {src}[{idx}]; ");
+    }
+
+    /// The checked port-1 read: mirror of [`crate::vm::rd1_at`].
+    fn emit_rd1(&mut self, idx: &str, clean: bool, pc: u32, assign: &str) {
+        let fail = self.fail_conflict_stmt(idx, pc, clean);
+        let chk = if self.cfg.acc_logs { "log_rw" } else { "cyc_rw" };
+        let _ = write!(
+            self.out,
+            "let _c = {chk}[{idx}]; if _c & 0x8 != 0 {fail} log_rw[{idx}] |= 0x2; "
+        );
+        let val = if self.cfg.no_boc {
+            format!("log_d0[{idx}]")
+        } else {
+            let tail = if !self.cfg.acc_logs {
+                format!("if cyc_rw[{idx}] & 0x4 != 0 {{ cyc_d0[{idx}] }} else {{ boc[{idx}] }}")
+            } else {
+                format!("{{ boc[{idx}] }}")
+            };
+            format!("if log_rw[{idx}] & 0x4 != 0 {{ log_d0[{idx}] }} else {tail}")
+        };
+        let _ = write!(self.out, "{assign} {val}; ");
+    }
+
+    /// The checked port-0 write: mirror of [`crate::vm::wr0_at`].
+    fn emit_wr0(&mut self, idx: &str, val: &str, clean: bool, pc: u32) {
+        let fail = self.fail_conflict_stmt(idx, pc, clean);
+        let chk = if self.cfg.acc_logs {
+            format!("log_rw[{idx}]")
+        } else {
+            format!("log_rw[{idx}] | cyc_rw[{idx}]")
+        };
+        let _ = write!(
+            self.out,
+            "let _c = {chk}; if _c & 0xe != 0 {fail} log_rw[{idx}] |= 0x4; log_d0[{idx}] = {val}; "
+        );
+    }
+
+    /// The checked port-1 write: mirror of [`crate::vm::wr1_at`].
+    fn emit_wr1(&mut self, idx: &str, val: &str, clean: bool, pc: u32) {
+        let fail = self.fail_conflict_stmt(idx, pc, clean);
+        let chk = if self.cfg.acc_logs {
+            format!("log_rw[{idx}]")
+        } else {
+            format!("log_rw[{idx}] | cyc_rw[{idx}]")
+        };
+        let dst = if self.cfg.merged_data { "log_d0" } else { "log_d1" };
+        let _ = write!(
+            self.out,
+            "let _c = {chk}; if _c & 0x8 != 0 {fail} log_rw[{idx}] |= 0x8; {dst}[{idx}] = {val}; "
+        );
+    }
+
+    fn emit_uop(&mut self, i: usize) {
+        let pc = self.tac.pcs[i];
+        let _ = write!(self.out, "{{ ");
+        if let BodyKind::Rule { prof: true } = self.kind {
+            let _ = write!(self.out, "w += {}u64; ", self.tac.weights[i]);
+        }
+        match self.tac.uops[i] {
+            Uop::Bin { op, dst, a, b, mask } => {
+                let e = bin_expr(op, &format!("s{a}"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "s{dst} = {e};");
+            }
+            Uop::Not { dst, src, mask } => {
+                let _ = write!(self.out, "s{dst} = !s{src} & {};", hex(mask));
+            }
+            Uop::Neg { dst, src, mask } => {
+                let _ = write!(self.out, "s{dst} = s{src}.wrapping_neg() & {};", hex(mask));
+            }
+            Uop::Mask { dst, src, mask } => {
+                let _ = write!(self.out, "s{dst} = s{src} & {};", hex(mask));
+            }
+            Uop::Sext { dst, src, from, mask } => {
+                let _ = write!(self.out, "s{dst} = sext({from}u32, s{src}) & {};", hex(mask));
+            }
+            Uop::Slice { dst, src, lo, mask } => {
+                let _ = write!(self.out, "s{dst} = (s{src} >> {lo}u32) & {};", hex(mask));
+            }
+            Uop::SliceSext { dst, src, lo, from, mask } => {
+                // `word::mask(from)` folded at emit time (`from` is 1..=64,
+                // enforced by the lowering just as the Tac executor relies
+                // on).
+                let mof = if from >= 64 { u64::MAX } else { (1u64 << from) - 1 };
+                let _ = write!(
+                    self.out,
+                    "s{dst} = sext({from}u32, (s{src} >> {lo}u32) & {}) & {};",
+                    hex(mof),
+                    hex(mask)
+                );
+            }
+            Uop::Select { dst, c, t, f } => {
+                let _ = write!(self.out, "s{dst} = if s{c} != 0 {{ s{t} }} else {{ s{f} }};");
+            }
+            Uop::Const { dst, imm } => {
+                let _ = write!(self.out, "s{dst} = {};", hex(imm));
+            }
+            Uop::Mov { dst, src } => {
+                let _ = write!(self.out, "s{dst} = s{src};");
+            }
+            Uop::Rd0 { dst, reg, clean } => {
+                self.emit_rd0(&format!("{reg}usize"), clean, pc, &format!("s{dst} ="));
+            }
+            Uop::Rd1 { dst, reg, clean } => {
+                self.emit_rd1(&format!("{reg}usize"), clean, pc, &format!("s{dst} ="));
+            }
+            Uop::Wr0 { src, reg, clean } => {
+                self.emit_wr0(&format!("{reg}usize"), &format!("s{src}"), clean, pc);
+            }
+            Uop::Wr1 { src, reg, clean } => {
+                self.emit_wr1(&format!("{reg}usize"), &format!("s{src}"), clean, pc);
+            }
+            Uop::RdFast { dst, reg } => {
+                let _ = write!(self.out, "s{dst} = log_d0[{reg}usize];");
+            }
+            Uop::WrFast { src, reg } => {
+                let _ = write!(self.out, "log_d0[{reg}usize] = s{src};");
+            }
+            Uop::Rd0Arr { dst, idx, base, amask, clean } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); "
+                );
+                self.emit_rd0("_i", clean, pc, &format!("s{dst} ="));
+            }
+            Uop::Rd1Arr { dst, idx, base, amask, clean } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); "
+                );
+                self.emit_rd1("_i", clean, pc, &format!("s{dst} ="));
+            }
+            Uop::Wr0Arr { src, idx, base, amask, clean } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); "
+                );
+                self.emit_wr0("_i", &format!("s{src}"), clean, pc);
+            }
+            Uop::Wr1Arr { src, idx, base, amask, clean } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); "
+                );
+                self.emit_wr1("_i", &format!("s{src}"), clean, pc);
+            }
+            Uop::RdArrFast { dst, idx, base, amask } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); \
+                     s{dst} = log_d0[_i];"
+                );
+            }
+            Uop::WrArrFast { src, idx, base, amask } => {
+                let _ = write!(
+                    self.out,
+                    "let _i = {base}usize + ((s{idx} & 0x{amask:x}u64) as usize); \
+                     log_d0[_i] = s{src};"
+                );
+            }
+            Uop::Jmp(t) => {
+                let _ = write!(self.out, "break 'l{t};");
+            }
+            Uop::Jz { cond, target } => {
+                let _ = write!(self.out, "if s{cond} == 0 {{ break 'l{target}; }}");
+            }
+            Uop::Abort { clean } => self.emit_abort(pc, clean),
+            Uop::Cov(id) => {
+                let _ = write!(self.out, "cov[{id}usize] += 1;");
+            }
+            Uop::End => self.emit_end(),
+            Uop::Trap(_) => {
+                let ord = self.trap_ords[&(self.rule_idx, i)];
+                self.emit_trap(ord);
+            }
+            Uop::RdBin { op, dst, reg, b, mask, clean } => {
+                self.emit_rd0(&format!("{reg}usize"), clean, pc, "let _v =");
+                let e = bin_expr(op, "_v", &format!("s{b}"), mask);
+                let _ = write!(self.out, "s{dst} = {e};");
+            }
+            Uop::BinWr { op, a, b, mask, reg, clean } => {
+                let e = bin_expr(op, &format!("s{a}"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "let _v = {e}; ");
+                self.emit_wr0(&format!("{reg}usize"), "_v", clean, pc);
+            }
+            Uop::RdBinWr { op, rreg, b, mask, wreg, rclean, wclean } => {
+                self.emit_rd0(&format!("{rreg}usize"), rclean, pc, "let _v =");
+                let e = bin_expr(op, "_v", &format!("s{b}"), mask);
+                let _ = write!(self.out, "let _r = {e}; ");
+                self.emit_wr0(&format!("{wreg}usize"), "_r", wclean, self.tac.pcs2[i]);
+            }
+            Uop::BinJz { op, a, b, mask, target } => {
+                let e = bin_expr(op, &format!("s{a}"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "if {e} == 0 {{ break 'l{target}; }}");
+            }
+            Uop::RdBinFast { op, dst, reg, b, mask } => {
+                let e = bin_expr(op, &format!("log_d0[{reg}usize]"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "s{dst} = {e};");
+            }
+            Uop::BinWrFast { op, a, b, mask, reg } => {
+                let e = bin_expr(op, &format!("s{a}"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "log_d0[{reg}usize] = {e};");
+            }
+            Uop::RdBinWrFast { op, rreg, b, mask, wreg } => {
+                let e = bin_expr(op, &format!("log_d0[{rreg}usize]"), &format!("s{b}"), mask);
+                let _ = write!(self.out, "log_d0[{wreg}usize] = {e};");
+            }
+        }
+        let _ = writeln!(self.out, " }}");
+    }
+
+    /// Emits slot declarations plus the relooped body. Jumps are forward
+    /// only (validated earlier), so every jump target `t` becomes a labeled
+    /// block spanning micro-ops `[0, t)`; blocks nest by target and a jump
+    /// is a `break` out of the matching block.
+    fn emit_body(&mut self) {
+        for (j, &v) in self.tac.slot_init.iter().enumerate() {
+            let _ = writeln!(self.out, "let mut s{j}: u64 = {};", hex(v));
+        }
+        let mut targets: Vec<usize> = self
+            .tac
+            .uops
+            .iter()
+            .filter_map(|u| match *u {
+                Uop::Jmp(t) => Some(t as usize),
+                Uop::Jz { target, .. } | Uop::BinJz { target, .. } => Some(target as usize),
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for &t in targets.iter().rev() {
+            let _ = writeln!(self.out, "'l{t}: {{");
+        }
+        let mut close = targets.into_iter().peekable();
+        for i in 0..self.tac.uops.len() {
+            while close.peek() == Some(&i) {
+                close.next();
+                let _ = writeln!(self.out, "}}");
+            }
+            self.emit_uop(i);
+        }
+        while close.next().is_some() {
+            let _ = writeln!(self.out, "}}");
+        }
+        // Fall-off backstop: valid lowerings always terminate, but a jump
+        // to one-past-the-end lands here and must trap, not fall through.
+        match self.kind {
+            BodyKind::Rule { .. } => self.emit_trap(self.falloff_ord),
+            // Excluded by `has_cycle_fn` eligibility; the tail value is the
+            // `'r` block's (dead) result expression, emitted by the caller.
+            BodyKind::Cycle => {}
+        }
+    }
+}
+
+/// Validates the parts of a lowered rule whose violation would be
+/// undefined behavior (raw-slice indices) or unmappable control flow
+/// (backward jumps) in generated code. Slot indices need no check: an
+/// out-of-range slot becomes an undeclared variable and fails to compile.
+fn validate_rule(prog: &Program, tac: &TacRule, rule_idx: usize) -> Result<(), NativeError> {
+    let n = prog.init.len();
+    let ncov = prog.cov.len();
+    let len = tac.uops.len();
+    let err = |i: usize, what: String| {
+        Err(NativeError::Unsupported(format!(
+            "rule {rule_idx} uop {i}: {what}"
+        )))
+    };
+    for (i, u) in tac.uops.iter().enumerate() {
+        let reg_ok = |r: u32| (r as usize) < n;
+        match *u {
+            Uop::Rd0 { reg, .. }
+            | Uop::Rd1 { reg, .. }
+            | Uop::Wr0 { reg, .. }
+            | Uop::Wr1 { reg, .. }
+            | Uop::RdFast { reg, .. }
+            | Uop::WrFast { reg, .. }
+            | Uop::RdBin { reg, .. }
+            | Uop::BinWr { reg, .. }
+            | Uop::RdBinFast { reg, .. }
+            | Uop::BinWrFast { reg, .. }
+                if !reg_ok(reg) =>
+            {
+                return err(i, format!("register {reg} out of range (n = {n})"));
+            }
+            Uop::RdBinWr { rreg, wreg, .. } | Uop::RdBinWrFast { rreg, wreg, .. }
+                if !reg_ok(rreg) || !reg_ok(wreg) =>
+            {
+                return err(i, format!("register out of range (n = {n})"));
+            }
+            Uop::Rd0Arr { base, amask, .. }
+            | Uop::Rd1Arr { base, amask, .. }
+            | Uop::Wr0Arr { base, amask, .. }
+            | Uop::Wr1Arr { base, amask, .. }
+            | Uop::RdArrFast { base, amask, .. }
+            | Uop::WrArrFast { base, amask, .. }
+                if base as usize + amask as usize >= n =>
+            {
+                return err(i, format!("array window {base}+{amask} out of range (n = {n})"));
+            }
+            Uop::Cov(id) if id as usize >= ncov => {
+                return err(i, format!("coverage id {id} out of range ({ncov} points)"));
+            }
+            Uop::Jmp(t) if (t as usize) <= i || (t as usize) > len => {
+                return err(i, format!("non-forward jump to {t}"));
+            }
+            Uop::Jz { target, .. } | Uop::BinJz { target, .. }
+                if (target as usize) <= i || (target as usize) > len =>
+            {
+                return err(i, format!("non-forward jump to {target}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Emits the complete generated crate for `prog`: the `Ctx` mirror, the
+/// word-arithmetic helpers (exact duplicates of `koika::bits::word`), two
+/// `extern "C"` functions per rule (plain + profiling), and — when the
+/// design is eligible — a whole-design `koika_cycle` fast path.
+fn emit_source(prog: &Program, tac: &TacProgram) -> Result<Emitted, NativeError> {
+    let cfg = prog.cfg;
+    let n = prog.init.len();
+    let nrules = prog.rules.len();
+
+    // Pre-scan: trap ordinals (shared between the plain and profiling
+    // variants of a rule so payloads mean the same thing) plus one
+    // fall-off backstop ordinal per rule.
+    let mut traps: Vec<(u32, &'static str)> = Vec::new();
+    let mut trap_ords: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut falloff_ords: Vec<usize> = Vec::with_capacity(nrules);
+    let mut has_cycle_fn = true;
+    for (k, tr) in tac.rules.iter().enumerate() {
+        validate_rule(prog, tr, k)?;
+        for (i, u) in tr.uops.iter().enumerate() {
+            match *u {
+                Uop::Trap(what) => {
+                    trap_ords.insert((k, i), traps.len());
+                    traps.push((tr.pcs[i], what));
+                    has_cycle_fn = false;
+                }
+                Uop::Jmp(t) if t as usize == tr.uops.len() => has_cycle_fn = false,
+                Uop::Jz { target, .. } | Uop::BinJz { target, .. }
+                    if target as usize == tr.uops.len() =>
+                {
+                    has_cycle_fn = false
+                }
+                _ => {}
+            }
+        }
+        falloff_ords.push(traps.len());
+        traps.push((0, "micro-op execution fell off the end"));
+    }
+
+    let mut out = String::with_capacity(1 << 16);
+    let _ = writeln!(out, "// koika-native-abi v{ABI_VERSION}");
+    let _ = writeln!(
+        out,
+        "// design: {} fingerprint: {:016x} level: {} regs: {} cov: {} \
+         cfg: acc={} rof={} merged={} noboc={} ds={}",
+        prog.design.name,
+        prog.design.fingerprint(),
+        prog.level.short_name(),
+        n,
+        prog.cov.len(),
+        cfg.acc_logs,
+        cfg.reset_on_fail,
+        cfg.merged_data,
+        cfg.no_boc,
+        cfg.design_specific
+    );
+    out.push_str(
+        "#![allow(unused_variables, unused_mut, unused_assignments, unreachable_code, \
+         unused_labels, unused_parens, dead_code, unused_unsafe)]\n",
+    );
+    out.push_str(
+        "#[repr(C)]\npub struct Ctx {\n\
+         pub boc: *mut u64,\n\
+         pub cyc_rw: *mut u8,\n\
+         pub log_rw: *mut u8,\n\
+         pub cyc_d0: *mut u64,\n\
+         pub cyc_d1: *mut u64,\n\
+         pub log_d0: *mut u64,\n\
+         pub log_d1: *mut u64,\n\
+         pub cov: *mut u64,\n\
+         pub fired: *mut u64,\n\
+         pub fired_per_rule: *mut u64,\n\
+         pub fail_per_rule: *mut u64,\n\
+         pub fail_reg: u32,\n\
+         pub last_rule: u32,\n\
+         pub last_pc: u32,\n\
+         pub last_reg: u32,\n\
+         pub last_kind: u32,\n\
+         pub pad: u32,\n\
+         pub executed: u64,\n\
+         }\n",
+    );
+    let _ = writeln!(out, "const N: usize = {n};");
+    let _ = writeln!(out, "const BOC_LEN: usize = {};", if cfg.no_boc { 0 } else { n });
+    let _ = writeln!(out, "const D1_LEN: usize = {};", if cfg.merged_data { 0 } else { n });
+    let _ = writeln!(out, "const NCOV: usize = {};", prog.cov.len());
+    let _ = writeln!(out, "const NRULES: usize = {nrules};");
+    // Word-arithmetic helpers: exact duplicates of `koika::bits::word` so
+    // the generated code computes bit-for-bit what every interpreter does.
+    out.push_str(
+        "#[inline(always)]\nfn mask(w: u32) -> u64 { u64::MAX >> (64 - w) }\n\
+         #[inline(always)]\nfn sext(w: u32, a: u64) -> u64 {\n\
+         if w == 0 { 0 } else if w >= 64 { a } \
+         else { (((a << (64 - w)) as i64) >> (64 - w)) as u64 }\n}\n\
+         #[inline(always)]\nfn sra(w: u32, a: u64, sh: u64) -> u64 {\n\
+         if w == 0 { return 0; }\n\
+         let sh = sh.min(w as u64 - 1);\n\
+         (((sext(w, a) as i64) >> sh) as u64) & mask(w)\n}\n\
+         #[inline(always)]\nfn slt(w: u32, a: u64, b: u64) -> u64 {\n\
+         ((sext(w, a) as i64) < (sext(w, b) as i64)) as u64\n}\n\
+         #[inline(always)]\nfn concat(low: u32, a: u64, b: u64) -> u64 {\n\
+         if low >= 64 { b } else { (a << low) | b }\n}\n",
+    );
+
+    let emit_slices = |out: &mut String| {
+        out.push_str(
+            "let ctx = &mut *ctx;\n\
+             let boc: &mut [u64] = core::slice::from_raw_parts_mut(ctx.boc, BOC_LEN);\n\
+             let cyc_rw: &mut [u8] = core::slice::from_raw_parts_mut(ctx.cyc_rw, N);\n\
+             let log_rw: &mut [u8] = core::slice::from_raw_parts_mut(ctx.log_rw, N);\n\
+             let cyc_d0: &mut [u64] = core::slice::from_raw_parts_mut(ctx.cyc_d0, N);\n\
+             let cyc_d1: &mut [u64] = core::slice::from_raw_parts_mut(ctx.cyc_d1, D1_LEN);\n\
+             let log_d0: &mut [u64] = core::slice::from_raw_parts_mut(ctx.log_d0, N);\n\
+             let log_d1: &mut [u64] = core::slice::from_raw_parts_mut(ctx.log_d1, D1_LEN);\n\
+             let cov: &mut [u64] = core::slice::from_raw_parts_mut(ctx.cov, NCOV);\n",
+        );
+    };
+
+    // Per-rule entry points (plain + profiling flavours).
+    for (k, tr) in tac.rules.iter().enumerate() {
+        for prof in [false, true] {
+            let name = if prof {
+                format!("koika_rule_{k}_prof")
+            } else {
+                format!("koika_rule_{k}")
+            };
+            let _ = writeln!(
+                out,
+                "#[no_mangle]\npub extern \"C\" fn {name}(ctx: *mut Ctx) -> u64 {{ unsafe {{"
+            );
+            emit_slices(&mut out);
+            if prof {
+                out.push_str("let mut w: u64 = 0u64;\n");
+            }
+            let mut be = BodyEmitter {
+                cfg,
+                kind: BodyKind::Rule { prof },
+                rule_idx: k,
+                tac: tr,
+                trap_ords: &trap_ords,
+                falloff_ord: falloff_ords[k],
+                out: &mut out,
+            };
+            be.emit_body();
+            out.push_str("\n} }\n");
+        }
+    }
+
+    if has_cycle_fn {
+        emit_cycle_fn(&mut out, prog, tac, &trap_ords, &falloff_ords, emit_slices);
+    }
+
+    Ok(Emitted { source: out, traps, has_cycle_fn })
+}
+
+/// Emits the whole-design `koika_cycle` function: begin-cycle reset, every
+/// scheduled rule inline (outcome via label-break-value), baked
+/// commit/rollback per the rule's [`CopyPlan`], and the end-of-cycle
+/// beginning-of-cycle-state merge. Returns `1` if any rule failed.
+fn emit_cycle_fn(
+    out: &mut String,
+    prog: &Program,
+    tac: &TacProgram,
+    trap_ords: &HashMap<(usize, usize), usize>,
+    falloff_ords: &[usize],
+    emit_slices: impl Fn(&mut String),
+) {
+    let cfg = prog.cfg;
+    let _ = writeln!(
+        out,
+        "#[no_mangle]\npub extern \"C\" fn koika_cycle(ctx: *mut Ctx) -> u64 {{ unsafe {{"
+    );
+    emit_slices(out);
+    out.push_str(
+        "let fired_per_rule: &mut [u64] = \
+         core::slice::from_raw_parts_mut(ctx.fired_per_rule, NRULES);\n\
+         let fail_per_rule: &mut [u64] = \
+         core::slice::from_raw_parts_mut(ctx.fail_per_rule, NRULES);\n\
+         let mut _any_fail: u64 = 0u64;\n",
+    );
+    // begin_cycle
+    out.push_str("for _b in cyc_rw.iter_mut() { *_b = 0; }\n");
+    if cfg.reset_on_fail {
+        out.push_str("for _b in log_rw.iter_mut() { *_b = 0; }\n");
+    }
+    for &k in &prog.schedule {
+        let tr = &tac.rules[k];
+        let rule = &prog.rules[k];
+        let _ = writeln!(out, "// rule {k}: {}", rule.name);
+        // rule_prologue, baked.
+        if !cfg.acc_logs {
+            out.push_str("for _b in log_rw.iter_mut() { *_b = 0; }\n");
+        } else if !cfg.reset_on_fail {
+            out.push_str("log_rw.copy_from_slice(cyc_rw);\nlog_d0.copy_from_slice(cyc_d0);\n");
+            if !cfg.merged_data {
+                out.push_str("log_d1.copy_from_slice(cyc_d1);\n");
+            }
+        }
+        out.push_str("let _res: u64 = 'r: {\n");
+        let mut be = BodyEmitter {
+            cfg,
+            kind: BodyKind::Cycle,
+            rule_idx: k,
+            tac: tr,
+            trap_ords,
+            falloff_ord: falloff_ords[k],
+            out,
+        };
+        be.emit_body();
+        out.push_str("1u64\n};\n");
+        out.push_str("if _res == 0 {\n");
+        emit_commit(out, cfg, rule);
+        let _ = writeln!(out, "*ctx.fired += 1; fired_per_rule[{k}usize] += 1;");
+        out.push_str("} else {\n");
+        let _ = writeln!(out, "_any_fail = 1u64; fail_per_rule[{k}usize] += 1;");
+        if cfg.reset_on_fail {
+            out.push_str("if _res == 1u64 || _res == 3u64 {\n");
+            emit_rollback(out, cfg, rule);
+            out.push_str("}\n");
+        }
+        out.push_str("}\n");
+    }
+    // end_cycle: merge the cycle log into the beginning-of-cycle state.
+    if !cfg.no_boc {
+        let d1 = if cfg.merged_data { "cyc_d0" } else { "cyc_d1" };
+        let _ = writeln!(
+            out,
+            "for _i in 0..BOC_LEN {{ let _rw = cyc_rw[_i]; \
+             if _rw & 0x8 != 0 {{ boc[_i] = {d1}[_i]; }} \
+             else if _rw & 0x4 != 0 {{ boc[_i] = cyc_d0[_i]; }} }}"
+        );
+    }
+    out.push_str("_any_fail\n} }\n");
+}
+
+fn usize_list(xs: &[u32]) -> String {
+    let mut s = String::from("[");
+    for (j, x) in xs.iter().enumerate() {
+        if j > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{x}usize");
+    }
+    s.push(']');
+    s
+}
+
+/// Baked mirror of [`rule_commit`] (minus the fired counters, emitted by
+/// the caller).
+fn emit_commit(out: &mut String, cfg: LevelCfg, rule: &RuleCode) {
+    if !cfg.acc_logs {
+        let w1 = if cfg.merged_data {
+            "cyc_d0[_i] = log_d0[_i];"
+        } else {
+            "cyc_d1[_i] = log_d1[_i];"
+        };
+        let _ = writeln!(
+            out,
+            "for _i in 0..N {{ let _rl = log_rw[_i]; if _rl != 0 {{ \
+             cyc_rw[_i] |= _rl; \
+             if _rl & 0x4 != 0 {{ cyc_d0[_i] = log_d0[_i]; }} \
+             if _rl & 0x8 != 0 {{ {w1} }} }} }}"
+        );
+    } else {
+        match &rule.commit {
+            CopyPlan::Full => {
+                out.push_str("cyc_rw.copy_from_slice(log_rw);\ncyc_d0.copy_from_slice(log_d0);\n");
+                if !cfg.merged_data {
+                    out.push_str("cyc_d1.copy_from_slice(log_d1);\n");
+                }
+            }
+            CopyPlan::Footprint { rw, data } => {
+                if !rw.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "for _i in {} {{ cyc_rw[_i] = log_rw[_i]; }}",
+                        usize_list(rw)
+                    );
+                }
+                if !data.is_empty() {
+                    let d1 = if cfg.merged_data {
+                        ""
+                    } else {
+                        " cyc_d1[_i] = log_d1[_i];"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "for _i in {} {{ cyc_d0[_i] = log_d0[_i];{d1} }}",
+                        usize_list(data)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Baked mirror of the rollback half of [`rule_failure`].
+fn emit_rollback(out: &mut String, cfg: LevelCfg, rule: &RuleCode) {
+    match &rule.rollback {
+        CopyPlan::Full => {
+            out.push_str("log_rw.copy_from_slice(cyc_rw);\nlog_d0.copy_from_slice(cyc_d0);\n");
+            if !cfg.merged_data {
+                out.push_str("log_d1.copy_from_slice(cyc_d1);\n");
+            }
+        }
+        CopyPlan::Footprint { rw, data } => {
+            if !rw.is_empty() {
+                let _ = writeln!(out, "for _i in {} {{ log_rw[_i] = cyc_rw[_i]; }}", usize_list(rw));
+            }
+            if !data.is_empty() {
+                let d1 = if cfg.merged_data {
+                    ""
+                } else {
+                    " log_d1[_i] = cyc_d1[_i];"
+                };
+                let _ = writeln!(
+                    out,
+                    "for _i in {} {{ log_d0[_i] = cyc_d0[_i];{d1} }}",
+                    usize_list(data)
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Build cache and loading.
+// ---------------------------------------------------------------------------
+
+/// A generated rule/cycle entry point inside the loaded cdylib.
+type RuleFn = unsafe extern "C" fn(*mut NativeCtx) -> u64;
+
+/// A loaded native engine for one `(design, level, coverage)` compilation:
+/// the open cdylib plus its resolved entry points and the host-retained
+/// trap table. Shared via `Arc` through a process-wide cache, so a fuzz
+/// matrix instantiating hundreds of `Sim`s compiles each design once.
+pub struct NativeEngine {
+    _lib: dl::Handle,
+    rule_fns: Vec<RuleFn>,
+    rule_prof_fns: Vec<RuleFn>,
+    cycle_fn: Option<RuleFn>,
+    traps: Vec<(u32, &'static str)>,
+    so_path: PathBuf,
+}
+
+impl NativeEngine {
+    /// Path of the cached cdylib this engine was loaded from.
+    pub fn so_path(&self) -> &Path {
+        &self.so_path
+    }
+
+    /// Whether the design was eligible for the whole-cycle fast path.
+    pub fn has_cycle_fn(&self) -> bool {
+        self.cycle_fn.is_some()
+    }
+}
+
+impl fmt::Debug for NativeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeEngine")
+            .field("so_path", &self.so_path)
+            .field("rules", &self.rule_fns.len())
+            .field("has_cycle_fn", &self.cycle_fn.is_some())
+            .finish()
+    }
+}
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The cache key: FNV-1a over the design fingerprint and the full emitted
+/// source (whose header carries the ABI version, level, and cfg flags, so
+/// any change to design shape, optimization level, or emitter invalidates).
+fn cache_key(prog: &Program, source: &str) -> u64 {
+    let h = fnv1a(0xcbf29ce484222325, &prog.design.fingerprint().to_le_bytes());
+    fnv1a(h, source.as_bytes())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn artifact_stem(prog: &Program, key: u64) -> String {
+    format!("{}-{key:016x}", sanitize(&prog.design.name))
+}
+
+/// The on-disk cdylib path `prog` would build to, without building it.
+/// The path embeds the design fingerprint and full source hash, which is
+/// what the cache-invalidation guarantee rests on (and what the
+/// fingerprint-invalidation test asserts).
+///
+/// # Errors
+///
+/// [`NativeError::Unsupported`] if the lowered program cannot be emitted.
+pub fn cache_path_for(prog: &Program) -> Result<PathBuf, NativeError> {
+    let tac = TacProgram::lower(prog);
+    let emitted = emit_source(prog, &tac)?;
+    let key = cache_key(prog, &emitted.source);
+    Ok(cache_dir().join(format!("{}.so", artifact_stem(prog, key))))
+}
+
+fn engine_cache() -> &'static Mutex<HashMap<u64, Arc<NativeEngine>>> {
+    static C: OnceLock<Mutex<HashMap<u64, Arc<NativeEngine>>>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Emits, builds (or reuses from cache), loads, and resolves the native
+/// engine for `prog`.
+pub(crate) fn build_engine(prog: &Program) -> Result<Arc<NativeEngine>, NativeError> {
+    let tac = TacProgram::lower(prog);
+    let emitted = emit_source(prog, &tac)?;
+    let key = cache_key(prog, &emitted.source);
+    if let Some(e) = engine_cache().lock().unwrap().get(&key) {
+        return Ok(Arc::clone(e));
+    }
+    let so_path = ensure_built(prog, &emitted.source, key)?;
+    let engine = Arc::new(load_engine(
+        &so_path,
+        prog.rules.len(),
+        emitted.traps,
+        emitted.has_cycle_fn,
+    )?);
+    engine_cache()
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&engine));
+    Ok(engine)
+}
+
+/// Ensures the cdylib for `source` exists in the on-disk cache, invoking
+/// `rustc` only on a miss. Concurrent builders race benignly: each writes
+/// to a pid-suffixed temporary and renames into place.
+fn ensure_built(prog: &Program, source: &str, key: u64) -> Result<PathBuf, NativeError> {
+    let dir = cache_dir();
+    let stem = artifact_stem(prog, key);
+    let so_path = dir.join(format!("{stem}.so"));
+    if so_path.exists() {
+        return Ok(so_path);
+    }
+    if !toolchain_available() {
+        return Err(NativeError::NoToolchain(format!(
+            "`{} --version` failed; install rustc or point KOIKA_RUSTC at one",
+            rustc_cmd()
+        )));
+    }
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| NativeError::Build(format!("cannot create cache dir {dir:?}: {e}")))?;
+    let rs_path = dir.join(format!("{stem}.rs"));
+    std::fs::write(&rs_path, source)
+        .map_err(|e| NativeError::Build(format!("cannot write {rs_path:?}: {e}")))?;
+    let tmp = dir.join(format!("{stem}.{}.tmp.so", std::process::id()));
+    let output = std::process::Command::new(rustc_cmd())
+        .args([
+            "--edition",
+            "2021",
+            "--crate-type",
+            "cdylib",
+            "-C",
+            "opt-level=3",
+            "-C",
+            "codegen-units=1",
+            "-C",
+            "panic=abort",
+            "-C",
+            "debuginfo=0",
+            "-o",
+        ])
+        .arg(&tmp)
+        .arg(&rs_path)
+        .output()
+        .map_err(|e| NativeError::Build(format!("cannot run {}: {e}", rustc_cmd())))?;
+    if !output.status.success() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(NativeError::Build(format!(
+            "rustc failed on {rs_path:?}:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        )));
+    }
+    std::fs::rename(&tmp, &so_path)
+        .map_err(|e| NativeError::Build(format!("cannot publish {so_path:?}: {e}")))?;
+    Ok(so_path)
+}
+
+fn load_engine(
+    so_path: &Path,
+    nrules: usize,
+    traps: Vec<(u32, &'static str)>,
+    has_cycle_fn: bool,
+) -> Result<NativeEngine, NativeError> {
+    let lib = dl::open(so_path).map_err(NativeError::Load)?;
+    let mut rule_fns = Vec::with_capacity(nrules);
+    let mut rule_prof_fns = Vec::with_capacity(nrules);
+    for k in 0..nrules {
+        let p = dl::sym(&lib, &format!("koika_rule_{k}")).map_err(NativeError::Load)?;
+        let pp = dl::sym(&lib, &format!("koika_rule_{k}_prof")).map_err(NativeError::Load)?;
+        // SAFETY: the symbols were emitted by us with exactly this
+        // signature; the cache key ties the cdylib to the emitter version.
+        rule_fns.push(unsafe { std::mem::transmute::<*mut std::os::raw::c_void, RuleFn>(p) });
+        rule_prof_fns.push(unsafe { std::mem::transmute::<*mut std::os::raw::c_void, RuleFn>(pp) });
+    }
+    let cycle_fn = if has_cycle_fn {
+        let p = dl::sym(&lib, "koika_cycle").map_err(NativeError::Load)?;
+        Some(unsafe { std::mem::transmute::<*mut std::os::raw::c_void, RuleFn>(p) })
+    } else {
+        None
+    };
+    Ok(NativeEngine {
+        _lib: lib,
+        rule_fns,
+        rule_prof_fns,
+        cycle_fn,
+        traps,
+        so_path: so_path.to_path_buf(),
+    })
+}
+
+/// Minimal hand-rolled dynamic-loading shim. Unix `dlopen`/`dlsym` only —
+/// the symbols come from the libc the standard library already links, so
+/// no new dependency is introduced. Handles are intentionally never
+/// `dlclose`d: engines are process-lifetime cached and function pointers
+/// into them must stay valid.
+#[cfg(unix)]
+mod dl {
+    use std::ffi::CString;
+    use std::os::raw::{c_char, c_int, c_void};
+
+    extern "C" {
+        fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+        fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        fn dlerror() -> *mut c_char;
+    }
+
+    const RTLD_NOW: c_int = 2;
+
+    /// An open shared-object handle (never closed; see module docs).
+    pub struct Handle(#[allow(dead_code)] *mut c_void);
+
+    // SAFETY: the handle is an opaque token; dlopen/dlsym are thread-safe.
+    unsafe impl Send for Handle {}
+    unsafe impl Sync for Handle {}
+
+    fn take_error(fallback: &str) -> String {
+        // SAFETY: dlerror returns a thread-local NUL-terminated string or
+        // null; we copy it out immediately.
+        unsafe {
+            let e = dlerror();
+            if e.is_null() {
+                fallback.to_string()
+            } else {
+                std::ffi::CStr::from_ptr(e).to_string_lossy().into_owned()
+            }
+        }
+    }
+
+    pub fn open(path: &std::path::Path) -> Result<Handle, String> {
+        let c = CString::new(path.to_string_lossy().as_bytes())
+            .map_err(|_| "path contains a NUL byte".to_string())?;
+        // SAFETY: valid NUL-terminated path.
+        let h = unsafe { dlopen(c.as_ptr(), RTLD_NOW) };
+        if h.is_null() {
+            Err(take_error("dlopen failed"))
+        } else {
+            Ok(Handle(h))
+        }
+    }
+
+    pub fn sym(h: &Handle, name: &str) -> Result<*mut c_void, String> {
+        let c = CString::new(name).map_err(|_| "symbol contains a NUL byte".to_string())?;
+        // SAFETY: live handle, valid NUL-terminated symbol name.
+        let p = unsafe { dlsym(h.0, c.as_ptr()) };
+        if p.is_null() {
+            Err(format!("missing symbol {name}: {}", take_error("dlsym failed")))
+        } else {
+            Ok(p)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod dl {
+    use std::os::raw::c_void;
+
+    /// Stub handle for platforms without `dlopen`.
+    pub struct Handle;
+
+    pub fn open(_path: &std::path::Path) -> Result<Handle, String> {
+        Err("dynamic loading is not supported on this platform".to_string())
+    }
+
+    pub fn sym(_h: &Handle, _name: &str) -> Result<*mut c_void, String> {
+        Err("dynamic loading is not supported on this platform".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host-side executors.
+// ---------------------------------------------------------------------------
+
+/// Executes one rule through its compiled-native form: the exact
+/// counterpart of [`crate::tac::step_rule_tac`], sharing the
+/// prologue/commit/rollback helpers so the transactional semantics are
+/// identical at every level.
+pub(crate) fn step_rule_native(
+    prog: &Program,
+    engine: &NativeEngine,
+    st: &mut State,
+    rule_idx: usize,
+    executed: &mut u64,
+    counting: bool,
+) -> Result<bool, VmError> {
+    let cfg = prog.cfg;
+    let rule = &prog.rules[rule_idx];
+    let n = prog.init.len();
+    rule_prologue(cfg, st);
+    let f = if counting {
+        engine.rule_prof_fns[rule_idx]
+    } else {
+        engine.rule_fns[rule_idx]
+    };
+    let mut ctx = NativeCtx::for_state(st);
+    // SAFETY: the context pointers cover exactly the lengths the generated
+    // code was emitted with (validated against this program's register and
+    // coverage counts), and `st` is not touched while the call runs.
+    let ret = unsafe { f(&mut ctx) };
+    if counting {
+        *executed += ctx.executed;
+    }
+    let code = ret & 0xff;
+    let payload = (ret >> 8) as usize;
+    match code {
+        0 => {
+            rule_commit(cfg, st, rule, rule_idx, n);
+            Ok(true)
+        }
+        1 | 2 => {
+            st.last_fail = Some(FailInfo {
+                rule: usize::MAX,
+                pc: usize::MAX,
+                reg: Some(RegId(ctx.fail_reg)),
+                cycle: u64::MAX,
+            });
+            rule_failure(cfg, st, rule, rule_idx, payload, code == 2);
+            Ok(false)
+        }
+        3 | 4 => {
+            st.last_fail = Some(FailInfo {
+                rule: usize::MAX,
+                pc: usize::MAX,
+                reg: None,
+                cycle: u64::MAX,
+            });
+            rule_failure(cfg, st, rule, rule_idx, payload, code == 4);
+            Ok(false)
+        }
+        5 => {
+            let (pc, what) = engine.traps[payload];
+            Err(VmError::CompilerBug { rule: rule_idx, pc: pc as usize, what })
+        }
+        _ => Err(VmError::CompilerBug {
+            rule: rule_idx,
+            pc: 0,
+            what: "native rule returned an invalid status code",
+        }),
+    }
+}
+
+/// Runs one full cycle through the generated `koika_cycle` fast path.
+/// Caller must have checked [`NativeEngine::has_cycle_fn`]; only valid when
+/// neither history nor profiling is active (those need per-rule stepping).
+pub(crate) fn run_cycle_native(engine: &NativeEngine, st: &mut State) {
+    let f = engine.cycle_fn.expect("caller checked has_cycle_fn");
+    let mut ctx = NativeCtx::for_state(st);
+    // SAFETY: as in `step_rule_native`.
+    let any_fail = unsafe { f(&mut ctx) };
+    if any_fail != 0 {
+        st.last_fail = Some(FailInfo {
+            rule: ctx.last_rule as usize,
+            pc: ctx.last_pc as usize,
+            reg: if ctx.last_kind == 1 {
+                Some(RegId(ctx.last_reg))
+            } else {
+                None
+            },
+            cycle: st.cycles,
+        });
+    }
+    st.cycles += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::insn::Insn;
+    use crate::level::OptLevel;
+    use crate::vm::{Dispatch, Sim};
+    use koika::ast::*;
+    use koika::check::check;
+    use koika::design::DesignBuilder;
+    use koika::device::SimBackend;
+
+    /// Every native test must skip loudly (not silently, not by failing)
+    /// on machines without a toolchain.
+    fn available(test: &str) -> bool {
+        if toolchain_available() {
+            true
+        } else {
+            eprintln!("SKIP {test}: no rustc toolchain");
+            false
+        }
+    }
+
+    fn collatz() -> koika::tir::TDesign {
+        let mut b = DesignBuilder::new("native-collatz");
+        b.reg("x", 16, 7u64);
+        b.rule(
+            "even",
+            vec![iff(
+                rd0("x").and(k(16, 1)).eq(k(16, 0)),
+                vec![wr0("x", rd0("x").shr(k(16, 1)))],
+                vec![],
+            )],
+        );
+        b.rule(
+            "odd",
+            vec![iff(
+                rd1("x").and(k(16, 1)).eq(k(16, 1)),
+                vec![wr1("x", rd1("x").mul(k(16, 3)).add(k(16, 1)))],
+                vec![],
+            )],
+        );
+        check(&b.build()).unwrap()
+    }
+
+    /// Two rules racing for the same register: the second write conflicts
+    /// every cycle, exercising failure paths and `FailInfo`.
+    fn clash() -> koika::tir::TDesign {
+        let mut b = DesignBuilder::new("native-clash");
+        b.reg("n", 8, 0u64);
+        b.rule("a", vec![wr0("n", rd0("n").add(k(8, 1)))]);
+        b.rule("b", vec![wr0("n", rd0("n").add(k(8, 2)))]);
+        check(&b.build()).unwrap()
+    }
+
+    #[test]
+    fn native_matches_match_across_levels() {
+        if !available("native_matches_match_across_levels") {
+            return;
+        }
+        for td in [collatz(), clash()] {
+            for level in OptLevel::ALL {
+                for coverage in [false, true] {
+                    let opts = CompileOptions { level, coverage, ..CompileOptions::default() };
+                    let mut a = Sim::compile_with(&td, &opts).unwrap();
+                    let mut b = Sim::compile_with(&td, &opts).unwrap();
+                    b.set_dispatch(Dispatch::Native);
+                    for cyc in 0..200 {
+                        a.cycle();
+                        b.cycle();
+                        assert_eq!(
+                            a.reg_values(),
+                            b.reg_values(),
+                            "{} {level} cov={coverage} cycle {cyc}",
+                            td.name
+                        );
+                    }
+                    assert_eq!(a.rules_fired(), b.rules_fired(), "{} {level}", td.name);
+                    assert_eq!(
+                        a.coverage_counts(),
+                        b.coverage_counts(),
+                        "{} {level} cov={coverage}",
+                        td.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_failinfo_matches_interpreter() {
+        if !available("native_failinfo_matches_interpreter") {
+            return;
+        }
+        for level in OptLevel::ALL {
+            let opts = CompileOptions { level, ..CompileOptions::default() };
+            let mut a = Sim::compile_with(&clash(), &opts).unwrap();
+            let mut b = Sim::compile_with(&clash(), &opts).unwrap();
+            b.set_dispatch(Dispatch::Native);
+            for _ in 0..5 {
+                a.cycle();
+                b.cycle();
+                assert_eq!(a.last_fail(), b.last_fail(), "{level}");
+            }
+            assert!(b.last_fail().is_some(), "{level}: the clash design must conflict");
+        }
+    }
+
+    #[test]
+    fn native_profile_counts_match_interpreter() {
+        if !available("native_profile_counts_match_interpreter") {
+            return;
+        }
+        for level in OptLevel::ALL {
+            let opts = CompileOptions { level, ..CompileOptions::default() };
+            let mut a = Sim::compile_with(&collatz(), &opts).unwrap();
+            let mut b = Sim::compile_with(&collatz(), &opts).unwrap();
+            a.enable_profiling();
+            b.set_dispatch(Dispatch::Native);
+            b.enable_profiling();
+            for _ in 0..50 {
+                a.cycle();
+                b.cycle();
+            }
+            assert_eq!(
+                a.profile_insns().unwrap(),
+                b.profile_insns().unwrap(),
+                "{level}: native profiling must stay on the bytecode scale"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_cycle_fast_path_matches_per_rule_stepping() {
+        if !available("whole_cycle_fast_path_matches_per_rule_stepping") {
+            return;
+        }
+        for td in [collatz(), clash()] {
+            let opts = CompileOptions::default();
+            // `a` runs the koika_cycle fast path (no history/profiling);
+            // `b` is forced onto per-rule stepping by enabling profiling.
+            let mut a = Sim::compile_with(&td, &opts).unwrap();
+            let mut b = Sim::compile_with(&td, &opts).unwrap();
+            a.set_dispatch(Dispatch::Native);
+            b.set_dispatch(Dispatch::Native);
+            b.enable_profiling();
+            for cyc in 0..200 {
+                a.cycle();
+                b.cycle();
+                assert_eq!(a.reg_values(), b.reg_values(), "{} cycle {cyc}", td.name);
+                assert_eq!(a.last_fail(), b.last_fail(), "{} cycle {cyc}", td.name);
+            }
+            assert_eq!(a.rules_fired(), b.rules_fired(), "{}", td.name);
+        }
+    }
+
+    #[test]
+    fn stack_discipline_violation_traps_in_native() {
+        if !available("stack_discipline_violation_traps_in_native") {
+            return;
+        }
+        let mut prog = compile(&clash(), &CompileOptions::default()).unwrap();
+        prog.rules[0].code.insert(0, Insn::Add { mask: u64::MAX });
+        let mut sim = Sim::new(prog);
+        sim.set_dispatch(Dispatch::Native);
+        let err = sim.try_cycle().unwrap_err();
+        assert!(matches!(
+            err,
+            VmError::CompilerBug { rule: 0, what: "operand stack underflow", .. }
+        ));
+    }
+
+    #[test]
+    fn cache_path_is_stable_and_fingerprint_sensitive() {
+        // Pure emission — no toolchain needed, no skip.
+        let prog_a = compile(&collatz(), &CompileOptions::default()).unwrap();
+        let prog_a2 = compile(&collatz(), &CompileOptions::default()).unwrap();
+        assert_eq!(
+            cache_path_for(&prog_a).unwrap(),
+            cache_path_for(&prog_a2).unwrap(),
+            "same design, same options: the cache must hit"
+        );
+        // A different design fingerprint (extra register) must invalidate.
+        let mut b = DesignBuilder::new("native-collatz");
+        b.reg("x", 16, 7u64);
+        b.reg("extra", 8, 0u64);
+        b.rule(
+            "even",
+            vec![iff(
+                rd0("x").and(k(16, 1)).eq(k(16, 0)),
+                vec![wr0("x", rd0("x").shr(k(16, 1)))],
+                vec![],
+            )],
+        );
+        b.rule(
+            "odd",
+            vec![iff(
+                rd1("x").and(k(16, 1)).eq(k(16, 1)),
+                vec![wr1("x", rd1("x").mul(k(16, 3)).add(k(16, 1)))],
+                vec![],
+            )],
+        );
+        let td = check(&b.build()).unwrap();
+        let prog_b = compile(&td, &CompileOptions::default()).unwrap();
+        assert_ne!(
+            cache_path_for(&prog_a).unwrap(),
+            cache_path_for(&prog_b).unwrap(),
+            "a changed design fingerprint must invalidate the cache"
+        );
+        // A different optimization level must too (the generated code
+        // bakes the log discipline in).
+        let prog_o1 = compile(
+            &collatz(),
+            &CompileOptions { level: OptLevel::SplitRwSets, ..CompileOptions::default() },
+        )
+        .unwrap();
+        assert_ne!(
+            cache_path_for(&prog_a).unwrap(),
+            cache_path_for(&prog_o1).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_is_shared_through_the_process_cache() {
+        if !available("engine_is_shared_through_the_process_cache") {
+            return;
+        }
+        let prog = compile(&collatz(), &CompileOptions::default()).unwrap();
+        let e1 = build_engine(&prog).unwrap();
+        let prog2 = compile(&collatz(), &CompileOptions::default()).unwrap();
+        let e2 = build_engine(&prog2).unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2), "identical compilations must share one engine");
+        assert!(e1.so_path().exists());
+        assert!(e1.has_cycle_fn());
+    }
+
+    #[test]
+    fn snapshot_restore_keeps_native_dispatch_exact() {
+        if !available("snapshot_restore_keeps_native_dispatch_exact") {
+            return;
+        }
+        let td = collatz();
+        let opts = CompileOptions::default();
+        let mut sim = Sim::compile_with(&td, &opts).unwrap();
+        sim.set_dispatch(Dispatch::Native);
+        for _ in 0..10 {
+            sim.cycle();
+        }
+        let snap = sim.save_state();
+        let vals = sim.reg_values();
+        for _ in 0..10 {
+            sim.cycle();
+        }
+        sim.restore_state(&snap);
+        assert_eq!(sim.reg_values(), vals);
+        // And it keeps running natively afterwards, in agreement with a
+        // fresh interpreter advanced the same number of cycles.
+        let mut reference = Sim::compile_with(&td, &opts).unwrap();
+        for _ in 0..15 {
+            reference.cycle();
+        }
+        for _ in 0..5 {
+            sim.cycle();
+        }
+        assert_eq!(sim.reg_values(), reference.reg_values());
+    }
+}
+

@@ -171,19 +171,32 @@ pub enum Dispatch {
     /// [`crate::tac`]). The hot loop does no operand-stack traffic and no
     /// re-decoding.
     Tac,
+    /// Compiled native code: the micro-op program is emitted as Rust
+    /// source, built with `rustc` into a cdylib (cached by design
+    /// fingerprint), and loaded through a hand-rolled `dlopen` shim — the
+    /// paper's "compile, don't interpret" thesis applied to our own VM
+    /// (see [`crate::native`]). Requires a Rust toolchain at run time;
+    /// selection fails loudly (never a silent fallback) without one.
+    Native,
 }
 
 impl Dispatch {
     /// Every dispatch backend, in a stable order (used by differential
     /// test matrices).
-    pub const ALL: [Dispatch; 3] = [Dispatch::Match, Dispatch::Closure, Dispatch::Tac];
+    pub const ALL: [Dispatch; 4] = [
+        Dispatch::Match,
+        Dispatch::Closure,
+        Dispatch::Tac,
+        Dispatch::Native,
+    ];
 
-    /// The CLI spelling (`--dispatch match|closure|tac`).
+    /// The CLI spelling (`--dispatch match|closure|tac|native`).
     pub fn short_name(self) -> &'static str {
         match self {
             Dispatch::Match => "match",
             Dispatch::Closure => "closure",
             Dispatch::Tac => "tac",
+            Dispatch::Native => "native",
         }
     }
 
@@ -193,6 +206,7 @@ impl Dispatch {
             "match" => Some(Dispatch::Match),
             "closure" => Some(Dispatch::Closure),
             "tac" => Some(Dispatch::Tac),
+            "native" => Some(Dispatch::Native),
             _ => None,
         }
     }
@@ -227,6 +241,9 @@ pub struct Sim {
     /// The lowered micro-op program for [`Dispatch::Tac`], built on first
     /// selection.
     tac: Option<crate::tac::TacProgram>,
+    /// The loaded native engine for [`Dispatch::Native`], built (or pulled
+    /// from the process-wide cache) on first selection.
+    native: Option<std::sync::Arc<crate::native::NativeEngine>>,
     history: Option<History>,
     mid_cycle: bool,
     /// Per-rule executed-instruction counters (gprof-style profiling),
@@ -275,6 +292,7 @@ impl Sim {
             dispatch: Dispatch::Match,
             closures: Vec::new(),
             tac: None,
+            native: None,
             history: None,
             mid_cycle: false,
             profile: None,
@@ -303,13 +321,35 @@ impl Sim {
     /// table, the lowered micro-op program); if that preparation is ever
     /// missing at execution time it is rebuilt there — the selected backend
     /// is always the one that runs, never a silent fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Dispatch::Native`] is requested and the engine cannot
+    /// be built (no toolchain, build or load failure). Use
+    /// [`Sim::try_set_dispatch`] to handle that case gracefully.
     pub fn set_dispatch(&mut self, dispatch: Dispatch) {
-        self.dispatch = dispatch;
+        if let Err(e) = self.try_set_dispatch(dispatch) {
+            panic!("cannot select {} dispatch: {e}", dispatch.short_name());
+        }
+    }
+
+    /// Fallible form of [`Sim::set_dispatch`]: the only backend whose
+    /// preparation can actually fail is [`Dispatch::Native`] (it needs a
+    /// `rustc` at run time); the others always succeed.
+    ///
+    /// # Errors
+    ///
+    /// [`NativeError`] when the native engine cannot be emitted, built, or
+    /// loaded. The previously selected dispatch stays in effect.
+    pub fn try_set_dispatch(&mut self, dispatch: Dispatch) -> Result<(), crate::NativeError> {
         match dispatch {
             Dispatch::Match => {}
             Dispatch::Closure => self.build_closures(),
             Dispatch::Tac => self.build_tac(),
+            Dispatch::Native => self.build_native()?,
         }
+        self.dispatch = dispatch;
+        Ok(())
     }
 
     /// The currently selected dispatch backend.
@@ -341,6 +381,13 @@ impl Sim {
         if self.tac.is_none() {
             self.tac = Some(crate::tac::TacProgram::lower(&self.prog));
         }
+    }
+
+    fn build_native(&mut self) -> Result<(), crate::NativeError> {
+        if self.native.is_none() {
+            self.native = Some(crate::native::build_engine(&self.prog)?);
+        }
+        Ok(())
     }
 
     /// The compiled program backing this simulator.
@@ -493,6 +540,26 @@ impl Sim {
                     &self.prog,
                     &tac.rules[rule_idx],
                     &mut tac.slots[rule_idx],
+                    &mut self.st,
+                    rule_idx,
+                    &mut executed,
+                    counting,
+                )
+            }
+            Dispatch::Native => {
+                if self.native.is_none() {
+                    // Rebuild-never-fallback: the public API only reaches
+                    // here with the engine prepared (set_dispatch built
+                    // it), so a failure now is a real environment change.
+                    self.native = Some(
+                        crate::native::build_engine(&self.prog)
+                            .expect("native dispatch selected but engine unbuildable"),
+                    );
+                }
+                let engine = self.native.as_ref().expect("just built");
+                crate::native::step_rule_native(
+                    &self.prog,
+                    engine,
                     &mut self.st,
                     rule_idx,
                     &mut executed,
@@ -1180,6 +1247,19 @@ impl RegAccess for Sim {
 impl SimBackend for Sim {
     fn cycle(&mut self) {
         debug_assert!(!self.mid_cycle, "cycle() called while stepping mid-cycle");
+        // Whole-cycle fast path: the generated `koika_cycle` runs the full
+        // schedule (prologue, bodies, commit/rollback, end-of-cycle merge)
+        // in one native call. Only when nothing needs per-rule hooks:
+        // history wants a snapshot per cycle boundary (end_cycle pushes
+        // it) and profiling wants per-rule counters.
+        if self.dispatch == Dispatch::Native && self.history.is_none() && self.profile.is_none() {
+            if let Some(engine) = &self.native {
+                if engine.has_cycle_fn() {
+                    crate::native::run_cycle_native(engine, &mut self.st);
+                    return;
+                }
+            }
+        }
         self.begin_cycle();
         for i in 0..self.prog.schedule.len() {
             let rule = self.prog.schedule[i];

@@ -17,7 +17,9 @@
 //! Options:
 //!   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
 //!   --level <1..6>      Cuttlesim optimization level  (default 6)
-//!   --dispatch <match|closure|tac>  Cuttlesim dispatch engine (default match)
+//!   --dispatch <match|closure|tac|native>  Cuttlesim dispatch engine
+//!                       (default match; native compiles to a cdylib via rustc)
+//!   --native-cache <DIR>  cache directory for native-dispatch artifacts
 //!   --cycles <N>        cycles to run        (default 10000; 96 under --fuzz)
 //!   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
 //!   --vcd <FILE>        record all registers to a VCD file
@@ -92,6 +94,7 @@ struct Args {
     backend: String,
     level: u32,
     dispatch: Option<String>,
+    native_cache: Option<String>,
     cycles: Option<u64>,
     program: String,
     vcd: Option<String>,
@@ -165,9 +168,16 @@ Designs:
 Options:
   --backend <interp|cuttlesim|rtl|rtl-static>   (default cuttlesim)
   --level <1..6>      Cuttlesim optimization level  (default 6)
-  --dispatch <match|closure|tac>  Cuttlesim instruction dispatch: direct
-                      bytecode match, pre-bound closures, or the
-                      register-form micro-op engine  (default match)
+  --dispatch <match|closure|tac|native>  Cuttlesim instruction dispatch:
+                      direct bytecode match, pre-bound closures, the
+                      register-form micro-op engine, or ahead-of-time
+                      compiled Rust loaded as a shared library (requires a
+                      rustc toolchain; see --native-cache)  (default match)
+  --native-cache <DIR>  cache directory for native-dispatch generated
+                      sources and shared libraries (default
+                      $KOIKA_NATIVE_CACHE or <tmp>/koika-native-cache);
+                      artifacts are keyed by design fingerprint, so a
+                      changed design never reuses a stale library
   --cycles <N>        cycles to run       (default 10000; 96 under --fuzz)
   --program <primes:N|nops:N|branchy:N>  core workload (default primes:100)
   --vcd <FILE>        record all registers to a VCD file
@@ -302,6 +312,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
         backend: "cuttlesim".into(),
         level: 6,
         dispatch: None,
+        native_cache: None,
         cycles: None,
         program: "primes:100".into(),
         vcd: None,
@@ -350,6 +361,7 @@ fn parse_args() -> Result<Args, Result<ExitCode, CliError>> {
             "--backend" => args.backend = value("--backend")?,
             "--level" => args.level = parsed("--level", value("--level")?)?,
             "--dispatch" => args.dispatch = Some(value("--dispatch")?),
+            "--native-cache" => args.native_cache = Some(value("--native-cache")?),
             "--cycles" => args.cycles = Some(parsed("--cycles", value("--cycles")?)?),
             "--program" => args.program = value("--program")?,
             "--vcd" => args.vcd = Some(value("--vcd")?),
@@ -469,10 +481,17 @@ fn validate(args: &Args) -> Result<Plan, CliError> {
         None => Dispatch::Match,
         Some(name) => Dispatch::from_name(name).ok_or_else(|| {
             CliError::usage(format!(
-                "bad --dispatch {name:?}: expected match, closure, or tac"
+                "bad --dispatch {name:?}: expected match, closure, tac, or native"
             ))
         })?,
     };
+    if dispatch == Dispatch::Native && !cuttlesim::toolchain_available() {
+        return Err(CliError::usage(
+            "--dispatch native requires a rustc toolchain, and none was found \
+             (install rustc or point KOIKA_RUSTC at one); the match, closure, \
+             and tac dispatchers work without a toolchain",
+        ));
+    }
     if dispatch != Dispatch::Match && args.backend != "cuttlesim" {
         return Err(CliError::usage(format!(
             "--dispatch {} requires the cuttlesim backend (got {:?})",
@@ -705,7 +724,13 @@ fn build_sim(
                 },
             )
             .map_err(|e| CliError::runtime(format!("cuttlesim compile error: {e}")))?;
-            sim.set_dispatch(dispatch);
+            sim.try_set_dispatch(dispatch).map_err(|e| {
+                CliError::usage(format!(
+                    "cannot select {} dispatch: {e} (install rustc or point \
+                     KOIKA_RUSTC at one)",
+                    dispatch.short_name()
+                ))
+            })?;
             if profile {
                 sim.enable_profiling();
             }
@@ -1177,16 +1202,35 @@ fn debug_first_fuzz_divergence(args: &Args, report: &fuzz::FuzzReport) -> Result
 
 fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
     let cases = args.fuzz.unwrap_or(0);
-    // No --dispatch under --fuzz means the full matrix (all three
+    // No --dispatch under --fuzz means the full matrix (all four
     // dispatchers per VM level), not the scalar default of Match.
     let dispatch = match args.dispatch.as_deref() {
         None => None,
         Some(name) => Some(Dispatch::from_name(name).ok_or_else(|| {
             CliError::usage(format!(
-                "bad --dispatch {name:?}: expected match, closure, or tac"
+                "bad --dispatch {name:?}: expected match, closure, tac, or native"
             ))
         })?),
     };
+    if !cuttlesim::toolchain_available() {
+        // An explicit `--dispatch native` request with no toolchain is a
+        // loud no-op (exit 0, nothing silently substituted) so CI can run
+        // the native smoke unconditionally; a default-matrix run proceeds
+        // with native excluded, but says so.
+        if dispatch == Some(Dispatch::Native) {
+            eprintln!(
+                "SKIP: --fuzz --dispatch native requires a rustc toolchain, and none \
+                 was found (install rustc or point KOIKA_RUSTC at one); no cases run"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        if dispatch.is_none() {
+            eprintln!(
+                "note: no rustc toolchain found; the native dispatcher is excluded \
+                 from the fuzz comparison matrix (18 backends instead of 24)"
+            );
+        }
+    }
     let cfg = cuttlesim_repro::fuzz::FuzzConfig {
         seed: args.seed,
         cases,
@@ -1231,6 +1275,12 @@ fn run_fuzz_mode(args: &Args) -> Result<ExitCode, CliError> {
 }
 
 fn run_replay_corpus_mode(args: &Args, dir: &str) -> Result<ExitCode, CliError> {
+    if !cuttlesim::toolchain_available() {
+        eprintln!(
+            "note: no rustc toolchain found; the native dispatcher is excluded \
+             from the replay comparison matrix"
+        );
+    }
     let results = cuttlesim_repro::fuzz::replay_corpus_dir(std::path::Path::new(dir))
         .map_err(|e| CliError::runtime(format!("cannot read corpus dir {dir}: {e}")))?;
     if results.is_empty() {
@@ -1468,6 +1518,12 @@ fn run_batched_normal_mode(args: &Args, plan: &Plan, width: usize) -> Result<Exi
 }
 
 fn run(args: &Args) -> Result<ExitCode, CliError> {
+    // The native-dispatch artifact cache is configured through the
+    // environment so every layer (scalar sims, batch engines, fuzz
+    // workers) sees the same directory without threading a path through.
+    if let Some(dir) = &args.native_cache {
+        std::env::set_var("KOIKA_NATIVE_CACHE", dir);
+    }
     // --batch 0 is rejected up front: it applies to every mode, including
     // the design-free ones dispatched below.
     if args.batch == Some(0) {

@@ -59,14 +59,21 @@ fn run_session(dir: &Path, design: &str, backend_flags: &[&str], cycles: &str, s
 
 /// The backend matrix every session is compared across. The batched
 /// engine is appended only when the design fits its ≤64-bit lane model.
+/// The native dispatcher joins the matrix only when a rustc toolchain is
+/// present — the skip is announced on stderr, never silent.
 fn backend_matrix(with_batch: bool) -> Vec<Vec<&'static str>> {
     let mut m = vec![
         vec!["--backend", "interp"],
         vec!["--backend", "cuttlesim", "--dispatch", "match"],
         vec!["--backend", "cuttlesim", "--dispatch", "closure"],
         vec!["--backend", "cuttlesim", "--dispatch", "tac"],
-        vec!["--backend", "rtl"],
     ];
+    if cuttlesim::toolchain_available() {
+        m.push(vec!["--backend", "cuttlesim", "--dispatch", "native"]);
+    } else {
+        eprintln!("SKIP: no rustc toolchain; native dispatch row excluded from the debugger matrix");
+    }
+    m.push(vec!["--backend", "rtl"]);
     if with_batch {
         m.push(vec!["--batch", "3"]);
     }
@@ -201,13 +208,18 @@ fn vcd_is_byte_identical_across_dispatchers_and_batch_lane() {
     // `--batch` (recording the selected lane) produces byte-identical
     // waveforms for identical instances.
     let dir = scratch("vcd");
-    let matrix: Vec<Vec<&str>> = vec![
+    let mut matrix: Vec<Vec<&str>> = vec![
         vec!["--dispatch", "match"],
         vec!["--dispatch", "closure"],
         vec!["--dispatch", "tac"],
-        vec!["--batch", "3"],
-        vec!["--batch", "3", "--vcd-lane", "1"],
     ];
+    if cuttlesim::toolchain_available() {
+        matrix.push(vec!["--dispatch", "native"]);
+    } else {
+        eprintln!("SKIP: no rustc toolchain; native dispatch row excluded from the VCD matrix");
+    }
+    matrix.push(vec!["--batch", "3"]);
+    matrix.push(vec!["--batch", "3", "--vcd-lane", "1"]);
     let mut reference: Option<Vec<u8>> = None;
     for (i, flags) in matrix.iter().enumerate() {
         let vcd_path = dir.join(format!("wave-{i}.vcd"));

@@ -5,7 +5,7 @@
 use std::path::Path;
 use std::process::Command;
 
-use cuttlesim_repro::fuzz::{replay_corpus_dir, CorpusEntry, Expectation};
+use cuttlesim_repro::fuzz::{replay_corpus_dir, run_case_dispatch, CorpusEntry, Expectation};
 
 fn corpus_dir() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
@@ -23,6 +23,45 @@ fn checked_in_corpus_replays_clean() {
             panic!("corpus entry {} failed to replay: {msg}", path.display());
         }
     }
+}
+
+#[test]
+fn checked_in_corpus_agrees_under_native_dispatch() {
+    // Satellite pin: every checked-in reproducer seed, re-run with the VM
+    // axis restricted to the compiled-native dispatcher, still agrees
+    // cycle-for-cycle with the reference interpreter at all six levels.
+    // (`checked_in_corpus_replays_clean` covers native only implicitly —
+    // and not at all on a toolchain-less host — so this pins it by name.)
+    if !cuttlesim::toolchain_available() {
+        eprintln!(
+            "SKIP checked_in_corpus_agrees_under_native_dispatch: no rustc toolchain"
+        );
+        return;
+    }
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "fuzz") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entry = CorpusEntry::from_text(&text).unwrap();
+        let case = run_case_dispatch(entry.seed, entry.cycles, Some(cuttlesim::Dispatch::Native));
+        let native_findings: Vec<String> = case
+            .findings
+            .iter()
+            .map(|f| f.key())
+            .filter(|k| k.contains("native"))
+            .collect();
+        assert!(
+            native_findings.is_empty(),
+            "corpus entry {} diverges under native dispatch: {}",
+            path.display(),
+            native_findings.join(", ")
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 4, "expected the 4 checked-in entries, saw {replayed}");
 }
 
 #[test]
