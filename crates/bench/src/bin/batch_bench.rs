@@ -1,23 +1,26 @@
 //! Measures the batched lock-step SoA engine against the scalar Cuttlesim
-//! VM and writes a machine-readable baseline to `BENCH_PR4.json`.
+//! VM and writes a machine-readable baseline to `BENCH_PR10.json`.
 //!
 //! For each of `collatz`, `fir`, and `rv32i-primes`, the scalar VM at the
 //! top optimization level is timed first, then the batched engine at lane
 //! widths 16 and 32 with identical per-lane stimulus (identical lanes never
 //! diverge, so this is the engine's pure lock-step throughput). Batched
-//! rows report *instance*-cycles per second — `cycles * lanes / wall` —
-//! which is the number comparable to the scalar cycles/sec.
+//! rows are measured on the Tac micro-op interpreter and — when a `rustc`
+//! toolchain is available — the compiled native batch kernels, and report
+//! *instance*-cycles per second — `cycles * lanes / wall` — which is the
+//! number comparable to the scalar cycles/sec.
 //!
 //! ```text
-//! Usage: batch_bench [--quick] [--out FILE]
-//!   --quick    tiny cycle budgets (CI smoke: validates the JSON shape,
-//!              asserts nothing about performance)
-//!   --out FILE where to write the JSON baseline (default BENCH_PR4.json)
+//! Usage: batch_bench [--quick] [--out FILE] [--only NAMES]
+//!   --quick      tiny cycle budgets (CI smoke: validates the JSON shape,
+//!                asserts nothing about performance)
+//!   --out FILE   where to write the JSON baseline (default BENCH_PR10.json)
+//!   --only NAMES comma-separated design filter (e.g. `--only collatz`)
 //! ```
 //!
 //! Cycle budgets also honor `CUTTLE_BENCH_SCALE`.
 
-use cuttlesim::{Dispatch, OptLevel};
+use cuttlesim::{toolchain_available, Dispatch, OptLevel};
 use cuttlesim_bench::{all_benches, run_bench, run_bench_batched, scaled, BackendKind, RunStats};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -31,6 +34,7 @@ const WIDTHS: [usize; 2] = [16, 32];
 struct Row {
     design: &'static str,
     lanes: usize,
+    dispatch: Dispatch,
     stats: RunStats,
     /// Instance-cycles per second (== `stats.cps()` for the scalar row).
     ips: f64,
@@ -49,7 +53,8 @@ fn git_rev() -> String {
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
+    let mut only: Option<Vec<String>> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -61,22 +66,42 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--only" => match argv.next() {
+                Some(v) => only = Some(v.split(',').map(|s| s.to_string()).collect()),
+                None => {
+                    eprintln!("missing value for --only");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown option {other} (batch_bench takes --quick and --out FILE)");
+                eprintln!(
+                    "unknown option {other} (batch_bench takes --quick, --out FILE, --only NAMES)"
+                );
                 return ExitCode::from(2);
             }
         }
     }
 
     let level = OptLevel::max();
+    let mut dispatches = vec![Dispatch::Tac];
+    if toolchain_available() {
+        dispatches.push(Dispatch::Native);
+    } else {
+        eprintln!("note: no rustc toolchain found; skipping native batch rows");
+    }
     let mut rows: Vec<Row> = Vec::new();
     println!(
-        "{:<14} {:>6} {:>12} {:>10} {:>16} {:>8}",
-        "design", "lanes", "cycles", "wall ms", "inst-cycles/s", "speedup"
+        "{:<14} {:>8} {:>6} {:>12} {:>10} {:>16} {:>8}",
+        "design", "dispatch", "lanes", "cycles", "wall ms", "inst-cycles/s", "speedup"
     );
     for bench in all_benches() {
         if !DESIGNS.contains(&bench.name) {
             continue;
+        }
+        if let Some(f) = &only {
+            if !f.iter().any(|n| n == bench.name) {
+                continue;
+            }
         }
         let cycles = if quick {
             5_000
@@ -85,23 +110,27 @@ fn main() -> ExitCode {
         };
         let scalar = run_bench(&bench, BackendKind::Vm(level, Dispatch::Match), cycles);
         let scalar_cps = scalar.cps();
-        print_row(bench.name, 1, &scalar, scalar_cps, 1.0);
+        print_row(bench.name, Dispatch::Match, 1, &scalar, scalar_cps, 1.0);
         rows.push(Row {
             design: bench.name,
             lanes: 1,
+            dispatch: Dispatch::Match,
             stats: scalar,
             ips: scalar_cps,
         });
-        for lanes in WIDTHS {
-            let stats = run_bench_batched(&bench, level, cycles, lanes);
-            let ips = stats.cps() * lanes as f64;
-            print_row(bench.name, lanes, &stats, ips, ips / scalar_cps);
-            rows.push(Row {
-                design: bench.name,
-                lanes,
-                stats,
-                ips,
-            });
+        for &dispatch in &dispatches {
+            for lanes in WIDTHS {
+                let stats = run_bench_batched(&bench, level, dispatch, cycles, lanes);
+                let ips = stats.cps() * lanes as f64;
+                print_row(bench.name, dispatch, lanes, &stats, ips, ips / scalar_cps);
+                rows.push(Row {
+                    design: bench.name,
+                    lanes,
+                    dispatch,
+                    stats,
+                    ips,
+                });
+            }
         }
     }
 
@@ -114,10 +143,18 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn print_row(design: &str, lanes: usize, stats: &RunStats, ips: f64, speedup: f64) {
+fn print_row(
+    design: &str,
+    dispatch: Dispatch,
+    lanes: usize,
+    stats: &RunStats,
+    ips: f64,
+    speedup: f64,
+) {
     println!(
-        "{:<14} {:>6} {:>12} {:>10.1} {:>16.0} {:>7.2}x",
+        "{:<14} {:>8} {:>6} {:>12} {:>10.1} {:>16.0} {:>7.2}x",
         design,
+        dispatch.short_name(),
         lanes,
         stats.cycles,
         stats.secs * 1e3,
@@ -137,7 +174,8 @@ fn render_json(rows: &[Row], quick: bool) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"design\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"cycles\": {}, \
+            "    {{\"design\": \"{}\", \"backend\": \"{}\", \"dispatch\": \"{}\", \
+             \"batch\": {}, \"cycles\": {}, \
              \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}}}{}",
             r.design,
             if r.lanes == 1 {
@@ -145,6 +183,7 @@ fn render_json(rows: &[Row], quick: bool) -> String {
             } else {
                 "cuttlesim-batch"
             },
+            r.dispatch.short_name(),
             r.lanes,
             r.stats.cycles,
             r.stats.secs * 1e3,

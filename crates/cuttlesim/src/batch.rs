@@ -57,8 +57,10 @@
 
 use crate::compile::{compile, CompileError, CompileOptions, CopyPlan, Program};
 use crate::insn::Insn;
+use crate::simd;
+use crate::simd::lane_mask;
 use crate::tac::{TacRule, Uop};
-use crate::vm::{fused, step_rule_impl, Dispatch, FailInfo, State, VmError};
+use crate::vm::{step_rule_impl, Dispatch, FailInfo, State, VmError};
 use koika::bits::word;
 use koika::device::{BatchBackend, RegAccess};
 use koika::tir::{RegId, TDesign};
@@ -88,6 +90,10 @@ struct RuleMeta {
     /// Sorted, deduplicated flat register indices of every write-class
     /// instruction in the rule (array writes contribute their whole range).
     writes: Vec<u32>,
+    /// Sorted, deduplicated union of the rule's checked reads and writes —
+    /// the only registers whose read-write-set bytes the lock-step engine
+    /// can mutate, bounding the rw-plane snapshot and the O1 commit merge.
+    touched: Vec<u32>,
     /// First coverage counter id owned by this rule.
     cov_start: u32,
     /// Number of coverage counters owned by this rule.
@@ -99,6 +105,7 @@ fn rule_metas(prog: &Program) -> Vec<RuleMeta> {
         .iter()
         .map(|rule| {
             let mut writes: Vec<u32> = Vec::new();
+            let mut reads: Vec<u32> = Vec::new();
             let mut cov_min = u32::MAX;
             let mut cov_max = 0u32;
             for insn in &rule.code {
@@ -112,6 +119,10 @@ fn rule_metas(prog: &Program) -> Vec<RuleMeta> {
                     | Insn::Wr1Arr { base, mask, .. }
                     | Insn::Wr0ArrFast { base, mask }
                     | Insn::Wr1ArrFast { base, mask } => writes.extend(base..=base + mask),
+                    Insn::Rd0 { reg, .. } | Insn::Rd1 { reg, .. } => reads.push(reg),
+                    Insn::Rd0Arr { base, mask, .. } | Insn::Rd1Arr { base, mask, .. } => {
+                        reads.extend(base..=base + mask);
+                    }
                     Insn::Cov(id) => {
                         cov_min = cov_min.min(id);
                         cov_max = cov_max.max(id);
@@ -121,6 +132,10 @@ fn rule_metas(prog: &Program) -> Vec<RuleMeta> {
             }
             writes.sort_unstable();
             writes.dedup();
+            let mut touched = writes.clone();
+            touched.extend(reads);
+            touched.sort_unstable();
+            touched.dedup();
             let (cov_start, cov_len) = if cov_min == u32::MAX {
                 (0, 0)
             } else {
@@ -128,6 +143,7 @@ fn rule_metas(prog: &Program) -> Vec<RuleMeta> {
             };
             RuleMeta {
                 writes,
+                touched,
                 cov_start,
                 cov_len,
             }
@@ -169,16 +185,32 @@ pub struct BatchSim {
     /// Rules committed this cycle, per lane, in schedule order — the raw
     /// material for commit digests (the batched/scalar equivalence oracle).
     commits: Vec<Vec<u32>>,
+    // Lock-step bookkeeping bases. A lock-step outcome is identical across
+    // lanes by construction, so the hot arms bump one base counter instead
+    // of `lanes` overlay slots; a lane's observable count is always
+    // `base + overlay`, and the divergence fallback keeps bumping the
+    // per-lane overlays above.
+    fired_base: u64,
+    fired_per_rule_base: Vec<u64>,
+    fail_per_rule_base: Vec<u64>,
+    /// Most recent lock-step failure (identical for every lane). Shadows
+    /// the per-lane `last_fail` entries until a divergence (or a dispatch
+    /// switch) materializes it into them.
+    last_fail_uniform: Option<FailInfo>,
+    /// This cycle's commits while every lane still agrees; the first
+    /// divergence of the cycle copies it into the per-lane vectors and
+    /// flips `commits_split`.
+    commits_uniform: Vec<u32>,
+    commits_split: bool,
     // Divergence-fallback machinery.
     rule_meta: Vec<RuleMeta>,
     /// Scalar scratch state for running diverged lanes through the exact
     /// scalar rule executor.
     scratch: State,
-    // Rule-entry snapshot buffers (post-prologue).
+    // Rule-entry snapshot buffers (post-prologue). Only the rw byte plane
+    // and coverage counters are ever saved — data stripes and locals are
+    // recoverable without a snapshot (see `step_rule_batch_inner`).
     snap_rw: Vec<u8>,
-    snap_d0: Vec<u64>,
-    snap_d1: Vec<u64>,
-    snap_locals: Vec<u64>,
     snap_cov: Vec<u64>,
     // Lock-step effectiveness counters.
     lockstep_rules: u64,
@@ -193,6 +225,27 @@ pub struct BatchSim {
     /// Loaded native engine for `Dispatch::Native` (built by
     /// `set_dispatch`; shared with scalar sims via the process-wide cache).
     native: Option<std::sync::Arc<crate::native::NativeEngine>>,
+    /// Per-rule SoA slot files for the batched native entry points — the
+    /// same layout and lifecycle as `tac_slots` (the generated lane loops
+    /// index `slot * lanes + lane` exactly like the micro-op interpreter).
+    native_slots: Vec<Vec<u64>>,
+}
+
+/// Builds one SoA slot file per rule (`slot * lanes + lane`), constant
+/// slots pre-broadcast across all lanes. Non-constant slots start at zero
+/// and are def-before-use by construction, so the files can persist across
+/// rules and cycles untouched.
+fn soa_slot_files(tac: &crate::tac::TacProgram, lanes: usize) -> Vec<Vec<u64>> {
+    tac.rules
+        .iter()
+        .map(|r| {
+            let mut soa = vec![0u64; r.slot_init.len() * lanes];
+            for (s, &v) in r.slot_init.iter().enumerate() {
+                soa[s * lanes..(s + 1) * lanes].fill(v);
+            }
+            soa
+        })
+        .collect()
 }
 
 impl BatchSim {
@@ -267,16 +320,15 @@ impl BatchSim {
             fail_per_rule: vec![0; nrules * lanes],
             last_fail: vec![None; lanes],
             commits: vec![Vec::new(); lanes],
+            fired_base: 0,
+            fired_per_rule_base: vec![0; nrules],
+            fail_per_rule_base: vec![0; nrules],
+            last_fail_uniform: None,
+            commits_uniform: Vec::new(),
+            commits_split: false,
             rule_meta,
             scratch,
             snap_rw: vec![0; n * lanes],
-            snap_d0: vec![0; n * lanes],
-            snap_d1: if cfg.merged_data {
-                Vec::new()
-            } else {
-                vec![0; n * lanes]
-            },
-            snap_locals: vec![0; max_locals * lanes],
             snap_cov: vec![0; ncov * lanes],
             lockstep_rules: 0,
             fallback_rules: 0,
@@ -284,6 +336,7 @@ impl BatchSim {
             tac: None,
             tac_slots: Vec::new(),
             native: None,
+            native_slots: Vec::new(),
             prog,
         }
     }
@@ -294,12 +347,13 @@ impl BatchSim {
     /// programs, decoding each micro-op once per cycle for all lanes.
     /// [`Dispatch::Closure`] has no batched analogue (closures are built
     /// around the scalar state), so it selects the same lock-step bytecode
-    /// interpreter as [`Dispatch::Match`]. [`Dispatch::Native`] has no
-    /// lock-step analogue either (the generated code is scalar by
-    /// construction), so every rule runs lane-by-lane through the compiled
-    /// functions — still the native engine, never a silent fallback. The
-    /// divergence fallback always re-runs lanes through the exact scalar
-    /// bytecode executor, which is bit-identical to every dispatcher by
+    /// interpreter as [`Dispatch::Match`]. [`Dispatch::Native`] runs each
+    /// rule through its compiled batched entry point: straight-line lane
+    /// loops with no interpreter dispatch at all — the fastest lock-step
+    /// path. On divergence the native dispatch re-runs lanes through the
+    /// compiled *scalar* rule functions (never a silent interpreter
+    /// fallback); the interpreted dispatches re-run through the exact
+    /// scalar bytecode executor. All of these are bit-identical by
     /// construction.
     ///
     /// # Panics
@@ -320,24 +374,27 @@ impl BatchSim {
     /// [`crate::NativeError`] when the native engine cannot be emitted,
     /// built, or loaded. The previous dispatch stays selected.
     pub fn try_set_dispatch(&mut self, dispatch: Dispatch) -> Result<(), crate::NativeError> {
+        if dispatch != self.dispatch {
+            // The interpreted dispatches record per-lane failure info
+            // directly, so a pending lock-step uniform from the native arm
+            // must be materialized before it could be shadowed by stale
+            // per-lane entries.
+            if let Some(fi) = self.last_fail_uniform.take() {
+                self.last_fail.fill(Some(fi));
+            }
+        }
         if dispatch == Dispatch::Native && self.native.is_none() {
-            self.native = Some(crate::native::build_engine(&self.prog)?);
+            self.native = Some(crate::native::build_engine_batched(&self.prog, self.lanes)?);
+            // The generated lane loops run over the same slot-file shape
+            // the micro-op interpreter uses (lowering is deterministic, so
+            // this matches what the engine was emitted against).
+            let tac = crate::tac::TacProgram::lower(&self.prog);
+            self.native_slots = soa_slot_files(&tac, self.lanes);
         }
         self.dispatch = dispatch;
         if dispatch == Dispatch::Tac && self.tac.is_none() {
             let tac = crate::tac::TacProgram::lower(&self.prog);
-            let lanes = self.lanes;
-            self.tac_slots = tac
-                .rules
-                .iter()
-                .map(|r| {
-                    let mut soa = vec![0u64; r.slot_init.len() * lanes];
-                    for (s, &v) in r.slot_init.iter().enumerate() {
-                        soa[s * lanes..(s + 1) * lanes].fill(v);
-                    }
-                    soa
-                })
-                .collect();
+            self.tac_slots = soa_slot_files(&tac, self.lanes);
             self.tac = Some(tac);
         }
         Ok(())
@@ -406,35 +463,41 @@ impl BatchSim {
             .collect()
     }
 
-    /// Total rules committed by one lane.
+    /// Total rules committed by one lane (lock-step base plus the lane's
+    /// divergence-fallback overlay).
     pub fn lane_fired(&self, lane: usize) -> u64 {
-        self.fired[lane]
+        self.fired_base + self.fired[lane]
     }
 
     /// One lane's per-rule commit counts (rule-declaration order).
     pub fn lane_fired_per_rule(&self, lane: usize) -> Vec<u64> {
         (0..self.prog.rules.len())
-            .map(|r| self.fired_per_rule[r * self.lanes + lane])
+            .map(|r| self.fired_per_rule_base[r] + self.fired_per_rule[r * self.lanes + lane])
             .collect()
     }
 
     /// One lane's per-rule failure counts.
     pub fn lane_fails_per_rule(&self, lane: usize) -> Vec<u64> {
         (0..self.prog.rules.len())
-            .map(|r| self.fail_per_rule[r * self.lanes + lane])
+            .map(|r| self.fail_per_rule_base[r] + self.fail_per_rule[r * self.lanes + lane])
             .collect()
     }
 
     /// One lane's most recent rule failure, if any.
     pub fn lane_last_fail(&self, lane: usize) -> Option<FailInfo> {
-        self.last_fail[lane]
+        self.last_fail_uniform.or(self.last_fail[lane])
     }
 
     /// The rules one lane committed during the most recent cycle, as rule
     /// indices in schedule order — feed these to a commit-fingerprint to
     /// compare against a scalar run.
     pub fn lane_commits(&self, lane: usize) -> &[u32] {
-        &self.commits[lane]
+        assert!(lane < self.lanes, "lane out of range");
+        if self.commits_split {
+            &self.commits[lane]
+        } else {
+            &self.commits_uniform
+        }
     }
 
     /// A [`RegAccess`] view of one lane, for devices that tick against a
@@ -458,27 +521,35 @@ impl BatchSim {
         if self.prog.cfg.reset_on_fail {
             self.log_rw.fill(0);
         }
-        for c in &mut self.commits {
-            c.clear();
-        }
+        // While every lane agrees the cycle's commits live in the shared
+        // `commits_uniform`; the per-lane vectors (possibly stale from an
+        // earlier split cycle) only become visible again after a divergence
+        // re-materializes them.
+        self.commits_uniform.clear();
+        self.commits_split = false;
         for i in 0..self.prog.schedule.len() {
             let rule = self.prog.schedule[i];
             self.step_rule_batch(rule)?;
         }
-        // end_cycle, vectorized.
+        // end_cycle, vectorized and branchless: expand each lane's W0/W1
+        // bits into full-word masks and blend — no per-element branches.
         let cfg = self.prog.cfg;
         if !cfg.no_boc {
-            for i in 0..self.boc.len() {
-                let rw = self.cyc_rw[i];
-                if rw & W1 != 0 {
-                    self.boc[i] = if cfg.merged_data {
-                        self.cyc_d0[i]
-                    } else {
-                        self.cyc_d1[i]
-                    };
-                } else if rw & W0 != 0 {
-                    self.boc[i] = self.cyc_d0[i];
-                }
+            let d1 = if cfg.merged_data {
+                &self.cyc_d0
+            } else {
+                &self.cyc_d1
+            };
+            for (((b, &rw), &v0), &v1) in self
+                .boc
+                .iter_mut()
+                .zip(&self.cyc_rw)
+                .zip(&self.cyc_d0)
+                .zip(d1)
+            {
+                let m1 = lane_mask(rw & W1 != 0);
+                let m0 = lane_mask(rw & W0 != 0) & !m1;
+                *b = (v1 & m1) | (v0 & m0) | (*b & !(m0 | m1));
             }
         }
         self.cycles += 1;
@@ -496,6 +567,10 @@ impl BatchSim {
     fn step_rule_batch_inner(&mut self, rule_idx: usize, meta: &RuleMeta) -> Result<(), VmError> {
         let cfg = self.prog.cfg;
         let lanes = self.lanes;
+        // The ABI v4 batched entry points are self-merging: on a unanimous
+        // outcome the compiled shell already performed the commit (or
+        // rollback) plane merge, so the lock-step arms below skip theirs.
+        let kernel_merged = self.dispatch == Dispatch::Native;
 
         // Rule prologue, vectorized — this is the SoA payoff: the ladder's
         // per-rule log maintenance is a fixed number of whole-array copies
@@ -510,54 +585,123 @@ impl BatchSim {
             }
         }
 
-        // Native dispatch: the generated code is scalar by construction,
-        // so every lane runs through the compiled rule function (the same
-        // gather/scatter path the divergence fallback uses — the prologue
-        // is idempotent at every level, so the scalar re-prologue inside
-        // `step_rule_native` is safe). No snapshot is needed: lanes never
-        // have to be rolled back to rule entry.
-        if self.dispatch == Dispatch::Native {
-            self.fallback_rules += 1;
-            let engine = std::sync::Arc::clone(
-                self.native.as_ref().expect("set_dispatch built the native engine"),
-            );
-            let mut executed = 0u64;
-            for l in 0..lanes {
-                self.gather_lane(l);
-                let committed = crate::native::step_rule_native(
-                    &self.prog,
-                    &engine,
-                    &mut self.scratch,
-                    rule_idx,
-                    &mut executed,
-                    false,
-                )?;
-                self.scatter_lane(l, rule_idx, committed);
-            }
-            return Ok(());
-        }
-
-        // Rule-entry snapshot (post-prologue; the prologue is idempotent at
-        // every level, so the fallback's scalar re-run can redo it safely).
-        // Read-write sets can gain bits at any register (reads record), so
-        // they are saved whole; data fields only change at write
-        // instructions, so the rule's static write footprint bounds them.
-        self.snap_rw.copy_from_slice(&self.log_rw);
-        for &r in &meta.writes {
-            let s = r as usize * lanes;
-            self.snap_d0[s..s + lanes].copy_from_slice(&self.log_d0[s..s + lanes]);
-            if !cfg.merged_data {
-                self.snap_d1[s..s + lanes].copy_from_slice(&self.log_d1[s..s + lanes]);
+        // Rule-entry snapshot. Almost everything the rule can clobber is
+        // recoverable without one, so only two narrow saves remain:
+        //
+        // * `log_rw`, `reset_on_fail` levels only: stale R bits from earlier
+        //   cleanly-failed rules legitimately linger in the accumulated log
+        //   (they are not in `cyc_rw`), so the touched stripes must be saved
+        //   — a u8 plane, 1/8th the width of a data save. At lower levels
+        //   the scalar fallback's own prologue rebuilds rule-entry log state
+        //   (zero-fill below `acc_logs`, a `cyc → log` copy above it), so
+        //   nothing needs saving at all.
+        // * `cov`: coverage counters bumped by an aborted lock-step run
+        //   would double-count after the scalar re-run.
+        //
+        // Data stripes need no snapshot: at `reset_on_fail` levels
+        // `log_d0/log_d1 == cyc_d0/cyc_d1` at every rule boundary (commits
+        // copy log → cyc on the footprint, unclean failures roll back
+        // cyc → log, clean failures touch no data), so the divergence path
+        // restores from `cyc_*` directly. Locals are not snapshotted either:
+        // every `Local` read is dominated by a `SetLocal` from the same
+        // invocation (Kôika `let` scoping compiles the binding's store
+        // before any use, including across `Jz` joins), so values clobbered
+        // by an aborted lock-step run are never observed by the scalar
+        // re-run — the same def-before-use argument that lets `tac_slots`
+        // skip restoration.
+        if cfg.reset_on_fail {
+            for &r in &meta.touched {
+                let s = r as usize * lanes;
+                self.snap_rw[s..s + lanes].copy_from_slice(&self.log_rw[s..s + lanes]);
             }
         }
-        self.snap_locals.copy_from_slice(&self.locals);
         for c in 0..meta.cov_len as usize {
             let s = (meta.cov_start as usize + c) * lanes;
             self.snap_cov[s..s + lanes].copy_from_slice(&self.cov[s..s + lanes]);
         }
 
-        // Lock-step execution: bytecode or micro-op form, per dispatch.
-        let outcome = if self.dispatch == Dispatch::Tac {
+        // Lock-step execution: compiled-native, micro-op, or bytecode form,
+        // per dispatch.
+        let outcome = if self.dispatch == Dispatch::Native {
+            // The compiled batched entry point: straight-line lane loops,
+            // no interpreter dispatch. It returns the scalar outcome
+            // protocol extended with 6 = divergence; unanimous outcomes
+            // feed the shared commit/failure arms below, divergence the
+            // shared per-lane fallback. Only the bare function pointer is
+            // copied out — the hot path never touches the `Arc` refcount.
+            let f = self
+                .native
+                .as_ref()
+                .expect("set_dispatch built the native engine")
+                .batch_fn(rule_idx);
+            let mut slots = std::mem::take(&mut self.native_slots[rule_idx]);
+            let mut ctx = crate::native::NativeBatchCtx {
+                boc: self.boc.as_mut_ptr(),
+                cyc_rw: self.cyc_rw.as_mut_ptr(),
+                log_rw: self.log_rw.as_mut_ptr(),
+                cyc_d0: self.cyc_d0.as_mut_ptr(),
+                cyc_d1: self.cyc_d1.as_mut_ptr(),
+                log_d0: self.log_d0.as_mut_ptr(),
+                log_d1: self.log_d1.as_mut_ptr(),
+                cov: self.cov.as_mut_ptr(),
+                slots: slots.as_mut_ptr(),
+                lanes,
+                fail_reg: 0,
+                pad: 0,
+            };
+            // Every plane pointer covers the full `reg * lanes` SoA array
+            // of the program the engine was built from (planes the level
+            // leaves empty are never dereferenced — the emitter baked the
+            // level in), `slots` was sized by the same lowering, and the
+            // engine was built for exactly `self.lanes` lanes.
+            let ret = crate::native::run_rule_batch_native(f, &mut ctx);
+            let fail_reg = ctx.fail_reg;
+            self.native_slots[rule_idx] = slots;
+            let code = ret & 0xff;
+            let payload = (ret >> 8) as usize;
+            let cycle = self.cycles;
+            match code {
+                0 => Some(Ok(())),
+                1 | 2 => {
+                    self.last_fail_uniform = Some(FailInfo {
+                        rule: rule_idx,
+                        pc: payload,
+                        reg: Some(RegId(fail_reg)),
+                        cycle,
+                    });
+                    Some(Err(code == 2))
+                }
+                3 | 4 => {
+                    self.last_fail_uniform = Some(FailInfo {
+                        rule: rule_idx,
+                        pc: payload,
+                        reg: None,
+                        cycle,
+                    });
+                    Some(Err(code == 4))
+                }
+                6 => None,
+                5 => {
+                    let engine = self.native.as_ref().expect("checked above");
+                    let (pc, what) = engine.trap(payload);
+                    return Err(VmError::CompilerBug { rule: rule_idx, pc: pc as usize, what });
+                }
+                7 => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc: 0,
+                        what: "batched entry point rejected the lane count",
+                    })
+                }
+                _ => {
+                    return Err(VmError::CompilerBug {
+                        rule: rule_idx,
+                        pc: 0,
+                        what: "native batch rule returned an invalid status code",
+                    })
+                }
+            }
+        } else if self.dispatch == Dispatch::Tac {
             let tac = self.tac.take().expect("set_dispatch prepared the micro-op programs");
             let mut slots = std::mem::take(&mut self.tac_slots[rule_idx]);
             let out = self.run_uops_batch(&tac.rules[rule_idx], &mut slots, rule_idx);
@@ -590,7 +734,6 @@ impl BatchSim {
             Some(Ok(())) => {
                 // Batched commit.
                 self.lockstep_rules += 1;
-                let n = self.prog.init.len();
                 let BatchSim {
                     prog,
                     cyc_rw,
@@ -601,23 +744,43 @@ impl BatchSim {
                     log_d1,
                     ..
                 } = self;
-                if !cfg.acc_logs {
-                    for r in 0..n {
-                        for l in 0..lanes {
-                            let i = r * lanes + l;
-                            let rl = log_rw[i];
-                            if rl != 0 {
-                                cyc_rw[i] |= rl;
-                                if rl & W0 != 0 {
-                                    cyc_d0[i] = log_d0[i];
-                                }
-                                if rl & W1 != 0 {
-                                    if cfg.merged_data {
-                                        cyc_d0[i] = log_d0[i];
-                                    } else {
-                                        cyc_d1[i] = log_d1[i];
-                                    }
-                                }
+                if kernel_merged {
+                    // Plane merge already done by the compiled shell.
+                } else if !cfg.acc_logs {
+                    // The prologue zeroed `log_rw`, so only the rule's own
+                    // touched registers can carry bits — merge just those
+                    // stripes, branchlessly.
+                    for &r in &meta.touched {
+                        let s = r as usize * lanes;
+                        let lrw = &log_rw[s..s + lanes];
+                        for (c, &rl) in cyc_rw[s..s + lanes].iter_mut().zip(lrw) {
+                            *c |= rl;
+                        }
+                        if cfg.merged_data {
+                            for ((c, &d), &rl) in cyc_d0[s..s + lanes]
+                                .iter_mut()
+                                .zip(&log_d0[s..s + lanes])
+                                .zip(lrw)
+                            {
+                                let m = lane_mask(rl & (W0 | W1) != 0);
+                                *c = (d & m) | (*c & !m);
+                            }
+                        } else {
+                            for ((c, &d), &rl) in cyc_d0[s..s + lanes]
+                                .iter_mut()
+                                .zip(&log_d0[s..s + lanes])
+                                .zip(lrw)
+                            {
+                                let m = lane_mask(rl & W0 != 0);
+                                *c = (d & m) | (*c & !m);
+                            }
+                            for ((c, &d), &rl) in cyc_d1[s..s + lanes]
+                                .iter_mut()
+                                .zip(&log_d1[s..s + lanes])
+                                .zip(lrw)
+                            {
+                                let m = lane_mask(rl & W1 != 0);
+                                *c = (d & m) | (*c & !m);
                             }
                         }
                     }
@@ -645,21 +808,24 @@ impl BatchSim {
                         }
                     }
                 }
-                for l in 0..lanes {
-                    self.fired[l] += 1;
-                    self.fired_per_rule[rule_idx * lanes + l] += 1;
-                    self.commits[l].push(rule_idx as u32);
+                self.fired_base += 1;
+                self.fired_per_rule_base[rule_idx] += 1;
+                if self.commits_split {
+                    for c in &mut self.commits {
+                        c.push(rule_idx as u32);
+                    }
+                } else {
+                    self.commits_uniform.push(rule_idx as u32);
                 }
                 Ok(())
             }
             Some(Err(clean)) => {
                 // Batched failure: every lane failed the same check.
-                // `exec_batch_insn` already recorded per-lane FailInfo.
+                // `exec_batch_insn` already recorded per-lane FailInfo
+                // (the native arm set the lock-step uniform instead).
                 self.lockstep_rules += 1;
-                for l in 0..lanes {
-                    self.fail_per_rule[rule_idx * lanes + l] += 1;
-                }
-                if cfg.reset_on_fail && !clean {
+                self.fail_per_rule_base[rule_idx] += 1;
+                if cfg.reset_on_fail && !clean && !kernel_merged {
                     let BatchSim {
                         prog,
                         cyc_rw,
@@ -697,33 +863,84 @@ impl BatchSim {
             }
             None => {
                 // Divergence: restore to rule entry and re-run every lane
-                // through the exact scalar executor.
+                // through the exact scalar executor. Below `reset_on_fail`
+                // the scalar prologue rebuilds rule-entry log state itself,
+                // so only the `reset_on_fail` levels restore anything: the
+                // saved rw stripes, and data stripes straight from `cyc_*`
+                // (equal to the log at rule entry — see the snapshot
+                // comment above).
                 self.fallback_rules += 1;
-                self.log_rw.copy_from_slice(&self.snap_rw);
-                for &r in &meta.writes {
-                    let s = r as usize * lanes;
-                    self.log_d0[s..s + lanes].copy_from_slice(&self.snap_d0[s..s + lanes]);
-                    if !cfg.merged_data {
-                        self.log_d1[s..s + lanes].copy_from_slice(&self.snap_d1[s..s + lanes]);
+                // Materialize the lock-step bookkeeping the per-lane
+                // executors are about to diverge from: the shared commit
+                // list becomes per-lane vectors, and a pending uniform
+                // failure is written through so `scatter_lane` can overlay
+                // fresher per-lane failures on top of it.
+                if !self.commits_split {
+                    let BatchSim {
+                        commits,
+                        commits_uniform,
+                        ..
+                    } = self;
+                    for c in commits.iter_mut() {
+                        c.clear();
+                        c.extend_from_slice(commits_uniform);
+                    }
+                    self.commits_split = true;
+                }
+                if let Some(fi) = self.last_fail_uniform.take() {
+                    self.last_fail.fill(Some(fi));
+                }
+                if cfg.reset_on_fail {
+                    for &r in &meta.touched {
+                        let s = r as usize * lanes;
+                        self.log_rw[s..s + lanes].copy_from_slice(&self.snap_rw[s..s + lanes]);
+                    }
+                    for &r in &meta.writes {
+                        let s = r as usize * lanes;
+                        self.log_d0[s..s + lanes].copy_from_slice(&self.cyc_d0[s..s + lanes]);
+                        if !cfg.merged_data {
+                            self.log_d1[s..s + lanes]
+                                .copy_from_slice(&self.cyc_d1[s..s + lanes]);
+                        }
                     }
                 }
-                self.locals.copy_from_slice(&self.snap_locals);
                 for c in 0..meta.cov_len as usize {
                     let s = (meta.cov_start as usize + c) * lanes;
                     self.cov[s..s + lanes].copy_from_slice(&self.snap_cov[s..s + lanes]);
                 }
                 let mut executed = 0u64;
-                for l in 0..lanes {
-                    self.gather_lane(l);
-                    let committed = step_rule_impl(
-                        &self.prog,
-                        &mut self.scratch,
-                        rule_idx,
-                        None,
-                        &mut executed,
-                        false,
-                    )?;
-                    self.scatter_lane(l, rule_idx, committed);
+                if self.dispatch == Dispatch::Native {
+                    // Native stays native: diverged lanes re-run through
+                    // the compiled scalar rule functions (the scalar
+                    // re-prologue inside is idempotent at every level).
+                    let engine = std::sync::Arc::clone(
+                        self.native.as_ref().expect("set_dispatch built the native engine"),
+                    );
+                    for l in 0..lanes {
+                        self.gather_lane(l);
+                        let committed = crate::native::step_rule_native(
+                            &self.prog,
+                            &engine,
+                            &mut self.scratch,
+                            rule_idx,
+                            &mut executed,
+                            false,
+                        )?;
+                        self.scatter_lane(l, rule_idx, committed);
+                    }
+                } else {
+                    for l in 0..lanes {
+                        self.gather_lane(l);
+                        let committed = step_rule_impl(
+                            &self.prog,
+                            &mut self.scratch,
+                            rule_idx,
+                            None,
+                            &mut executed,
+                            false,
+                        )?;
+                        self.scatter_lane(l, rule_idx, committed);
+                    }
                 }
                 Ok(())
             }
@@ -749,33 +966,28 @@ impl BatchSim {
             cycles,
             ..
         } = self;
-        for (r, dst) in scratch.boc.iter_mut().enumerate() {
-            *dst = boc[r * lanes + l];
+        // Strided column reads via `step_by` zips: no bounds checks, no
+        // per-element index arithmetic. `get(l..)` keeps the arrays that a
+        // level leaves empty (`boc`, `cyc_d1`) safe to slice at any lane.
+        macro_rules! gather {
+            ($dst:expr, $src:expr) => {
+                for (dst, &src) in $dst
+                    .iter_mut()
+                    .zip($src.get(l..).unwrap_or(&[]).iter().step_by(lanes))
+                {
+                    *dst = src;
+                }
+            };
         }
-        for (r, dst) in scratch.cyc_rw.iter_mut().enumerate() {
-            *dst = cyc_rw[r * lanes + l];
-        }
-        for (r, dst) in scratch.log_rw.iter_mut().enumerate() {
-            *dst = log_rw[r * lanes + l];
-        }
-        for (r, dst) in scratch.cyc_d0.iter_mut().enumerate() {
-            *dst = cyc_d0[r * lanes + l];
-        }
-        for (r, dst) in scratch.cyc_d1.iter_mut().enumerate() {
-            *dst = cyc_d1[r * lanes + l];
-        }
-        for (r, dst) in scratch.log_d0.iter_mut().enumerate() {
-            *dst = log_d0[r * lanes + l];
-        }
-        for (r, dst) in scratch.log_d1.iter_mut().enumerate() {
-            *dst = log_d1[r * lanes + l];
-        }
-        for (s, dst) in scratch.locals.iter_mut().enumerate() {
-            *dst = locals[s * lanes + l];
-        }
-        for (c, dst) in scratch.cov.iter_mut().enumerate() {
-            *dst = cov[c * lanes + l];
-        }
+        gather!(scratch.boc, boc);
+        gather!(scratch.cyc_rw, cyc_rw);
+        gather!(scratch.log_rw, log_rw);
+        gather!(scratch.cyc_d0, cyc_d0);
+        gather!(scratch.cyc_d1, cyc_d1);
+        gather!(scratch.log_d0, log_d0);
+        gather!(scratch.log_d1, log_d1);
+        gather!(scratch.locals, locals);
+        gather!(scratch.cov, cov);
         scratch.stack.clear();
         scratch.cycles = *cycles;
         scratch.last_fail = last_fail[l];
@@ -800,30 +1012,24 @@ impl BatchSim {
                 ..
             } = self;
             // `boc` is read-only during a rule: no need to scatter it back.
-            for (r, &src) in scratch.cyc_rw.iter().enumerate() {
-                cyc_rw[r * lanes + l] = src;
+            macro_rules! scatter {
+                ($src:expr, $dst:expr) => {
+                    for (&src, dst) in $src
+                        .iter()
+                        .zip($dst.get_mut(l..).unwrap_or(&mut []).iter_mut().step_by(lanes))
+                    {
+                        *dst = src;
+                    }
+                };
             }
-            for (r, &src) in scratch.log_rw.iter().enumerate() {
-                log_rw[r * lanes + l] = src;
-            }
-            for (r, &src) in scratch.cyc_d0.iter().enumerate() {
-                cyc_d0[r * lanes + l] = src;
-            }
-            for (r, &src) in scratch.cyc_d1.iter().enumerate() {
-                cyc_d1[r * lanes + l] = src;
-            }
-            for (r, &src) in scratch.log_d0.iter().enumerate() {
-                log_d0[r * lanes + l] = src;
-            }
-            for (r, &src) in scratch.log_d1.iter().enumerate() {
-                log_d1[r * lanes + l] = src;
-            }
-            for (s, &src) in scratch.locals.iter().enumerate() {
-                locals[s * lanes + l] = src;
-            }
-            for (c, &src) in scratch.cov.iter().enumerate() {
-                cov[c * lanes + l] = src;
-            }
+            scatter!(scratch.cyc_rw, cyc_rw);
+            scatter!(scratch.log_rw, log_rw);
+            scatter!(scratch.cyc_d0, cyc_d0);
+            scatter!(scratch.cyc_d1, cyc_d1);
+            scatter!(scratch.log_d0, log_d0);
+            scatter!(scratch.log_d1, log_d1);
+            scatter!(scratch.locals, locals);
+            scatter!(scratch.cov, cov);
             last_fail[l] = scratch.last_fail;
         }
         if committed {
@@ -839,6 +1045,7 @@ impl BatchSim {
     /// moment lanes disagree on control flow, leaving batch state to be
     /// discarded by the caller's rule-entry restore.
     #[allow(clippy::too_many_lines)]
+    #[inline(always)]
     fn exec_batch_insn(
         &mut self,
         insn: Insn,
@@ -879,29 +1086,40 @@ impl BatchSim {
                 }
             };
         }
-        // Binary op over the top two stripes; result replaces the lower.
-        macro_rules! vbin {
-            (|$a:ident, $b:ident| $body:expr) => {{
+        // The top two stripes as exact (dst, src) subslices — adjacent on
+        // the stack, so one `split_at_mut` yields both without overlap.
+        macro_rules! top2 {
+            () => {{
                 need!(2);
                 let base = (*sp - 2) * lanes;
-                for l in 0..lanes {
-                    let $a = stack[base + l];
-                    let $b = stack[base + lanes + l];
-                    stack[base + l] = $body;
-                }
+                stack[base..base + 2 * lanes].split_at_mut(lanes)
+            }};
+        }
+        // Binary op over the top two stripes via the chunked SIMD kernels;
+        // result replaces the lower stripe.
+        macro_rules! vbin {
+            (|$a:ident, $b:ident| $body:expr) => {{
+                let (d, s) = top2!();
+                simd::zip2(d, s, |$a, $b| $body);
                 *sp -= 1;
                 BatchFlow::Next
             }};
         }
-        // Unary op over the top stripe, in place.
+        // Binary op through a dedicated width-hoisted kernel.
+        macro_rules! vbin_kern {
+            ($kern:expr) => {{
+                let (d, s) = top2!();
+                $kern(d, s);
+                *sp -= 1;
+                BatchFlow::Next
+            }};
+        }
+        // Unary op over the top stripe, in place, chunked.
         macro_rules! vun {
             (|$a:ident| $body:expr) => {{
                 need!(1);
                 let base = (*sp - 1) * lanes;
-                for l in 0..lanes {
-                    let $a = stack[base + l];
-                    stack[base + l] = $body;
-                }
+                simd::map1(&mut stack[base..base + lanes], |$a| $body);
                 BatchFlow::Next
             }};
         }
@@ -933,60 +1151,60 @@ impl BatchSim {
             Insn::And => vbin!(|a, b| a & b),
             Insn::Or => vbin!(|a, b| a | b),
             Insn::Xor => vbin!(|a, b| a ^ b),
-            Insn::Shl { mask } => vbin!(|a, b| if b >= 64 { 0 } else { (a << b) & mask }),
-            Insn::Shr => vbin!(|a, b| if b >= 64 { 0 } else { a >> b }),
-            Insn::Sra { width } => vbin!(|a, b| word::sra(width, a, b)),
+            Insn::Shl { mask } => vbin!(|a, b| simd::shl64(a, b, mask)),
+            Insn::Shr => vbin!(|a, b| simd::shr64(a, b)),
+            Insn::Sra { width } => vbin_kern!(|d, s| simd::sra_zip2(d, s, width)),
             Insn::Eq => vbin!(|a, b| (a == b) as u64),
             Insn::Ne => vbin!(|a, b| (a != b) as u64),
             Insn::Ult => vbin!(|a, b| (a < b) as u64),
             Insn::Ule => vbin!(|a, b| (a <= b) as u64),
-            Insn::Slt { width } => vbin!(|a, b| word::slt(width, a, b)),
-            Insn::Sle { width } => vbin!(|a, b| 1 - word::slt(width, b, a)),
+            Insn::Slt { width } => vbin_kern!(|d, s| simd::slt_zip2(d, s, width)),
+            Insn::Sle { width } => vbin_kern!(|d, s| simd::sle_zip2(d, s, width)),
             Insn::ConcatShift { low_width, mask } => {
-                vbin!(|a, b| word::concat(low_width, a, b) & mask)
+                vbin_kern!(|d, s| simd::concat_zip2(d, s, low_width, mask))
             }
             Insn::Not { mask } => vun!(|a| !a & mask),
             Insn::Neg { mask } => vun!(|a| a.wrapping_neg() & mask),
             Insn::Mask { mask } => vun!(|a| a & mask),
-            Insn::Sext { from, mask } => vun!(|a| word::sext(from, a) & mask),
+            Insn::Sext { from, mask } => {
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                simd::sext_map1(&mut stack[base..base + lanes], from, mask);
+                BatchFlow::Next
+            }
             Insn::Slice { lo, mask } => vun!(|a| (a >> lo) & mask),
             Insn::SliceSext { lo, from, mask } => {
-                vun!(|a| word::sext(from, (a >> lo) & word::mask(from)) & mask)
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                simd::slice_sext_map1(&mut stack[base..base + lanes], lo, from, mask);
+                BatchFlow::Next
             }
             Insn::Select => {
                 // Pure data selection: no divergence regardless of lanes'
-                // conditions.
+                // conditions — a branchless mask blend.
                 need!(3);
                 let cbase = (*sp - 3) * lanes;
-                for l in 0..lanes {
-                    let f = stack[(*sp - 1) * lanes + l];
-                    let t = stack[(*sp - 2) * lanes + l];
-                    let c = stack[cbase + l];
-                    stack[cbase + l] = if c != 0 { t } else { f };
-                }
+                let (c, tf) = stack[cbase..cbase + 3 * lanes].split_at_mut(lanes);
+                let (t, f) = tf.split_at(lanes);
+                simd::select(c, t, f);
                 *sp -= 2;
                 BatchFlow::Next
             }
             Insn::Rd0 { reg, clean } => {
-                let r = reg as usize;
-                let mut npass = 0usize;
-                {
-                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                    for l in 0..lanes {
-                        if chk[r * lanes + l] & (W0 | W1) == 0 {
-                            npass += 1;
-                        }
-                    }
-                }
+                let s = reg as usize * lanes;
+                let chk = if cfg.acc_logs {
+                    &log_rw[s..s + lanes]
+                } else {
+                    &cyc_rw[s..s + lanes]
+                };
+                let npass = simd::count_clear(chk, W0 | W1);
                 if npass == 0 {
-                    for lf in last_fail.iter_mut() {
-                        *lf = Some(FailInfo {
-                            rule: rule_idx,
-                            pc,
-                            reg: Some(RegId(reg)),
-                            cycle,
-                        });
-                    }
+                    last_fail.fill(Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: Some(RegId(reg)),
+                        cycle,
+                    }));
                     return BatchFlow::FailAll { clean };
                 }
                 if npass < lanes {
@@ -994,36 +1212,33 @@ impl BatchSim {
                 }
                 grow!();
                 let dst = *sp * lanes;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    if !cfg.design_specific {
-                        log_rw[i] |= R0;
-                    }
-                    stack[dst + l] = if cfg.no_boc { log_d0[i] } else { boc[i] };
+                if !cfg.design_specific {
+                    simd::or_bytes(&mut log_rw[s..s + lanes], R0);
                 }
+                let src = if cfg.no_boc {
+                    &log_d0[s..s + lanes]
+                } else {
+                    &boc[s..s + lanes]
+                };
+                stack[dst..dst + lanes].copy_from_slice(src);
                 *sp += 1;
                 BatchFlow::Next
             }
             Insn::Rd1 { reg, clean } => {
-                let r = reg as usize;
-                let mut npass = 0usize;
-                {
-                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                    for l in 0..lanes {
-                        if chk[r * lanes + l] & W1 == 0 {
-                            npass += 1;
-                        }
-                    }
-                }
+                let s = reg as usize * lanes;
+                let chk = if cfg.acc_logs {
+                    &log_rw[s..s + lanes]
+                } else {
+                    &cyc_rw[s..s + lanes]
+                };
+                let npass = simd::count_clear(chk, W1);
                 if npass == 0 {
-                    for lf in last_fail.iter_mut() {
-                        *lf = Some(FailInfo {
-                            rule: rule_idx,
-                            pc,
-                            reg: Some(RegId(reg)),
-                            cycle,
-                        });
-                    }
+                    last_fail.fill(Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: Some(RegId(reg)),
+                        cycle,
+                    }));
                     return BatchFlow::FailAll { clean };
                 }
                 if npass < lanes {
@@ -1031,97 +1246,97 @@ impl BatchSim {
                 }
                 grow!();
                 let dst = *sp * lanes;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    log_rw[i] |= R1;
-                    stack[dst + l] = if cfg.no_boc || log_rw[i] & W0 != 0 {
-                        log_d0[i]
-                    } else if !cfg.acc_logs && cyc_rw[i] & W0 != 0 {
-                        cyc_d0[i]
+                simd::or_bytes(&mut log_rw[s..s + lanes], R1);
+                let out = &mut stack[dst..dst + lanes];
+                let ld0 = &log_d0[s..s + lanes];
+                if cfg.no_boc {
+                    out.copy_from_slice(ld0);
+                } else {
+                    // Branchless forwarding: a rule-log write-0 shadows the
+                    // cycle log, which shadows the beginning-of-cycle value.
+                    let lrw = &log_rw[s..s + lanes];
+                    let bo = &boc[s..s + lanes];
+                    if cfg.acc_logs {
+                        for (((o, &w), &d), &b) in
+                            out.iter_mut().zip(lrw).zip(ld0).zip(bo)
+                        {
+                            let m = lane_mask(w & W0 != 0);
+                            *o = (d & m) | (b & !m);
+                        }
                     } else {
-                        boc[i]
-                    };
+                        let crw = &cyc_rw[s..s + lanes];
+                        let cd0 = &cyc_d0[s..s + lanes];
+                        for (((((o, &w), &d), &b), &cw), &cd) in out
+                            .iter_mut()
+                            .zip(lrw)
+                            .zip(ld0)
+                            .zip(bo)
+                            .zip(crw)
+                            .zip(cd0)
+                        {
+                            let m0 = lane_mask(w & W0 != 0);
+                            let m1 = lane_mask(cw & W0 != 0);
+                            *o = (d & m0) | (((cd & m1) | (b & !m1)) & !m0);
+                        }
+                    }
                 }
                 *sp += 1;
                 BatchFlow::Next
             }
             Insn::Wr0 { reg, clean } => {
                 need!(1);
-                let r = reg as usize;
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    let check = if cfg.acc_logs {
-                        log_rw[i]
-                    } else {
-                        log_rw[i] | cyc_rw[i]
-                    };
-                    if check & (R1 | W0 | W1) == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = reg as usize * lanes;
+                let npass = if cfg.acc_logs {
+                    simd::count_clear(&log_rw[s..s + lanes], R1 | W0 | W1)
+                } else {
+                    simd::count_clear2(&log_rw[s..s + lanes], &cyc_rw[s..s + lanes], R1 | W0 | W1)
+                };
                 if npass == 0 {
-                    for lf in last_fail.iter_mut() {
-                        *lf = Some(FailInfo {
-                            rule: rule_idx,
-                            pc,
-                            reg: Some(RegId(reg)),
-                            cycle,
-                        });
-                    }
+                    last_fail.fill(Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: Some(RegId(reg)),
+                        cycle,
+                    }));
                     return BatchFlow::FailAll { clean };
                 }
                 if npass < lanes {
                     return BatchFlow::Diverge;
                 }
                 let vbase = (*sp - 1) * lanes;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    log_rw[i] |= W0;
-                    log_d0[i] = stack[vbase + l];
-                }
+                simd::or_bytes(&mut log_rw[s..s + lanes], W0);
+                log_d0[s..s + lanes].copy_from_slice(&stack[vbase..vbase + lanes]);
                 *sp -= 1;
                 BatchFlow::Next
             }
             Insn::Wr1 { reg, clean } => {
                 need!(1);
-                let r = reg as usize;
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    let check = if cfg.acc_logs {
-                        log_rw[i]
-                    } else {
-                        log_rw[i] | cyc_rw[i]
-                    };
-                    if check & W1 == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = reg as usize * lanes;
+                let npass = if cfg.acc_logs {
+                    simd::count_clear(&log_rw[s..s + lanes], W1)
+                } else {
+                    simd::count_clear2(&log_rw[s..s + lanes], &cyc_rw[s..s + lanes], W1)
+                };
                 if npass == 0 {
-                    for lf in last_fail.iter_mut() {
-                        *lf = Some(FailInfo {
-                            rule: rule_idx,
-                            pc,
-                            reg: Some(RegId(reg)),
-                            cycle,
-                        });
-                    }
+                    last_fail.fill(Some(FailInfo {
+                        rule: rule_idx,
+                        pc,
+                        reg: Some(RegId(reg)),
+                        cycle,
+                    }));
                     return BatchFlow::FailAll { clean };
                 }
                 if npass < lanes {
                     return BatchFlow::Diverge;
                 }
                 let vbase = (*sp - 1) * lanes;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    log_rw[i] |= W1;
-                    if cfg.merged_data {
-                        log_d0[i] = stack[vbase + l];
-                    } else {
-                        log_d1[i] = stack[vbase + l];
-                    }
-                }
+                simd::or_bytes(&mut log_rw[s..s + lanes], W1);
+                let dst = if cfg.merged_data {
+                    &mut log_d0[s..s + lanes]
+                } else {
+                    &mut log_d1[s..s + lanes]
+                };
+                dst.copy_from_slice(&stack[vbase..vbase + lanes]);
                 *sp -= 1;
                 BatchFlow::Next
             }
@@ -1324,14 +1539,22 @@ impl BatchSim {
                 *sp -= 2;
                 BatchFlow::Next
             }
-            Insn::BinRC { op, rhs, mask } => vun!(|a| crate::vm::fused(op, a, rhs, mask)),
+            Insn::BinRC { op, rhs, mask } => {
+                need!(1);
+                let base = (*sp - 1) * lanes;
+                simd::fused_map1(op, mask, rhs, &mut stack[base..base + lanes]);
+                BatchFlow::Next
+            }
             Insn::BinRL { op, rhs_slot, mask } => {
                 need!(1);
                 let base = (*sp - 1) * lanes;
                 let rbase = rhs_slot as usize * lanes;
-                for l in 0..lanes {
-                    stack[base + l] = crate::vm::fused(op, stack[base + l], locals[rbase + l], mask);
-                }
+                simd::fused_zip2(
+                    op,
+                    mask,
+                    &mut stack[base..base + lanes],
+                    &locals[rbase..rbase + lanes],
+                );
                 BatchFlow::Next
             }
             Insn::BinLL {
@@ -1343,9 +1566,13 @@ impl BatchSim {
                 grow!();
                 let dst = *sp * lanes;
                 let (abase, bbase) = (a_slot as usize * lanes, b_slot as usize * lanes);
-                for l in 0..lanes {
-                    stack[dst + l] = crate::vm::fused(op, locals[abase + l], locals[bbase + l], mask);
-                }
+                simd::fused_zip2_to(
+                    op,
+                    mask,
+                    &mut stack[dst..dst + lanes],
+                    &locals[abase..abase + lanes],
+                    &locals[bbase..bbase + lanes],
+                );
                 *sp += 1;
                 BatchFlow::Next
             }
@@ -1358,9 +1585,13 @@ impl BatchSim {
                 grow!();
                 let dst = *sp * lanes;
                 let abase = a_slot as usize * lanes;
-                for l in 0..lanes {
-                    stack[dst + l] = crate::vm::fused(op, locals[abase + l], rhs, mask);
-                }
+                simd::fused_map1_to(
+                    op,
+                    mask,
+                    rhs,
+                    &mut stack[dst..dst + lanes],
+                    &locals[abase..abase + lanes],
+                );
                 *sp += 1;
                 BatchFlow::Next
             }
@@ -1383,12 +1614,7 @@ impl BatchSim {
             Insn::Jz(t) => {
                 need!(1);
                 let base = (*sp - 1) * lanes;
-                let mut nz = 0usize;
-                for l in 0..lanes {
-                    if stack[base + l] == 0 {
-                        nz += 1;
-                    }
-                }
+                let nz = simd::count_zero(&stack[base..base + lanes]);
                 *sp -= 1;
                 if nz == 0 {
                     BatchFlow::Next
@@ -1399,25 +1625,21 @@ impl BatchSim {
                 }
             }
             Insn::Abort => {
-                for lf in last_fail.iter_mut() {
-                    *lf = Some(FailInfo {
-                        rule: rule_idx,
-                        pc,
-                        reg: None,
-                        cycle,
-                    });
-                }
+                last_fail.fill(Some(FailInfo {
+                    rule: rule_idx,
+                    pc,
+                    reg: None,
+                    cycle,
+                }));
                 BatchFlow::FailAll { clean: false }
             }
             Insn::AbortClean => {
-                for lf in last_fail.iter_mut() {
-                    *lf = Some(FailInfo {
-                        rule: rule_idx,
-                        pc,
-                        reg: None,
-                        cycle,
-                    });
-                }
+                last_fail.fill(Some(FailInfo {
+                    rule: rule_idx,
+                    pc,
+                    reg: None,
+                    cycle,
+                }));
                 BatchFlow::FailAll { clean: true }
             }
             Insn::Cov(id) => {
@@ -1477,31 +1699,30 @@ impl BatchSim {
         // All-lanes conflict failure on one register.
         macro_rules! fail_all {
             ($reg:expr, $clean:expr, $src_pc:expr) => {{
-                for lf in last_fail.iter_mut() {
-                    *lf = Some(FailInfo {
-                        rule: rule_idx,
-                        pc: $src_pc as usize,
-                        reg: $reg,
-                        cycle,
-                    });
-                }
+                last_fail.fill(Some(FailInfo {
+                    rule: rule_idx,
+                    pc: $src_pc as usize,
+                    reg: $reg,
+                    cycle,
+                }));
                 return Ok(Some(Err($clean)));
             }};
         }
-        // Checked-access gates: count passing lanes, then fail-all /
-        // diverge / proceed — identical to the bytecode arms.
+        // Checked-access gates: count passing lanes with the bit-sliced
+        // SWAR kernels (eight lanes per word over the rw-set byte plane),
+        // then fail-all / diverge / proceed — identical to the bytecode
+        // arms.
         macro_rules! rd0_gate {
             ($r:expr, $clean:expr) => {{
-                let r = $r;
-                let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    if chk[r * lanes + l] & (W0 | W1) == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = $r * lanes;
+                let chk = if cfg.acc_logs {
+                    &log_rw[s..s + lanes]
+                } else {
+                    &cyc_rw[s..s + lanes]
+                };
+                let npass = simd::count_clear(chk, W0 | W1);
                 if npass == 0 {
-                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                    fail_all!(Some(RegId($r as u32)), $clean, tac.pcs[pc]);
                 }
                 if npass < lanes {
                     return Ok(None);
@@ -1510,16 +1731,15 @@ impl BatchSim {
         }
         macro_rules! rd1_gate {
             ($r:expr, $clean:expr) => {{
-                let r = $r;
-                let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    if chk[r * lanes + l] & W1 == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = $r * lanes;
+                let chk = if cfg.acc_logs {
+                    &log_rw[s..s + lanes]
+                } else {
+                    &cyc_rw[s..s + lanes]
+                };
+                let npass = simd::count_clear(chk, W1);
                 if npass == 0 {
-                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                    fail_all!(Some(RegId($r as u32)), $clean, tac.pcs[pc]);
                 }
                 if npass < lanes {
                     return Ok(None);
@@ -1528,21 +1748,14 @@ impl BatchSim {
         }
         macro_rules! wr0_gate {
             ($r:expr, $clean:expr, $src_pc:expr) => {{
-                let r = $r;
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    let check = if cfg.acc_logs {
-                        log_rw[i]
-                    } else {
-                        log_rw[i] | cyc_rw[i]
-                    };
-                    if check & (R1 | W0 | W1) == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = $r * lanes;
+                let npass = if cfg.acc_logs {
+                    simd::count_clear(&log_rw[s..s + lanes], R1 | W0 | W1)
+                } else {
+                    simd::count_clear2(&log_rw[s..s + lanes], &cyc_rw[s..s + lanes], R1 | W0 | W1)
+                };
                 if npass == 0 {
-                    fail_all!(Some(RegId(r as u32)), $clean, $src_pc);
+                    fail_all!(Some(RegId($r as u32)), $clean, $src_pc);
                 }
                 if npass < lanes {
                     return Ok(None);
@@ -1551,24 +1764,64 @@ impl BatchSim {
         }
         macro_rules! wr1_gate {
             ($r:expr, $clean:expr) => {{
-                let r = $r;
-                let mut npass = 0usize;
-                for l in 0..lanes {
-                    let i = r * lanes + l;
-                    let check = if cfg.acc_logs {
-                        log_rw[i]
-                    } else {
-                        log_rw[i] | cyc_rw[i]
-                    };
-                    if check & W1 == 0 {
-                        npass += 1;
-                    }
-                }
+                let s = $r * lanes;
+                let npass = if cfg.acc_logs {
+                    simd::count_clear(&log_rw[s..s + lanes], W1)
+                } else {
+                    simd::count_clear2(&log_rw[s..s + lanes], &cyc_rw[s..s + lanes], W1)
+                };
                 if npass == 0 {
-                    fail_all!(Some(RegId(r as u32)), $clean, tac.pcs[pc]);
+                    fail_all!(Some(RegId($r as u32)), $clean, tac.pcs[pc]);
                 }
                 if npass < lanes {
                     return Ok(None);
+                }
+            }};
+        }
+        // Whole-stripe read application: record the read in the rw plane,
+        // then blend the forwarded value branchlessly (the stripe forms of
+        // `rd0_val!` / `rd1_val!`, used by the non-indexed register ops).
+        macro_rules! rd0_stripe {
+            ($r:expr, $out:expr) => {{
+                let s = $r * lanes;
+                if !cfg.design_specific {
+                    simd::or_bytes(&mut log_rw[s..s + lanes], R0);
+                }
+                let src = if cfg.no_boc {
+                    &log_d0[s..s + lanes]
+                } else {
+                    &boc[s..s + lanes]
+                };
+                $out.copy_from_slice(src);
+            }};
+        }
+        macro_rules! rd1_stripe {
+            ($r:expr, $out:expr) => {{
+                let s = $r * lanes;
+                simd::or_bytes(&mut log_rw[s..s + lanes], R1);
+                let out = $out;
+                let ld0 = &log_d0[s..s + lanes];
+                if cfg.no_boc {
+                    out.copy_from_slice(ld0);
+                } else {
+                    let lrw = &log_rw[s..s + lanes];
+                    let bo = &boc[s..s + lanes];
+                    if cfg.acc_logs {
+                        for (((o, &w), &d), &b) in out.iter_mut().zip(lrw).zip(ld0).zip(bo) {
+                            let m = lane_mask(w & W0 != 0);
+                            *o = (d & m) | (b & !m);
+                        }
+                    } else {
+                        let crw = &cyc_rw[s..s + lanes];
+                        let cd0 = &cyc_d0[s..s + lanes];
+                        for (((((o, &w), &d), &b), &cw), &cd) in
+                            out.iter_mut().zip(lrw).zip(ld0).zip(bo).zip(crw).zip(cd0)
+                        {
+                            let m0 = lane_mask(w & W0 != 0);
+                            let m1 = lane_mask(cw & W0 != 0);
+                            *o = (d & m0) | (((cd & m1) | (b & !m1)) & !m0);
+                        }
+                    }
                 }
             }};
         }
@@ -1604,45 +1857,71 @@ impl BatchSim {
         loop {
             match uops[pc] {
                 Uop::Bin { op, dst, a, b, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = fused(op, sl!(a, l), sl!(b, l), mask);
-                    }
+                    simd::fused_zip2_at(
+                        op,
+                        mask,
+                        slots,
+                        dst as usize * lanes,
+                        a as usize * lanes,
+                        b as usize * lanes,
+                        lanes,
+                    );
                 }
                 Uop::Not { dst, src, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = !sl!(src, l) & mask;
-                    }
+                    simd::map1_at(slots, dst as usize * lanes, src as usize * lanes, lanes, |a| {
+                        !a & mask
+                    });
                 }
                 Uop::Neg { dst, src, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = sl!(src, l).wrapping_neg() & mask;
-                    }
+                    simd::map1_at(slots, dst as usize * lanes, src as usize * lanes, lanes, |a| {
+                        a.wrapping_neg() & mask
+                    });
                 }
                 Uop::Mask { dst, src, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = sl!(src, l) & mask;
-                    }
+                    simd::map1_at(slots, dst as usize * lanes, src as usize * lanes, lanes, |a| {
+                        a & mask
+                    });
                 }
                 Uop::Sext { dst, src, from, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = word::sext(from, sl!(src, l)) & mask;
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    if from == 0 {
+                        slots[d..d + lanes].fill(0);
+                    } else if from >= 64 {
+                        simd::map1_at(slots, d, s, lanes, move |a| a & mask);
+                    } else {
+                        let sh = 64 - from;
+                        simd::map1_at(slots, d, s, lanes, move |a| {
+                            ((((a << sh) as i64) >> sh) as u64) & mask
+                        });
                     }
                 }
                 Uop::Slice { dst, src, lo, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = (sl!(src, l) >> lo) & mask;
-                    }
+                    simd::map1_at(slots, dst as usize * lanes, src as usize * lanes, lanes, |a| {
+                        (a >> lo) & mask
+                    });
                 }
                 Uop::SliceSext { dst, src, lo, from, mask } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) =
-                            word::sext(from, (sl!(src, l) >> lo) & word::mask(from)) & mask;
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    if from == 0 {
+                        slots[d..d + lanes].fill(0);
+                    } else {
+                        let from_mask = u64::MAX >> (64 - from.min(64));
+                        let sh = 64 - from.min(64);
+                        simd::map1_at(slots, d, s, lanes, move |a| {
+                            let v = (a >> lo) & from_mask;
+                            ((((v << sh) as i64) >> sh) as u64) & mask
+                        });
                     }
                 }
                 Uop::Select { dst, c, t, f } => {
-                    for l in 0..lanes {
-                        sl!(dst, l) = if sl!(c, l) != 0 { sl!(t, l) } else { sl!(f, l) };
-                    }
+                    simd::select_at(
+                        slots,
+                        dst as usize * lanes,
+                        c as usize * lanes,
+                        t as usize * lanes,
+                        f as usize * lanes,
+                        lanes,
+                    );
                 }
                 Uop::Const { dst, imm } => {
                     let d = dst as usize * lanes;
@@ -1655,38 +1934,33 @@ impl BatchSim {
                 Uop::Rd0 { dst, reg, clean } => {
                     let r = reg as usize;
                     rd0_gate!(r, clean);
-                    for l in 0..lanes {
-                        sl!(dst, l) = rd0_val!(r * lanes + l);
-                    }
+                    let d = dst as usize * lanes;
+                    rd0_stripe!(r, &mut slots[d..d + lanes]);
                 }
                 Uop::Rd1 { dst, reg, clean } => {
                     let r = reg as usize;
                     rd1_gate!(r, clean);
-                    for l in 0..lanes {
-                        sl!(dst, l) = rd1_val!(r * lanes + l);
-                    }
+                    let d = dst as usize * lanes;
+                    rd1_stripe!(r, &mut slots[d..d + lanes]);
                 }
                 Uop::Wr0 { src, reg, clean } => {
                     let r = reg as usize;
                     wr0_gate!(r, clean, tac.pcs[pc]);
-                    for l in 0..lanes {
-                        let i = r * lanes + l;
-                        log_rw[i] |= W0;
-                        log_d0[i] = sl!(src, l);
-                    }
+                    let (s, d) = (src as usize * lanes, r * lanes);
+                    simd::or_bytes(&mut log_rw[d..d + lanes], W0);
+                    log_d0[d..d + lanes].copy_from_slice(&slots[s..s + lanes]);
                 }
                 Uop::Wr1 { src, reg, clean } => {
                     let r = reg as usize;
                     wr1_gate!(r, clean);
-                    for l in 0..lanes {
-                        let i = r * lanes + l;
-                        log_rw[i] |= W1;
-                        if cfg.merged_data {
-                            log_d0[i] = sl!(src, l);
-                        } else {
-                            log_d1[i] = sl!(src, l);
-                        }
-                    }
+                    let (s, d) = (src as usize * lanes, r * lanes);
+                    simd::or_bytes(&mut log_rw[d..d + lanes], W1);
+                    let dst = if cfg.merged_data {
+                        &mut log_d0[d..d + lanes]
+                    } else {
+                        &mut log_d1[d..d + lanes]
+                    };
+                    dst.copy_from_slice(&slots[s..s + lanes]);
                 }
                 Uop::RdFast { dst, reg } => {
                     let (s, d) = (reg as usize * lanes, dst as usize * lanes);
@@ -1697,13 +1971,11 @@ impl BatchSim {
                     log_d0[d..d + lanes].copy_from_slice(&slots[s..s + lanes]);
                 }
                 Uop::Rd0Arr { dst, idx, base, amask, clean } => {
+                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
                     let mut npass = 0usize;
                     for l in 0..lanes {
                         let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
-                        let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                        if chk[r * lanes + l] & (W0 | W1) == 0 {
-                            npass += 1;
-                        }
+                        npass += (chk[r * lanes + l] & (W0 | W1) == 0) as usize;
                     }
                     if npass == 0 {
                         for (l, lf) in last_fail.iter_mut().enumerate() {
@@ -1726,13 +1998,11 @@ impl BatchSim {
                     }
                 }
                 Uop::Rd1Arr { dst, idx, base, amask, clean } => {
+                    let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
                     let mut npass = 0usize;
                     for l in 0..lanes {
                         let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
-                        let chk = if cfg.acc_logs { &*log_rw } else { &*cyc_rw };
-                        if chk[r * lanes + l] & W1 == 0 {
-                            npass += 1;
-                        }
+                        npass += (chk[r * lanes + l] & W1 == 0) as usize;
                     }
                     if npass == 0 {
                         for (l, lf) in last_fail.iter_mut().enumerate() {
@@ -1755,18 +2025,13 @@ impl BatchSim {
                     }
                 }
                 Uop::Wr0Arr { src, idx, base, amask, clean } => {
+                    let acc = cfg.acc_logs;
                     let mut npass = 0usize;
                     for l in 0..lanes {
                         let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
                         let i = r * lanes + l;
-                        let check = if cfg.acc_logs {
-                            log_rw[i]
-                        } else {
-                            log_rw[i] | cyc_rw[i]
-                        };
-                        if check & (R1 | W0 | W1) == 0 {
-                            npass += 1;
-                        }
+                        let check = log_rw[i] | (cyc_rw[i] & lane_mask(!acc) as u8);
+                        npass += (check & (R1 | W0 | W1) == 0) as usize;
                     }
                     if npass == 0 {
                         for (l, lf) in last_fail.iter_mut().enumerate() {
@@ -1791,18 +2056,13 @@ impl BatchSim {
                     }
                 }
                 Uop::Wr1Arr { src, idx, base, amask, clean } => {
+                    let acc = cfg.acc_logs;
                     let mut npass = 0usize;
                     for l in 0..lanes {
                         let r = base as usize + (sl!(idx, l) & amask as u64) as usize;
                         let i = r * lanes + l;
-                        let check = if cfg.acc_logs {
-                            log_rw[i]
-                        } else {
-                            log_rw[i] | cyc_rw[i]
-                        };
-                        if check & W1 == 0 {
-                            npass += 1;
-                        }
+                        let check = log_rw[i] | (cyc_rw[i] & lane_mask(!acc) as u8);
+                        npass += (check & W1 == 0) as usize;
                     }
                     if npass == 0 {
                         for (l, lf) in last_fail.iter_mut().enumerate() {
@@ -1847,12 +2107,8 @@ impl BatchSim {
                     continue;
                 }
                 Uop::Jz { cond, target } => {
-                    let mut nz = 0usize;
-                    for l in 0..lanes {
-                        if sl!(cond, l) == 0 {
-                            nz += 1;
-                        }
-                    }
+                    let c = cond as usize * lanes;
+                    let nz = simd::count_zero(&slots[c..c + lanes]);
                     if nz == lanes {
                         pc = target as usize;
                         continue;
@@ -1881,44 +2137,76 @@ impl BatchSim {
                 Uop::RdBin { op, dst, reg, b, mask, clean } => {
                     let r = reg as usize;
                     rd0_gate!(r, clean);
-                    for l in 0..lanes {
-                        let v = rd0_val!(r * lanes + l);
-                        sl!(dst, l) = fused(op, v, sl!(b, l), mask);
+                    let s = r * lanes;
+                    if !cfg.design_specific {
+                        simd::or_bytes(&mut log_rw[s..s + lanes], R0);
                     }
+                    let vals = if cfg.no_boc {
+                        &log_d0[s..s + lanes]
+                    } else {
+                        &boc[s..s + lanes]
+                    };
+                    simd::fused_ext_buf_at(
+                        op,
+                        mask,
+                        slots,
+                        dst as usize * lanes,
+                        vals,
+                        b as usize * lanes,
+                        lanes,
+                    );
                 }
                 Uop::BinWr { op, a, b, mask, reg, clean } => {
                     let r = reg as usize;
                     wr0_gate!(r, clean, tac.pcs[pc]);
-                    for l in 0..lanes {
-                        let i = r * lanes + l;
-                        log_rw[i] |= W0;
-                        log_d0[i] = fused(op, sl!(a, l), sl!(b, l), mask);
-                    }
+                    let d = r * lanes;
+                    simd::or_bytes(&mut log_rw[d..d + lanes], W0);
+                    simd::fused_zip2_to(
+                        op,
+                        mask,
+                        &mut log_d0[d..d + lanes],
+                        &slots[a as usize * lanes..][..lanes],
+                        &slots[b as usize * lanes..][..lanes],
+                    );
                 }
                 Uop::RdBinWr { op, rreg, b, mask, wreg, rclean, wclean } => {
                     let r = rreg as usize;
                     rd0_gate!(r, rclean);
                     // The read's effects (recording, value fetch) land
                     // before the write gate, exactly like the unfused pair.
-                    for (l, slot) in stack.iter_mut().enumerate().take(lanes) {
-                        let v = rd0_val!(r * lanes + l);
-                        *slot = fused(op, v, sl!(b, l), mask);
+                    let s = r * lanes;
+                    if !cfg.design_specific {
+                        simd::or_bytes(&mut log_rw[s..s + lanes], R0);
+                    }
+                    {
+                        let vals = if cfg.no_boc {
+                            &log_d0[s..s + lanes]
+                        } else {
+                            &boc[s..s + lanes]
+                        };
+                        simd::fused_zip2_to(
+                            op,
+                            mask,
+                            &mut stack[..lanes],
+                            vals,
+                            &slots[b as usize * lanes..][..lanes],
+                        );
                     }
                     let w = wreg as usize;
                     wr0_gate!(w, wclean, tac.pcs2[pc]);
-                    for (l, slot) in stack.iter().enumerate().take(lanes) {
-                        let i = w * lanes + l;
-                        log_rw[i] |= W0;
-                        log_d0[i] = *slot;
-                    }
+                    let d = w * lanes;
+                    simd::or_bytes(&mut log_rw[d..d + lanes], W0);
+                    log_d0[d..d + lanes].copy_from_slice(&stack[..lanes]);
                 }
                 Uop::BinJz { op, a, b, mask, target } => {
-                    let mut nz = 0usize;
-                    for l in 0..lanes {
-                        if fused(op, sl!(a, l), sl!(b, l), mask) == 0 {
-                            nz += 1;
-                        }
-                    }
+                    let nz = simd::fused_count_zero_at(
+                        op,
+                        mask,
+                        slots,
+                        a as usize * lanes,
+                        b as usize * lanes,
+                        lanes,
+                    );
                     if nz == lanes {
                         pc = target as usize;
                         continue;
@@ -1929,21 +2217,36 @@ impl BatchSim {
                 }
                 Uop::RdBinFast { op, dst, reg, b, mask } => {
                     let r = reg as usize * lanes;
-                    for l in 0..lanes {
-                        sl!(dst, l) = fused(op, log_d0[r + l], sl!(b, l), mask);
-                    }
+                    simd::fused_ext_buf_at(
+                        op,
+                        mask,
+                        slots,
+                        dst as usize * lanes,
+                        &log_d0[r..r + lanes],
+                        b as usize * lanes,
+                        lanes,
+                    );
                 }
                 Uop::BinWrFast { op, a, b, mask, reg } => {
                     let r = reg as usize * lanes;
-                    for l in 0..lanes {
-                        log_d0[r + l] = fused(op, sl!(a, l), sl!(b, l), mask);
-                    }
+                    simd::fused_zip2_to(
+                        op,
+                        mask,
+                        &mut log_d0[r..r + lanes],
+                        &slots[a as usize * lanes..][..lanes],
+                        &slots[b as usize * lanes..][..lanes],
+                    );
                 }
                 Uop::RdBinWrFast { op, rreg, b, mask, wreg } => {
-                    let (r, w) = (rreg as usize * lanes, wreg as usize * lanes);
-                    for l in 0..lanes {
-                        log_d0[w + l] = fused(op, log_d0[r + l], sl!(b, l), mask);
-                    }
+                    simd::fused_buf_ext_at(
+                        op,
+                        mask,
+                        log_d0,
+                        wreg as usize * lanes,
+                        rreg as usize * lanes,
+                        &slots[b as usize * lanes..][..lanes],
+                        lanes,
+                    );
                 }
             }
             pc += 1;

@@ -1279,3 +1279,4 @@ mod tests {
         );
     }
 }
+

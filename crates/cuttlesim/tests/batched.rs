@@ -2,15 +2,22 @@
 //! [`BatchSim`] must be indistinguishable from N independent scalar
 //! [`Sim`] runs — the same rules committing in the same order every cycle
 //! (checked both as raw commit sequences and as the FNV-1a digest the
-//! fault-injection campaigns fingerprint with) and the same value in every
-//! register, at every optimization level, even when the lanes start from
-//! divergent initial states and stop sharing control flow.
+//! fault-injection campaigns fingerprint with), the same value in every
+//! register, and the same per-rule commit/failure counters and
+//! [`FailInfo`] — at every optimization level, under every dispatch
+//! engine (including the compiled SIMD batch kernels), even when the
+//! lanes start from divergent initial states and stop sharing control
+//! flow.
 //!
 //! This is the oracle that licenses the batched campaign and fuzz paths:
 //! if a lane is bit-identical to a scalar run, any report built from lane
 //! observations is byte-identical to the sequential report.
+//!
+//! Every run also pins the lock-step accounting invariant: each scheduled
+//! rule of each cycle increments exactly one of `lockstep_rules` or
+//! `fallback_rules`, so their sum always equals `cycles x schedule`.
 
-use cuttlesim::{BatchSim, CompileOptions, OptLevel, Sim};
+use cuttlesim::{toolchain_available, BatchSim, CompileOptions, Dispatch, OptLevel, Sim};
 use koika::ast::*;
 use koika::check::check;
 use koika::design::DesignBuilder;
@@ -18,6 +25,7 @@ use koika::device::{RegAccess, SimBackend};
 use koika::obs::Observer;
 use koika::testgen::{random_design, SplitMix64};
 use koika::tir::{RegId, TDesign};
+use koika::vcd::VcdRecorder;
 use proptest::prelude::*;
 
 /// Records the committed-rule sequence of one cycle.
@@ -39,19 +47,39 @@ fn commit_digest(commits: &[u32]) -> u64 {
     })
 }
 
+/// The interpreted dispatches, always available. The native dispatch is
+/// appended by the callers that can afford a compile, gated on the
+/// toolchain.
+const INTERPRETED: [Dispatch; 3] = [Dispatch::Match, Dispatch::Closure, Dispatch::Tac];
+
 /// Runs `lanes` lanes of the batched engine against `lanes` independent
-/// scalar VMs at the given level. Lane 0 keeps the declared initial
-/// values; lanes 1.. are perturbed (identically on both sides) so the
-/// lanes diverge and the per-rule fallback path is exercised.
-fn assert_lanes_match_scalar(td: &TDesign, level: OptLevel, lanes: usize, cycles: usize, seed: u64) {
+/// scalar VMs at the given level and dispatch. Lane 0 keeps the declared
+/// initial values; lanes 1.. are perturbed (identically on both sides) so
+/// the lanes diverge and the per-rule fallback path is exercised.
+///
+/// Returns `(lockstep_rules, fallback_rules)` so callers can additionally
+/// assert that a scenario really exercised the path it targets.
+fn assert_lanes_match_scalar(
+    td: &TDesign,
+    level: OptLevel,
+    dispatch: Dispatch,
+    lanes: usize,
+    cycles: usize,
+    seed: u64,
+) -> (u64, u64) {
     let opts = CompileOptions {
         level,
         ..CompileOptions::default()
     };
     let mut batch =
         BatchSim::compile_with(td, &opts, lanes).expect("test designs fit the fast path");
+    batch.set_dispatch(dispatch);
     let mut scalars: Vec<Sim> = (0..lanes)
-        .map(|_| Sim::compile_with(td, &opts).expect("test designs fit the fast path"))
+        .map(|_| {
+            let mut s = Sim::compile_with(td, &opts).expect("test designs fit the fast path");
+            s.set_dispatch(dispatch);
+            s
+        })
         .collect();
     for (lane, scalar) in scalars.iter_mut().enumerate().skip(1) {
         let mut rng = SplitMix64::new(seed ^ (lane as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
@@ -63,6 +91,7 @@ fn assert_lanes_match_scalar(td: &TDesign, level: OptLevel, lanes: usize, cycles
         }
     }
 
+    let what = format!("{level}/{}", dispatch.short_name());
     for cycle in 0..cycles {
         batch.cycle().expect("test designs execute cleanly");
         for (lane, scalar) in scalars.iter_mut().enumerate() {
@@ -71,13 +100,13 @@ fn assert_lanes_match_scalar(td: &TDesign, level: OptLevel, lanes: usize, cycles
             assert_eq!(
                 batch.lane_commits(lane),
                 commits.as_slice(),
-                "design {:?}, {level}, cycle {cycle}, lane {lane}: commit sequence diverged",
+                "design {:?}, {what}, cycle {cycle}, lane {lane}: commit sequence diverged",
                 td.name,
             );
             assert_eq!(
                 commit_digest(batch.lane_commits(lane)),
                 commit_digest(&commits),
-                "design {:?}, {level}, cycle {cycle}, lane {lane}: commit digest diverged",
+                "design {:?}, {what}, cycle {cycle}, lane {lane}: commit digest diverged",
                 td.name,
             );
             for r in 0..td.num_regs() {
@@ -85,19 +114,63 @@ fn assert_lanes_match_scalar(td: &TDesign, level: OptLevel, lanes: usize, cycles
                 assert_eq!(
                     batch.lane_get64(lane, reg),
                     scalar.get64(reg),
-                    "design {:?}, {level}, cycle {cycle}, lane {lane}, register {} ({})",
+                    "design {:?}, {what}, cycle {cycle}, lane {lane}, register {} ({})",
                     td.name,
                     r,
                     td.regs[r].name,
                 );
             }
+            assert_eq!(
+                batch.lane_fired_per_rule(lane).as_slice(),
+                scalar.fired_per_rule(),
+                "design {:?}, {what}, cycle {cycle}, lane {lane}: fired-per-rule diverged",
+                td.name,
+            );
+            assert_eq!(
+                batch.lane_fails_per_rule(lane).as_slice(),
+                scalar.fails_per_rule(),
+                "design {:?}, {what}, cycle {cycle}, lane {lane}: fails-per-rule diverged",
+                td.name,
+            );
+            assert_eq!(
+                batch.lane_last_fail(lane),
+                scalar.last_fail(),
+                "design {:?}, {what}, cycle {cycle}, lane {lane}: last-fail info diverged",
+                td.name,
+            );
+        }
+    }
+
+    // The lock-step accounting invariant: every scheduled rule of every
+    // cycle is accounted to exactly one of the two counters, under every
+    // dispatch, diverged or not.
+    let (lockstep, fallback) = (batch.lockstep_rules(), batch.fallback_rules());
+    assert_eq!(
+        lockstep + fallback,
+        cycles as u64 * batch.program().schedule.len() as u64,
+        "design {:?}, {what}: lockstep + fallback must count every rule executed",
+        td.name,
+    );
+    (lockstep, fallback)
+}
+
+/// Every optimization level under every interpreted dispatch.
+fn assert_all_levels(td: &TDesign, lanes: usize, cycles: usize, seed: u64) {
+    for level in OptLevel::ALL {
+        for dispatch in INTERPRETED {
+            assert_lanes_match_scalar(td, level, dispatch, lanes, cycles, seed);
         }
     }
 }
 
-fn assert_all_levels(td: &TDesign, lanes: usize, cycles: usize, seed: u64) {
+/// Every optimization level under the compiled native dispatch (a no-op
+/// without a toolchain — CI always has one).
+fn assert_all_levels_native(td: &TDesign, lanes: usize, cycles: usize, seed: u64) {
+    if !toolchain_available() {
+        return;
+    }
     for level in OptLevel::ALL {
-        assert_lanes_match_scalar(td, level, lanes, cycles, seed);
+        assert_lanes_match_scalar(td, level, Dispatch::Native, lanes, cycles, seed);
     }
 }
 
@@ -107,8 +180,7 @@ fn assert_all_levels(td: &TDesign, lanes: usize, cycles: usize, seed: u64) {
 
 /// A counter with a data-dependent branch: perturbed lanes take different
 /// branches on different cycles, so lock-step execution must fall back.
-#[test]
-fn divergent_branches_across_lanes() {
+fn collatz_like() -> TDesign {
     let mut b = DesignBuilder::new("lanes_diverge");
     b.reg("n", 16, 1u64);
     b.reg("odd_steps", 16, 0u64);
@@ -134,8 +206,14 @@ fn divergent_branches_across_lanes() {
         ],
     );
     b.schedule(["step", "restart"]);
-    let td = check(&b.build()).expect("well-typed");
+    check(&b.build()).expect("well-typed")
+}
+
+#[test]
+fn divergent_branches_across_lanes() {
+    let td = collatz_like();
     assert_all_levels(&td, 8, 64, 0xD1CE);
+    assert_all_levels_native(&td, 8, 64, 0xD1CE);
 }
 
 /// Guard-failure asymmetry: some lanes' rules abort while others commit,
@@ -153,9 +231,11 @@ fn mixed_guard_failures() {
     b.schedule(["gated", "bump"]);
     let td = check(&b.build()).expect("well-typed");
     assert_all_levels(&td, 5, 48, 0xBEEF);
+    assert_all_levels_native(&td, 5, 48, 0xBEEF);
 }
 
-/// Identical lanes must stay in pure lock-step and still match scalar.
+/// Identical lanes must stay in pure lock-step and still match scalar,
+/// under every dispatch including the compiled batch kernels.
 #[test]
 fn identical_lanes_lockstep() {
     let mut b = DesignBuilder::new("lockstep");
@@ -165,33 +245,48 @@ fn identical_lanes_lockstep() {
         vec![wr0("acc", rd0("acc").mul(k(32, 1664525)).add(k(32, 1013904223)))],
     );
     let td = check(&b.build()).expect("well-typed");
+    let mut dispatches = INTERPRETED.to_vec();
+    if toolchain_available() {
+        dispatches.push(Dispatch::Native);
+    }
     for level in OptLevel::ALL {
-        let opts = CompileOptions {
-            level,
-            ..CompileOptions::default()
-        };
-        let mut batch = BatchSim::compile_with(&td, &opts, 16).unwrap();
-        let mut scalar = Sim::compile_with(&td, &opts).unwrap();
-        for _ in 0..32 {
-            batch.cycle().unwrap();
-            let mut commits = Vec::new();
-            scalar.cycle_obs(&mut CommitRec(&mut commits));
-            for lane in 0..16 {
-                assert_eq!(batch.lane_commits(lane), commits.as_slice());
-                assert_eq!(
-                    batch.lane_get64(lane, RegId(0)),
-                    scalar.get64(RegId(0)),
-                    "{level}: lane {lane} register 0"
-                );
+        for &dispatch in &dispatches {
+            let opts = CompileOptions {
+                level,
+                ..CompileOptions::default()
+            };
+            let mut batch = BatchSim::compile_with(&td, &opts, 16).unwrap();
+            batch.set_dispatch(dispatch);
+            let mut scalar = Sim::compile_with(&td, &opts).unwrap();
+            scalar.set_dispatch(dispatch);
+            for _ in 0..32 {
+                batch.cycle().unwrap();
+                let mut commits = Vec::new();
+                scalar.cycle_obs(&mut CommitRec(&mut commits));
+                for lane in 0..16 {
+                    assert_eq!(batch.lane_commits(lane), commits.as_slice());
+                    assert_eq!(
+                        batch.lane_get64(lane, RegId(0)),
+                        scalar.get64(RegId(0)),
+                        "{level}/{}: lane {lane} register 0",
+                        dispatch.short_name(),
+                    );
+                }
             }
+            assert!(
+                batch.fallback_rules() == 0,
+                "{level}/{}: identical lanes must never leave lock-step \
+                 ({} fallbacks)",
+                dispatch.short_name(),
+                batch.fallback_rules()
+            );
+            assert_eq!(
+                batch.lockstep_rules(),
+                32,
+                "{level}/{}: every scheduled rule must be counted as lock-step",
+                dispatch.short_name(),
+            );
         }
-        assert!(
-            batch.fallback_rules() == 0,
-            "{level}: identical lanes must never leave lock-step \
-             ({} fallbacks)",
-            batch.fallback_rules()
-        );
-        assert!(batch.lockstep_rules() > 0, "{level}: no lock-step steps");
     }
 }
 
@@ -200,6 +295,91 @@ fn identical_lanes_lockstep() {
 fn one_lane_degenerates_to_scalar() {
     let td = check(&random_design(42)).expect("well-typed");
     assert_all_levels(&td, 1, 32, 7);
+    assert_all_levels_native(&td, 1, 32, 7);
+}
+
+/// `--batch 1` byte-identity: a single-lane batch and a scalar VM started
+/// from the same state must agree on *every* observable — the commit
+/// stream, all registers, the per-rule counters, the failure info, and
+/// the rendered VCD waveform, byte for byte — under every dispatch.
+#[test]
+fn batch_of_one_is_byte_identical_to_scalar() {
+    let td = collatz_like();
+    let mut dispatches = INTERPRETED.to_vec();
+    if toolchain_available() {
+        dispatches.push(Dispatch::Native);
+    }
+    for dispatch in dispatches {
+        let opts = CompileOptions::default();
+        let mut batch = BatchSim::compile_with(&td, &opts, 1).unwrap();
+        batch.set_dispatch(dispatch);
+        let mut scalar = Sim::compile_with(&td, &opts).unwrap();
+        scalar.set_dispatch(dispatch);
+        let mut batch_vcd = VcdRecorder::all_registers(&td);
+        let mut scalar_vcd = VcdRecorder::all_registers(&td);
+        let cycles = 128u64;
+        for cycle in 0..cycles {
+            batch.cycle().unwrap();
+            let mut commits = Vec::new();
+            scalar.cycle_obs(&mut CommitRec(&mut commits));
+            assert_eq!(
+                batch.lane_commits(0),
+                commits.as_slice(),
+                "{}: commit stream diverged at cycle {cycle}",
+                dispatch.short_name(),
+            );
+            assert_eq!(
+                batch.lane_fired_per_rule(0).as_slice(),
+                scalar.fired_per_rule(),
+                "{}: fired counters diverged at cycle {cycle}",
+                dispatch.short_name(),
+            );
+            assert_eq!(
+                batch.lane_fails_per_rule(0).as_slice(),
+                scalar.fails_per_rule(),
+                "{}: fail counters diverged at cycle {cycle}",
+                dispatch.short_name(),
+            );
+            assert_eq!(
+                batch.lane_last_fail(0),
+                scalar.last_fail(),
+                "{}: FailInfo diverged at cycle {cycle}",
+                dispatch.short_name(),
+            );
+            scalar_vcd.sample(cycle, &scalar);
+            let lane = batch.lane(0);
+            batch_vcd.sample(cycle, &lane);
+        }
+        assert_eq!(
+            batch_vcd.finish(cycles),
+            scalar_vcd.finish(cycles),
+            "{}: VCD waveforms must be byte-identical",
+            dispatch.short_name(),
+        );
+    }
+}
+
+/// The lock-step accounting invariant, pinned on its own against a design
+/// that mixes all three outcomes (commit, clean failure, divergence):
+/// every scheduled rule lands in exactly one counter under every dispatch,
+/// and this scenario genuinely exercises both paths.
+#[test]
+fn lockstep_fallback_counters_account_for_every_rule() {
+    let td = collatz_like();
+    let mut dispatches = INTERPRETED.to_vec();
+    if toolchain_available() {
+        dispatches.push(Dispatch::Native);
+    }
+    for dispatch in dispatches {
+        let (lockstep, fallback) =
+            assert_lanes_match_scalar(&td, OptLevel::max(), dispatch, 8, 64, 0xD1CE);
+        assert!(
+            lockstep > 0 && fallback > 0,
+            "{}: the divergence scenario must exercise both counters \
+             (lockstep {lockstep}, fallback {fallback})",
+            dispatch.short_name(),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -209,11 +389,45 @@ fn one_lane_degenerates_to_scalar() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
     /// The batched matrix: random design x divergent lane inits x every
-    /// optimization level, lanes bit-compared to scalar runs each cycle.
+    /// optimization level x every interpreted dispatch, lanes bit-compared
+    /// to scalar runs each cycle. (The native dispatch replays the pinned
+    /// corpus below instead — a fresh `rustc` invocation per proptest case
+    /// would dwarf the signal.)
     #[test]
     fn random_designs_batched_vs_scalar(seed in any::<u64>(), lanes in 2usize..6) {
         let design = random_design(seed);
         let td = check(&design).expect("generator produces well-typed designs");
         assert_all_levels(&td, lanes, 16, seed);
+    }
+}
+
+/// The checked-in corpus: seeds whose generated designs exercise rich
+/// divergence patterns, replayed deterministically on every run through
+/// every dispatch — including the compiled SIMD batch path, which the
+/// proptest matrix above skips. Across the corpus the native path must
+/// actually leave lock-step at least once, so the per-lane fallback seam
+/// (gather, compiled scalar re-run, scatter) is genuinely traversed.
+#[test]
+fn corpus_replays_through_all_dispatches() {
+    const CORPUS: [(u64, usize); 4] = [(42, 4), (0xC0FFEE, 5), (0xFEED_5EED, 3), (7, 2)];
+    let mut native_fallbacks = 0;
+    for (seed, lanes) in CORPUS {
+        let td = check(&random_design(seed)).expect("well-typed");
+        for dispatch in INTERPRETED {
+            assert_lanes_match_scalar(&td, OptLevel::max(), dispatch, lanes, 24, seed);
+        }
+        if toolchain_available() {
+            for level in [OptLevel::ALL[0], OptLevel::max()] {
+                let (_, fb) =
+                    assert_lanes_match_scalar(&td, level, Dispatch::Native, lanes, 24, seed);
+                native_fallbacks += fb;
+            }
+        }
+    }
+    if toolchain_available() {
+        assert!(
+            native_fallbacks > 0,
+            "corpus must exercise the native divergence fallback",
+        );
     }
 }

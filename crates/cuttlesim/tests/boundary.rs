@@ -94,6 +94,41 @@ fn assert_all_backends_agree(design: &koika::Design) {
             }
         }
     }
+
+    // Batch-width sweep: the lane dimension has boundaries of its own — a
+    // single lane, a width that straddles the fixed SIMD chunks, one and
+    // two full 64-lane chunks — and the compiled batch kernels specialize
+    // on the exact lane count, so each width is a distinct code path.
+    // Swept at the top optimization level under every dispatch (the
+    // level dimension is already covered at a fixed width above).
+    let opts = CompileOptions {
+        level: OptLevel::max(),
+        ..CompileOptions::default()
+    };
+    for dispatch in Dispatch::ALL {
+        for lanes in [1usize, 7, 32, 64] {
+            let mut batch =
+                BatchSim::compile_with(&td, &opts, lanes).expect("boundary designs compile");
+            batch.set_dispatch(dispatch);
+            for (cycle, row) in reference.iter().enumerate() {
+                batch.cycle().expect("boundary designs execute cleanly");
+                for lane in 0..lanes {
+                    for (r, &want) in row.iter().enumerate() {
+                        assert_eq!(
+                            batch.lane_get64(lane, RegId(r as u32)),
+                            want,
+                            "design {:?}, max/{}/batch {lanes} lanes, lane {lane}, \
+                             cycle {cycle}, register {} ({})",
+                            td.name,
+                            dispatch.short_name(),
+                            r,
+                            td.regs[r].name,
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Shift mill at width `w`: an 8-bit counter drives logical-right,
